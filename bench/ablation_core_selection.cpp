@@ -1,0 +1,51 @@
+// Experiment E13 (paper Section VI-D): choosing how many cores to power on.
+// For each static-power level, compares always-all-cores F2 against the
+// simulate-then-pick core-count selection, averaged over random workloads.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/sched/core_selection.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  const int max_cores = 4;
+  WorkloadConfig config;
+
+  AsciiTable table({"p0", "E[F2, all cores] / E[opt-m]", "mean chosen cores",
+                    "runs picking < m"});
+  for (const double p0 : {0.0, 0.1, 0.2, 0.5, 1.0, 2.0}) {
+    const PowerModel power(3.0, p0);
+
+    struct Outcome {
+      double ratio;
+      int chosen;
+    };
+    const auto outcomes = parallel_map(runs, [&](std::size_t run) {
+      Rng rng(Rng::seed_of("ablation-core-selection", run));
+      const TaskSet tasks = generate_workload(config, rng);
+      const CoreSelectionResult sel = select_core_count(tasks, max_cores, power);
+      const double all_cores = sel.candidates.back().final_energy;
+      return Outcome{all_cores / sel.best_energy, sel.best_cores};
+    });
+
+    RunningStats ratio, chosen;
+    std::size_t fewer = 0;
+    for (const Outcome& o : outcomes) {
+      ratio.add(o.ratio);
+      chosen.add(o.chosen);
+      if (o.chosen < max_cores) ++fewer;
+    }
+    table.add_row({format_fixed(p0, 2), format_fixed(ratio.mean(), 4),
+                   format_fixed(chosen.mean(), 2),
+                   std::to_string(fewer) + "/" + std::to_string(runs)});
+  }
+  bench::print_experiment(
+      "Section VI-D ablation: core-count selection",
+      "alpha=3, n=20, max m=4; ratio > 1 means powering every core wastes energy", table);
+  return 0;
+}

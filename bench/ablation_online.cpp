@@ -1,0 +1,108 @@
+// Ablation A2: the price of non-clairvoyance. Rolling-horizon F2 (re-plan at
+// every release) versus the clairvoyant offline F2 and the exact optimum,
+// on the paper's workload and on bursty arrivals; plus the classic Optimal
+// Available (rolling YDS) on a uniprocessor.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/sched/online.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/arrivals.hpp"
+
+namespace {
+
+using namespace easched;
+
+struct Row {
+  RunningStats online_vs_offline;  // E_online / E_offline-F2
+  RunningStats online_vs_optimal;  // E_online / E_OPT
+  RunningStats replans;
+};
+
+template <typename MakeTasks>
+Row measure(const char* label, std::size_t runs, int cores, const PowerModel& power,
+            MakeTasks&& make_tasks) {
+  struct Outcome {
+    double ratio_offline, ratio_optimal, replans;
+  };
+  const auto outcomes = parallel_map(runs, [&](std::size_t run) {
+    Rng rng(Rng::seed_of(label, run));
+    const TaskSet tasks = make_tasks(rng);
+    const OnlineResult online = schedule_online(tasks, cores, power);
+    const double offline = run_pipeline(tasks, cores, power).der.final_energy;
+    const double optimal = solve_optimal_allocation(tasks, cores, power).energy;
+    return Outcome{online.energy / offline, online.energy / optimal,
+                   static_cast<double>(online.replans)};
+  });
+  Row row;
+  for (const Outcome& o : outcomes) {
+    row.online_vs_offline.add(o.ratio_offline);
+    row.online_vs_optimal.add(o.ratio_optimal);
+    row.replans.add(o.replans);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = default_runs();
+  const PowerModel power(3.0, 0.1);
+
+  AsciiTable table({"workload", "E_online/E_offlineF2", "E_online/E_OPT", "mean replans"});
+  const auto add = [&](const char* name, const Row& row) {
+    table.add_row({name, easched::format_fixed(row.online_vs_offline.mean(), 4),
+                   easched::format_fixed(row.online_vs_optimal.mean(), 4),
+                   easched::format_fixed(row.replans.mean(), 1)});
+  };
+
+  add("paper uniform, m=4",
+      measure("ablation-online-uniform", runs, 4, power, [](Rng& rng) {
+        WorkloadConfig config;
+        return generate_workload(config, rng);
+      }));
+  add("bursty 4x5, m=4", measure("ablation-online-bursty", runs, 4, power, [](Rng& rng) {
+        BurstyConfig config;
+        return generate_bursty_workload(config, rng);
+      }));
+  add("paper uniform, m=1",
+      measure("ablation-online-uni", runs, 1, power, [](Rng& rng) {
+        WorkloadConfig config;
+        config.task_count = 8;
+        config.intensity = IntensityDistribution::range(0.02, 0.10);
+        return generate_workload(config, rng);
+      }));
+  bench::print_experiment("Ablation: online (rolling-horizon) vs clairvoyant scheduling",
+                          "runs/row=" + std::to_string(runs), table);
+
+  // Optimal Available (rolling YDS) head-to-head on a uniprocessor, p0 = 0.
+  const PowerModel cubic(3.0, 0.0);
+  RunningStats oa_ratio, f2_ratio;
+  const auto outcomes = parallel_map(runs, [&](std::size_t run) {
+    Rng rng(Rng::seed_of("ablation-online-oa", run));
+    WorkloadConfig config;
+    config.task_count = 8;
+    config.intensity = IntensityDistribution::range(0.02, 0.10);
+    const TaskSet tasks = generate_workload(config, rng);
+    const double optimal = yds_schedule(tasks).schedule.energy(cubic);
+    OnlineOptions oa;
+    oa.planner = OnlinePlanner::kYds;
+    const double e_oa = schedule_online(tasks, 1, cubic, oa).energy;
+    const double e_f2 = schedule_online(tasks, 1, cubic).energy;
+    return std::pair{e_oa / optimal, e_f2 / optimal};
+  });
+  for (const auto& [a, b] : outcomes) {
+    oa_ratio.add(a);
+    f2_ratio.add(b);
+  }
+  AsciiTable oa_table({"online policy (m=1, p0=0)", "E / E_YDS-offline"});
+  oa_table.add_row({"Optimal Available (rolling YDS)", easched::format_fixed(oa_ratio.mean(), 4)});
+  oa_table.add_row({"rolling subinterval F2", easched::format_fixed(f2_ratio.mean(), 4)});
+  bench::print_experiment("Uniprocessor online baselines", "", oa_table);
+  return 0;
+}

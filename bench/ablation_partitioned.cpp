@@ -1,0 +1,60 @@
+// Ablation A7: the value of migration. The paper assumes free migration;
+// partitioned scheduling (tasks pinned to cores, each core a uniprocessor)
+// is the deployment-friendly alternative. Measures the energy premium of
+// pinning across core counts and static-power levels, for both partition
+// heuristics.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/sched/partitioned.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/convex_solver.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  WorkloadConfig config;
+
+  AsciiTable table({"m", "p0", "NEC global F2", "NEC partitioned WFD", "NEC partitioned FFD"});
+  for (const int m : {2, 4, 8}) {
+    for (const double p0 : {0.0, 0.2}) {
+      const PowerModel power(3.0, p0);
+      struct Outcome {
+        double global, wfd, ffd;
+      };
+      const auto outcomes = parallel_map(runs, [&](std::size_t run) {
+        Rng rng(Rng::seed_of("ablation-partitioned", run));
+        const TaskSet tasks = generate_workload(config, rng);
+        const double optimum = solve_optimal_allocation(tasks, m, power).energy;
+        const double global = run_pipeline(tasks, m, power).der.final_energy;
+        const double wfd =
+            schedule_partitioned(tasks, m, power, AllocationMethod::kDer,
+                                 PartitionHeuristic::kWorstFitDecreasing)
+                .total_energy;
+        const double ffd =
+            schedule_partitioned(tasks, m, power, AllocationMethod::kDer,
+                                 PartitionHeuristic::kFirstFitDecreasing)
+                .total_energy;
+        return Outcome{global / optimum, wfd / optimum, ffd / optimum};
+      });
+      RunningStats global, wfd, ffd;
+      for (const Outcome& o : outcomes) {
+        global.add(o.global);
+        wfd.add(o.wfd);
+        ffd.add(o.ffd);
+      }
+      table.add_row({std::to_string(m), format_fixed(p0, 1), format_fixed(global.mean(), 4),
+                     format_fixed(wfd.mean(), 4), format_fixed(ffd.mean(), 4)});
+    }
+  }
+  bench::print_experiment(
+      "Ablation: migrating (global) F2 vs partitioned scheduling",
+      "alpha=3, n=20, runs/row=" + std::to_string(runs) +
+          "; WFD = worst-fit decreasing, FFD = first-fit decreasing",
+      table);
+  return 0;
+}

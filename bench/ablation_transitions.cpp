@@ -1,0 +1,86 @@
+// Ablation A4: DVFS switch overhead, which the paper's model ignores. Counts
+// the frequency switches and wake-ups each scheduler performs and re-ranks
+// the schedulers as the per-switch energy grows. Note the two forces: the
+// final scheduler uses ONE frequency per task but stretches tasks across
+// more subintervals, so its per-core interleaving can switch more often
+// than the intermediate schedule despite the per-task guarantee — exactly
+// the kind of effect the pure-energy model hides.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/transitions.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  const PowerModel power(3.0, 0.1);
+  WorkloadConfig config;
+
+  // Switch counts first.
+  struct Counts {
+    RunningStats i2_switches, f2_switches, f2_sorted_switches, i2_wakeups, f2_wakeups;
+  } counts;
+  struct PerRun {
+    TransitionStats i2, f2, f2_sorted;
+    double e_i2, e_f2;
+  };
+  const auto per_run = parallel_map(runs, [&](std::size_t run) {
+    Rng rng(Rng::seed_of("ablation-transitions", run));
+    const TaskSet tasks = generate_workload(config, rng);
+    const SubintervalDecomposition subs(tasks);
+    const PipelineResult result = run_pipeline(tasks, 4, power);
+    PerRun out;
+    out.i2 = count_transitions(result.der.intermediate_schedule);
+    out.f2 = count_transitions(result.der.final_schedule);
+    out.f2_sorted = count_transitions(
+        materialize_final_sorted(tasks, subs, 4, result.der));
+    out.e_i2 = result.der.intermediate_energy;
+    out.e_f2 = result.der.final_energy;
+    return out;
+  });
+  for (const PerRun& r : per_run) {
+    counts.i2_switches.add(static_cast<double>(r.i2.frequency_switches));
+    counts.f2_switches.add(static_cast<double>(r.f2.frequency_switches));
+    counts.f2_sorted_switches.add(static_cast<double>(r.f2_sorted.frequency_switches));
+    counts.i2_wakeups.add(static_cast<double>(r.i2.wakeups));
+    counts.f2_wakeups.add(static_cast<double>(r.f2.wakeups));
+  }
+
+  AsciiTable switches({"scheduler", "mean freq switches", "mean wakeups"});
+  switches.add_row({"I2 (per-subinterval frequencies)",
+                    format_fixed(counts.i2_switches.mean(), 1),
+                    format_fixed(counts.i2_wakeups.mean(), 1)});
+  switches.add_row({"F2 (one frequency per task)",
+                    format_fixed(counts.f2_switches.mean(), 1),
+                    format_fixed(counts.f2_wakeups.mean(), 1)});
+  switches.add_row({"F2, frequency-sorted packing",
+                    format_fixed(counts.f2_sorted_switches.mean(), 1), "-"});
+  bench::print_experiment("Ablation: DVFS switch counts (m=4, n=20)",
+                          "runs=" + std::to_string(runs), switches);
+
+  // Energy ranking as the per-switch cost grows (in units of the mean
+  // per-run base energy, so the sweep is scale-free).
+  double base = 0.0;
+  for (const PerRun& r : per_run) base += r.e_f2;
+  base /= static_cast<double>(per_run.size());
+
+  AsciiTable ranking({"switch cost (% of E_F2)", "E_I2 w/ overhead / E_F2 w/ overhead"});
+  for (const double pct : {0.0, 0.1, 0.5, 1.0, 2.0}) {
+    const double cost = base * pct / 100.0;
+    double i2_total = 0.0, f2_total = 0.0;
+    for (const PerRun& r : per_run) {
+      i2_total += r.e_i2 + cost * static_cast<double>(r.i2.frequency_switches + r.i2.wakeups);
+      f2_total += r.e_f2 + cost * static_cast<double>(r.f2.frequency_switches + r.f2.wakeups);
+    }
+    ranking.add_row({format_fixed(pct, 1), format_fixed(i2_total / f2_total, 4)});
+  }
+  bench::print_experiment(
+      "Energy ratio I2/F2 as switch overhead grows",
+      "ratios > 1 favor F2; watch how overhead shifts the comparison", ranking);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "bench_common.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+
+#include "easched/common/csv.hpp"
+
+namespace easched::bench {
+
+std::string artifact_slug(const std::string& title) {
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+    if (slug.size() >= 60) break;
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "experiment" : slug;
+}
+
+void print_experiment(const std::string& title, const std::string& detail,
+                      const AsciiTable& table) {
+  std::cout << "=== " << title << " ===\n";
+  if (!detail.empty()) std::cout << detail << "\n";
+  std::cout << table.to_string() << std::flush;
+
+  if (const char* dir = std::getenv("REPRO_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + artifact_slug(title) + ".csv";
+    try {
+      write_file(path, table.to_csv());
+      std::cout << "[csv artifact: " << path << "]\n";
+    } catch (const std::exception& e) {
+      std::cerr << "warning: could not write " << path << ": " << e.what() << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace easched::bench

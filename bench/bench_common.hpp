@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// \brief Shared output helpers for the experiment binaries.
+///
+/// Each binary reproduces one table or figure from the paper and prints
+/// paper-shaped rows (sweep value, then the five NEC curves). Binaries are
+/// argument-free; the Monte-Carlo run count follows `REPRO_RUNS` (default:
+/// the paper's 100).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "easched/common/table.hpp"
+#include "easched/exp/experiment.hpp"
+
+namespace easched::bench {
+
+/// Standard header for NEC sweep tables (paper curve order).
+inline std::vector<std::string> nec_headers(const std::string& sweep_column) {
+  return {sweep_column, "NEC IdL", "NEC I1", "NEC F1", "NEC I2", "NEC F2"};
+}
+
+/// Append one sweep row from a finished accumulator set.
+inline void add_nec_row(AsciiTable& table, const std::string& label,
+                        const NecAccumulators& acc) {
+  table.add_row(label, acc.means());
+}
+
+/// Slugify a title for artifact file names.
+std::string artifact_slug(const std::string& title);
+
+/// Print a titled experiment banner followed by the table; when the
+/// `REPRO_CSV_DIR` environment variable is set, also dump the table as CSV
+/// into that directory (file name derived from the title).
+void print_experiment(const std::string& title, const std::string& detail,
+                      const AsciiTable& table);
+
+}  // namespace easched::bench

@@ -1,0 +1,42 @@
+// Experiment E5 (paper Fig 6): NEC vs static power p0 in {0, 0.02, ..., 0.20}
+// with alpha = 3, m = 4, n = 20, intensities on the paper grid, 100 runs per
+// point (REPRO_RUNS overrides). Set REPRO_PLOT_DIR to also emit gnuplot
+// artifacts regenerating the figure.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "easched/exp/plot.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  WorkloadConfig config;  // paper Section VI defaults
+
+  AsciiTable table(bench::nec_headers("p0"));
+  std::vector<double> xs;
+  std::vector<PlotSeries> curves{{"IdL", {}}, {"I1", {}}, {"F1", {}}, {"I2", {}}, {"F2", {}}};
+  for (int k = 0; k <= 10; ++k) {
+    const double p0 = 0.02 * k;
+    const PowerModel power(3.0, p0);
+    const NecAccumulators acc =
+        monte_carlo_nec("fig06", config, 4, power, runs, SolverOptions{});
+    bench::add_nec_row(table, format_fixed(p0, 2), acc);
+    xs.push_back(p0);
+    const auto means = acc.means();
+    for (std::size_t c = 0; c < curves.size(); ++c) curves[c].values.push_back(means[c]);
+  }
+  bench::print_experiment(
+      "Fig 6: normalized energy consumption vs static power",
+      "alpha=3, m=4, n=20, intensities {0.1..1.0}, runs/point=" + std::to_string(runs), table);
+
+  if (const char* dir = std::getenv("REPRO_PLOT_DIR")) {
+    const std::string gp = write_gnuplot_artifacts(
+        dir, "fig06", "Fig 6: NEC vs static power (alpha=3, m=4, n=20)", "p0",
+        "normalized energy consumption", xs, curves);
+    std::cout << "[gnuplot artifact: " << gp << "]\n";
+  }
+  return 0;
+}

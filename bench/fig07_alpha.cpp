@@ -1,0 +1,26 @@
+// Experiment E6 (paper Fig 7): NEC vs dynamic exponent alpha in
+// {2.0, 2.1, ..., 3.0} with p0 = 0, m = 4, n = 20.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  WorkloadConfig config;
+
+  AsciiTable table(bench::nec_headers("alpha"));
+  for (int k = 0; k <= 10; ++k) {
+    const double alpha = 2.0 + 0.1 * k;
+    const PowerModel power(alpha, 0.0);
+    const NecAccumulators acc =
+        monte_carlo_nec("fig07", config, 4, power, runs, SolverOptions{});
+    bench::add_nec_row(table, format_fixed(alpha, 1), acc);
+  }
+  bench::print_experiment(
+      "Fig 7: normalized energy consumption vs alpha",
+      "p0=0, m=4, n=20, intensities {0.1..1.0}, runs/point=" + std::to_string(runs), table);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Experiment E8 (paper Fig 8): NEC vs core count m in {2, 4, 6, 8, 10, 12}
+// with alpha = 3, p0 = 0.2, n = 20. Set REPRO_PLOT_DIR to also emit gnuplot
+// artifacts regenerating the figure.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "easched/exp/plot.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  WorkloadConfig config;
+  const PowerModel power(3.0, 0.2);
+
+  AsciiTable table(bench::nec_headers("cores"));
+  std::vector<double> xs;
+  std::vector<PlotSeries> curves{{"IdL", {}}, {"I1", {}}, {"F1", {}}, {"I2", {}}, {"F2", {}}};
+  for (const int m : {2, 4, 6, 8, 10, 12}) {
+    const NecAccumulators acc =
+        monte_carlo_nec("fig08", config, m, power, runs, SolverOptions{});
+    bench::add_nec_row(table, std::to_string(m), acc);
+    xs.push_back(m);
+    const auto means = acc.means();
+    for (std::size_t c = 0; c < curves.size(); ++c) curves[c].values.push_back(means[c]);
+  }
+  bench::print_experiment(
+      "Fig 8: normalized energy consumption vs number of cores",
+      "alpha=3, p0=0.2, n=20, runs/point=" + std::to_string(runs), table);
+
+  if (const char* dir = std::getenv("REPRO_PLOT_DIR")) {
+    const std::string gp = write_gnuplot_artifacts(
+        dir, "fig08", "Fig 8: NEC vs number of cores (alpha=3, p0=0.2, n=20)", "cores",
+        "normalized energy consumption", xs, curves);
+    std::cout << "[gnuplot artifact: " << gp << "]\n";
+  }
+  return 0;
+}

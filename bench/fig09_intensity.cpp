@@ -1,0 +1,27 @@
+// Experiment E9 (paper Fig 9): NEC vs task-intensity generation range
+// [x, 1.0] for x in {0.1, ..., 1.0}; alpha = 3, p0 = 0.2, m = 4, n = 20.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  const PowerModel power(3.0, 0.2);
+
+  AsciiTable table(bench::nec_headers("intensity range"));
+  for (int k = 1; k <= 10; ++k) {
+    const double lo = 0.1 * k;
+    WorkloadConfig config;
+    config.intensity = IntensityDistribution::range(lo, 1.0);
+    const NecAccumulators acc =
+        monte_carlo_nec("fig09", config, 4, power, runs, SolverOptions{});
+    bench::add_nec_row(table, "[" + format_fixed(lo, 1) + ",1.0]", acc);
+  }
+  bench::print_experiment(
+      "Fig 9: normalized energy consumption vs task intensity range",
+      "alpha=3, p0=0.2, m=4, n=20, runs/point=" + std::to_string(runs), table);
+  return 0;
+}

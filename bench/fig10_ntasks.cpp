@@ -1,0 +1,27 @@
+// Experiment E10 (paper Fig 10): NEC vs number of tasks
+// n in {5, 10, 15, 20, 25, 30, 35, 40}; alpha = 3, p0 = 0.2, m = 4.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  const PowerModel power(3.0, 0.2);
+
+  AsciiTable table(bench::nec_headers("tasks"));
+  for (const std::size_t n : {5u, 10u, 15u, 20u, 25u, 30u, 35u, 40u}) {
+    WorkloadConfig config;
+    config.task_count = n;
+    config.intensity = IntensityDistribution::range(0.1, 1.0);
+    const NecAccumulators acc =
+        monte_carlo_nec("fig10", config, 4, power, runs, SolverOptions{});
+    bench::add_nec_row(table, std::to_string(n), acc);
+  }
+  bench::print_experiment(
+      "Fig 10: normalized energy consumption vs number of tasks",
+      "alpha=3, p0=0.2, m=4, intensity [0.1,1.0], runs/point=" + std::to_string(runs), table);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Performance bench P1: the paper's "lightweight / low complexity" claim.
+// Measures the F2 pipeline's wall-clock cost as n and m scale, against the
+// convex solver it replaces. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/sched/core_selection.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace {
+
+using namespace easched;
+
+TaskSet make_tasks(std::size_t n, std::uint64_t seed) {
+  Rng rng(Rng::seed_of("perf-schedulers", seed, n));
+  WorkloadConfig config;
+  config.task_count = n;
+  return generate_workload(config, rng);
+}
+
+void BM_PipelineBothMethods(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)), 1);
+  const PowerModel power(3.0, 0.1);
+  const int cores = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(tasks, cores, power));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineBothMethods)
+    ->Args({10, 4})
+    ->Args({20, 4})
+    ->Args({40, 4})
+    ->Args({80, 4})
+    ->Args({160, 4})
+    ->Args({20, 2})
+    ->Args({20, 8})
+    ->Args({20, 16})
+    ->Complexity(benchmark::oAuto);
+
+void BM_DerSchedulerOnly(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)), 2);
+  const PowerModel power(3.0, 0.1);
+  const SubintervalDecomposition subs(tasks);
+  const IdealCase ideal(tasks, power);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schedule_with_method(tasks, subs, 4, power, ideal, AllocationMethod::kDer));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DerSchedulerOnly)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Arg(160)->Complexity(
+    benchmark::oAuto);
+
+void BM_SubintervalDecomposition(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubintervalDecomposition(tasks));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SubintervalDecomposition)->Arg(10)->Arg(40)->Arg(160)->Arg(640)->Complexity(
+    benchmark::oAuto);
+
+void BM_YdsUniprocessor(benchmark::State& state) {
+  Rng rng(Rng::seed_of("perf-yds", static_cast<std::uint64_t>(state.range(0))));
+  WorkloadConfig config;
+  config.task_count = static_cast<std::size_t>(state.range(0));
+  config.intensity = IntensityDistribution::range(0.01, 0.03);
+  const TaskSet tasks = generate_workload(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yds_schedule(tasks));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_YdsUniprocessor)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Complexity(benchmark::oAuto);
+
+void BM_CoreCountSelection(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(20, 4);
+  const PowerModel power(3.0, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_core_count(tasks, static_cast<int>(state.range(0)), power));
+  }
+}
+BENCHMARK(BM_CoreCountSelection)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Performance bench P2: the simulation substrate. Throughput of the
+// discrete-event executor, the online EDF dispatcher, and the rolling-
+// horizon re-planner — the pieces a runtime would call continuously.
+
+#include <benchmark/benchmark.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/sched/online.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/edf.hpp"
+#include "easched/sim/engine.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace {
+
+using namespace easched;
+
+struct Prepared {
+  TaskSet tasks;
+  PowerModel power{3.0, 0.1};
+  Schedule schedule;
+};
+
+Prepared prepare(std::size_t n, std::uint64_t seed) {
+  Prepared p;
+  Rng rng(Rng::seed_of("perf-sim", seed, n));
+  WorkloadConfig config;
+  config.task_count = n;
+  p.tasks = generate_workload(config, rng);
+  p.schedule = run_pipeline(p.tasks, 4, p.power).der.final_schedule;
+  return p;
+}
+
+void BM_ExecuteSchedule(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 1);
+  const PowerFunction pf = power_function(p.power);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(execute_schedule(p.tasks, p.schedule, pf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.schedule.segments().size()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExecuteSchedule)->Arg(10)->Arg(40)->Arg(160)->Complexity(benchmark::oAuto);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SimulationEngine engine;
+    for (std::size_t k = 0; k < events; ++k) {
+      engine.schedule_at(static_cast<double>(k), [](SimulationEngine&) {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EdfDispatch(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 2);
+  std::vector<double> freq(p.tasks.size());
+  for (std::size_t i = 0; i < p.tasks.size(); ++i) freq[i] = p.tasks[i].intensity() * 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edf_dispatch(p.tasks, 4, freq));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdfDispatch)->Arg(10)->Arg(40)->Arg(160)->Complexity(benchmark::oAuto);
+
+void BM_OnlineRollingHorizon(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_online(p.tasks, 4, p.power));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OnlineRollingHorizon)->Arg(10)->Arg(20)->Arg(40)->Complexity(benchmark::oAuto);
+
+void BM_ScheduleValidation(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.schedule.validate(p.tasks));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleValidation)->Arg(10)->Arg(40)->Arg(160)->Complexity(benchmark::oAuto);
+
+}  // namespace
+
+BENCHMARK_MAIN();

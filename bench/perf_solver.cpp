@@ -1,0 +1,79 @@
+// Performance bench P1b: cost of the exact convex solver — the "high
+// complexity" alternative the paper argues against for real-time use — and
+// of its capped-simplex projection primitive.
+
+#include <benchmark/benchmark.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/interior_point.hpp"
+#include "easched/solver/projection.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace {
+
+using namespace easched;
+
+TaskSet make_tasks(std::size_t n, std::uint64_t seed) {
+  Rng rng(Rng::seed_of("perf-solver", seed, n));
+  WorkloadConfig config;
+  config.task_count = n;
+  return generate_workload(config, rng);
+}
+
+void BM_ConvexSolver(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)), 1);
+  const PowerModel power(3.0, 0.1);
+  const SubintervalDecomposition subs(tasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_optimal_allocation(tasks, subs, 4, power));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexSolver)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity(benchmark::oAuto);
+
+void BM_InteriorPointSolver(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)), 1);
+  const PowerModel power(3.0, 0.1);
+  const SubintervalDecomposition subs(tasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_optimal_interior_point(tasks, subs, 4, power));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InteriorPointSolver)->Arg(10)->Arg(20)->Arg(40)->Complexity(benchmark::oAuto);
+
+void BM_ConvexSolverLooseTolerance(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(20, 2);
+  const PowerModel power(3.0, 0.1);
+  const SubintervalDecomposition subs(tasks);
+  SolverOptions options;
+  options.objective_tol = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_optimal_allocation(tasks, subs, 4, power, options));
+  }
+}
+BENCHMARK(BM_ConvexSolverLooseTolerance);
+
+void BM_CappedSimplexProjection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(Rng::seed_of("perf-projection", n));
+  std::vector<double> caps(n), base(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    caps[k] = rng.uniform(0.5, 2.0);
+    base[k] = rng.uniform(-1.0, 3.0);
+  }
+  const double budget = 0.3 * static_cast<double>(n);
+  for (auto _ : state) {
+    std::vector<double> v = base;
+    project_capped_simplex(v, caps, budget);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CappedSimplexProjection)->Arg(8)->Arg(64)->Arg(512)->Arg(4096)->Complexity(
+    benchmark::oAuto);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Experiment E7 (paper Table II): NEC of the two *final* schedulers over the
+// full (alpha, p0) grid: alpha in {2.0, ..., 3.0}, p0 in {0, 0.02, ..., 0.20}.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace easched;
+
+  const std::size_t runs = default_runs();
+  WorkloadConfig config;
+
+  std::vector<std::string> headers{"alpha \\ p0"};
+  for (int c = 0; c <= 10; ++c) headers.push_back(format_fixed(0.02 * c, 2));
+
+  AsciiTable f1(headers), f2(headers);
+  for (int a = 0; a <= 10; ++a) {
+    const double alpha = 2.0 + 0.1 * a;
+    std::vector<std::string> row_f1{format_fixed(alpha, 1)};
+    std::vector<std::string> row_f2{format_fixed(alpha, 1)};
+    for (int c = 0; c <= 10; ++c) {
+      const double p0 = 0.02 * c;
+      const PowerModel power(alpha, p0);
+      const NecAccumulators acc = monte_carlo_nec(
+          "table02", config, 4, power, runs, SolverOptions{});
+      row_f1.push_back(format_fixed(acc.f1.mean(), 4));
+      row_f2.push_back(format_fixed(acc.f2.mean(), 4));
+    }
+    f1.add_row(std::move(row_f1));
+    f2.add_row(std::move(row_f2));
+  }
+  bench::print_experiment("Table II (NEC of F1): evenly allocating, final",
+                          "m=4, n=20, runs/cell=" + std::to_string(runs), f1);
+  bench::print_experiment("Table II (NEC of F2): DER-based, final",
+                          "m=4, n=20, runs/cell=" + std::to_string(runs), f2);
+  return 0;
+}

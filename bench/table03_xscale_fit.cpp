@@ -1,0 +1,42 @@
+// Experiment E11 (paper Table III + Section VI-C fit): the Intel XScale
+// frequency/power table and the fitted continuous model
+// p(f) = gamma * f^alpha + p0. Paper: 3.855e-6 * f^2.867 + 63.58.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "easched/power/curve_fit.hpp"
+
+int main() {
+  using namespace easched;
+
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+
+  AsciiTable table3({"k", "frequency (MHz)", "power (mW)"});
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    table3.add_row({std::to_string(k + 1), format_fixed(xs[k].frequency, 0),
+                    format_fixed(xs[k].power, 0)});
+  }
+  bench::print_experiment("Table III: Intel XScale operating points", "", table3);
+
+  const PowerFit fit = fit_power_model(xs);
+  std::ostringstream gamma;
+  gamma.precision(4);
+  gamma << std::scientific << fit.gamma;
+
+  AsciiTable fitted({"parameter", "fitted", "paper"});
+  fitted.add_row({"gamma", gamma.str(), "3.855e-06"});
+  fitted.add_row({"alpha", format_fixed(fit.alpha, 3), "2.867"});
+  fitted.add_row({"p0 (mW)", format_fixed(fit.static_power, 2), "63.58"});
+  fitted.add_row({"rms residual (mW)", format_fixed(fit.rms, 2), "-"});
+  bench::print_experiment("Section VI-C: curve fit p(f) = gamma*f^alpha + p0", "", fitted);
+
+  const PowerModel model = fit.model();
+  AsciiTable check({"frequency (MHz)", "table power (mW)", "fitted power (mW)"});
+  for (const auto& [f, p] : xs.levels()) {
+    check.add_row({format_fixed(f, 0), format_fixed(p, 0), format_fixed(model.power(f), 1)});
+  }
+  bench::print_experiment("Fit quality at the operating points", "", check);
+  return 0;
+}

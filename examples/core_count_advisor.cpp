@@ -1,0 +1,46 @@
+// Core-count advisor (paper Section VI-D): with non-zero static power it can
+// be cheaper to leave cores asleep. Simulates F2 with 1..m cores and reports
+// the energy-minimal configuration across a range of static-power levels.
+//
+//   ./core_count_advisor [max_cores] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "easched/easched.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easched;
+
+  const int max_cores = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  Rng rng(Rng::seed_of("core-count-advisor", seed));
+  WorkloadConfig config;
+  config.task_count = 20;
+  const TaskSet tasks = generate_workload(config, rng);
+  std::cout << "workload: " << tasks.size() << " tasks over [" << tasks.earliest_release()
+            << ", " << tasks.latest_deadline() << "]\n\n";
+
+  for (const double p0 : {0.0, 0.2, 1.0, 4.0}) {
+    const PowerModel power(3.0, p0);
+    const CoreSelectionResult sel = select_core_count(tasks, max_cores, power);
+
+    std::cout << "p0 = " << p0 << ":\n";
+    AsciiTable table({"cores", "F2 energy", "vs best"});
+    for (const CoreCountCandidate& c : sel.candidates) {
+      table.add_row({std::to_string(c.cores), format_fixed(c.final_energy, 4),
+                     format_fixed(c.final_energy / sel.best_energy, 4)});
+    }
+    std::cout << table.to_string();
+    std::cout << "  -> power on " << sel.best_cores << " core(s), energy "
+              << format_fixed(sel.best_energy, 4) << "\n\n";
+  }
+
+  std::cout
+      << "In the continuous model the final schedulers' energy is non-increasing in m\n"
+         "(more cores only add availability), so the advisor's value is finding the\n"
+         "*smallest* count that already achieves the minimum: past the knee the extra\n"
+         "cores can stay asleep without costing any energy.\n";
+  return 0;
+}

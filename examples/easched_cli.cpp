@@ -1,0 +1,185 @@
+// easched_cli — the downstream-user entry point: read a task trace, pick a
+// scheduler and platform, and emit the schedule, a Gantt chart, and energy
+// statistics.
+//
+//   ./easched_cli trace.csv --cores 4 --alpha 3 --p0 0.1 --scheduler f2
+//   ./easched_cli trace.csv --ladder xscale --out plan.csv
+//   ./easched_cli --demo --scheduler optimal --gantt
+//
+// Schedulers: f1, f2 (paper heuristics), optimal (convex solver),
+// ipm (interior point), yds (uniprocessor), online (rolling-horizon F2).
+
+#include <iostream>
+
+#include "easched/common/cli.hpp"
+#include "easched/easched.hpp"
+
+namespace {
+
+using namespace easched;
+
+int run(const CliParser& args) {
+  // --- Workload -----------------------------------------------------------
+  TaskSet tasks;
+  if (args.get_switch("demo")) {
+    Rng rng(Rng::seed_of("easched-cli-demo", static_cast<std::uint64_t>(args.get_int("seed"))));
+    WorkloadConfig config;
+    config.task_count = static_cast<std::size_t>(args.get_int("tasks"));
+    tasks = generate_workload(config, rng);
+  } else if (const auto path = args.positional("trace")) {
+    tasks = read_task_set(*path);
+  } else {
+    std::cerr << "need a trace file or --demo (see --help)\n";
+    return 1;
+  }
+  const int cores = args.get_int("cores");
+
+  // --- Platform -----------------------------------------------------------
+  std::optional<DiscreteLevels> ladder;
+  PowerModel power(args.get_double("alpha"), args.get_double("p0"));
+  if (args.get("ladder") == "xscale") {
+    ladder = DiscreteLevels::intel_xscale();
+    power = fit_power_model(*ladder).model();
+    std::cout << "platform: Intel XScale ladder, fitted p(f) = " << power.gamma() << "*f^"
+              << power.alpha() << " + " << power.static_power() << "\n";
+  } else if (args.get("ladder") != "none") {
+    std::cerr << "unknown --ladder (use: none, xscale)\n";
+    return 1;
+  }
+
+  const WorkloadStats stats = describe_workload(tasks, cores);
+  std::cout << "workload: " << stats.task_count << " tasks, horizon "
+            << format_fixed(stats.horizon, 2) << ", utilization "
+            << format_fixed(stats.utilization, 3) << ", heavy fraction "
+            << format_fixed(stats.heavy_time_fraction, 2) << "\n";
+
+  // --- Scheduler ----------------------------------------------------------
+  const std::string scheduler = args.get("scheduler");
+  Schedule plan;
+  double energy = 0.0;
+  if (scheduler == "f1" || scheduler == "f2") {
+    const SubintervalDecomposition subs(tasks);
+    const IdealCase ideal(tasks, power);
+    const auto method =
+        scheduler == "f1" ? AllocationMethod::kEven : AllocationMethod::kDer;
+    const MethodResult result = schedule_with_method(tasks, subs, cores, power, ideal, method);
+    if (ladder) {
+      const DiscretePlan discrete = plan_on_ladder(tasks, subs, cores, result, *ladder);
+      plan = discrete.schedule;
+      energy = discrete.energy;
+      if (discrete.miss_count() > 0) {
+        std::cout << "WARNING: " << discrete.miss_count()
+                  << " task(s) cannot meet their deadline on this ladder\n";
+      }
+    } else {
+      plan = result.final_schedule;
+      energy = result.final_energy;
+    }
+  } else if (scheduler == "optimal" || scheduler == "ipm") {
+    const SubintervalDecomposition subs(tasks);
+    SolverResult solution;
+    if (scheduler == "optimal") {
+      solution = solve_optimal_allocation(tasks, subs, cores, power);
+    } else {
+      solution = solve_optimal_interior_point(tasks, subs, cores, power).solution;
+    }
+    plan = materialize_optimal_schedule(tasks, subs, cores, solution);
+    energy = solution.energy;
+  } else if (scheduler == "yds") {
+    if (cores != 1) {
+      std::cerr << "yds is a uniprocessor scheduler (--cores 1)\n";
+      return 1;
+    }
+    plan = yds_schedule(tasks).schedule;
+    energy = plan.energy(power);
+  } else if (scheduler == "online") {
+    const OnlineResult result = schedule_online(tasks, cores, power);
+    plan = result.schedule;
+    energy = result.energy;
+  } else {
+    std::cerr << "unknown --scheduler (use: f1, f2, optimal, ipm, yds, online)\n";
+    return 1;
+  }
+
+  // --- Validate, report, emit ---------------------------------------------
+  const ValidationReport report = plan.validate(tasks, 1e-5);
+  std::cout << "scheduler " << scheduler << ": energy " << format_fixed(energy, 4)
+            << ", segments " << plan.segments().size() << ", validation "
+            << (report.ok ? "OK" : report.violations.front()) << "\n";
+
+  if (args.get_switch("nec")) {
+    const double optimum = solve_optimal_allocation(tasks, cores, power).energy;
+    std::cout << "NEC vs continuous optimum: " << format_fixed(energy / optimum, 4) << "\n";
+  }
+  const TransitionStats transitions = count_transitions(plan);
+  std::cout << "DVFS switches: " << transitions.frequency_switches << ", wakeups "
+            << transitions.wakeups << "\n";
+
+  if (args.get_switch("stats")) {
+    const ScheduleStats metrics = compute_schedule_stats(tasks, plan);
+    std::cout << "makespan " << format_fixed(metrics.makespan, 3) << ", busy utilization "
+              << format_fixed(metrics.utilization, 3) << ", mean frequency "
+              << format_fixed(metrics.mean_frequency, 3) << " [" << format_fixed(metrics.min_frequency, 3)
+              << ", " << format_fixed(metrics.max_frequency, 3) << "], splits " << metrics.splits
+              << ", migrations " << metrics.migrations << "\n";
+    const PowerFunction pf =
+        ladder ? power_function(*ladder) : power_function(power);
+    const PowerTrace trace(plan, pf);
+    std::cout << "peak power " << format_fixed(trace.peak_power(), 3) << ", average power "
+              << format_fixed(trace.average_power(), 3) << "\n";
+  }
+  if (const std::string trace_out = args.get("power-trace"); !trace_out.empty()) {
+    const PowerFunction pf =
+        ladder ? power_function(*ladder) : power_function(power);
+    write_file(trace_out, PowerTrace(plan, pf).to_csv());
+    std::cout << "power trace written to " << trace_out << "\n";
+  }
+
+  if (args.get_switch("gantt")) {
+    GanttOptions options;
+    options.frequency_legend = tasks.size() <= 12;
+    std::cout << "\n" << render_gantt(tasks, plan, options);
+  }
+  if (const std::string out = args.get("out"); !out.empty()) {
+    write_schedule(out, plan);
+    std::cout << "schedule written to " << out << "\n";
+  }
+  return report.ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  CliParser args("easched_cli",
+                 "energy-aware scheduling of aperiodic task traces (ICPP'14 reproduction)");
+  args.add_positional("trace", "CSV with columns release,deadline,work");
+  args.add_option("scheduler", "f2", "f1 | f2 | optimal | ipm | yds | online");
+  args.add_option("cores", "4", "number of DVFS cores");
+  args.add_option("alpha", "3.0", "dynamic power exponent (continuous platform)");
+  args.add_option("p0", "0.1", "static power (continuous platform)");
+  args.add_option("ladder", "none", "discrete frequency ladder: none | xscale");
+  args.add_option("out", "", "write the schedule CSV here");
+  args.add_option("power-trace", "", "write the piecewise power profile CSV here");
+  args.add_switch("stats", "print makespan/utilization/frequency statistics");
+  args.add_option("tasks", "12", "task count for --demo");
+  args.add_option("seed", "1", "seed for --demo");
+  args.add_switch("demo", "generate a demo workload instead of reading a trace");
+  args.add_switch("gantt", "print an ASCII Gantt chart");
+  args.add_switch("nec", "also compute the exact optimum and report NEC");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n\n" << args.help();
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return 0;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file contracts.hpp
+/// \brief Lightweight precondition / postcondition / invariant checking in the
+///        spirit of the C++ Core Guidelines GSL `Expects`/`Ensures`.
+///
+/// Contract violations indicate programming errors (not recoverable runtime
+/// conditions), so they throw `easched::ContractViolation`, which carries the
+/// failing expression and source location. Tests rely on this to probe
+/// error paths without aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace easched {
+
+/// Thrown when an `EASCHED_EXPECTS` / `EASCHED_ENSURES` / `EASCHED_ASSERT`
+/// condition evaluates to false.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file, int line,
+                    const std::string& msg)
+      : std::logic_error(std::string(kind) + " failed: (" + expr + ") at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : ": " + msg)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line, const std::string& msg = {}) {
+  throw ContractViolation(kind, expr, file, line, msg);
+}
+}  // namespace detail
+
+}  // namespace easched
+
+/// Precondition check: argument validation at public API boundaries.
+#define EASCHED_EXPECTS(cond)                                                         \
+  do {                                                                                \
+    if (!(cond)) ::easched::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define EASCHED_EXPECTS_MSG(cond, msg)                                                \
+  do {                                                                                \
+    if (!(cond))                                                                      \
+      ::easched::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Postcondition check: verifies results before returning them.
+#define EASCHED_ENSURES(cond)                                                          \
+  do {                                                                                 \
+    if (!(cond)) ::easched::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Internal invariant check.
+#define EASCHED_ASSERT(cond)                                                       \
+  do {                                                                             \
+    if (!(cond)) ::easched::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,102 @@
+#include "easched/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) {
+    // Trim surrounding whitespace; traces written by hand often align columns.
+    const auto begin = field.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      fields.emplace_back();
+      continue;
+    }
+    const auto end = field.find_last_not_of(" \t\r");
+    fields.push_back(field.substr(begin, end - begin + 1));
+  }
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  EASCHED_EXPECTS_MSG(false, "missing CSV column: " + name);
+  return 0;  // unreachable
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::istringstream is(text);
+  std::string line;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    auto fields = split_fields(line);
+    if (!have_header) {
+      doc.header = std::move(fields);
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != doc.header.size()) {
+      throw std::runtime_error("ragged CSV row: expected " + std::to_string(doc.header.size()) +
+                               " fields, got " + std::to_string(fields.size()));
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  if (!have_header) throw std::runtime_error("CSV input has no header row");
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) { return parse_csv(read_file(path)); }
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    EASCHED_EXPECTS(row.size() == header.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os << ',';
+    os << header[i];
+  }
+  os << '\n';
+  for (const auto& row : rows) emit(row);
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace easched

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV reading/writing for task traces and experiment dumps.
+///
+/// This is deliberately a small subset of RFC 4180: comma-separated fields,
+/// no embedded commas/quotes (task traces are purely numeric plus simple
+/// identifiers), `#`-prefixed comment lines, and a mandatory header row.
+
+#include <string>
+#include <vector>
+
+namespace easched {
+
+/// One parsed CSV document: a header and data rows of equal arity.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws ContractViolation when absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parse CSV text. Throws `std::runtime_error` on ragged rows or empty input.
+CsvDocument parse_csv(const std::string& text);
+
+/// Read + parse a CSV file. Throws `std::runtime_error` when unreadable.
+CsvDocument read_csv_file(const std::string& path);
+
+/// Serialize rows under a header. All rows must match the header arity.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+/// Write text to a file, throwing `std::runtime_error` on failure.
+void write_file(const std::string& path, const std::string& text);
+
+/// Read a whole file into a string.
+std::string read_file(const std::string& path);
+
+}  // namespace easched

@@ -1,0 +1,106 @@
+#include "easched/common/linalg.hpp"
+
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  EASCHED_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  EASCHED_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& x) const {
+  EASCHED_EXPECTS(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+double Matrix::distance(const Matrix& other) const {
+  EASCHED_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    const double d = data_[k] - other.data_[k];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol) {
+  EASCHED_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > pivot_tol)) return std::nullopt;  // catches NaN too
+    const double root = std::sqrt(diag);
+    l(j, j) = root;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / root;
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::vector<double> b) {
+  const std::size_t n = l.rows();
+  EASCHED_EXPECTS(b.size() == n);
+  // Forward: L·y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * b[k];
+    b[i] = sum / l(i, i);
+  }
+  // Backward: Lᵀ·x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * b[k];
+    b[ii] = sum / l(ii, ii);
+  }
+  return b;
+}
+
+std::optional<std::vector<double>> solve_spd(const Matrix& a, const std::vector<double>& b) {
+  const auto l = cholesky(a);
+  if (!l) return std::nullopt;
+  return cholesky_solve(*l, b);
+}
+
+double norm2(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  EASCHED_EXPECTS(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) sum += a[k] * b[k];
+  return sum;
+}
+
+}  // namespace easched

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file linalg.hpp
+/// \brief Small dense linear algebra for the interior-point solver.
+///
+/// The Newton systems arising from the barrier subproblems reduce (via the
+/// Woodbury identity) to symmetric positive-definite systems of dimension
+/// `tasks + subintervals` — at most low hundreds — so an unblocked dense
+/// Cholesky is the right tool: simple, cache-friendly at this scale, and
+/// trivially verifiable.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace easched {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// y = A·x.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Frobenius-norm distance to another matrix (test helper).
+  double distance(const Matrix& other) const;
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+/// Only the lower triangle of `a` is read. Returns `nullopt` when a pivot
+/// falls below `pivot_tol` (matrix not numerically SPD).
+std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol = 1e-300);
+
+/// Solve L·Lᵀ·x = b given the Cholesky factor L (forward + back substitution).
+std::vector<double> cholesky_solve(const Matrix& l, std::vector<double> b);
+
+/// Convenience: solve A·x = b for SPD A; `nullopt` when not SPD.
+std::optional<std::vector<double>> solve_spd(const Matrix& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double norm2(const std::vector<double>& v);
+
+/// Dot product (sizes must match).
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace easched

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file math.hpp
+/// \brief Small numeric helpers shared across the library.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace easched {
+
+/// Absolute-plus-relative tolerance comparison. Suitable for energies and
+/// times that may span several orders of magnitude within one instance.
+inline bool almost_equal(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9) {
+  const double diff = std::abs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+/// `a <= b` up to tolerance; used by validators so that exact arithmetic on
+/// interval endpoints does not produce spurious violations.
+inline bool leq_tol(double a, double b, double tol = 1e-9) { return a <= b + tol; }
+
+/// `a >= b` up to tolerance.
+inline bool geq_tol(double a, double b, double tol = 1e-9) { return a + tol >= b; }
+
+/// True when `x` lies in `[lo, hi]` up to tolerance.
+inline bool in_range_tol(double x, double lo, double hi, double tol = 1e-9) {
+  return geq_tol(x, lo, tol) && leq_tol(x, hi, tol);
+}
+
+/// Positive part.
+inline double pos(double x) { return x > 0.0 ? x : 0.0; }
+
+/// Squared value, convenient in energy formulas.
+inline double sq(double x) { return x * x; }
+
+/// Length of the intersection of intervals [a1,a2] and [b1,b2] (0 if disjoint).
+inline double overlap_length(double a1, double a2, double b1, double b2) {
+  return pos(std::min(a2, b2) - std::max(a1, b1));
+}
+
+/// A value representing "no finite quantity yet".
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace easched

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file stats.hpp
+/// \brief Streaming statistics used to aggregate Monte-Carlo experiment runs.
+
+#include <cstddef>
+#include <vector>
+
+namespace easched {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance,
+/// plus min/max. Mergeable so per-thread accumulators can be combined.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction step).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact sample quantile (linear interpolation between order statistics).
+/// `q` in [0,1]. The input vector is copied; for repeated quantiles sort once
+/// and use `quantile_sorted`.
+double quantile(std::vector<double> values, double q);
+
+/// Quantile of an already-sorted sample.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace easched

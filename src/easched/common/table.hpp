@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief ASCII table rendering for benchmark/experiment output.
+///
+/// The bench binaries print tables shaped like the paper's figures and
+/// Table II; this class handles column sizing and alignment so the bench
+/// code only declares headers and appends rows.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace easched {
+
+/// A simple right-aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append a pre-formatted row. Must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a row of doubles with fixed precision. The first
+  /// column is taken from `label`.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column separators and a header rule.
+  std::string to_string() const;
+
+  /// Render as CSV (no padding), for machine consumption.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AsciiTable& table);
+
+/// Format a double with fixed precision (helper shared with bench code).
+std::string format_fixed(double v, int precision);
+
+}  // namespace easched

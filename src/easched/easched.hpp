@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file easched.hpp
+/// \brief Umbrella header: the full public API of the easched library.
+///
+/// Quickstart:
+/// \code
+///   easched::TaskSet tasks({{0, 10, 8}, {2, 18, 14}});
+///   easched::PowerModel power(/*alpha=*/3.0, /*static_power=*/0.1);
+///   auto result = easched::run_pipeline(tasks, /*cores=*/4, power);
+///   // result.der.final_schedule is a validated, collision-free schedule;
+///   // result.der.final_energy is its energy (scheduler "F2" in the paper).
+/// \endcode
+
+#include "easched/common/cli.hpp"
+#include "easched/common/contracts.hpp"
+#include "easched/common/csv.hpp"
+#include "easched/common/linalg.hpp"
+#include "easched/common/math.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/common/stats.hpp"
+#include "easched/common/table.hpp"
+#include "easched/exp/experiment.hpp"
+#include "easched/exp/plot.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/power/curve_fit.hpp"
+#include "easched/power/discrete_levels.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/sched/admission.hpp"
+#include "easched/sched/allocation.hpp"
+#include "easched/sched/baselines.hpp"
+#include "easched/sched/core_selection.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/sched/discrete_plan.hpp"
+#include "easched/sched/feasibility.hpp"
+#include "easched/sched/ideal.hpp"
+#include "easched/sched/packing.hpp"
+#include "easched/sched/partitioned.hpp"
+#include "easched/sched/online.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/render.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/sched/schedule_io.hpp"
+#include "easched/sched/schedule_stats.hpp"
+#include "easched/sched/transitions.hpp"
+#include "easched/sim/edf.hpp"
+#include "easched/sim/engine.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/sim/power_trace.hpp"
+#include "easched/sim/robustness.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/interior_point.hpp"
+#include "easched/solver/maxflow.hpp"
+#include "easched/solver/projection.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/arrivals.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task.hpp"
+#include "easched/tasksys/task_set.hpp"
+#include "easched/tasksys/trace_io.hpp"
+#include "easched/tasksys/workload.hpp"

@@ -1,0 +1,124 @@
+#include "easched/exp/experiment.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/sched/pipeline.hpp"
+
+namespace easched {
+
+InstanceEnergies evaluate_instance(const TaskSet& tasks, int cores, const PowerModel& power,
+                                   const SolverOptions& solver) {
+  InstanceEnergies result;
+  const PipelineResult pipeline = run_pipeline(tasks, cores, power);
+  result.ideal = pipeline.ideal_energy;
+  result.i1 = pipeline.even.intermediate_energy;
+  result.f1 = pipeline.even.final_energy;
+  result.i2 = pipeline.der.intermediate_energy;
+  result.f2 = pipeline.der.final_energy;
+
+  const SolverResult opt = solve_optimal_allocation(tasks, cores, power, solver);
+  result.optimal = opt.energy;
+  result.solver_converged = opt.converged;
+  return result;
+}
+
+std::vector<double> NecAccumulators::means() const {
+  return {ideal.mean(), i1.mean(), f1.mean(), i2.mean(), f2.mean()};
+}
+
+NecAccumulators monte_carlo_nec(std::string_view label, const WorkloadConfig& config, int cores,
+                                const PowerModel& power, std::size_t runs,
+                                const SolverOptions& solver, ThreadPool& pool) {
+  EASCHED_EXPECTS(runs > 0);
+
+  const auto per_run = parallel_map(
+      runs,
+      [&](std::size_t run) {
+        Rng rng(Rng::seed_of(label, run));
+        const TaskSet tasks = generate_workload(config, rng);
+        return evaluate_instance(tasks, cores, power, solver);
+      },
+      pool);
+
+  NecAccumulators acc;
+  acc.runs = runs;
+  for (const InstanceEnergies& e : per_run) {
+    EASCHED_ASSERT(e.optimal > 0.0);
+    acc.ideal.add(e.ideal / e.optimal);
+    acc.i1.add(e.i1 / e.optimal);
+    acc.f1.add(e.f1 / e.optimal);
+    acc.i2.add(e.i2 / e.optimal);
+    acc.f2.add(e.f2 / e.optimal);
+    if (!e.solver_converged) ++acc.solver_failures;
+  }
+  return acc;
+}
+
+DiscreteAccumulators monte_carlo_discrete(std::string_view label, const WorkloadConfig& config,
+                                          int cores, const DiscreteLevels& levels,
+                                          std::size_t runs, const SolverOptions& solver,
+                                          ThreadPool& pool) {
+  EASCHED_EXPECTS(runs > 0);
+  const PowerFit fit = fit_power_model(levels);
+  const PowerModel power = fit.model();
+
+  struct RunOutcome {
+    double optimal = 0.0;
+    DiscreteRunReport ideal, i1, f1, i2, f2;
+  };
+
+  const auto per_run = parallel_map(
+      runs,
+      [&](std::size_t run) {
+        Rng rng(Rng::seed_of(label, run));
+        const TaskSet tasks = generate_workload(config, rng);
+        const SubintervalDecomposition subs(tasks);
+        const IdealCase ideal(tasks, power);
+
+        RunOutcome out;
+        const MethodResult even =
+            schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kEven);
+        const MethodResult der =
+            schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kDer);
+        out.ideal = quantize_ideal(tasks, ideal, levels);
+        out.i1 = quantize_intermediate(tasks, even, levels);
+        out.f1 = quantize_final(tasks, even, levels);
+        out.i2 = quantize_intermediate(tasks, der, levels);
+        out.f2 = quantize_final(tasks, der, levels);
+        out.optimal = solve_optimal_allocation(tasks, subs, cores, power, solver).energy;
+        return out;
+      },
+      pool);
+
+  DiscreteAccumulators acc;
+  acc.runs = runs;
+  for (const RunOutcome& out : per_run) {
+    EASCHED_ASSERT(out.optimal > 0.0);
+    acc.nec_ideal.add(out.ideal.energy / out.optimal);
+    acc.nec_i1.add(out.i1.energy / out.optimal);
+    acc.nec_f1.add(out.f1.energy / out.optimal);
+    acc.nec_i2.add(out.i2.energy / out.optimal);
+    acc.nec_f2.add(out.f2.energy / out.optimal);
+    acc.miss_ideal.add(out.ideal.any_miss() ? 1.0 : 0.0);
+    acc.miss_i1.add(out.i1.any_miss() ? 1.0 : 0.0);
+    acc.miss_f1.add(out.f1.any_miss() ? 1.0 : 0.0);
+    acc.miss_i2.add(out.i2.any_miss() ? 1.0 : 0.0);
+    acc.miss_f2.add(out.f2.any_miss() ? 1.0 : 0.0);
+  }
+  return acc;
+}
+
+std::size_t default_runs() {
+  if (const char* env = std::getenv("REPRO_RUNS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return 100;
+}
+
+}  // namespace easched

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file experiment.hpp
+/// \brief Monte-Carlo experiment harness shared by the bench binaries.
+///
+/// Reproduces the paper's evaluation protocol (Section VI): draw a workload,
+/// run the ideal case, all four subinterval schedulers, and the convex
+/// optimum, and report each scheduler's Normalized Energy Consumption
+/// NEC = E / E^{OPT}. Runs are embarrassingly parallel and fan out over the
+/// process thread pool with per-run deterministic seeds, so every table in
+/// EXPERIMENTS.md can be regenerated bit-for-bit.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "easched/common/stats.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/power/curve_fit.hpp"
+#include "easched/power/discrete_levels.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+
+/// Absolute energies of every scheduler on one instance.
+struct InstanceEnergies {
+  double optimal = 0.0;  ///< E^{OPT} (convex solver)
+  double ideal = 0.0;    ///< E^O (unlimited cores)
+  double i1 = 0.0;       ///< evenly allocating, intermediate
+  double f1 = 0.0;       ///< evenly allocating, final
+  double i2 = 0.0;       ///< DER-based, intermediate
+  double f2 = 0.0;       ///< DER-based, final
+  bool solver_converged = false;
+};
+
+/// Run every scheduler + the optimum on one task set.
+InstanceEnergies evaluate_instance(const TaskSet& tasks, int cores, const PowerModel& power,
+                                   const SolverOptions& solver = {});
+
+/// NEC accumulators across Monte-Carlo runs (paper's five curves).
+struct NecAccumulators {
+  RunningStats ideal;  ///< "NEC of IdL" = E^O / E^{OPT}
+  RunningStats i1;
+  RunningStats f1;
+  RunningStats i2;
+  RunningStats f2;
+  std::size_t runs = 0;
+  std::size_t solver_failures = 0;
+
+  /// Means in the paper's plotting order (IdL, I1, F1, I2, F2).
+  std::vector<double> means() const;
+};
+
+/// Monte-Carlo sweep: `runs` instances of `config`, NEC statistics.
+/// `label` determines the seed of every run (`Rng::seed_of(label, run)`).
+NecAccumulators monte_carlo_nec(std::string_view label, const WorkloadConfig& config, int cores,
+                                const PowerModel& power, std::size_t runs,
+                                const SolverOptions& solver = {},
+                                ThreadPool& pool = ThreadPool::global());
+
+/// Discrete-ladder (Section VI-C) per-run result: NEC against the continuous
+/// fitted optimum plus deadline-miss indicators.
+struct DiscreteAccumulators {
+  RunningStats nec_ideal;
+  RunningStats nec_i1;
+  RunningStats nec_f1;
+  RunningStats nec_i2;
+  RunningStats nec_f2;
+  /// Fraction of runs where the scheduler missed at least one deadline.
+  RunningStats miss_ideal;
+  RunningStats miss_i1;
+  RunningStats miss_f1;
+  RunningStats miss_i2;
+  RunningStats miss_f2;
+  std::size_t runs = 0;
+};
+
+/// Monte-Carlo sweep on a discrete frequency ladder. The pipeline plans with
+/// the fitted continuous model of `levels`, then every scheduler is re-cost
+/// on the ladder; the NEC denominator is the continuous optimum.
+DiscreteAccumulators monte_carlo_discrete(std::string_view label, const WorkloadConfig& config,
+                                          int cores, const DiscreteLevels& levels,
+                                          std::size_t runs, const SolverOptions& solver = {},
+                                          ThreadPool& pool = ThreadPool::global());
+
+/// Number of Monte-Carlo runs per experiment point: the paper's 100, or the
+/// `REPRO_RUNS` environment override (clamped to ≥ 1).
+std::size_t default_runs();
+
+}  // namespace easched

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file plot.hpp
+/// \brief Gnuplot artifact emission for NEC sweeps.
+///
+/// The bench binaries print paper-shaped ASCII tables; for figures, this
+/// writes a `<name>.dat` column file plus a self-contained `<name>.gp`
+/// script so `gnuplot name.gp` regenerates the corresponding paper figure
+/// (PNG). Kept dependency-free: artifacts are plain text.
+
+#include <string>
+#include <vector>
+
+namespace easched {
+
+/// One plottable sweep: x values and one y-vector per named series.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Write `<dir>/<name>.dat` and `<dir>/<name>.gp`.
+///
+/// `xs.size()` must match every series' length; at least one series.
+/// Returns the path of the script. Throws `std::runtime_error` when the
+/// files cannot be written.
+std::string write_gnuplot_artifacts(const std::string& dir, const std::string& name,
+                                    const std::string& title, const std::string& x_label,
+                                    const std::string& y_label, const std::vector<double>& xs,
+                                    const std::vector<PlotSeries>& series);
+
+}  // namespace easched

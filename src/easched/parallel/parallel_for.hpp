@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// \brief Chunked parallel loop on top of `ThreadPool`.
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "easched/common/contracts.hpp"
+#include "easched/parallel/thread_pool.hpp"
+
+namespace easched {
+
+/// Run `body(i)` for every `i` in `[begin, end)` on `pool`, splitting the
+/// range into contiguous chunks (roughly 4 per worker for load balance).
+/// Blocks until all iterations finish; the first exception thrown by any
+/// chunk is rethrown on the caller.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  ThreadPool& pool = ThreadPool::global()) {
+  EASCHED_EXPECTS(begin <= end);
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+  const std::size_t workers = pool.thread_count();
+  if (count == 1 || workers == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Map `fn(i)` over `[0, n)` in parallel, collecting results by index.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, ThreadPool& pool = ThreadPool::global())
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(
+      0, n, [&](std::size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+}  // namespace easched

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool used by the Monte-Carlo experiment harness.
+///
+/// The experiments in the paper average 100 independent simulation runs per
+/// parameter point; runs are embarrassingly parallel, so the harness fans
+/// them out over this pool. The pool is a plain FIFO of type-erased jobs —
+/// work items here are milliseconds-long scheduler invocations, so work
+/// stealing would add complexity without measurable benefit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easched {
+
+/// A fixed-size thread pool. Jobs are `void()` callables; exceptions thrown
+/// by a job are captured and rethrown from `Future::get()`.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a job; the returned future carries the job's result/exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit() on a stopping ThreadPool");
+      jobs_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// The process-wide default pool (lazily constructed, sized to the host).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace easched

@@ -1,0 +1,110 @@
+#include "easched/power/curve_fit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+namespace {
+
+double sse_of(const DiscreteLevels& levels, double alpha, double gamma, double p0) {
+  double sse = 0.0;
+  for (const auto& [f, p] : levels.levels()) {
+    const double r = gamma * std::pow(f, alpha) + p0 - p;
+    sse += r * r;
+  }
+  return sse;
+}
+
+}  // namespace
+
+PowerFit fit_power_model_fixed_alpha(const DiscreteLevels& levels, double alpha) {
+  EASCHED_EXPECTS(levels.size() >= 3);
+  EASCHED_EXPECTS(alpha >= 2.0);
+
+  // Least squares for p ≈ γ·x + p0 with x = f^α. Normal equations:
+  //   [Σx²  Σx ] [γ ]   [Σxp]
+  //   [Σx   n  ] [p0] = [Σp ]
+  double sxx = 0.0, sx = 0.0, sxp = 0.0, sp = 0.0;
+  const double n = static_cast<double>(levels.size());
+  for (const auto& [f, p] : levels.levels()) {
+    const double x = std::pow(f, alpha);
+    sxx += x * x;
+    sx += x;
+    sxp += x * p;
+    sp += p;
+  }
+  const double det = sxx * n - sx * sx;
+  EASCHED_ASSERT(det > 0.0);
+  double gamma = (sxp * n - sx * sp) / det;
+  double p0 = (sxx * sp - sx * sxp) / det;
+
+  if (p0 < 0.0) {
+    // Constrained refit on the p0 = 0 boundary.
+    p0 = 0.0;
+    gamma = sxp / sxx;
+  }
+  if (gamma <= 0.0) {
+    // Degenerate (power not increasing with f^α); flat fit.
+    gamma = std::numeric_limits<double>::min();
+    p0 = sp / n;
+  }
+
+  PowerFit fit;
+  fit.alpha = alpha;
+  fit.gamma = gamma;
+  fit.static_power = p0;
+  fit.sse = sse_of(levels, alpha, gamma, p0);
+  fit.rms = std::sqrt(fit.sse / n);
+  return fit;
+}
+
+PowerFit fit_power_model(const DiscreteLevels& levels, const CurveFitOptions& options) {
+  EASCHED_EXPECTS(options.alpha_min >= 2.0);
+  EASCHED_EXPECTS(options.alpha_max > options.alpha_min);
+  EASCHED_EXPECTS(options.grid_points >= 3);
+
+  // Coarse grid to bracket the best α.
+  double best_alpha = options.alpha_min;
+  double best_sse = std::numeric_limits<double>::infinity();
+  const double step =
+      (options.alpha_max - options.alpha_min) / static_cast<double>(options.grid_points - 1);
+  for (int i = 0; i < options.grid_points; ++i) {
+    const double a = options.alpha_min + step * i;
+    const double sse = fit_power_model_fixed_alpha(levels, a).sse;
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_alpha = a;
+    }
+  }
+
+  // Golden-section refinement on [best−step, best+step] ∩ [min, max].
+  double lo = std::max(options.alpha_min, best_alpha - step);
+  double hi = std::min(options.alpha_max, best_alpha + step);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = hi - kInvPhi * (hi - lo);
+  double x2 = lo + kInvPhi * (hi - lo);
+  double f1 = fit_power_model_fixed_alpha(levels, x1).sse;
+  double f2 = fit_power_model_fixed_alpha(levels, x2).sse;
+  while (hi - lo > options.alpha_tol) {
+    if (f1 <= f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kInvPhi * (hi - lo);
+      f1 = fit_power_model_fixed_alpha(levels, x1).sse;
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kInvPhi * (hi - lo);
+      f2 = fit_power_model_fixed_alpha(levels, x2).sse;
+    }
+  }
+  return fit_power_model_fixed_alpha(levels, 0.5 * (lo + hi));
+}
+
+}  // namespace easched

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file curve_fit.hpp
+/// \brief Fit the continuous model `p(f) = γ·f^α + p0` to a discrete ladder.
+///
+/// Section VI-C derives a continuous model from the Intel XScale table by
+/// curve fitting (the paper reports `p(f) = 3.855e-6·f^2.867 + 63.58`). For a
+/// fixed exponent `α` the problem is linear least squares in `(γ, p0)`; we
+/// wrap that in a coarse grid plus golden-section refinement over `α`, with
+/// the physical constraints `γ > 0`, `p0 ≥ 0` enforced by constrained
+/// refitting on the boundary.
+
+#include "easched/power/discrete_levels.hpp"
+#include "easched/power/power_model.hpp"
+
+namespace easched {
+
+/// Result of a power-model fit.
+struct PowerFit {
+  double alpha = 0.0;
+  double gamma = 0.0;
+  double static_power = 0.0;
+  /// Sum of squared residuals over the table's operating points.
+  double sse = 0.0;
+  /// Root-mean-square residual, in the table's power unit.
+  double rms = 0.0;
+
+  PowerModel model() const { return PowerModel(alpha, static_power, gamma); }
+};
+
+/// Options controlling the α search.
+struct CurveFitOptions {
+  double alpha_min = 2.0;
+  double alpha_max = 4.0;
+  /// Coarse grid resolution before golden-section refinement.
+  int grid_points = 81;
+  /// Absolute α tolerance of the refinement.
+  double alpha_tol = 1e-6;
+};
+
+/// Fit `(γ, α, p0)` to the ladder. Requires at least 3 operating points.
+PowerFit fit_power_model(const DiscreteLevels& levels, const CurveFitOptions& options = {});
+
+/// The fixed-α inner solve (exposed for testing): least squares over (γ, p0)
+/// with `γ > 0`, `p0 ≥ 0`.
+PowerFit fit_power_model_fixed_alpha(const DiscreteLevels& levels, double alpha);
+
+}  // namespace easched

@@ -1,0 +1,53 @@
+#include "easched/power/discrete_levels.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+DiscreteLevels::DiscreteLevels(std::vector<FrequencyLevel> levels) : levels_(std::move(levels)) {
+  EASCHED_EXPECTS_MSG(!levels_.empty(), "frequency ladder must be non-empty");
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    EASCHED_EXPECTS(levels_[k].frequency > 0.0);
+    EASCHED_EXPECTS(levels_[k].power >= 0.0);
+    if (k > 0) {
+      EASCHED_EXPECTS_MSG(levels_[k].frequency > levels_[k - 1].frequency,
+                          "frequencies must be strictly increasing");
+      EASCHED_EXPECTS_MSG(levels_[k].power >= levels_[k - 1].power,
+                          "power must be non-decreasing in frequency");
+    }
+  }
+}
+
+std::optional<FrequencyLevel> DiscreteLevels::quantize_up(double f) const {
+  EASCHED_EXPECTS(f >= 0.0);
+  for (const FrequencyLevel& level : levels_) {
+    if (geq_tol(level.frequency, f, 1e-9 * level.frequency)) return level;
+  }
+  return std::nullopt;
+}
+
+FrequencyLevel DiscreteLevels::quantize_up_saturating(double f) const {
+  if (auto level = quantize_up(f)) return *level;
+  return levels_.back();
+}
+
+double DiscreteLevels::power_at(double level_frequency) const {
+  for (const FrequencyLevel& level : levels_) {
+    if (almost_equal(level.frequency, level_frequency, 1e-9, 1e-9)) return level.power;
+  }
+  EASCHED_EXPECTS_MSG(false, "frequency is not an operating point of this ladder");
+  return 0.0;  // unreachable
+}
+
+DiscreteLevels DiscreteLevels::intel_xscale() {
+  return DiscreteLevels({{150.0, 80.0},
+                         {400.0, 170.0},
+                         {600.0, 400.0},
+                         {800.0, 900.0},
+                         {1000.0, 1600.0}});
+}
+
+}  // namespace easched

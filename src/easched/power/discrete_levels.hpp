@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file discrete_levels.hpp
+/// \brief Discrete frequency/power operating points of a real processor.
+///
+/// Practical cores expose a finite ladder of (frequency, power) pairs
+/// (P-states). Section VI-C evaluates the schedulers on the Intel XScale
+/// ladder (Table III): continuous frequency choices must be rounded *up* to
+/// the next level so deadlines are still met, and a required frequency above
+/// the top level means a deadline miss.
+
+#include <optional>
+#include <vector>
+
+namespace easched {
+
+/// One operating point.
+struct FrequencyLevel {
+  double frequency = 0.0;  ///< e.g. MHz
+  double power = 0.0;      ///< active power at this level, e.g. mW
+
+  friend bool operator==(const FrequencyLevel&, const FrequencyLevel&) = default;
+};
+
+/// A validated, ascending ladder of operating points.
+class DiscreteLevels {
+ public:
+  /// Levels must be non-empty with strictly increasing frequency and
+  /// non-decreasing power.
+  explicit DiscreteLevels(std::vector<FrequencyLevel> levels);
+
+  std::size_t size() const { return levels_.size(); }
+  const FrequencyLevel& operator[](std::size_t k) const { return levels_[k]; }
+  const std::vector<FrequencyLevel>& levels() const { return levels_; }
+
+  double min_frequency() const { return levels_.front().frequency; }
+  double max_frequency() const { return levels_.back().frequency; }
+
+  /// Smallest level with `frequency ≥ f`; `nullopt` when `f` exceeds the top
+  /// level (the request is infeasible on this hardware).
+  std::optional<FrequencyLevel> quantize_up(double f) const;
+
+  /// Like `quantize_up`, but saturates at the top level instead of failing.
+  /// Callers must separately account for the resulting deadline risk.
+  FrequencyLevel quantize_up_saturating(double f) const;
+
+  /// Power drawn at a frequency that must be one of the ladder's levels.
+  double power_at(double level_frequency) const;
+
+  /// The Intel XScale ladder from paper Table III:
+  /// f (MHz): 150, 400, 600, 800, 1000 — p (mW): 80, 170, 400, 900, 1600.
+  static DiscreteLevels intel_xscale();
+
+ private:
+  std::vector<FrequencyLevel> levels_;
+};
+
+}  // namespace easched

@@ -1,0 +1,4 @@
+// power_model.hpp is header-only; this translation unit exists so the build
+// emits its inline definitions once for debuggers and keeps the module listed
+// in the library sources.
+#include "easched/power/power_model.hpp"

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file power_model.hpp
+/// \brief The continuous DVFS power model `p(f) = γ·f^α + p0` (Section III-B).
+///
+/// A core in active mode at frequency `f` consumes `γ·f^α` dynamic power plus
+/// `p0` static power; an idle core sleeps at zero power. The paper uses
+/// `γ = 1` for the abstract experiments and a fitted `(γ, α, p0)` for the
+/// Intel XScale evaluation.
+
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+/// Immutable continuous power model.
+class PowerModel {
+ public:
+  /// `alpha ≥ 2` per the model; `gamma > 0`; `p0 ≥ 0`.
+  PowerModel(double alpha, double static_power, double gamma = 1.0)
+      : alpha_(alpha), p0_(static_power), gamma_(gamma) {
+    EASCHED_EXPECTS_MSG(alpha >= 2.0, "model requires alpha >= 2");
+    EASCHED_EXPECTS(gamma > 0.0);
+    EASCHED_EXPECTS(static_power >= 0.0);
+  }
+
+  double alpha() const { return alpha_; }
+  double static_power() const { return p0_; }
+  double gamma() const { return gamma_; }
+
+  /// Active power at frequency `f > 0`: `γ·f^α + p0`.
+  double power(double f) const {
+    EASCHED_EXPECTS(f > 0.0);
+    return gamma_ * std::pow(f, alpha_) + p0_;
+  }
+
+  /// Energy to run for duration `t` at frequency `f` (work done: `f·t`).
+  double energy_for_duration(double t, double f) const {
+    EASCHED_EXPECTS(t >= 0.0);
+    return power(f) * t;
+  }
+
+  /// Energy to complete `work` units at constant frequency `f`:
+  /// `C·(γ·f^{α−1} + p0/f)` — equation (17) generalized with γ.
+  double energy_for_work(double work, double f) const {
+    EASCHED_EXPECTS(work >= 0.0);
+    EASCHED_EXPECTS(f > 0.0);
+    return work * (gamma_ * std::pow(f, alpha_ - 1.0) + p0_ / f);
+  }
+
+  /// The *critical frequency* `f* = (p0 / ((α−1)·γ))^{1/α}`: the unconstrained
+  /// minimizer of energy-per-unit-work. Running below `f*` wastes static
+  /// energy; this is the clamp in equation (19). Zero when `p0 = 0`.
+  double critical_frequency() const {
+    if (p0_ == 0.0) return 0.0;
+    return std::pow(p0_ / ((alpha_ - 1.0) * gamma_), 1.0 / alpha_);
+  }
+
+  /// The energy-optimal frequency for a task allowed at most `available_time`
+  /// of execution: `max(f*, work / available_time)` — equation (19)/(23).
+  double optimal_frequency(double work, double available_time) const {
+    EASCHED_EXPECTS(work > 0.0);
+    EASCHED_EXPECTS(available_time > 0.0);
+    return std::max(critical_frequency(), work / available_time);
+  }
+
+  friend bool operator==(const PowerModel&, const PowerModel&) = default;
+
+ private:
+  double alpha_;
+  double p0_;
+  double gamma_;
+};
+
+}  // namespace easched

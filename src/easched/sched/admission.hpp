@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file admission.hpp
+/// \brief Admission control: accept/reject a new task against a committed
+///        set, with an energy quote.
+///
+/// The runtime-facing question behind the paper's offline formulation: a
+/// set of tasks is already committed; a new request `(R, D, C)` arrives.
+/// Can the platform still meet *every* deadline (exact max-flow test under
+/// the frequency ceiling), and what marginal energy does acceptance cost
+/// (F2 plan before vs after)? The energy quote uses the same lightweight
+/// pipeline the paper argues is cheap enough for exactly this kind of
+/// on-line decision making.
+
+#include <string>
+
+#include "easched/common/math.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Outcome of an admission test.
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Why not (empty when admitted).
+  std::string rejection_reason;
+  /// F2 energy of the committed set alone.
+  double energy_before = 0.0;
+  /// F2 energy including the candidate (0 when rejected).
+  double energy_after = 0.0;
+  /// The quote: energy_after − energy_before (0 when rejected).
+  double marginal_energy = 0.0;
+};
+
+/// Decide whether `candidate` can join `committed` on `cores` cores.
+///
+/// `f_max` is the platform's frequency ceiling; pass `kInf` for the ideal
+/// continuous platform (admission then only fails on malformed candidates,
+/// since unbounded frequency can always catch up). The committed set is
+/// assumed feasible at `f_max`.
+AdmissionDecision admit_task(const TaskSet& committed, const Task& candidate, int cores,
+                             const PowerModel& power, double f_max = kInf);
+
+}  // namespace easched

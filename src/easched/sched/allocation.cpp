@@ -1,0 +1,133 @@
+#include "easched/sched/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+const char* to_string(AllocationMethod method) {
+  switch (method) {
+    case AllocationMethod::kEven:
+      return "even";
+    case AllocationMethod::kDer:
+      return "der";
+  }
+  return "?";
+}
+
+AllocationMatrix::AllocationMatrix(std::size_t tasks, std::size_t subintervals)
+    : tasks_(tasks), subintervals_(subintervals), data_(tasks * subintervals, 0.0) {}
+
+double AllocationMatrix::operator()(std::size_t task, std::size_t subinterval) const {
+  EASCHED_EXPECTS(task < tasks_ && subinterval < subintervals_);
+  return data_[task * subintervals_ + subinterval];
+}
+
+void AllocationMatrix::set(std::size_t task, std::size_t subinterval, double value) {
+  EASCHED_EXPECTS(task < tasks_ && subinterval < subintervals_);
+  EASCHED_EXPECTS(value >= 0.0);
+  data_[task * subintervals_ + subinterval] = value;
+}
+
+double AllocationMatrix::row_sum(std::size_t task) const {
+  EASCHED_EXPECTS(task < tasks_);
+  const double* row = data_.data() + task * subintervals_;
+  return std::accumulate(row, row + subintervals_, 0.0);
+}
+
+double AllocationMatrix::column_sum(std::size_t subinterval) const {
+  EASCHED_EXPECTS(subinterval < subintervals_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < tasks_; ++i) sum += data_[i * subintervals_ + subinterval];
+  return sum;
+}
+
+std::vector<double> even_ration(std::size_t task_count, int cores, double length) {
+  EASCHED_EXPECTS(task_count > 0);
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(length > 0.0);
+  const double share =
+      std::min(length, static_cast<double>(cores) * length / static_cast<double>(task_count));
+  return std::vector<double>(task_count, share);
+}
+
+std::vector<double> der_ration(const std::vector<double>& ders, int cores, double length) {
+  EASCHED_EXPECTS(!ders.empty());
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(length > 0.0);
+
+  double total_der = 0.0;
+  for (const double d : ders) {
+    EASCHED_EXPECTS(d >= 0.0);
+    total_der += d;
+  }
+  if (total_der <= 0.0) {
+    // Every overlapping task finished before this subinterval in the ideal
+    // schedule (large static power shrinks U^O). The paper leaves this case
+    // open; the even split keeps every task schedulable.
+    return even_ration(ders.size(), cores, length);
+  }
+
+  // Algorithm 2: greatest DER first; each task requests its proportional
+  // share of the *remaining* capacity, capped at the subinterval length.
+  std::vector<std::size_t> order(ders.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return ders[a] > ders[b]; });
+
+  std::vector<double> alloc(ders.size(), 0.0);
+  double remaining_capacity = static_cast<double>(cores) * length;
+  double remaining_der = total_der;
+  for (const std::size_t i : order) {
+    if (remaining_der <= 0.0 || remaining_capacity <= 0.0) break;
+    const double share = remaining_capacity * ders[i] / remaining_der;
+    const double granted = std::min(length, share);
+    alloc[i] = granted;
+    remaining_capacity -= granted;
+    remaining_der -= ders[i];
+  }
+  return alloc;
+}
+
+AllocationMatrix allocate_available_time(const TaskSet& tasks,
+                                         const SubintervalDecomposition& subintervals, int cores,
+                                         const IdealCase& ideal, AllocationMethod method) {
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(ideal.size() == tasks.size());
+
+  AllocationMatrix avail(tasks.size(), subintervals.size());
+  for (std::size_t j = 0; j < subintervals.size(); ++j) {
+    const Subinterval& si = subintervals[j];
+    if (si.overlapping.empty()) continue;
+
+    if (!si.heavy(cores)) {
+      // Observation 2: each overlapping task may occupy a whole core.
+      for (const TaskId i : si.overlapping) {
+        avail.set(static_cast<std::size_t>(i), j, si.length());
+      }
+      continue;
+    }
+
+    std::vector<double> ration;
+    if (method == AllocationMethod::kEven) {
+      ration = even_ration(si.overlapping.size(), cores, si.length());
+    } else {
+      std::vector<double> ders;
+      ders.reserve(si.overlapping.size());
+      for (const TaskId i : si.overlapping) {
+        // DER (equation (24)): ideal execution time in this subinterval,
+        // scaled by the ideal frequency.
+        ders.push_back(ideal.execution_time_in(i, si.begin, si.end) * ideal.frequency(i));
+      }
+      ration = der_ration(ders, cores, si.length());
+    }
+    for (std::size_t k = 0; k < si.overlapping.size(); ++k) {
+      avail.set(static_cast<std::size_t>(si.overlapping[k]), j, ration[k]);
+    }
+  }
+  return avail;
+}
+
+}  // namespace easched

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file allocation.hpp
+/// \brief Available-execution-time allocation per subinterval (Section V).
+///
+/// The heart of the paper: every overlapping task of a *light* subinterval
+/// may use the whole subinterval; inside a *heavy* subinterval the `m·len`
+/// core-seconds are rationed, either evenly (`m·len/n_j` each) or
+/// proportionally to the tasks' Desired Execution Requirements in the ideal
+/// schedule (Algorithm 2).
+
+#include <cstddef>
+#include <vector>
+
+#include "easched/sched/ideal.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Which heavy-subinterval rationing rule to use.
+enum class AllocationMethod {
+  kEven,  ///< `m·len/n_j` per overlapping task (schedulers I1/F1).
+  kDer,   ///< proportional to DER, Algorithm 2 (schedulers I2/F2).
+};
+
+const char* to_string(AllocationMethod method);
+
+/// Dense `n × (N−1)` matrix of *available execution times*: `avail(i, j)` is
+/// the time budget task `i` may occupy a core during subinterval `j`
+/// (0 when `[t_j, t_{j+1}] ⊄ [R_i, D_i]`).
+class AllocationMatrix {
+ public:
+  AllocationMatrix(std::size_t tasks, std::size_t subintervals);
+
+  std::size_t task_count() const { return tasks_; }
+  std::size_t subinterval_count() const { return subintervals_; }
+
+  double operator()(std::size_t task, std::size_t subinterval) const;
+  void set(std::size_t task, std::size_t subinterval, double value);
+
+  /// Total available time of one task: `A_i = Σ_j avail(i, j)`.
+  double row_sum(std::size_t task) const;
+
+  /// Total allocated time in one subinterval: `Σ_i avail(i, j)`.
+  double column_sum(std::size_t subinterval) const;
+
+ private:
+  std::size_t tasks_;
+  std::size_t subintervals_;
+  std::vector<double> data_;
+};
+
+/// Allocate available execution times for all subintervals.
+///
+/// Light subintervals give each overlapping task the full length
+/// (Observation 2). Heavy subintervals are rationed per `method`; the DER
+/// rule distributes the full capacity `m·len` proportionally to
+/// `DER(τ) = |U^O_τ ∩ [t_j, t_{j+1}]| · f^O_τ` (equation (24)), capping each
+/// share at `len` and re-normalizing the rest — reproduced from the paper's
+/// worked example (Section V-D). When every DER is zero the even split is
+/// used as a fallback.
+AllocationMatrix allocate_available_time(const TaskSet& tasks,
+                                         const SubintervalDecomposition& subintervals, int cores,
+                                         const IdealCase& ideal, AllocationMethod method);
+
+/// The heavy-subinterval DER rationing in isolation (Algorithm 2): given each
+/// task's DER and the capacity `cores·length`, return per-task allocations
+/// (same order as `ders`), each in `[0, length]`, summing to at most the
+/// capacity. Exposed for unit testing and for the allocation ablation bench.
+std::vector<double> der_ration(const std::vector<double>& ders, int cores, double length);
+
+/// The even rationing in isolation: `min(length, cores·length/n)` each.
+std::vector<double> even_ration(std::size_t task_count, int cores, double length);
+
+}  // namespace easched

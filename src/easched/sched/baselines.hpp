@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file baselines.hpp
+/// \brief Non-DVFS baselines the subinterval schedulers compete against.
+///
+/// Two classic operating-system policies:
+///  * **race-to-idle** — run everything at one fixed high frequency
+///    (typically `f_max`) under EDF and sleep as soon as possible. The
+///    industry default when DVFS is distrusted; optimal when static power
+///    dominates so strongly that `f* ≥ f_max`.
+///  * **critical-speed** — run everything at `max(f*, minimal feasible
+///    frequency)`: the best *single global frequency*, using the exact
+///    feasibility analysis to find the smallest ceiling that still meets
+///    all deadlines.
+/// Both materialize through the online EDF dispatcher, so the resulting
+/// schedules are concrete and validated like every other plan in the
+/// library. The `ablation_baselines` bench maps out where per-task DVFS
+/// (F2) beats them.
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/sim/edf.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Result of a fixed-frequency baseline run.
+struct BaselineResult {
+  Schedule schedule;      ///< EDF at the chosen frequency
+  double frequency = 0.0; ///< the single frequency used
+  double energy = 0.0;    ///< energy under `power`
+  bool feasible = false;  ///< all deadlines met
+};
+
+/// Race-to-idle: global EDF with every task at `frequency` (e.g. the
+/// platform maximum). Feasibility is whatever EDF achieves at that speed.
+BaselineResult race_to_idle(const TaskSet& tasks, int cores, const PowerModel& power,
+                            double frequency);
+
+/// Critical-speed: the cheapest single global frequency. Uses
+/// `minimal_feasible_frequency` for the deadline floor and the power
+/// model's critical frequency for the energy floor. EDF can be slightly
+/// weaker than the optimal migrating schedule the flow test certifies, so
+/// the frequency is nudged up by `edf_margin` until EDF succeeds.
+BaselineResult critical_speed(const TaskSet& tasks, int cores, const PowerModel& power,
+                              double edf_margin = 0.01);
+
+}  // namespace easched

@@ -1,0 +1,28 @@
+#include "easched/sched/core_selection.hpp"
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+CoreSelectionResult select_core_count(const TaskSet& tasks, int max_cores,
+                                      const PowerModel& power, AllocationMethod method) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(max_cores >= 1);
+
+  const SubintervalDecomposition subs(tasks);
+  const IdealCase ideal(tasks, power);
+
+  CoreSelectionResult result;
+  for (int m = 1; m <= max_cores; ++m) {
+    MethodResult candidate = schedule_with_method(tasks, subs, m, power, ideal, method);
+    result.candidates.push_back({m, candidate.final_energy});
+    if (result.best_cores == 0 || candidate.final_energy < result.best_energy) {
+      result.best_cores = m;
+      result.best_energy = candidate.final_energy;
+      result.best = std::move(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace easched

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file core_selection.hpp
+/// \brief Choosing how many cores to power on (Section VI-D).
+///
+/// With non-zero static power, spreading tasks over all cores is not always
+/// best. The paper's remark: before running, simulate the chosen scheduler
+/// with 1, 2, …, m cores and execute with the count that minimizes energy.
+
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Energy of one candidate core count.
+struct CoreCountCandidate {
+  int cores = 0;
+  double final_energy = 0.0;
+};
+
+/// Outcome of the search.
+struct CoreSelectionResult {
+  int best_cores = 0;
+  double best_energy = 0.0;
+  /// Energies for every candidate count 1…max_cores, ascending core count.
+  std::vector<CoreCountCandidate> candidates;
+  /// The winning pipeline output (final schedule ready to run).
+  MethodResult best;
+};
+
+/// Evaluate `method` with every core count in [1, max_cores] and return the
+/// most energy-efficient configuration.
+CoreSelectionResult select_core_count(const TaskSet& tasks, int max_cores,
+                                      const PowerModel& power,
+                                      AllocationMethod method = AllocationMethod::kDer);
+
+}  // namespace easched

@@ -1,0 +1,98 @@
+#include "easched/sched/discrete_adapter.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+std::size_t DiscreteRunReport::miss_count() const {
+  return static_cast<std::size_t>(std::count(missed.begin(), missed.end(), true));
+}
+
+bool DiscreteRunReport::any_miss() const {
+  return std::any_of(missed.begin(), missed.end(), [](bool m) { return m; });
+}
+
+std::optional<FrequencyLevel> best_feasible_level(const DiscreteLevels& levels, double work,
+                                                  double budget) {
+  EASCHED_EXPECTS(work > 0.0);
+  EASCHED_EXPECTS(budget > 0.0);
+  const double required = work / budget;
+  std::optional<FrequencyLevel> best;
+  double best_energy = kInf;
+  for (const FrequencyLevel& level : levels.levels()) {
+    if (!geq_tol(level.frequency, required, 1e-9 * level.frequency)) continue;
+    const double energy = level.power * work / level.frequency;
+    if (energy < best_energy) {
+      best_energy = energy;
+      best = level;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Shared "per-task rate requirement" re-costing used by final and ideal.
+DiscreteRunReport quantize_per_task(const TaskSet& tasks, const std::vector<double>& budget,
+                                    const DiscreteLevels& levels) {
+  DiscreteRunReport report;
+  report.missed.assign(tasks.size(), false);
+  report.chosen_frequency.assign(tasks.size(), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EASCHED_ASSERT(budget[i] > 0.0);
+    if (const auto level = best_feasible_level(levels, tasks[i].work, budget[i])) {
+      report.chosen_frequency[i] = level->frequency;
+      report.energy += level->power * tasks[i].work / level->frequency;
+    } else {
+      // Even flat-out the task cannot finish within its budget: deadline
+      // miss; it burns the whole budget at the top level.
+      report.missed[i] = true;
+      const FrequencyLevel top = levels.levels().back();
+      report.chosen_frequency[i] = top.frequency;
+      report.energy += top.power * budget[i];
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+DiscreteRunReport quantize_final(const TaskSet& tasks, const MethodResult& method,
+                                 const DiscreteLevels& levels) {
+  EASCHED_EXPECTS(method.total_available.size() == tasks.size());
+  return quantize_per_task(tasks, method.total_available, levels);
+}
+
+DiscreteRunReport quantize_ideal(const TaskSet& tasks, const IdealCase& ideal,
+                                 const DiscreteLevels& levels) {
+  EASCHED_EXPECTS(ideal.size() == tasks.size());
+  std::vector<double> windows;
+  windows.reserve(tasks.size());
+  for (const Task& t : tasks) windows.push_back(t.window());
+  return quantize_per_task(tasks, windows, levels);
+}
+
+DiscreteRunReport quantize_intermediate(const TaskSet& tasks, const MethodResult& method,
+                                        const DiscreteLevels& levels) {
+  DiscreteRunReport report;
+  report.missed.assign(tasks.size(), false);
+  for (const IntermediatePiece& piece : method.intermediate_pieces) {
+    if (piece.time <= 0.0) continue;
+    const auto i = static_cast<std::size_t>(piece.task);
+    // The chunk must complete piece.work() within piece.time: quantize the
+    // required rate up to the next level.
+    if (const auto level = levels.quantize_up(piece.frequency)) {
+      report.energy += level->power * piece.work() / level->frequency;
+    } else {
+      report.missed[i] = true;
+      const FrequencyLevel top = levels.levels().back();
+      report.energy += top.power * piece.time;
+    }
+  }
+  return report;
+}
+
+}  // namespace easched

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file discrete_adapter.hpp
+/// \brief Mapping continuous schedules onto discrete P-state ladders
+///        (Section VI-C, the Intel-XScale experiment).
+///
+/// Real cores only offer a finite frequency ladder. The adapter re-costs the
+/// paper's schedulers on such a ladder:
+///  * *final* schedules (F1/F2) and the *ideal* case pick, per task, the
+///    cheapest operating point that still meets the task's required rate
+///    (`C_i / A_i` resp. `C_i / (D_i − R_i)`);
+///  * *intermediate* schedules (I1/I2) quantize each constant-frequency
+///    chunk up to the next level, because the chunk's time budget inside its
+///    subinterval is binding.
+/// A requirement above the top level is a deadline miss: the task runs at
+/// `f_max` for its whole budget and still falls short. The paper observes
+/// misses are frequent for I1/I2, non-negligible for F1 and negligible for
+/// F2 — the fig11 bench reproduces those probabilities.
+
+#include <vector>
+
+#include "easched/power/discrete_levels.hpp"
+#include "easched/sched/ideal.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Outcome of running one scheduler on a discrete ladder.
+struct DiscreteRunReport {
+  double energy = 0.0;
+  std::vector<bool> missed;                ///< per-task deadline miss
+  std::vector<double> chosen_frequency;    ///< per-task level (final/ideal only)
+
+  std::size_t miss_count() const;
+  bool any_miss() const;
+};
+
+/// Cheapest feasible operating point for `work` units within `budget` time:
+/// argmin over levels `f ≥ work/budget` of `P(f)·work/f`. Returns `nullopt`
+/// when even the top level is too slow (deadline miss).
+std::optional<FrequencyLevel> best_feasible_level(const DiscreteLevels& levels, double work,
+                                                  double budget);
+
+/// Re-cost a final scheduling (F1/F2) on the ladder.
+DiscreteRunReport quantize_final(const TaskSet& tasks, const MethodResult& method,
+                                 const DiscreteLevels& levels);
+
+/// Re-cost an intermediate scheduling (I1/I2) on the ladder.
+DiscreteRunReport quantize_intermediate(const TaskSet& tasks, const MethodResult& method,
+                                        const DiscreteLevels& levels);
+
+/// Re-cost the ideal unlimited-core case on the ladder.
+DiscreteRunReport quantize_ideal(const TaskSet& tasks, const IdealCase& ideal,
+                                 const DiscreteLevels& levels);
+
+}  // namespace easched

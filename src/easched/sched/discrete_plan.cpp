@@ -1,0 +1,67 @@
+#include "easched/sched/discrete_plan.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/sched/packing.hpp"
+
+namespace easched {
+
+std::size_t DiscretePlan::miss_count() const {
+  return static_cast<std::size_t>(std::count(missed.begin(), missed.end(), true));
+}
+
+DiscretePlan plan_on_ladder(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                            int cores, const MethodResult& method,
+                            const DiscreteLevels& levels) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(method.total_available.size() == tasks.size());
+
+  DiscretePlan plan;
+  plan.schedule.set_core_count(cores);
+  plan.level.resize(tasks.size());
+  plan.missed.assign(tasks.size(), false);
+
+  // Per task: operating point and the execution time to distribute.
+  std::vector<double> used_time(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double budget = method.total_available[i];
+    EASCHED_ASSERT(budget > 0.0);
+    if (const auto level = best_feasible_level(levels, tasks[i].work, budget)) {
+      plan.level[i] = level->frequency;
+      used_time[i] = tasks[i].work / level->frequency;
+    } else {
+      // Deadline miss: run flat-out for the whole availability.
+      plan.missed[i] = true;
+      plan.level[i] = levels.max_frequency();
+      used_time[i] = budget;
+    }
+  }
+
+  // Distribute each task's quantized execution time proportionally over its
+  // availability and pack every subinterval (Algorithm 1). Capacity holds
+  // because used_time <= availability.
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    std::vector<PackItem> items;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const double avail = method.availability(i, j);
+      if (avail <= 0.0 || used_time[i] <= 0.0) continue;
+      const double scale = std::min(1.0, used_time[i] / method.total_available[i]);
+      const double time = std::min(avail * scale, subs[j].length());
+      if (time <= 1e-12) continue;
+      items.push_back({static_cast<TaskId>(i), time, plan.level[i]});
+    }
+    if (!items.empty()) pack_subinterval(subs[j].begin, subs[j].end, cores, items,
+                                         plan.schedule);
+  }
+  plan.schedule.coalesce();
+
+  for (const Segment& s : plan.schedule.segments()) {
+    plan.energy += levels.power_at(s.frequency) * s.duration();
+  }
+  return plan;
+}
+
+}  // namespace easched

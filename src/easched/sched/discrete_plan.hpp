@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file discrete_plan.hpp
+/// \brief Materialize an executable schedule on a discrete P-state ladder.
+///
+/// `discrete_adapter.hpp` re-costs the continuous plans; this module goes
+/// the rest of the way for the final schedulers: each task picks its
+/// cheapest feasible operating point, its (shorter) quantized execution time
+/// is redistributed over its per-subinterval availability, and Algorithm 1
+/// packs everything into a concrete `Schedule` whose segment frequencies are
+/// actual ladder levels. The result can be validated and executed in the
+/// simulator with ladder power lookup — Section VI-C as running code rather
+/// than a formula.
+
+#include <vector>
+
+#include "easched/power/discrete_levels.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// An executable discrete-frequency plan.
+struct DiscretePlan {
+  /// Collision-free schedule; every segment frequency is a ladder level.
+  Schedule schedule;
+  /// Chosen operating point per task (f_max for missed tasks).
+  std::vector<double> level;
+  /// Tasks whose requirement exceeds `f_max · availability`: they run
+  /// flat-out for their whole budget and still miss their deadline.
+  std::vector<bool> missed;
+  /// Energy of `schedule` under the ladder's power table.
+  double energy = 0.0;
+
+  std::size_t miss_count() const;
+};
+
+/// Build the discrete plan for a final scheduling (F1/F2 `MethodResult`).
+DiscretePlan plan_on_ladder(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                            int cores, const MethodResult& method,
+                            const DiscreteLevels& levels);
+
+}  // namespace easched

@@ -1,0 +1,128 @@
+#include "easched/sched/feasibility.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "easched/common/contracts.hpp"
+#include "easched/solver/maxflow.hpp"
+
+namespace easched {
+
+namespace {
+
+/// Relative saturation tolerance for the flow test.
+constexpr double kFlowTol = 1e-9;
+
+void add_necessary_condition_violations(const TaskSet& tasks,
+                                        const SubintervalDecomposition& subs, int cores,
+                                        double f_max, FeasibilityReport& report) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].intensity() > f_max * (1.0 + kFlowTol)) {
+      std::ostringstream os;
+      os << "task " << i << " needs frequency " << tasks[i].intensity() << " > f_max " << f_max
+         << " even running alone";
+      report.violated_conditions.push_back(os.str());
+    }
+  }
+  // Demand-density over every boundary-pair window.
+  const auto& bounds = subs.boundaries();
+  for (std::size_t a = 0; a < bounds.size(); ++a) {
+    for (std::size_t b = a + 1; b < bounds.size(); ++b) {
+      double work = 0.0;
+      for (const Task& t : tasks) {
+        if (t.release >= bounds[a] && t.deadline <= bounds[b]) work += t.work;
+      }
+      const double capacity = static_cast<double>(cores) * f_max * (bounds[b] - bounds[a]);
+      if (work > capacity * (1.0 + kFlowTol)) {
+        std::ostringstream os;
+        os << "window [" << bounds[a] << ", " << bounds[b] << "] demands " << work
+           << " cycles but offers only " << capacity;
+        report.violated_conditions.push_back(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FeasibilityReport check_feasibility(const TaskSet& tasks, int cores, double f_max) {
+  const SubintervalDecomposition subs(tasks);
+  return check_feasibility(tasks, subs, cores, f_max);
+}
+
+FeasibilityReport check_feasibility(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                    int cores, double f_max) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(f_max > 0.0);
+
+  FeasibilityReport report;
+  add_necessary_condition_violations(tasks, subs, cores, f_max, report);
+
+  // Flow network: 0 = source, 1..n = tasks, n+1..n+N = subintervals, last =
+  // sink.
+  const std::size_t n = tasks.size();
+  const std::size_t subinterval_count = subs.size();
+  const std::size_t sink = 1 + n + subinterval_count;
+  MaxFlowNetwork net(sink + 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exec_time = tasks[i].work / f_max;
+    report.demand += exec_time;
+    net.add_edge(0, 1 + i, exec_time);
+  }
+  for (std::size_t j = 0; j < subinterval_count; ++j) {
+    net.add_edge(1 + n + j, sink, static_cast<double>(cores) * subs[j].length());
+    for (const TaskId i : subs[j].overlapping) {
+      net.add_edge(1 + static_cast<std::size_t>(i), 1 + n + j, subs[j].length());
+    }
+  }
+
+  report.routable = net.max_flow(0, sink);
+  report.feasible = report.routable >= report.demand * (1.0 - kFlowTol) - kFlowTol;
+  return report;
+}
+
+double minimal_feasible_frequency(const TaskSet& tasks, int cores, double rel_tol) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(rel_tol > 0.0);
+
+  const SubintervalDecomposition subs(tasks);
+
+  // Lower bound from the necessary conditions.
+  double lo = tasks.max_intensity();
+  const auto& bounds = subs.boundaries();
+  for (std::size_t a = 0; a < bounds.size(); ++a) {
+    for (std::size_t b = a + 1; b < bounds.size(); ++b) {
+      double work = 0.0;
+      for (const Task& t : tasks) {
+        if (t.release >= bounds[a] && t.deadline <= bounds[b]) work += t.work;
+      }
+      lo = std::max(lo, work / (static_cast<double>(cores) * (bounds[b] - bounds[a])));
+    }
+  }
+  EASCHED_ASSERT(lo > 0.0);
+
+  // Doubling search for a feasible upper bound (termination: exec times
+  // shrink to arbitrarily small fractions of every window).
+  double hi = lo;
+  for (int expand = 0; expand < 64; ++expand) {
+    if (check_feasibility(tasks, subs, cores, hi).feasible) break;
+    hi *= 2.0;
+  }
+  EASCHED_ASSERT(check_feasibility(tasks, subs, cores, hi).feasible);
+
+  if (check_feasibility(tasks, subs, cores, lo).feasible) return lo;
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (check_feasibility(tasks, subs, cores, mid).feasible) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace easched

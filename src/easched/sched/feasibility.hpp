@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file feasibility.hpp
+/// \brief Exact schedulability analysis under a frequency ceiling.
+///
+/// On real hardware frequencies top out at `f_max`, and Section VI-C shows
+/// the heuristics can then miss deadlines. This module answers the prior
+/// question exactly: *can any migrating preemptive schedule meet all
+/// deadlines at maximum frequency `f_max` on `m` cores?*
+///
+/// Test: convert work to execution time `C_i / f_max` and run a maximum flow
+/// on the bipartite network
+///
+///   source --C_i/f_max--> task_i --len_j--> subinterval_j --m·len_j--> sink
+///
+/// (task→subinterval arcs exist only where `[t_j, t_{j+1}] ⊆ [R_i, D_i]`;
+/// their `len_j` caps encode that a task cannot run on two cores at once).
+/// The instance is feasible iff the max flow saturates the total demand —
+/// the classic Horn-style argument the paper's related work ([2], [4])
+/// builds on. A binary search over `f_max` then yields the minimal feasible
+/// ceiling, and simple necessary conditions give fast counterexamples.
+
+#include <string>
+#include <vector>
+
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Result of a feasibility query at a fixed frequency ceiling.
+struct FeasibilityReport {
+  bool feasible = false;
+  /// Total demanded execution time Σ C_i / f_max.
+  double demand = 0.0;
+  /// Execution time actually routable (max flow); < demand when infeasible.
+  double routable = 0.0;
+  /// Violated necessary conditions, human-readable (may be empty even for
+  /// infeasible instances — the flow test is the exact one).
+  std::vector<std::string> violated_conditions;
+};
+
+/// Exact feasibility at ceiling `f_max` on `cores` cores.
+FeasibilityReport check_feasibility(const TaskSet& tasks, int cores, double f_max);
+
+/// Reusing a precomputed decomposition.
+FeasibilityReport check_feasibility(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                    int cores, double f_max);
+
+/// The smallest frequency ceiling that admits a feasible schedule, found by
+/// binary search between the trivial lower bound
+/// `max(max_i intensity_i, max-window demand density / m)` and a doubling
+/// upper bound. Accurate to `rel_tol` relative tolerance.
+double minimal_feasible_frequency(const TaskSet& tasks, int cores, double rel_tol = 1e-9);
+
+}  // namespace easched

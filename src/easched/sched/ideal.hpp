@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file ideal.hpp
+/// \brief The ideal unlimited-core schedule `S^O` (Section V-A).
+///
+/// With unlimited cores every task runs alone: the energy-optimal frequency
+/// has the closed form `f_i^O = max(f*, C_i/(D_i−R_i))` (equation (19)), the
+/// task executes in one stretch `U_i^O = [R_i, R_i + C_i/f_i^O]`, and
+/// `E^O = Σ C_i (γ f_i^{α−1} + p0/f_i)` (equations (20)–(21)). `S^O` is the
+/// reference the DER-based allocator is built on, and `E^O` is the "IdL"
+/// lower curve in the paper's figures (it ignores the core count, so it can
+/// lie below the achievable optimum).
+
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// The closed-form ideal case for one task set.
+class IdealCase {
+ public:
+  IdealCase(const TaskSet& tasks, const PowerModel& power);
+
+  /// Optimal frequency `f_i^O` of equation (19).
+  double frequency(TaskId i) const { return frequency_[static_cast<std::size_t>(i)]; }
+
+  /// End of the single execution stretch: `R_i + C_i / f_i^O ≤ D_i`.
+  double execution_end(TaskId i) const { return exec_end_[static_cast<std::size_t>(i)]; }
+
+  /// Execution time of task `i` inside `[t1, t2]`: `|U_i^O ∩ [t1, t2]|`.
+  double execution_time_in(TaskId i, double t1, double t2) const;
+
+  /// Per-task optimal energy `E_i^O` (equation (20)).
+  double task_energy(TaskId i) const { return energy_[static_cast<std::size_t>(i)]; }
+
+  /// Total ideal energy `E^O` (equation (21)).
+  double total_energy() const { return total_energy_; }
+
+  std::size_t size() const { return frequency_.size(); }
+
+ private:
+  const TaskSet* tasks_;
+  std::vector<double> frequency_;
+  std::vector<double> exec_end_;
+  std::vector<double> energy_;
+  double total_energy_ = 0.0;
+};
+
+}  // namespace easched

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file online.hpp
+/// \brief Rolling-horizon online variant of the subinterval scheduler.
+///
+/// The paper's algorithms are offline: they see every task up front. A real
+/// runtime only learns a task at its release. This module closes that gap
+/// with the natural online adaptation: at every release instant, re-plan the
+/// *remaining* work of all live tasks with the offline pipeline (restricted
+/// to what is currently known) and execute that plan until the next release.
+///
+/// With continuous frequencies every re-plan is feasible (each live task
+/// still fits its own window), so the online scheduler never misses a
+/// deadline; the price of non-clairvoyance is energy. The
+/// `ablation_online` bench and `online_arrivals` example measure that online
+/// penalty against the clairvoyant offline schedule and the exact optimum.
+
+#include <cstddef>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/allocation.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Which offline planner each re-plan invokes.
+enum class OnlinePlanner {
+  /// The paper's subinterval pipeline (final scheduling of the chosen
+  /// allocation method). Works for any core count.
+  kSubinterval,
+  /// YDS on the remaining work — the classic *Optimal Available* (OA)
+  /// online algorithm. Uniprocessor only (`cores == 1`), `p0` ignored by
+  /// the plan (YDS optimizes pure dynamic energy).
+  kYds,
+};
+
+/// Options for the online scheduler.
+struct OnlineOptions {
+  OnlinePlanner planner = OnlinePlanner::kSubinterval;
+  /// Heavy-subinterval rationing rule used by subinterval re-plans.
+  AllocationMethod method = AllocationMethod::kDer;
+};
+
+/// Result of an online run.
+struct OnlineResult {
+  /// The executed schedule (concrete segments, collision-free).
+  Schedule schedule;
+  /// Total energy of the executed schedule.
+  double energy = 0.0;
+  /// Number of re-planning events (one per distinct release instant with
+  /// live work).
+  std::size_t replans = 0;
+  /// Work left unfinished per task (all ~0 for continuous frequencies).
+  std::vector<double> unfinished;
+};
+
+/// Run the online scheduler over a full task set whose releases arrive as
+/// events. The task set plays the role of the (unknown-in-advance) arrival
+/// trace; the scheduler only ever inspects tasks whose release has passed.
+OnlineResult schedule_online(const TaskSet& tasks, int cores, const PowerModel& power,
+                             const OnlineOptions& options = {});
+
+/// Adaptive variant with **slack reclamation**: `C_i` is a worst-case bound,
+/// the true work is `actual_work[i] ≤ C_i`, and the scheduler only discovers
+/// a task is done when it completes. Early completions trigger an immediate
+/// re-plan, so the freed core-seconds slow the remaining tasks down. This is
+/// the classic WCET-vs-actual DVFS adaptation, built on the paper's pipeline
+/// as the per-event planner.
+///
+/// Returns the executed schedule; `unfinished` is measured against
+/// `actual_work`. Re-plans happen at releases *and* at early completions.
+OnlineResult schedule_online_adaptive(const TaskSet& tasks,
+                                      const std::vector<double>& actual_work, int cores,
+                                      const PowerModel& power,
+                                      const OnlineOptions& options = {});
+
+}  // namespace easched

@@ -1,0 +1,70 @@
+#include "easched/sched/packing.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+void pack_subinterval(double begin, double end, int cores, const std::vector<PackItem>& items,
+                      Schedule& schedule) {
+  EASCHED_EXPECTS(end > begin);
+  EASCHED_EXPECTS(cores > 0);
+  const double length = end - begin;
+  const double tol = 1e-9 * std::max(1.0, length);
+
+  double total = 0.0;
+  for (const PackItem& item : items) {
+    EASCHED_EXPECTS(item.time >= 0.0);
+    EASCHED_EXPECTS_MSG(leq_tol(item.time, length, tol),
+                        "pack item exceeds subinterval length");
+    total += item.time;
+  }
+  EASCHED_EXPECTS_MSG(leq_tol(total, static_cast<double>(cores) * length,
+                              tol * static_cast<double>(cores)),
+                      "pack items exceed subinterval capacity");
+
+  CoreId core = 0;
+  double cursor = begin;  // earliest free time on `core`
+  for (const PackItem& item : items) {
+    double remaining = std::min(item.time, length);
+    if (remaining <= tol) continue;
+    EASCHED_EXPECTS(item.frequency > 0.0);
+
+    if (cursor + remaining > end + tol) {
+      // Wrap-around: tail fills the current core to the subinterval end,
+      // head restarts at `begin` on the next core. The head ends at
+      // begin + (remaining − (end − cursor)) ≤ cursor, so the pieces are
+      // disjoint in time.
+      const double tail = end - cursor;
+      const double head = remaining - tail;
+      EASCHED_ASSERT(head <= cursor - begin + tol);
+      // Rounding in `begin + head` may land one ulp past the tail's start,
+      // momentarily putting the task on two cores; clamp to keep the pieces
+      // exactly disjoint.
+      const double head_end = std::min(begin + head, cursor);
+      if (tail > tol) {
+        schedule.add({item.task, core, cursor, end, item.frequency});
+      }
+      ++core;
+      EASCHED_ASSERT(core < cores || head <= tol);
+      if (head > tol) {
+        schedule.add({item.task, core, begin, head_end, item.frequency});
+        cursor = head_end;
+      } else {
+        cursor = begin;
+      }
+    } else {
+      const double stop = std::min(end, cursor + remaining);
+      schedule.add({item.task, core, cursor, stop, item.frequency});
+      cursor = stop;
+      if (end - cursor <= tol) {
+        ++core;
+        cursor = begin;
+      }
+    }
+  }
+}
+
+}  // namespace easched

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file packing.hpp
+/// \brief Collision-free packing within one subinterval (Algorithm 1).
+///
+/// Given per-task execution times inside a subinterval `[t_j, t_{j+1}]`
+/// (each ≤ the subinterval length, summing to ≤ m·length), Algorithm 1 lays
+/// tasks out core by core, wrapping a task that crosses the subinterval end
+/// onto the next core — McNaughton's classical wrap-around rule. The two
+/// pieces of a wrapped task never overlap in time because its total time is
+/// at most the subinterval length.
+
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task.hpp"
+
+namespace easched {
+
+/// One packing request: run `task` for `time` inside the subinterval at
+/// frequency `frequency`.
+struct PackItem {
+  TaskId task = 0;
+  double time = 0.0;
+  double frequency = 0.0;
+};
+
+/// Pack `items` into `[begin, end]` on `cores` cores (Algorithm 1).
+///
+/// Preconditions (checked): every `item.time ∈ [0, end−begin]` and
+/// `Σ item.time ≤ cores · (end−begin)`, both up to a small relative
+/// tolerance to absorb float noise from upstream allocators; violations
+/// within tolerance are clamped. Items with zero time produce no segments.
+/// Appends the produced segments to `schedule`.
+void pack_subinterval(double begin, double end, int cores, const std::vector<PackItem>& items,
+                      Schedule& schedule);
+
+}  // namespace easched

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file partitioned.hpp
+/// \brief Partitioned (migration-free) scheduling.
+///
+/// The paper assumes migration is free; many deployments forbid it (cache
+/// affinity, per-core queues). The standard alternative: *partition* tasks
+/// onto cores, then schedule each core independently as a uniprocessor.
+/// Here: worst-fit decreasing by intensity (balances per-core load), then
+/// the paper's own pipeline with `m = 1` per core. Comparing against the
+/// global (migrating) F2 quantifies what migration buys — the
+/// `ablation_partitioned` bench.
+
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/allocation.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// How tasks are assigned to cores.
+enum class PartitionHeuristic {
+  /// Sort by intensity descending, place each task on the core with the
+  /// least accumulated intensity (worst-fit decreasing; balances load).
+  kWorstFitDecreasing,
+  /// Sort by intensity descending, place on the first core whose
+  /// accumulated intensity stays below 1 (first-fit decreasing; packs
+  /// tightly, leaving later cores idle when possible).
+  kFirstFitDecreasing,
+};
+
+/// A partitioned scheduling result.
+struct PartitionedResult {
+  /// Core assigned to each task.
+  std::vector<CoreId> assignment;
+  /// Combined schedule (every task's segments on its own core only).
+  Schedule schedule;
+  /// Sum of the per-core final energies.
+  double total_energy = 0.0;
+  /// Per-core accumulated intensity (the balance the heuristic achieved).
+  std::vector<double> core_intensity;
+};
+
+/// Partition `tasks` onto `cores` cores and schedule each core with the
+/// uniprocessor pipeline (final scheduling of `method`).
+PartitionedResult schedule_partitioned(const TaskSet& tasks, int cores,
+                                       const PowerModel& power,
+                                       AllocationMethod method = AllocationMethod::kDer,
+                                       PartitionHeuristic heuristic =
+                                           PartitionHeuristic::kWorstFitDecreasing);
+
+}  // namespace easched

@@ -1,0 +1,170 @@
+#include "easched/sched/pipeline.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+#include "easched/sched/packing.hpp"
+
+namespace easched {
+
+namespace {
+
+/// Build the intermediate pieces: per (task, subinterval), the ideal work is
+/// preserved; if the ration is shorter than the ideal execution time the
+/// frequency rises to `o·f^O / avail` (Sections V-B1 / V-C1).
+std::vector<IntermediatePiece> make_intermediate_pieces(
+    const SubintervalDecomposition& subs, int cores, const IdealCase& ideal,
+    const AllocationMatrix& avail) {
+  std::vector<IntermediatePiece> pieces;
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const Subinterval& si = subs[j];
+    const bool heavy = si.heavy(cores);
+    for (const TaskId id : si.overlapping) {
+      const auto i = static_cast<std::size_t>(id);
+      const double o = ideal.execution_time_in(id, si.begin, si.end);
+      if (o <= 0.0) continue;
+      IntermediatePiece piece;
+      piece.task = id;
+      piece.subinterval = j;
+      if (heavy) {
+        const double a = avail(i, j);
+        EASCHED_ASSERT(a > 0.0);  // DER > 0 whenever o > 0; even split > 0.
+        if (o <= a) {
+          piece.time = o;
+          piece.frequency = ideal.frequency(id);
+        } else {
+          piece.time = a;
+          piece.frequency = o * ideal.frequency(id) / a;
+        }
+      } else {
+        piece.time = o;
+        piece.frequency = ideal.frequency(id);
+      }
+      pieces.push_back(piece);
+    }
+  }
+  return pieces;
+}
+
+/// Materialize pieces (or budgets) into a collision-free Schedule by packing
+/// each subinterval with Algorithm 1.
+Schedule materialize(const SubintervalDecomposition& subs, int cores,
+                     const std::vector<IntermediatePiece>& pieces) {
+  Schedule schedule(cores);
+  std::vector<std::vector<PackItem>> per_subinterval(subs.size());
+  for (const IntermediatePiece& p : pieces) {
+    if (p.time <= 0.0) continue;
+    per_subinterval[p.subinterval].push_back({p.task, p.time, p.frequency});
+  }
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    if (per_subinterval[j].empty()) continue;
+    pack_subinterval(subs[j].begin, subs[j].end, cores, per_subinterval[j], schedule);
+  }
+  schedule.coalesce();
+  return schedule;
+}
+
+double pieces_energy(const std::vector<IntermediatePiece>& pieces, const PowerModel& power) {
+  double total = 0.0;
+  for (const IntermediatePiece& p : pieces) {
+    if (p.time <= 0.0) continue;
+    total += power.energy_for_duration(p.time, p.frequency);
+  }
+  return total;
+}
+
+}  // namespace
+
+MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const PowerModel& power, const IdealCase& ideal,
+                                  AllocationMethod method) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+
+  MethodResult result;
+  result.method = method;
+  result.availability = allocate_available_time(tasks, subs, cores, ideal, method);
+
+  // Intermediate scheduling.
+  result.intermediate_pieces =
+      make_intermediate_pieces(subs, cores, ideal, result.availability);
+  result.intermediate_energy = pieces_energy(result.intermediate_pieces, power);
+  result.intermediate_schedule = materialize(subs, cores, result.intermediate_pieces);
+
+  // Final frequency refinement (equations (22)-(23)).
+  result.total_available.resize(tasks.size());
+  result.final_frequency.resize(tasks.size());
+  std::vector<IntermediatePiece> final_pieces;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double a_total = result.availability.row_sum(i);
+    EASCHED_ASSERT(a_total > 0.0);  // every task covers at least one subinterval
+    result.total_available[i] = a_total;
+    const double f = power.optimal_frequency(tasks[i].work, a_total);
+    result.final_frequency[i] = f;
+    result.final_energy += power.energy_for_work(tasks[i].work, f);
+
+    // Distribute the used time T_i = C_i/f over the task's availability,
+    // proportionally, so per-subinterval budgets and capacity stay respected.
+    const double used = tasks[i].work / f;
+    EASCHED_ASSERT(leq_tol(used, a_total, 1e-9 * a_total));
+    const double scale = std::min(1.0, used / a_total);
+    for (std::size_t j = 0; j < subs.size(); ++j) {
+      const double budget = result.availability(i, j);
+      if (budget <= 0.0) continue;
+      IntermediatePiece piece;
+      piece.task = static_cast<TaskId>(i);
+      piece.subinterval = j;
+      piece.time = std::min(budget * scale, subs[j].length());
+      piece.frequency = f;
+      if (piece.time > 0.0) final_pieces.push_back(piece);
+    }
+  }
+  result.final_schedule = materialize(subs, cores, final_pieces);
+  return result;
+}
+
+Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const MethodResult& result) {
+  EASCHED_EXPECTS(result.final_frequency.size() == tasks.size());
+  EASCHED_EXPECTS(result.total_available.size() == tasks.size());
+
+  Schedule schedule(cores);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    std::vector<PackItem> items;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const double budget = result.availability(i, j);
+      if (budget <= 0.0) continue;
+      const double used = tasks[i].work / result.final_frequency[i];
+      const double scale = std::min(1.0, used / result.total_available[i]);
+      const double time = std::min(budget * scale, subs[j].length());
+      if (time <= 1e-12) continue;
+      items.push_back({static_cast<TaskId>(i), time, result.final_frequency[i]});
+    }
+    if (items.empty()) continue;
+    // Stable frequency grouping: equal-frequency neighbors merge into one
+    // segment after coalescing; descending order keeps the hottest tasks at
+    // consistent positions across adjacent subintervals.
+    std::stable_sort(items.begin(), items.end(), [](const PackItem& a, const PackItem& b) {
+      if (a.frequency != b.frequency) return a.frequency > b.frequency;
+      return a.task < b.task;
+    });
+    pack_subinterval(subs[j].begin, subs[j].end, cores, items, schedule);
+  }
+  schedule.coalesce();
+  return schedule;
+}
+
+PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power) {
+  EASCHED_EXPECTS(!tasks.empty());
+  const SubintervalDecomposition subs(tasks);
+  const IdealCase ideal(tasks, power);
+
+  PipelineResult result;
+  result.ideal_energy = ideal.total_energy();
+  result.even = schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kEven);
+  result.der = schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kDer);
+  return result;
+}
+
+}  // namespace easched

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// \brief The paper's end-to-end subinterval schedulers: I1, F1, I2, F2.
+///
+/// Pipeline per allocation method (Section V-B/V-C):
+///  1. compute the ideal unlimited-core case `S^O`;
+///  2. allocate available execution times per subinterval (even or DER);
+///  3. *intermediate* schedule (`S^{I}`): keep `S^O`'s per-subinterval work,
+///     raising the frequency wherever the ration is shorter than the ideal
+///     execution time;
+///  4. *final* schedule (`S^{F}`): re-optimize one frequency per task against
+///     its total available time `A_i` (equations (22)–(23)), then materialize
+///     a collision-free `Schedule` via Algorithm 1.
+
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/allocation.hpp"
+#include "easched/sched/ideal.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// One constant-frequency chunk of an intermediate schedule: task `task`
+/// executes `time` seconds at `frequency` inside subinterval `subinterval`.
+/// Kept explicitly so the discrete-frequency adapter can re-quantize chunks.
+struct IntermediatePiece {
+  TaskId task = 0;
+  std::size_t subinterval = 0;
+  double time = 0.0;
+  double frequency = 0.0;
+
+  double work() const { return time * frequency; }
+};
+
+/// Full output of one allocation method's pipeline.
+struct MethodResult {
+  AllocationMethod method = AllocationMethod::kEven;
+
+  /// Available execution time per (task, subinterval).
+  AllocationMatrix availability{0, 0};
+  /// `A_i = Σ_j avail(i, j)`.
+  std::vector<double> total_available;
+
+  /// Intermediate scheduling (S^{I1} / S^{I2}).
+  std::vector<IntermediatePiece> intermediate_pieces;
+  double intermediate_energy = 0.0;
+  Schedule intermediate_schedule;
+
+  /// Final scheduling (S^{F1} / S^{F2}).
+  std::vector<double> final_frequency;  ///< `f_i = max(f*, C_i/A_i)`.
+  double final_energy = 0.0;            ///< analytic Σ C_i(γf^{α−1}+p0/f).
+  Schedule final_schedule;              ///< materialized, collision-free.
+};
+
+/// Results for both methods plus the shared ideal case.
+struct PipelineResult {
+  double ideal_energy = 0.0;  ///< `E^O` (unlimited-core lower reference).
+  MethodResult even;          ///< I1 / F1
+  MethodResult der;           ///< I2 / F2
+};
+
+/// Run one allocation method end to end.
+MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const PowerModel& power, const IdealCase& ideal,
+                                  AllocationMethod method);
+
+/// Run both methods, sharing the decomposition and ideal case.
+PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power);
+
+/// Rebuild `result`'s final schedule with each subinterval's pieces ordered
+/// by frequency (stable, ties by task id) before Algorithm-1 packing.
+///
+/// The paper notes the execution order within a subinterval "can be
+/// arbitrary" and should be chosen "to avoid unnecessary preemptions and
+/// migrations"; grouping equal frequencies makes abutting segments coalesce
+/// and cuts per-core DVFS switches without changing any task's energy
+/// (measured in `ablation_transitions`). Same energy, same validity — only
+/// the layout differs.
+Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const MethodResult& result);
+
+}  // namespace easched

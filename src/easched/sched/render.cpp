@@ -1,0 +1,67 @@
+#include "easched/sched/render.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/table.hpp"
+
+namespace easched {
+
+char gantt_label(TaskId task) {
+  EASCHED_EXPECTS(task >= 0);
+  static constexpr char kAlphabet[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kAlphabet[static_cast<std::size_t>(task) % (sizeof(kAlphabet) - 1)];
+}
+
+std::string render_gantt(const TaskSet& tasks, const Schedule& schedule,
+                         const GanttOptions& options) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(options.width >= 8);
+
+  const double begin = tasks.earliest_release();
+  const double end = tasks.latest_deadline();
+  const double span = end - begin;
+  EASCHED_ASSERT(span > 0.0);
+  const double cell = span / static_cast<double>(options.width);
+
+  std::ostringstream os;
+  os << "time [" << begin << ", " << end << "], one cell = " << cell << "\n";
+
+  const int cores = std::max(schedule.core_count(), 1);
+  for (int c = 0; c < cores; ++c) {
+    std::string row(options.width, '.');
+    for (const Segment& seg : schedule.segments_on_core(c)) {
+      // Mark every cell whose majority is covered by this segment.
+      for (std::size_t k = 0; k < options.width; ++k) {
+        const double cell_begin = begin + cell * static_cast<double>(k);
+        const double cell_mid = cell_begin + 0.5 * cell;
+        if (cell_mid >= seg.start && cell_mid < seg.end) row[k] = gantt_label(seg.task);
+      }
+    }
+    os << "core " << c << " |" << row << "|\n";
+  }
+
+  if (options.frequency_legend) {
+    // Collect the distinct frequencies each task runs at.
+    std::map<TaskId, std::vector<double>> freqs;
+    for (const Segment& seg : schedule.segments()) {
+      auto& list = freqs[seg.task];
+      const bool seen = std::any_of(list.begin(), list.end(), [&](double f) {
+        return std::abs(f - seg.frequency) < 1e-9 * std::max(1.0, seg.frequency);
+      });
+      if (!seen) list.push_back(seg.frequency);
+    }
+    for (const auto& [task, list] : freqs) {
+      os << "  " << gantt_label(task) << " = task " << task << " (R=" << tasks.at(task).release
+         << ", D=" << tasks.at(task).deadline << ", C=" << tasks.at(task).work << ") @";
+      for (const double f : list) os << ' ' << format_fixed(f, 3);
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace easched

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file render.hpp
+/// \brief ASCII Gantt rendering of schedules (the paper's Fig 2/4/5 style).
+///
+/// One row per core; time is quantized into fixed-width character cells and
+/// each cell shows the task occupying (the majority of) that slice. Meant
+/// for examples, debugging, and documentation — the schedule remains the
+/// source of truth.
+
+#include <string>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Rendering options.
+struct GanttOptions {
+  /// Characters available for the timeline (excluding the row labels).
+  std::size_t width = 72;
+  /// Show a frequency summary line per task below the chart.
+  bool frequency_legend = true;
+};
+
+/// Render `schedule` over the task set's horizon. Tasks are labelled
+/// 0-9 then a-z then A-Z, cycling; idle time is '.'.
+std::string render_gantt(const TaskSet& tasks, const Schedule& schedule,
+                         const GanttOptions& options = {});
+
+/// Label assigned to a task id in the Gantt output.
+char gantt_label(TaskId task);
+
+}  // namespace easched

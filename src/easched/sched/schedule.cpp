@@ -1,0 +1,163 @@
+#include "easched/sched/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+namespace {
+
+std::string describe(const Segment& s) {
+  std::ostringstream os;
+  os << "task " << s.task << " on core " << s.core << " [" << s.start << ", " << s.end << ") @ f="
+     << s.frequency;
+  return os.str();
+}
+
+/// Check a start-sorted segment list for pairwise overlap; report via `on_overlap`.
+template <typename Fn>
+void check_overlaps(const std::vector<Segment>& sorted, double tol, Fn&& on_overlap) {
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].start < sorted[i - 1].end - tol) {
+      on_overlap(sorted[i - 1], sorted[i]);
+    }
+  }
+}
+
+}  // namespace
+
+void Schedule::add(Segment segment) {
+  EASCHED_EXPECTS(segment.end > segment.start);
+  EASCHED_EXPECTS(segment.frequency > 0.0);
+  EASCHED_EXPECTS(segment.task >= 0);
+  EASCHED_EXPECTS(segment.core >= 0);
+  segments_.push_back(segment);
+}
+
+std::vector<Segment> Schedule::segments_of_task(TaskId task) const {
+  std::vector<Segment> out;
+  for (const Segment& s : segments_) {
+    if (s.task == task) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  return out;
+}
+
+std::vector<Segment> Schedule::segments_on_core(CoreId core) const {
+  std::vector<Segment> out;
+  for (const Segment& s : segments_) {
+    if (s.core == core) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  return out;
+}
+
+double Schedule::execution_time(TaskId task) const {
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.task == task) total += s.duration();
+  }
+  return total;
+}
+
+double Schedule::completed_work(TaskId task) const {
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.task == task) total += s.work();
+  }
+  return total;
+}
+
+double Schedule::energy(const PowerModel& power) const {
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    total += power.energy_for_duration(s.duration(), s.frequency);
+  }
+  return total;
+}
+
+ValidationReport Schedule::validate(const TaskSet& tasks, double work_tol,
+                                    double time_tol) const {
+  ValidationReport report;
+
+  // Segment sanity + window containment.
+  for (const Segment& s : segments_) {
+    if (s.task < 0 || static_cast<std::size_t>(s.task) >= tasks.size()) {
+      report.fail("segment references unknown " + describe(s));
+      continue;
+    }
+    if (s.core < 0 || s.core >= core_count_) {
+      report.fail("segment uses core outside [0, m): " + describe(s));
+    }
+    const Task& t = tasks.at(s.task);
+    if (!geq_tol(s.start, t.release, time_tol)) {
+      report.fail("segment starts before release: " + describe(s));
+    }
+    if (!leq_tol(s.end, t.deadline, time_tol)) {
+      report.fail("segment ends after deadline: " + describe(s));
+    }
+  }
+
+  // No core executes two tasks at once.
+  for (CoreId core = 0; core < core_count_; ++core) {
+    check_overlaps(segments_on_core(core), time_tol, [&](const Segment& a, const Segment& b) {
+      report.fail("core overlap: " + describe(a) + " vs " + describe(b));
+    });
+  }
+
+  // No task runs on two cores at once.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    check_overlaps(segments_of_task(static_cast<TaskId>(i)), time_tol,
+                   [&](const Segment& a, const Segment& b) {
+                     report.fail("task self-overlap: " + describe(a) + " vs " + describe(b));
+                   });
+  }
+
+  // Execution requirements are met.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double done = completed_work(static_cast<TaskId>(i));
+    const double required = tasks[i].work;
+    if (done < required * (1.0 - work_tol) - work_tol) {
+      std::ostringstream os;
+      os << "task " << i << " completes " << done << " of required " << required;
+      report.fail(os.str());
+    }
+  }
+  return report;
+}
+
+std::size_t Schedule::coalesce(double time_tol, double freq_tol) {
+  std::map<std::pair<TaskId, CoreId>, std::vector<Segment>> groups;
+  for (const Segment& s : segments_) groups[{s.task, s.core}].push_back(s);
+
+  std::size_t merges = 0;
+  std::vector<Segment> merged;
+  merged.reserve(segments_.size());
+  for (auto& [key, group] : groups) {
+    std::sort(group.begin(), group.end(),
+              [](const Segment& a, const Segment& b) { return a.start < b.start; });
+    for (const Segment& s : group) {
+      if (!merged.empty()) {
+        Segment& last = merged.back();
+        if (last.task == s.task && last.core == s.core &&
+            almost_equal(last.end, s.start, time_tol, 0.0) &&
+            almost_equal(last.frequency, s.frequency, freq_tol, freq_tol)) {
+          last.end = s.end;
+          ++merges;
+          continue;
+        }
+      }
+      merged.push_back(s);
+    }
+  }
+  segments_ = std::move(merged);
+  return merges;
+}
+
+}  // namespace easched

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file schedule.hpp
+/// \brief Concrete multi-core schedules: segments, validation, energy.
+///
+/// A `Schedule` is the materialized output of a scheduling algorithm: a list
+/// of execution segments, each binding a task to a core for a time span at a
+/// constant frequency. Validation checks the constraints from the paper's
+/// problem definition (Section III-C): segments lie in the task's
+/// `[R_i, D_i]`, no core runs two tasks at once, no task runs on two cores at
+/// once, and every task completes its execution requirement.
+
+#include <string>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// One execution segment: task `task` runs on core `core` over
+/// `[start, end)` at frequency `frequency`, completing
+/// `frequency · (end − start)` units of work.
+struct Segment {
+  TaskId task = 0;
+  CoreId core = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double frequency = 0.0;
+
+  double duration() const { return end - start; }
+  double work() const { return frequency * duration(); }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Outcome of `Schedule::validate`.
+struct ValidationReport {
+  bool ok = true;
+  /// Human-readable descriptions of every violation found.
+  std::vector<std::string> violations;
+
+  void fail(std::string message) {
+    ok = false;
+    violations.push_back(std::move(message));
+  }
+};
+
+/// A complete schedule for a task set on `core_count` cores.
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(int core_count) : core_count_(core_count) {}
+
+  int core_count() const { return core_count_; }
+  void set_core_count(int m) { core_count_ = m; }
+
+  void add(Segment segment);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  /// All segments of one task, sorted by start time.
+  std::vector<Segment> segments_of_task(TaskId task) const;
+
+  /// All segments on one core, sorted by start time.
+  std::vector<Segment> segments_on_core(CoreId core) const;
+
+  /// Total execution time Σ duration over all segments of `task`.
+  double execution_time(TaskId task) const;
+
+  /// Work completed for `task`: Σ frequency·duration.
+  double completed_work(TaskId task) const;
+
+  /// Total energy under a continuous power model: Σ p(f)·duration.
+  /// Idle cores sleep at zero power (Section III-B), so only segments count.
+  double energy(const PowerModel& power) const;
+
+  /// Check all model constraints against `tasks` (work completion up to
+  /// `work_tol` relative tolerance; geometric checks up to `time_tol`).
+  ValidationReport validate(const TaskSet& tasks, double work_tol = 1e-6,
+                            double time_tol = 1e-7) const;
+
+  /// Merge adjacent segments of the same task/core/frequency (cosmetic; keeps
+  /// traces small). Returns the number of merges performed.
+  std::size_t coalesce(double time_tol = 1e-9, double freq_tol = 1e-9);
+
+ private:
+  int core_count_ = 0;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace easched

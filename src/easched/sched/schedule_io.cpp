@@ -1,0 +1,74 @@
+#include "easched/sched/schedule_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "easched/common/csv.hpp"
+#include "easched/common/table.hpp"
+
+namespace easched {
+
+std::string schedule_to_csv(const Schedule& schedule) {
+  std::ostringstream os;
+  os << "# cores=" << schedule.core_count() << "\n";
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(schedule.segments().size());
+  for (const Segment& s : schedule.segments()) {
+    rows.push_back({std::to_string(s.task), std::to_string(s.core), format_fixed(s.start, 9),
+                    format_fixed(s.end, 9), format_fixed(s.frequency, 9)});
+  }
+  os << to_csv({"task", "core", "start", "end", "frequency"}, rows);
+  return os.str();
+}
+
+Schedule schedule_from_csv(const std::string& text) {
+  // Extract an optional "# cores=N" comment before the CSV parse strips it.
+  int cores_hint = 0;
+  {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      const auto pos = line.find("# cores=");
+      if (pos != std::string::npos) {
+        cores_hint = std::atoi(line.c_str() + pos + 8);
+        break;
+      }
+      if (!line.empty() && line.front() != '#') break;
+    }
+  }
+
+  const CsvDocument doc = parse_csv(text);
+  const std::size_t task = doc.column("task");
+  const std::size_t core = doc.column("core");
+  const std::size_t start = doc.column("start");
+  const std::size_t end = doc.column("end");
+  const std::size_t freq = doc.column("frequency");
+
+  Schedule schedule;
+  int max_core = -1;
+  for (const auto& row : doc.rows) {
+    Segment s;
+    try {
+      s.task = std::stoi(row[task]);
+      s.core = std::stoi(row[core]);
+      s.start = std::stod(row[start]);
+      s.end = std::stod(row[end]);
+      s.frequency = std::stod(row[freq]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("non-numeric field in schedule CSV");
+    }
+    schedule.add(s);
+    max_core = std::max(max_core, s.core);
+  }
+  schedule.set_core_count(std::max(cores_hint, max_core + 1));
+  return schedule;
+}
+
+void write_schedule(const std::string& path, const Schedule& schedule) {
+  write_file(path, schedule_to_csv(schedule));
+}
+
+Schedule read_schedule(const std::string& path) { return schedule_from_csv(read_file(path)); }
+
+}  // namespace easched

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file schedule_io.hpp
+/// \brief Persist schedules as CSV (`task,core,start,end,frequency`).
+///
+/// Lets a runtime consume plans produced offline by this library (or replay
+/// schedules produced elsewhere through the validator and simulator).
+
+#include <string>
+
+#include "easched/sched/schedule.hpp"
+
+namespace easched {
+
+/// Serialize a schedule. The header records the core count in a comment.
+std::string schedule_to_csv(const Schedule& schedule);
+
+/// Parse a schedule from CSV text. The core count is taken from the maximum
+/// core id + 1 unless a `# cores=N` comment is present. Throws on malformed
+/// input.
+Schedule schedule_from_csv(const std::string& text);
+
+/// File-based convenience wrappers.
+void write_schedule(const std::string& path, const Schedule& schedule);
+Schedule read_schedule(const std::string& path);
+
+}  // namespace easched

@@ -1,0 +1,51 @@
+#include "easched/sched/schedule_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+ScheduleStats compute_schedule_stats(const TaskSet& tasks, const Schedule& schedule) {
+  ScheduleStats stats;
+  stats.core_busy.assign(static_cast<std::size_t>(std::max(schedule.core_count(), 1)), 0.0);
+  if (schedule.empty()) return stats;
+
+  double first = std::numeric_limits<double>::infinity();
+  double last = -std::numeric_limits<double>::infinity();
+  double weighted_frequency = 0.0;
+  double total_work = 0.0;
+  stats.min_frequency = std::numeric_limits<double>::infinity();
+
+  for (const Segment& seg : schedule.segments()) {
+    first = std::min(first, seg.start);
+    last = std::max(last, seg.end);
+    stats.busy_time += seg.duration();
+    if (seg.core >= 0 && static_cast<std::size_t>(seg.core) < stats.core_busy.size()) {
+      stats.core_busy[static_cast<std::size_t>(seg.core)] += seg.duration();
+    }
+    weighted_frequency += seg.frequency * seg.work();
+    total_work += seg.work();
+    stats.min_frequency = std::min(stats.min_frequency, seg.frequency);
+    stats.max_frequency = std::max(stats.max_frequency, seg.frequency);
+  }
+  stats.makespan = last - first;
+  if (stats.makespan > 0.0) {
+    stats.utilization =
+        stats.busy_time / (static_cast<double>(stats.core_busy.size()) * stats.makespan);
+  }
+  if (total_work > 0.0) stats.mean_frequency = weighted_frequency / total_work;
+
+  // Per-task continuity analysis: walk each task's segments in time order.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto of_task = schedule.segments_of_task(static_cast<TaskId>(i));
+    for (std::size_t k = 1; k < of_task.size(); ++k) {
+      ++stats.splits;
+      if (of_task[k].core != of_task[k - 1].core) ++stats.migrations;
+    }
+  }
+  return stats;
+}
+
+}  // namespace easched

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file schedule_stats.hpp
+/// \brief Summary metrics of a concrete schedule.
+///
+/// The quantities a report or dashboard shows next to the energy number:
+/// makespan, per-core busy utilization, frequency statistics, preemption and
+/// migration counts recovered from the segment structure.
+
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Aggregated schedule metrics.
+struct ScheduleStats {
+  /// Last segment end minus first segment start (0 for empty schedules).
+  double makespan = 0.0;
+  /// Total busy core-seconds Σ durations.
+  double busy_time = 0.0;
+  /// busy_time / (cores · makespan); 0 for empty schedules.
+  double utilization = 0.0;
+  /// Work-weighted average execution frequency.
+  double mean_frequency = 0.0;
+  double min_frequency = 0.0;
+  double max_frequency = 0.0;
+  /// Continuations of a task on a different core (migrations) and resumptions
+  /// after another task ran in between on any core (preemption-style splits).
+  std::size_t migrations = 0;
+  std::size_t splits = 0;
+  /// Per-core busy time, indexed by core id.
+  std::vector<double> core_busy;
+};
+
+/// Compute metrics for `schedule` (`tasks` supplies work for weighting).
+ScheduleStats compute_schedule_stats(const TaskSet& tasks, const Schedule& schedule);
+
+}  // namespace easched

@@ -1,0 +1,48 @@
+#include "easched/sched/transitions.hpp"
+
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+TransitionStats count_transitions(const Schedule& schedule, double idle_tol,
+                                  double frequency_tolerance) {
+  EASCHED_EXPECTS(idle_tol >= 0.0);
+  EASCHED_EXPECTS(frequency_tolerance >= 0.0);
+
+  TransitionStats stats;
+  for (CoreId core = 0; core < std::max(schedule.core_count(), 1); ++core) {
+    const auto segments = schedule.segments_on_core(core);
+    bool sleeping = true;
+    double last_end = 0.0;
+    double last_frequency = 0.0;
+    for (const Segment& seg : segments) {
+      const bool gap = sleeping || seg.start - last_end > idle_tol;
+      if (gap) {
+        ++stats.wakeups;
+        if (!sleeping) ++stats.idle_gaps;
+      } else if (std::abs(seg.frequency - last_frequency) >
+                 frequency_tolerance * std::max(1.0, seg.frequency)) {
+        ++stats.frequency_switches;
+      }
+      sleeping = false;
+      last_end = seg.end;
+      last_frequency = seg.frequency;
+    }
+  }
+  return stats;
+}
+
+double energy_with_transitions(const Schedule& schedule, const PowerModel& power,
+                               const TransitionModel& model) {
+  EASCHED_EXPECTS(model.switch_energy >= 0.0);
+  EASCHED_EXPECTS(model.wakeup_energy >= 0.0);
+  const TransitionStats stats =
+      count_transitions(schedule, 1e-9, model.frequency_tolerance);
+  return schedule.energy(power) +
+         static_cast<double>(stats.frequency_switches) * model.switch_energy +
+         static_cast<double>(stats.wakeups) * model.wakeup_energy;
+}
+
+}  // namespace easched

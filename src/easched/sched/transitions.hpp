@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file transitions.hpp
+/// \brief DVFS transition-overhead accounting.
+///
+/// The paper's model (like most of the literature it builds on) treats
+/// frequency switches as free. Real voltage regulators charge both time and
+/// energy per transition. This module counts the switches a schedule
+/// actually performs — per core, a switch whenever consecutive busy segments
+/// differ in frequency, plus wake-ups from sleep — and re-costs schedules
+/// under a simple per-switch penalty, enabling the `ablation_transitions`
+/// bench: the final schedulers (one frequency per task) switch far less
+/// than the intermediate ones (a frequency per task per subinterval).
+
+#include <cstddef>
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/schedule.hpp"
+
+namespace easched {
+
+/// A per-event overhead model.
+struct TransitionModel {
+  /// Energy per frequency change on a running core.
+  double switch_energy = 0.0;
+  /// Energy per sleep→active wake-up (entering sleep is free, matching the
+  /// paper's zero-power sleep assumption).
+  double wakeup_energy = 0.0;
+  /// Frequencies closer than this are "the same operating point".
+  double frequency_tolerance = 1e-9;
+};
+
+/// Switch statistics of a schedule.
+struct TransitionStats {
+  /// Frequency changes between consecutive busy segments on the same core
+  /// (no intervening idle gap).
+  std::size_t frequency_switches = 0;
+  /// Sleep→active transitions (including each core's first activation).
+  std::size_t wakeups = 0;
+  /// Idle gaps skipped (context for the wake-up count).
+  std::size_t idle_gaps = 0;
+};
+
+/// Count the switches `schedule` performs. Gaps longer than `idle_tol`
+/// separate busy runs (the core sleeps between them).
+TransitionStats count_transitions(const Schedule& schedule, double idle_tol = 1e-9,
+                                  double frequency_tolerance = 1e-9);
+
+/// Total energy including overheads:
+/// `schedule.energy(power) + switches·switch_energy + wakeups·wakeup_energy`.
+double energy_with_transitions(const Schedule& schedule, const PowerModel& power,
+                               const TransitionModel& model);
+
+}  // namespace easched

@@ -1,0 +1,141 @@
+#include "easched/sim/edf.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+bool EdfResult::feasible() const {
+  return std::none_of(missed.begin(), missed.end(), [](bool m) { return m; });
+}
+
+std::size_t EdfResult::miss_count() const {
+  return static_cast<std::size_t>(std::count(missed.begin(), missed.end(), true));
+}
+
+EdfResult edf_dispatch(const TaskSet& tasks, int cores, const std::vector<double>& frequency) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(frequency.size() == tasks.size());
+  for (const double f : frequency) EASCHED_EXPECTS(f > 0.0);
+
+  const std::size_t n = tasks.size();
+  std::vector<double> remaining(n);  // execution time left at the task's frequency
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = tasks[i].work / frequency[i];
+
+  std::vector<double> releases;
+  releases.reserve(n);
+  for (const Task& t : tasks) releases.push_back(t.release);
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()), releases.end());
+  std::size_t next_release_idx = 0;
+
+  EdfResult result;
+  result.schedule.set_core_count(cores);
+  result.missed.assign(n, false);
+
+  std::vector<int> last_core(n, -1);       // last core each task ran on
+  std::vector<int> core_task(static_cast<std::size_t>(cores), -1);
+  std::vector<double> completion(n, kInf);
+
+  const double tol = 1e-12;
+  double t = releases.front();
+  std::size_t unfinished = n;
+
+  while (unfinished > 0) {
+    while (next_release_idx < releases.size() && releases[next_release_idx] <= t + tol) {
+      ++next_release_idx;
+    }
+
+    // Ready queue: released, unfinished, ordered by (deadline, id).
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (remaining[i] > tol && tasks[i].release <= t + tol) ready.push_back(i);
+    }
+    std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+      if (tasks[a].deadline != tasks[b].deadline) return tasks[a].deadline < tasks[b].deadline;
+      return a < b;
+    });
+    if (ready.size() > static_cast<std::size_t>(cores)) {
+      ready.resize(static_cast<std::size_t>(cores));
+    }
+
+    if (ready.empty()) {
+      // Idle until the next release.
+      EASCHED_ASSERT(next_release_idx < releases.size());
+      t = releases[next_release_idx];
+      continue;
+    }
+
+    // Core assignment with affinity: keep selected tasks on their current
+    // core, count preemptions for displaced tasks, migrations for moves.
+    std::vector<int> new_core_task(static_cast<std::size_t>(cores), -1);
+    std::vector<bool> placed(ready.size(), false);
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      const auto task = static_cast<int>(ready[k]);
+      for (int c = 0; c < cores; ++c) {
+        if (core_task[static_cast<std::size_t>(c)] == task) {
+          new_core_task[static_cast<std::size_t>(c)] = task;
+          placed[k] = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      if (placed[k]) continue;
+      const auto task = static_cast<int>(ready[k]);
+      for (int c = 0; c < cores; ++c) {
+        if (new_core_task[static_cast<std::size_t>(c)] == -1) {
+          new_core_task[static_cast<std::size_t>(c)] = task;
+          if (last_core[ready[k]] != -1 && last_core[ready[k]] != c) ++result.migrations;
+          break;
+        }
+      }
+    }
+    for (int c = 0; c < cores; ++c) {
+      const int old_task = core_task[static_cast<std::size_t>(c)];
+      if (old_task == -1) continue;
+      const bool still_running =
+          std::find(new_core_task.begin(), new_core_task.end(), old_task) != new_core_task.end();
+      if (!still_running && remaining[static_cast<std::size_t>(old_task)] > tol) {
+        ++result.preemptions;
+      }
+    }
+    core_task = new_core_task;
+
+    // Advance to the next event: a release or the earliest completion.
+    double t_next = next_release_idx < releases.size() ? releases[next_release_idx] : kInf;
+    for (int c = 0; c < cores; ++c) {
+      const int task = core_task[static_cast<std::size_t>(c)];
+      if (task >= 0) t_next = std::min(t_next, t + remaining[static_cast<std::size_t>(task)]);
+    }
+    EASCHED_ASSERT(t_next > t && std::isfinite(t_next));
+
+    for (int c = 0; c < cores; ++c) {
+      const int task = core_task[static_cast<std::size_t>(c)];
+      if (task < 0) continue;
+      const auto i = static_cast<std::size_t>(task);
+      result.schedule.add({task, c, t, t_next, frequency[i]});
+      last_core[i] = c;
+      remaining[i] -= t_next - t;
+      if (remaining[i] <= tol * std::max(1.0, tasks[i].work / frequency[i])) {
+        remaining[i] = 0.0;
+        completion[i] = t_next;
+        --unfinished;
+        core_task[static_cast<std::size_t>(c)] = -1;
+      }
+    }
+    t = t_next;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.missed[i] = completion[i] > tasks[i].deadline + 1e-9;
+  }
+  result.schedule.coalesce();
+  return result;
+}
+
+}  // namespace easched

@@ -1,0 +1,31 @@
+#include "easched/sim/engine.hpp"
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+void SimulationEngine::schedule_at(double time, Callback callback) {
+  EASCHED_EXPECTS(callback != nullptr);
+  if (started_) {
+    EASCHED_EXPECTS_MSG(time >= now_, "cannot schedule an event in the past");
+  }
+  queue_.push(Entry{time, sequence_++, std::move(callback)});
+}
+
+void SimulationEngine::run() {
+  EASCHED_EXPECTS_MSG(!running_, "run() is not re-entrant");
+  running_ = true;
+  started_ = true;
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move via const_cast is the usual
+    // idiom but copying the small callback keeps this simple and safe.
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.time;
+    ++dispatched_;
+    entry.callback(*this);
+  }
+  running_ = false;
+}
+
+}  // namespace easched

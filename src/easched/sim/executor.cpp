@@ -1,0 +1,140 @@
+#include "easched/sim/executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "easched/common/contracts.hpp"
+#include "easched/sim/engine.hpp"
+
+namespace easched {
+
+PowerFunction power_function(const PowerModel& model) {
+  return [model](double f) { return model.power(f); };
+}
+
+PowerFunction power_function(const DiscreteLevels& levels) {
+  return [levels](double f) { return levels.power_at(f); };
+}
+
+bool ExecutionReport::all_deadlines_met() const {
+  return std::all_of(tasks.begin(), tasks.end(),
+                     [](const TaskOutcome& t) { return t.deadline_met; });
+}
+
+std::size_t ExecutionReport::missed_deadline_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      tasks.begin(), tasks.end(), [](const TaskOutcome& t) { return !t.deadline_met; }));
+}
+
+namespace {
+
+/// Mutable execution state shared by the event callbacks.
+struct ExecutionState {
+  const TaskSet* tasks = nullptr;
+  const PowerFunction* power = nullptr;
+  ExecutionReport report;
+  /// Segment currently occupying each core (-1 when idle).
+  std::vector<int> core_busy_until_segment;
+  /// Cores concurrently used by each task (detects task self-overlap).
+  std::vector<int> task_active_count;
+
+  void note(const std::string& msg) { report.anomalies.push_back(msg); }
+};
+
+std::string segment_text(const Segment& s) {
+  std::ostringstream os;
+  os << "task " << s.task << " core " << s.core << " [" << s.start << "," << s.end << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ExecutionReport execute_schedule(const TaskSet& tasks, const Schedule& schedule,
+                                 const PowerFunction& power, double work_tol) {
+  EASCHED_EXPECTS(power != nullptr);
+  const int cores = std::max(schedule.core_count(), 1);
+
+  ExecutionState state;
+  state.tasks = &tasks;
+  state.power = &power;
+  state.report.tasks.assign(tasks.size(), TaskOutcome{});
+  state.core_busy_until_segment.assign(static_cast<std::size_t>(cores), -1);
+  state.task_active_count.assign(tasks.size(), 0);
+
+  SimulationEngine engine;
+  const auto& segments = schedule.segments();
+
+  // Filter out segments the machine cannot express before building events.
+  std::vector<char> usable(segments.size(), 1);
+  for (std::size_t idx = 0; idx < segments.size(); ++idx) {
+    const Segment& seg = segments[idx];
+    if (seg.task < 0 || static_cast<std::size_t>(seg.task) >= tasks.size()) {
+      state.note("segment references unknown task: " + segment_text(seg));
+      usable[idx] = 0;
+    } else if (seg.core < 0 || seg.core >= cores) {
+      state.note("segment uses core outside the machine: " + segment_text(seg));
+      usable[idx] = 0;
+    }
+  }
+
+  // End events are scheduled before start events so that, at equal times,
+  // a segment releasing a core dispatches before an abutting segment claims
+  // it (the engine breaks time ties by scheduling order).
+  for (std::size_t idx = 0; idx < segments.size(); ++idx) {
+    if (!usable[idx]) continue;
+    const Segment& seg = segments[idx];
+    engine.schedule_at(seg.end, [&state, &seg, work_tol](SimulationEngine& eng) {
+      auto& busy = state.core_busy_until_segment[static_cast<std::size_t>(seg.core)];
+      busy = -1;
+      --state.task_active_count[static_cast<std::size_t>(seg.task)];
+
+      // Account the finished segment: energy and completed work, with the
+      // completion instant interpolated inside the segment if the
+      // requirement is crossed here.
+      state.report.energy += (*state.power)(seg.frequency) * seg.duration();
+      TaskOutcome& outcome = state.report.tasks[static_cast<std::size_t>(seg.task)];
+      const double before = outcome.completed_work;
+      outcome.completed_work += seg.work();
+      const double required = state.tasks->at(seg.task).work;
+      if (before < required && outcome.completed_work >= required * (1.0 - work_tol)) {
+        const double missing = std::max(0.0, required - before);
+        const double dt = std::min(seg.duration(), missing / seg.frequency);
+        outcome.completion_time = std::min(outcome.completion_time, seg.start + dt);
+        (void)eng;
+      }
+    });
+  }
+  for (std::size_t idx = 0; idx < segments.size(); ++idx) {
+    if (!usable[idx]) continue;
+    const Segment& seg = segments[idx];
+    engine.schedule_at(seg.start, [&state, &seg, idx](SimulationEngine&) {
+      auto& busy = state.core_busy_until_segment[static_cast<std::size_t>(seg.core)];
+      if (busy >= 0) {
+        state.note("core conflict at segment start: " + segment_text(seg));
+      }
+      busy = static_cast<int>(idx);
+      auto& active = state.task_active_count[static_cast<std::size_t>(seg.task)];
+      if (++active > 1) {
+        state.note("task executes on two cores at once: " + segment_text(seg));
+      }
+    });
+  }
+
+  engine.run();
+  state.report.events = engine.dispatched();
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskOutcome& outcome = state.report.tasks[i];
+    const Task& t = tasks[i];
+    outcome.deadline_met = outcome.completed_work >= t.work * (1.0 - work_tol) &&
+                           outcome.completion_time <= t.deadline + 1e-7;
+    if (outcome.completed_work < t.work * (1.0 - work_tol)) {
+      std::ostringstream os;
+      os << "task " << i << " under-served: " << outcome.completed_work << " of " << t.work;
+      state.note(os.str());
+    }
+  }
+  return state.report;
+}
+
+}  // namespace easched

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file executor.hpp
+/// \brief Execute a planned `Schedule` on simulated cores.
+///
+/// The executor replays a schedule through the discrete-event engine: one
+/// event per segment start and end. It integrates energy from an arbitrary
+/// power function (continuous model or a discrete ladder lookup), accumulates
+/// completed work per task, records exact completion instants, and flags
+/// runtime anomalies (core conflicts, work shortfalls, deadline misses).
+/// This is the ground truth the analytic energy formulas are tested against.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "easched/common/math.hpp"
+#include "easched/power/discrete_levels.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Active power as a function of frequency.
+using PowerFunction = std::function<double(double frequency)>;
+
+/// Adapt a continuous model.
+PowerFunction power_function(const PowerModel& model);
+
+/// Adapt a discrete ladder: frequencies must be operating points.
+PowerFunction power_function(const DiscreteLevels& levels);
+
+/// Per-task outcome of an execution run.
+struct TaskOutcome {
+  double completed_work = 0.0;
+  /// Instant the cumulative work first reached the requirement (+inf when
+  /// the schedule never completes the task).
+  double completion_time = kInf;
+  bool deadline_met = false;
+};
+
+/// Result of executing a schedule.
+struct ExecutionReport {
+  double energy = 0.0;
+  std::vector<TaskOutcome> tasks;
+  /// Human-readable runtime anomalies (empty for a valid schedule).
+  std::vector<std::string> anomalies;
+  std::size_t events = 0;
+
+  bool all_deadlines_met() const;
+  std::size_t missed_deadline_count() const;
+};
+
+/// Run `schedule` for `tasks`. `work_tol` is the relative tolerance for
+/// declaring an execution requirement met.
+ExecutionReport execute_schedule(const TaskSet& tasks, const Schedule& schedule,
+                                 const PowerFunction& power, double work_tol = 1e-6);
+
+}  // namespace easched

@@ -1,0 +1,74 @@
+#include "easched/sim/power_trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/csv.hpp"
+#include "easched/common/table.hpp"
+
+namespace easched {
+
+PowerTrace::PowerTrace(const Schedule& schedule, const PowerFunction& power) {
+  EASCHED_EXPECTS(power != nullptr);
+  if (schedule.empty()) return;
+
+  // Sweep line over segment boundaries, accumulating per-segment power.
+  // A map from time to power delta handles overlapping segments on
+  // different cores naturally.
+  std::map<double, double> delta;
+  for (const Segment& seg : schedule.segments()) {
+    const double p = power(seg.frequency);
+    delta[seg.start] += p;
+    delta[seg.end] -= p;
+  }
+
+  double current = 0.0;
+  double previous_time = delta.begin()->first;
+  for (const auto& [time, change] : delta) {
+    if (time > previous_time && std::abs(current) > 1e-12) {
+      steps_.push_back({previous_time, time, current});
+    }
+    current += change;
+    previous_time = time;
+  }
+  EASCHED_ENSURES(std::abs(current) < 1e-9);  // deltas cancel
+}
+
+double PowerTrace::total_energy() const {
+  double total = 0.0;
+  for (const PowerStep& s : steps_) total += s.energy();
+  return total;
+}
+
+double PowerTrace::peak_power() const {
+  double peak = 0.0;
+  for (const PowerStep& s : steps_) peak = std::max(peak, s.power);
+  return peak;
+}
+
+double PowerTrace::average_power() const {
+  if (steps_.empty()) return 0.0;
+  const double span = steps_.back().end - steps_.front().begin;
+  EASCHED_ASSERT(span > 0.0);
+  return total_energy() / span;
+}
+
+double PowerTrace::power_at(double t) const {
+  for (const PowerStep& s : steps_) {
+    if (t >= s.begin && t < s.end) return s.power;
+  }
+  return 0.0;
+}
+
+std::string PowerTrace::to_csv() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(steps_.size());
+  for (const PowerStep& s : steps_) {
+    rows.push_back(
+        {format_fixed(s.begin, 9), format_fixed(s.end, 9), format_fixed(s.power, 9)});
+  }
+  return easched::to_csv({"begin", "end", "power"}, rows);
+}
+
+}  // namespace easched

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file power_trace.hpp
+/// \brief Piecewise-constant total-power profile of a schedule.
+///
+/// For plotting, reporting, and as an independent energy cross-check: the
+/// profile lists every instant the machine's total active power changes
+/// (segment starts/ends), and integrating it must reproduce the schedule's
+/// energy exactly.
+
+#include <string>
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/sim/executor.hpp"
+
+namespace easched {
+
+/// One step of the piecewise-constant profile: total power is `power` on
+/// `[begin, end)`.
+struct PowerStep {
+  double begin = 0.0;
+  double end = 0.0;
+  double power = 0.0;
+
+  double energy() const { return power * (end - begin); }
+};
+
+/// The machine-wide power profile of a schedule.
+class PowerTrace {
+ public:
+  /// Build from a schedule and a power function (continuous or ladder).
+  PowerTrace(const Schedule& schedule, const PowerFunction& power);
+
+  const std::vector<PowerStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Total energy = Σ step energies (matches `Schedule::energy`).
+  double total_energy() const;
+
+  /// Peak total power across the horizon.
+  double peak_power() const;
+
+  /// Average power over the busy horizon [first start, last end].
+  double average_power() const;
+
+  /// Total power at time `t` (0 outside every step).
+  double power_at(double t) const;
+
+  /// Serialize as CSV `begin,end,power` for external plotting.
+  std::string to_csv() const;
+
+ private:
+  std::vector<PowerStep> steps_;
+};
+
+}  // namespace easched

@@ -1,0 +1,72 @@
+#include "easched/sim/robustness.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/sim/edf.hpp"
+
+namespace easched {
+
+Schedule derate_schedule(const Schedule& schedule, double factor) {
+  EASCHED_EXPECTS(factor > 0.0);
+  Schedule out(schedule.core_count());
+  for (Segment seg : schedule.segments()) {
+    seg.frequency *= factor;
+    out.add(seg);
+  }
+  return out;
+}
+
+std::vector<RobustnessPoint> derating_sweep(const TaskSet& tasks, const Schedule& schedule,
+                                            const std::vector<double>& factors,
+                                            const PowerFunction& power) {
+  EASCHED_EXPECTS(!factors.empty());
+  std::vector<RobustnessPoint> points;
+  points.reserve(factors.size());
+  const double total_work = tasks.total_work();
+  for (const double factor : factors) {
+    const Schedule derated = derate_schedule(schedule, factor);
+    const ExecutionReport run = execute_schedule(tasks, derated, power, 1e-6);
+    RobustnessPoint point;
+    point.factor = factor;
+    point.missed_tasks = run.missed_deadline_count();
+    double shortfall = 0.0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      shortfall += std::max(0.0, tasks[i].work - run.tasks[i].completed_work);
+    }
+    point.shortfall_fraction = total_work > 0.0 ? shortfall / total_work : 0.0;
+    point.energy = run.energy;
+    points.push_back(point);
+  }
+  return points;
+}
+
+bool edf_meets_deadlines_at(const TaskSet& tasks, int cores,
+                            const std::vector<double>& frequency, double factor) {
+  EASCHED_EXPECTS(factor > 0.0);
+  EASCHED_EXPECTS(frequency.size() == tasks.size());
+  std::vector<double> derated(frequency);
+  for (double& f : derated) f *= factor;
+  return edf_dispatch(tasks, cores, derated).feasible();
+}
+
+double critical_derating_factor(const TaskSet& tasks, int cores,
+                                const std::vector<double>& frequency, double tol) {
+  EASCHED_EXPECTS(tol > 0.0);
+  if (!edf_meets_deadlines_at(tasks, cores, frequency, 1.0)) {
+    return 1.0;  // not even nominal speed survives under EDF
+  }
+  double lo = 0.0;  // misses (factor -> 0 always misses: unbounded lateness)
+  double hi = 1.0;  // meets everything
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (edf_meets_deadlines_at(tasks, cores, frequency, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace easched

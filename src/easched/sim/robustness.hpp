@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file robustness.hpp
+/// \brief Sensitivity of frequency assignments to derating.
+///
+/// Real silicon under-delivers: thermal throttling, voltage guard-bands and
+/// OS governor latency all shave effective throughput. Two views:
+///
+///  * **Plan sensitivity** (`derate_schedule`/`derating_sweep`): replay the
+///    *fixed* plan with every effective frequency scaled by a factor < 1.
+///    Timings don't move, so the work shortfall is exactly `1 − factor` —
+///    useful as an executor cross-check and for energy-vs-throttle curves,
+///    but it cannot distinguish schedulers.
+///  * **Runtime tolerance** (`critical_derating_factor`): the runtime reacts
+///    to slowness by running longer — global EDF at the derated per-task
+///    frequencies. A plan whose frequencies sit above the bare-minimum
+///    rates (e.g. clamped at the critical frequency `f*`) absorbs real
+///    derating before any deadline breaks. This is the scheduler-dependent
+///    robustness the `ablation_robustness` bench compares.
+
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Copy of `schedule` with every segment's frequency scaled by `factor`
+/// (> 0). Segment timings are unchanged, so completed work scales down for
+/// factors < 1.
+Schedule derate_schedule(const Schedule& schedule, double factor);
+
+/// Outcome of executing a derated plan (fixed timings).
+struct RobustnessPoint {
+  double factor = 1.0;
+  std::size_t missed_tasks = 0;
+  /// Total unfinished work across tasks, as a fraction of Σ C_i.
+  double shortfall_fraction = 0.0;
+  double energy = 0.0;
+};
+
+/// Execute the fixed `schedule` under each derating factor.
+std::vector<RobustnessPoint> derating_sweep(const TaskSet& tasks, const Schedule& schedule,
+                                            const std::vector<double>& factors,
+                                            const PowerFunction& power);
+
+/// Does global EDF at `factor · frequency[i]` still meet every deadline?
+bool edf_meets_deadlines_at(const TaskSet& tasks, int cores,
+                            const std::vector<double>& frequency, double factor);
+
+/// The smallest factor in (0, 1] the frequency assignment tolerates under a
+/// reacting (EDF) runtime, by bisection to `tol`. 1.0 means no headroom;
+/// smaller is more robust. (Multiprocessor EDF is not perfectly monotone in
+/// speed in pathological cases; the bisection returns the boundary of the
+/// feasible region it observes, which matches monotone behavior in
+/// practice.)
+double critical_derating_factor(const TaskSet& tasks, int cores,
+                                const std::vector<double>& frequency, double tol = 1e-3);
+
+}  // namespace easched

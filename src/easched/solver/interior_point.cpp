@@ -1,0 +1,209 @@
+#include "easched/solver/interior_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/linalg.hpp"
+#include "easched/solver/problem.hpp"
+
+namespace easched {
+
+namespace {
+
+using detail::SeparableObjective;
+using detail::SolverLayout;
+
+/// Per-variable metadata resolved once: owning task and block, and the cap.
+struct VariableInfo {
+  std::size_t task = 0;
+  std::size_t block = 0;
+  double cap = 0.0;
+};
+
+std::vector<VariableInfo> collect_variables(const SolverLayout& layout) {
+  std::vector<VariableInfo> vars(layout.variable_count);
+  for (std::size_t b = 0; b < layout.blocks.size(); ++b) {
+    const auto& block = layout.blocks[b];
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+      vars[block.offset + k] = {static_cast<std::size_t>(block.tasks[k]), b, block.length};
+    }
+  }
+  return vars;
+}
+
+/// Capacity slacks s_j = B_j − Σ_{v∈j} x_v.
+std::vector<double> block_slacks(const SolverLayout& layout, const std::vector<double>& x) {
+  std::vector<double> s(layout.blocks.size());
+  for (std::size_t b = 0; b < layout.blocks.size(); ++b) {
+    const auto& block = layout.blocks[b];
+    double used = 0.0;
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) used += x[block.offset + k];
+    s[b] = block.budget - used;
+  }
+  return s;
+}
+
+/// Barrier value Φ_μ(x); +inf outside the strict interior.
+double barrier_value(const SeparableObjective& objective, const SolverLayout& layout,
+                     const std::vector<VariableInfo>& vars, const std::vector<double>& x,
+                     double mu) {
+  const double f = objective.value(x);
+  if (!std::isfinite(f)) return std::numeric_limits<double>::infinity();
+  double barrier = 0.0;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    if (x[v] <= 0.0 || x[v] >= vars[v].cap) return std::numeric_limits<double>::infinity();
+    barrier += std::log(x[v]) + std::log(vars[v].cap - x[v]);
+  }
+  for (const double s : block_slacks(layout, x)) {
+    if (s <= 0.0) return std::numeric_limits<double>::infinity();
+    barrier += std::log(s);
+  }
+  return f - mu * barrier;
+}
+
+}  // namespace
+
+InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks, int cores,
+                                                 const PowerModel& power,
+                                                 const InteriorPointOptions& options) {
+  const SubintervalDecomposition subs(tasks);
+  return solve_optimal_interior_point(tasks, subs, cores, power, options);
+}
+
+InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
+                                                 const SubintervalDecomposition& subs,
+                                                 int cores, const PowerModel& power,
+                                                 const InteriorPointOptions& options) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+  EASCHED_EXPECTS(options.barrier_decrease > 0.0 && options.barrier_decrease < 1.0);
+
+  const SolverLayout layout = SolverLayout::build(subs, cores);
+  const SeparableObjective objective(tasks, power, layout);
+  const std::vector<VariableInfo> vars = collect_variables(layout);
+
+  const std::size_t n_vars = layout.variable_count;
+  const std::size_t n_tasks = tasks.size();
+  const std::size_t n_blocks = layout.blocks.size();
+  const double constraint_count = static_cast<double>(2 * n_vars + n_blocks);
+
+  // Strictly interior start: half the even split.
+  std::vector<double> x = detail::interior_point(layout, 0.5);
+
+  InteriorPointResult result;
+  double mu = (std::abs(objective.value(x)) + 1.0) / constraint_count;
+
+  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    ++result.outer_iterations;
+
+    // Damped Newton on Φ_μ.
+    for (std::size_t step = 0; step < options.max_newton_steps; ++step) {
+      const std::vector<double> totals = objective.totals(x);
+      const std::vector<double> gprime = objective.task_gradient(totals);
+      const std::vector<double> gsecond = objective.task_hessian(totals);
+      const std::vector<double> slack = block_slacks(layout, x);
+
+      // Gradient of Φ and the diagonal part D of its Hessian.
+      std::vector<double> grad(n_vars), diag(n_vars);
+      for (std::size_t v = 0; v < n_vars; ++v) {
+        const double lo = x[v];
+        const double hi = vars[v].cap - x[v];
+        EASCHED_ASSERT(lo > 0.0 && hi > 0.0);
+        grad[v] = gprime[vars[v].task] - mu / lo + mu / hi + mu / slack[vars[v].block];
+        diag[v] = mu / (lo * lo) + mu / (hi * hi);
+        EASCHED_ASSERT(diag[v] > 0.0);
+      }
+
+      // Woodbury: H = D + U·W·Uᵀ with task indicators (weight g''_i) and
+      // block indicators (weight μ/s_j²). Solve H·d = −grad through the
+      // (n_tasks + n_blocks) core system M = W⁻¹ + Uᵀ D⁻¹ U.
+      const std::size_t core_dim = n_tasks + n_blocks;
+      Matrix core(core_dim, core_dim);
+      std::vector<double> rhs_core(core_dim, 0.0);
+      std::vector<double> dinv_grad(n_vars);
+      for (std::size_t v = 0; v < n_vars; ++v) {
+        dinv_grad[v] = grad[v] / diag[v];
+        const std::size_t ti = vars[v].task;
+        const std::size_t bj = n_tasks + vars[v].block;
+        const double dinv = 1.0 / diag[v];
+        core(ti, ti) += dinv;
+        core(bj, bj) += dinv;
+        core(ti, bj) += dinv;
+        core(bj, ti) += dinv;
+        rhs_core[ti] += dinv_grad[v];
+        rhs_core[bj] += dinv_grad[v];
+      }
+      for (std::size_t i = 0; i < n_tasks; ++i) {
+        EASCHED_ASSERT(gsecond[i] > 0.0);
+        core(i, i) += 1.0 / gsecond[i];
+      }
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        core(n_tasks + b, n_tasks + b) += slack[b] * slack[b] / mu;
+      }
+
+      ++result.factorizations;
+      const auto factor = cholesky(core);
+      EASCHED_ASSERT(factor.has_value());
+      const std::vector<double> y = cholesky_solve(*factor, rhs_core);
+
+      // d = −D⁻¹ grad + D⁻¹ U y.
+      std::vector<double> direction(n_vars);
+      for (std::size_t v = 0; v < n_vars; ++v) {
+        const double uy = y[vars[v].task] + y[n_tasks + vars[v].block];
+        direction[v] = (-grad[v] + uy) / diag[v];
+      }
+
+      // Newton decrement λ² = −gradᵀd; stop the inner phase when tiny.
+      const double decrement = -dot(grad, direction);
+      if (decrement <= 2.0 * options.newton_tol) break;
+
+      // Fraction-to-boundary rule keeps the iterate strictly interior.
+      double alpha_max = 1.0;
+      for (std::size_t v = 0; v < n_vars; ++v) {
+        if (direction[v] < 0.0) alpha_max = std::min(alpha_max, -x[v] / direction[v]);
+        if (direction[v] > 0.0) {
+          alpha_max = std::min(alpha_max, (vars[v].cap - x[v]) / direction[v]);
+        }
+      }
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        const auto& block = layout.blocks[b];
+        double dsum = 0.0;
+        for (std::size_t k = 0; k < block.tasks.size(); ++k) dsum += direction[block.offset + k];
+        if (dsum > 0.0) alpha_max = std::min(alpha_max, slack[b] / dsum);
+      }
+      double alpha = 0.99 * alpha_max;
+
+      // Armijo backtracking on Φ_μ.
+      const double phi0 = barrier_value(objective, layout, vars, x, mu);
+      std::vector<double> trial(n_vars);
+      for (int backtrack = 0; backtrack < 60; ++backtrack) {
+        for (std::size_t v = 0; v < n_vars; ++v) trial[v] = x[v] + alpha * direction[v];
+        const double phi = barrier_value(objective, layout, vars, trial, mu);
+        if (phi <= phi0 - 0.25 * alpha * decrement) break;
+        alpha *= 0.5;
+      }
+      x = trial;
+      ++result.newton_steps;
+    }
+
+    // Duality-gap proxy: for the standard log barrier the gap is exactly
+    // (number of constraints)·μ at the central point.
+    const double objective_scale = std::abs(objective.value(x)) + 1.0;
+    if (constraint_count * mu < options.gap_tol * objective_scale) break;
+    mu *= options.barrier_decrease;
+  }
+
+  result.final_barrier = mu;
+  result.solution.allocation = layout.to_allocation(x, tasks.size(), subs.size());
+  result.solution.execution_time = objective.totals(x);
+  result.solution.energy = objective.value(x);
+  result.solution.iterations = result.newton_steps;
+  result.solution.kkt_residual = constraint_count * mu;
+  result.solution.converged =
+      constraint_count * mu < options.gap_tol * (std::abs(result.solution.energy) + 1.0);
+  return result;
+}
+
+}  // namespace easched

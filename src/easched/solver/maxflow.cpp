@@ -1,0 +1,88 @@
+#include "easched/solver/maxflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+MaxFlowNetwork::MaxFlowNetwork(std::size_t nodes) : graph_(nodes) {
+  EASCHED_EXPECTS(nodes >= 2);
+}
+
+std::size_t MaxFlowNetwork::add_edge(std::size_t from, std::size_t to, double capacity) {
+  EASCHED_EXPECTS(from < graph_.size() && to < graph_.size());
+  EASCHED_EXPECTS(from != to);
+  EASCHED_EXPECTS(capacity >= 0.0);
+  EASCHED_EXPECTS_MSG(!solved_, "cannot add edges after max_flow()");
+
+  const std::size_t fwd_pos = graph_[from].size();
+  const std::size_t rev_pos = graph_[to].size();
+  graph_[from].push_back({to, rev_pos, capacity, capacity});
+  graph_[to].push_back({from, fwd_pos, 0.0, 0.0});
+  edge_index_.push_back({from, fwd_pos});
+  return edge_index_.size() - 1;
+}
+
+bool MaxFlowNetwork::build_levels(std::size_t source, std::size_t sink, double tolerance) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t node = frontier.front();
+    frontier.pop();
+    for (const Edge& e : graph_[node]) {
+      if (e.capacity > tolerance && level_[e.to] < 0) {
+        level_[e.to] = level_[node] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlowNetwork::push(std::size_t node, std::size_t sink, double limit,
+                            double tolerance) {
+  if (node == sink) return limit;
+  for (std::size_t& k = next_edge_[node]; k < graph_[node].size(); ++k) {
+    Edge& e = graph_[node][k];
+    if (e.capacity <= tolerance || level_[e.to] != level_[node] + 1) continue;
+    const double pushed = push(e.to, sink, std::min(limit, e.capacity), tolerance);
+    if (pushed > tolerance) {
+      e.capacity -= pushed;
+      graph_[e.to][e.reverse].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlowNetwork::max_flow(std::size_t source, std::size_t sink, double tolerance) {
+  EASCHED_EXPECTS(source < graph_.size() && sink < graph_.size());
+  EASCHED_EXPECTS(source != sink);
+  EASCHED_EXPECTS_MSG(!solved_, "max_flow() may be called once");
+  solved_ = true;
+
+  double total = 0.0;
+  while (build_levels(source, sink, tolerance)) {
+    next_edge_.assign(graph_.size(), 0);
+    for (;;) {
+      const double pushed = push(source, sink, kInf, tolerance);
+      if (pushed <= tolerance) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlowNetwork::flow_on(std::size_t edge_id) const {
+  EASCHED_EXPECTS(edge_id < edge_index_.size());
+  const auto [node, offset] = edge_index_[edge_id];
+  const Edge& e = graph_[node][offset];
+  return e.original - e.capacity;
+}
+
+}  // namespace easched

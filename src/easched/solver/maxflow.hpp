@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file maxflow.hpp
+/// \brief Dinic's maximum-flow algorithm on small dense-ish graphs.
+///
+/// The related work the paper builds on ([2], [4] in its bibliography)
+/// solves energy-minimal multiprocessor scheduling via reductions to maximum
+/// flow; we use the same machinery for the *exact* feasibility test in
+/// `sched/feasibility.hpp`: a task's work flows through (task → subinterval)
+/// arcs capped by the subinterval length (a task cannot run parallel to
+/// itself) into subinterval nodes capped by `m·len` core-seconds.
+///
+/// Capacities are doubles; the scheduling graphs have polynomially bounded,
+/// well-scaled capacities, so the standard Dinic termination argument holds
+/// up to a configurable flow tolerance.
+
+#include <cstddef>
+#include <vector>
+
+namespace easched {
+
+/// Max-flow network with double capacities.
+class MaxFlowNetwork {
+ public:
+  /// `nodes` includes source and sink.
+  explicit MaxFlowNetwork(std::size_t nodes);
+
+  std::size_t node_count() const { return graph_.size(); }
+
+  /// Add a directed edge `from -> to` with the given capacity (≥ 0); the
+  /// reverse residual edge is created automatically. Returns an edge id
+  /// usable with `flow_on`.
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  /// Compute the maximum flow from `source` to `sink` (Dinic). May be called
+  /// once per network instance.
+  double max_flow(std::size_t source, std::size_t sink, double tolerance = 1e-12);
+
+  /// Flow routed over a previously added edge (after `max_flow`).
+  double flow_on(std::size_t edge_id) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t reverse;  ///< index of the reverse edge in graph_[to]
+    double capacity;      ///< residual capacity
+    double original;      ///< capacity at construction
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink, double tolerance);
+  double push(std::size_t node, std::size_t sink, double limit, double tolerance);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  ///< (node, offset)
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+  bool solved_ = false;
+};
+
+}  // namespace easched

@@ -1,0 +1,120 @@
+#include "easched/solver/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched::detail {
+
+SolverLayout SolverLayout::build(const SubintervalDecomposition& subs, int cores) {
+  EASCHED_EXPECTS(cores > 0);
+  SolverLayout layout;
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const Subinterval& si = subs[j];
+    if (si.overlapping.empty()) continue;
+    Block block;
+    block.offset = layout.variable_count;
+    block.subinterval = j;
+    block.length = si.length();
+    block.budget = static_cast<double>(cores) * si.length();
+    block.tasks = si.overlapping;
+    layout.variable_count += block.tasks.size();
+    layout.blocks.push_back(std::move(block));
+  }
+  return layout;
+}
+
+AllocationMatrix SolverLayout::to_allocation(const std::vector<double>& x,
+                                             std::size_t task_count,
+                                             std::size_t subinterval_count) const {
+  EASCHED_EXPECTS(x.size() == variable_count);
+  AllocationMatrix alloc(task_count, subinterval_count);
+  for (const Block& block : blocks) {
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+      alloc.set(static_cast<std::size_t>(block.tasks[k]), block.subinterval,
+                std::max(0.0, x[block.offset + k]));
+    }
+  }
+  return alloc;
+}
+
+SeparableObjective::SeparableObjective(const TaskSet& tasks, const PowerModel& power,
+                                       const SolverLayout& layout)
+    : power_(&power), layout_(&layout) {
+  work_pow_.reserve(tasks.size());
+  for (const Task& t : tasks) work_pow_.push_back(std::pow(t.work, power.alpha()));
+}
+
+std::vector<double> SeparableObjective::totals(const std::vector<double>& x) const {
+  std::vector<double> total(work_pow_.size(), 0.0);
+  for (const auto& block : layout_->blocks) {
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+      total[static_cast<std::size_t>(block.tasks[k])] += x[block.offset + k];
+    }
+  }
+  return total;
+}
+
+double SeparableObjective::value_from_totals(const std::vector<double>& total) const {
+  const double alpha = power_->alpha();
+  const double gamma = power_->gamma();
+  const double p0 = power_->static_power();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    // A projected/backtracked trial step may zero a task's execution time;
+    // the true objective is +inf there.
+    if (total[i] <= 0.0) return std::numeric_limits<double>::infinity();
+    sum += gamma * work_pow_[i] * std::pow(total[i], 1.0 - alpha) + p0 * total[i];
+  }
+  return sum;
+}
+
+std::vector<double> SeparableObjective::task_gradient(const std::vector<double>& total) const {
+  const double alpha = power_->alpha();
+  const double gamma = power_->gamma();
+  const double p0 = power_->static_power();
+  std::vector<double> gprime(total.size());
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    EASCHED_ASSERT(total[i] > 0.0);
+    gprime[i] = -(alpha - 1.0) * gamma * work_pow_[i] * std::pow(total[i], -alpha) + p0;
+  }
+  return gprime;
+}
+
+std::vector<double> SeparableObjective::task_hessian(const std::vector<double>& total) const {
+  const double alpha = power_->alpha();
+  const double gamma = power_->gamma();
+  std::vector<double> gsecond(total.size());
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    EASCHED_ASSERT(total[i] > 0.0);
+    gsecond[i] =
+        alpha * (alpha - 1.0) * gamma * work_pow_[i] * std::pow(total[i], -alpha - 1.0);
+  }
+  return gsecond;
+}
+
+void SeparableObjective::gradient(const std::vector<double>& x, std::vector<double>& grad,
+                                  std::vector<double>& total_out) const {
+  total_out = totals(x);
+  const std::vector<double> gprime = task_gradient(total_out);
+  grad.resize(x.size());
+  for (const auto& block : layout_->blocks) {
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+      grad[block.offset + k] = gprime[static_cast<std::size_t>(block.tasks[k])];
+    }
+  }
+}
+
+std::vector<double> interior_point(const SolverLayout& layout, double shrink) {
+  EASCHED_EXPECTS(shrink > 0.0 && shrink <= 1.0);
+  std::vector<double> x(layout.variable_count, 0.0);
+  for (const auto& block : layout.blocks) {
+    const double share =
+        shrink * std::min(block.length, block.budget / static_cast<double>(block.tasks.size()));
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) x[block.offset + k] = share;
+  }
+  return x;
+}
+
+}  // namespace easched::detail

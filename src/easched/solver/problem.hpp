@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file problem.hpp
+/// \brief Shared formulation of the reformulated convex program (15), used
+///        by both optimal solvers (FISTA and the interior-point method).
+///
+/// Variables are the execution times x_{i,j} of live (task, subinterval)
+/// pairs, flattened into one contiguous block per subinterval; the objective
+/// is the separable energy Σ_i g_i(T_i) with T_i = Σ_j x_{i,j} and
+/// g_i(T) = γ·C_i^α·T^{1−α} + p0·T.
+
+#include <limits>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/sched/allocation.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched::detail {
+
+/// Flattened variable layout: one contiguous block per subinterval holding
+/// the x_{i,j} of its overlapping tasks.
+struct SolverLayout {
+  struct Block {
+    std::size_t offset = 0;       ///< start in the flat vector
+    std::size_t subinterval = 0;  ///< j
+    double length = 0.0;          ///< len_j (the per-variable cap)
+    double budget = 0.0;          ///< m·len_j
+    std::vector<TaskId> tasks;    ///< overlapping tasks, block order
+  };
+
+  std::vector<Block> blocks;
+  std::size_t variable_count = 0;
+
+  static SolverLayout build(const SubintervalDecomposition& subs, int cores);
+
+  /// Scatter a flat variable vector into an AllocationMatrix.
+  AllocationMatrix to_allocation(const std::vector<double>& x, std::size_t task_count,
+                                 std::size_t subinterval_count) const;
+};
+
+/// The separable objective and its derivatives.
+class SeparableObjective {
+ public:
+  SeparableObjective(const TaskSet& tasks, const PowerModel& power,
+                     const SolverLayout& layout);
+
+  std::size_t task_count() const { return work_pow_.size(); }
+
+  /// Per-task totals T_i at the point x.
+  std::vector<double> totals(const std::vector<double>& x) const;
+
+  /// F from precomputed totals; +inf if any total is non-positive.
+  double value_from_totals(const std::vector<double>& total) const;
+
+  double value(const std::vector<double>& x) const { return value_from_totals(totals(x)); }
+
+  /// Per-task first derivative g_i'(T_i); totals must be positive.
+  std::vector<double> task_gradient(const std::vector<double>& total) const;
+
+  /// Per-task second derivative g_i''(T_i) (always > 0 for α > 1, γ > 0).
+  std::vector<double> task_hessian(const std::vector<double>& total) const;
+
+  /// Scatter per-task gradient onto the flat variable vector.
+  void gradient(const std::vector<double>& x, std::vector<double>& grad,
+                std::vector<double>& total_out) const;
+
+ private:
+  const PowerModel* power_;
+  const SolverLayout* layout_;
+  std::vector<double> work_pow_;  ///< C_i^α
+};
+
+/// Strictly feasible interior starting point: the even split scaled by
+/// `shrink` (1.0 = the exact even split, on the capacity boundary for heavy
+/// subintervals; < 1.0 keeps slack for barrier methods).
+std::vector<double> interior_point(const SolverLayout& layout, double shrink = 1.0);
+
+}  // namespace easched::detail

@@ -1,0 +1,72 @@
+#include "easched/solver/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+namespace {
+
+double clamped_sum(std::span<const double> values, std::span<const double> caps, double lambda) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    sum += std::clamp(values[k] - lambda, 0.0, caps[k]);
+  }
+  return sum;
+}
+
+}  // namespace
+
+void project_capped_simplex(std::span<double> values, std::span<const double> caps,
+                            double budget) {
+  EASCHED_EXPECTS(values.size() == caps.size());
+  EASCHED_EXPECTS(budget >= 0.0);
+
+  // If the box projection satisfies the budget it is the projection onto the
+  // intersection. Otherwise the KKT conditions give
+  // proj(v)_k = clamp(v_k − λ, 0, cap_k) for the λ > 0 that makes the budget
+  // tight — note the shift applies to the *original* values, not the
+  // box-clamped ones.
+  double sum = 0.0;
+  double max_v = 0.0;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    EASCHED_EXPECTS(caps[k] >= 0.0);
+    sum += std::clamp(values[k], 0.0, caps[k]);
+    max_v = std::max(max_v, values[k]);
+  }
+  if (sum <= budget) {
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      values[k] = std::clamp(values[k], 0.0, caps[k]);
+    }
+    return;
+  }
+
+  // Otherwise shift by λ > 0: h(λ) = Σ clamp(v_k − λ, 0, cap_k) is continuous
+  // and non-increasing with h(0) = sum > budget and h(max_v) = 0 ≤ budget.
+  double lo = 0.0;
+  double hi = max_v;
+  // 100 bisection steps drive the bracket below 2^-100·max_v — far below
+  // double precision; typically converges in ~60.
+  for (int iter = 0; iter < 100 && hi - lo > 1e-15 * std::max(1.0, max_v); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (clamped_sum(values, caps, mid) > budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = hi;  // feasible side
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    values[k] = std::clamp(values[k] - lambda, 0.0, caps[k]);
+  }
+}
+
+std::vector<double> project_capped_simplex_copy(std::vector<double> values,
+                                                const std::vector<double>& caps, double budget) {
+  project_capped_simplex(values, caps, budget);
+  return values;
+}
+
+}  // namespace easched

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file projection.hpp
+/// \brief Euclidean projection onto a capped simplex.
+///
+/// The feasible region of the reformulated problem (equations (13)–(14)) is,
+/// per subinterval, the *capped simplex*
+/// `{ v : 0 ≤ v_k ≤ cap_k, Σ v_k ≤ budget }`. Projected-gradient solvers
+/// need the exact Euclidean projection onto this set, which reduces to a
+/// one-dimensional monotone root find in the shift `λ`:
+/// `proj(v)_k = clamp(v_k − λ, 0, cap_k)` with the smallest `λ ≥ 0` making
+/// the sum feasible.
+
+#include <span>
+#include <vector>
+
+namespace easched {
+
+/// Project `values` in place onto `{0 ≤ v_k ≤ cap_k, Σ v_k ≤ budget}`.
+/// `caps` must be non-negative; `budget` must be ≥ 0. `values` and `caps`
+/// must have equal lengths.
+void project_capped_simplex(std::span<double> values, std::span<const double> caps,
+                            double budget);
+
+/// Convenience copy-returning overload.
+std::vector<double> project_capped_simplex_copy(std::vector<double> values,
+                                                const std::vector<double>& caps, double budget);
+
+}  // namespace easched

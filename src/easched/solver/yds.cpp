@@ -1,0 +1,178 @@
+#include "easched/solver/yds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+namespace {
+
+/// A sorted, disjoint set of half-open free time slots.
+class SlotSet {
+ public:
+  SlotSet(double begin, double end) { slots_.push_back({begin, end}); }
+
+  /// Free measure inside [a, b].
+  double measure(double a, double b) const {
+    double total = 0.0;
+    for (const auto& [s, e] : slots_) total += overlap_length(s, e, a, b);
+    return total;
+  }
+
+  /// Free slots clipped to [a, b], in time order.
+  std::vector<std::pair<double, double>> clipped(double a, double b) const {
+    std::vector<std::pair<double, double>> out;
+    for (const auto& [s, e] : slots_) {
+      const double lo = std::max(s, a);
+      const double hi = std::min(e, b);
+      if (hi > lo + 1e-15) out.push_back({lo, hi});
+    }
+    return out;
+  }
+
+  /// Remove [a, b] from the free set.
+  void remove(double a, double b) {
+    std::vector<std::pair<double, double>> next;
+    next.reserve(slots_.size() + 1);
+    for (const auto& [s, e] : slots_) {
+      if (e <= a || s >= b) {
+        next.push_back({s, e});
+        continue;
+      }
+      if (s < a) next.push_back({s, a});
+      if (e > b) next.push_back({b, e});
+    }
+    slots_ = std::move(next);
+  }
+
+ private:
+  std::vector<std::pair<double, double>> slots_;
+};
+
+/// Preemptive EDF of `group` inside `slots` at constant `speed`; the group's
+/// demand exactly fills the slots' capacity by choice of the critical
+/// interval. Appends segments on core 0.
+void edf_fill(const TaskSet& tasks, const std::vector<TaskId>& group,
+              const std::vector<std::pair<double, double>>& slots, double speed,
+              Schedule& schedule) {
+  std::vector<double> remaining;  // execution time left, = C_i / speed
+  remaining.reserve(group.size());
+  for (const TaskId id : group) remaining.push_back(tasks.at(id).work / speed);
+
+  const double tol = 1e-12;
+  for (const auto& [slot_begin, slot_end] : slots) {
+    double t = slot_begin;
+    while (t < slot_end - tol) {
+      // Earliest-deadline released unfinished task.
+      std::size_t best = group.size();
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        if (remaining[k] <= tol) continue;
+        if (tasks.at(group[k]).release > t + tol) continue;
+        if (best == group.size() ||
+            tasks.at(group[k]).deadline < tasks.at(group[best]).deadline) {
+          best = k;
+        }
+      }
+      if (best == group.size()) {
+        // Nothing released yet: jump to the next release inside the slot.
+        double next_release = slot_end;
+        for (std::size_t k = 0; k < group.size(); ++k) {
+          if (remaining[k] > tol && tasks.at(group[k]).release > t + tol) {
+            next_release = std::min(next_release, tasks.at(group[k]).release);
+          }
+        }
+        t = next_release;
+        continue;
+      }
+      // Run until completion, the next release (possible preemption), or the
+      // slot end, whichever comes first.
+      double stop = std::min(slot_end, t + remaining[best]);
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        if (remaining[k] > tol && tasks.at(group[k]).release > t + tol) {
+          stop = std::min(stop, tasks.at(group[k]).release);
+        }
+      }
+      EASCHED_ASSERT(stop > t);
+      schedule.add({group[best], 0, t, stop, speed});
+      remaining[best] -= stop - t;
+      t = stop;
+    }
+  }
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    EASCHED_ENSURES(remaining[k] <= 1e-6 * (tasks.at(group[k]).work / speed + 1.0));
+  }
+}
+
+}  // namespace
+
+YdsResult yds_schedule(const TaskSet& tasks) {
+  EASCHED_EXPECTS(!tasks.empty());
+
+  YdsResult result;
+  result.schedule.set_core_count(1);
+  SlotSet free_slots(tasks.earliest_release(), tasks.latest_deadline());
+  std::vector<bool> done(tasks.size(), false);
+  std::size_t remaining_tasks = tasks.size();
+
+  while (remaining_tasks > 0) {
+    // Candidate interval endpoints: releases and deadlines of pending tasks.
+    std::vector<double> releases, deadlines;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (done[i]) continue;
+      releases.push_back(tasks[i].release);
+      deadlines.push_back(tasks[i].deadline);
+    }
+    std::sort(releases.begin(), releases.end());
+    releases.erase(std::unique(releases.begin(), releases.end()), releases.end());
+    std::sort(deadlines.begin(), deadlines.end());
+    deadlines.erase(std::unique(deadlines.begin(), deadlines.end()), deadlines.end());
+
+    double best_intensity = -1.0;
+    double best_r = 0.0, best_d = 0.0;
+    for (const double r : releases) {
+      for (const double d : deadlines) {
+        if (d <= r) continue;
+        double work = 0.0;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          if (!done[i] && tasks[i].release >= r && tasks[i].deadline <= d) work += tasks[i].work;
+        }
+        if (work <= 0.0) continue;
+        const double avail = free_slots.measure(r, d);
+        EASCHED_ASSERT(avail > 0.0);  // holds for feasible uniprocessor instances
+        const double intensity = work / avail;
+        if (intensity > best_intensity) {
+          best_intensity = intensity;
+          best_r = r;
+          best_d = d;
+        }
+      }
+    }
+    EASCHED_ASSERT(best_intensity > 0.0);
+
+    YdsStep step;
+    step.begin = best_r;
+    step.end = best_d;
+    step.speed = best_intensity;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (!done[i] && tasks[i].release >= best_r && tasks[i].deadline <= best_d) {
+        step.tasks.push_back(static_cast<TaskId>(i));
+        done[i] = true;
+        --remaining_tasks;
+      }
+    }
+
+    edf_fill(tasks, step.tasks, free_slots.clipped(best_r, best_d), step.speed,
+             result.schedule);
+    free_slots.remove(best_r, best_d);
+    result.steps.push_back(std::move(step));
+  }
+
+  result.schedule.coalesce();
+  return result;
+}
+
+}  // namespace easched

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file yds.hpp
+/// \brief The Yao–Demers–Shenker (YDS) optimal uniprocessor schedule.
+///
+/// Related-work baseline (Section I-A, [23]): for one core with
+/// `p(f) = f^α` (no static power) the energy-optimal schedule repeatedly
+/// extracts the *critical interval* — the interval `[t1, t2]` maximizing the
+/// intensity `C(t1, t2)/(t2 − t1)` over tasks fully contained in it — runs
+/// those tasks there EDF at exactly that intensity, removes the interval from
+/// the timeline, and recurses. The schedule is independent of `α ≥ 2`.
+///
+/// Our implementation works directly in original (uncompressed) time by
+/// maintaining the set of still-free time slots, which keeps the emitted
+/// segments directly comparable with the multi-core schedulers' output.
+
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// One extraction step of the YDS greedy, for inspection and tests.
+struct YdsStep {
+  double begin = 0.0;      ///< critical interval start (original time)
+  double end = 0.0;        ///< critical interval end (original time)
+  double speed = 0.0;      ///< intensity = work / free time inside it
+  std::vector<TaskId> tasks;  ///< tasks scheduled in this step
+};
+
+/// Result of the YDS algorithm.
+struct YdsResult {
+  Schedule schedule;           ///< single-core (core 0), collision-free
+  std::vector<YdsStep> steps;  ///< extraction order, decreasing speed
+};
+
+/// Compute the YDS schedule. Intended for feasible uniprocessor instances;
+/// if the instance forces unbounded speed the contracts fire.
+YdsResult yds_schedule(const TaskSet& tasks);
+
+}  // namespace easched

@@ -1,0 +1,80 @@
+#include "easched/tasksys/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+TaskSet generate_bursty_workload(const BurstyConfig& config, Rng& rng) {
+  EASCHED_EXPECTS(config.bursts > 0);
+  EASCHED_EXPECTS(config.tasks_per_burst > 0);
+  EASCHED_EXPECTS(config.horizon > 0.0);
+  EASCHED_EXPECTS(config.burst_spread >= 0.0);
+  EASCHED_EXPECTS(0.0 < config.work_lo && config.work_lo <= config.work_hi);
+  EASCHED_EXPECTS(0.0 < config.intensity_lo && config.intensity_lo <= config.intensity_hi);
+
+  std::vector<Task> tasks;
+  tasks.reserve(config.bursts * config.tasks_per_burst);
+  for (std::size_t b = 0; b < config.bursts; ++b) {
+    const double center = rng.uniform(0.0, config.horizon);
+    for (std::size_t k = 0; k < config.tasks_per_burst; ++k) {
+      Task t;
+      t.release = std::max(0.0, center + rng.uniform(-config.burst_spread,
+                                                     config.burst_spread));
+      t.work = rng.uniform(config.work_lo, config.work_hi);
+      const double intensity = rng.uniform(config.intensity_lo, config.intensity_hi);
+      t.deadline = t.release + t.work / intensity;
+      tasks.push_back(t);
+    }
+  }
+  return TaskSet(std::move(tasks));
+}
+
+TaskSet expand_periodic(const std::vector<PeriodicTaskSpec>& specs, double horizon) {
+  EASCHED_EXPECTS(!specs.empty());
+  EASCHED_EXPECTS(horizon > 0.0);
+
+  std::vector<Task> jobs;
+  for (const PeriodicTaskSpec& spec : specs) {
+    EASCHED_EXPECTS_MSG(spec.period > 0.0, "periodic task needs a positive period");
+    EASCHED_EXPECTS_MSG(spec.wcet > 0.0, "periodic task needs positive wcet");
+    EASCHED_EXPECTS(spec.offset >= 0.0);
+    const double deadline =
+        spec.relative_deadline > 0.0 ? spec.relative_deadline : spec.period;
+    EASCHED_EXPECTS_MSG(deadline >= spec.wcet / 1e9,
+                        "relative deadline must be positive");
+
+    for (double release = spec.offset; release + deadline <= horizon + 1e-12;
+         release += spec.period) {
+      jobs.push_back({release, release + deadline, spec.wcet});
+    }
+  }
+  EASCHED_EXPECTS_MSG(!jobs.empty(), "horizon too short: no job fits");
+  return TaskSet(std::move(jobs));
+}
+
+WorkloadStats describe_workload(const TaskSet& tasks, int cores) {
+  EASCHED_EXPECTS(!tasks.empty());
+  EASCHED_EXPECTS(cores > 0);
+
+  WorkloadStats stats;
+  stats.task_count = tasks.size();
+  stats.horizon = tasks.latest_deadline() - tasks.earliest_release();
+  stats.total_work = tasks.total_work();
+  stats.max_intensity = tasks.max_intensity();
+  for (const Task& t : tasks) stats.utilization += t.intensity();
+  stats.utilization /= static_cast<double>(cores);
+
+  const SubintervalDecomposition subs(tasks);
+  stats.max_overlap = subs.max_overlap();
+  double heavy_time = 0.0;
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    if (subs[j].heavy(cores)) heavy_time += subs[j].length();
+  }
+  stats.heavy_time_fraction = heavy_time / stats.horizon;
+  return stats;
+}
+
+}  // namespace easched

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file arrivals.hpp
+/// \brief Additional workload models beyond the paper's uniform generator.
+///
+/// Two arrival patterns a deployment actually sees, plus descriptive
+/// statistics:
+///  * **bursty** arrivals — releases cluster into bursts (interrupt storms,
+///    batch submissions), the regime where heavy subintervals dominate and
+///    the allocators differ the most;
+///  * **periodic expansion** — classic periodic task specs unrolled into
+///    their aperiodic job sets over a horizon, connecting this library's
+///    general model to the frame-based/periodic literature the paper cites.
+
+#include <cstddef>
+#include <vector>
+
+#include "easched/common/rng.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Bursty arrival generator configuration.
+struct BurstyConfig {
+  std::size_t bursts = 4;              ///< number of release clusters
+  std::size_t tasks_per_burst = 5;     ///< tasks in each cluster
+  double horizon = 200.0;              ///< burst centers uniform on [0, horizon]
+  double burst_spread = 2.0;           ///< release jitter within a cluster
+  double work_lo = 10.0;               ///< per-task work range
+  double work_hi = 30.0;
+  /// Deadline laxity: window = work / intensity with intensity uniform in
+  /// [intensity_lo, intensity_hi].
+  double intensity_lo = 0.3;
+  double intensity_hi = 1.0;
+};
+
+/// Draw one bursty task set.
+TaskSet generate_bursty_workload(const BurstyConfig& config, Rng& rng);
+
+/// A classic periodic task: releases a job every `period` starting at
+/// `offset`, each needing `wcet` work within `relative_deadline`.
+struct PeriodicTaskSpec {
+  double period = 0.0;
+  double wcet = 0.0;
+  double relative_deadline = 0.0;  ///< 0 means "= period" (implicit deadline)
+  double offset = 0.0;
+};
+
+/// Unroll periodic specs into the aperiodic job set over `[0, horizon]`.
+/// Jobs whose absolute deadline would exceed the horizon are not emitted,
+/// so the resulting set is exactly schedulable within the horizon.
+TaskSet expand_periodic(const std::vector<PeriodicTaskSpec>& specs, double horizon);
+
+/// Descriptive statistics of a workload on an `m`-core platform.
+struct WorkloadStats {
+  std::size_t task_count = 0;
+  double horizon = 0.0;             ///< D̄ − R̄
+  double total_work = 0.0;          ///< Σ C_i
+  double utilization = 0.0;         ///< Σ intensity_i / m
+  double max_intensity = 0.0;       ///< max_i C_i/(D_i−R_i)
+  std::size_t max_overlap = 0;      ///< max_j n_j
+  double heavy_time_fraction = 0.0; ///< fraction of the horizon that is heavy
+};
+
+/// Compute workload statistics (builds a decomposition internally).
+WorkloadStats describe_workload(const TaskSet& tasks, int cores);
+
+}  // namespace easched

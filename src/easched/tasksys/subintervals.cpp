@@ -1,0 +1,65 @@
+#include "easched/tasksys/subintervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double merge_tol) {
+  EASCHED_EXPECTS_MSG(!tasks.empty(), "subinterval decomposition needs at least one task");
+  EASCHED_EXPECTS(merge_tol >= 0.0);
+
+  boundaries_.reserve(tasks.size() * 2);
+  for (const Task& t : tasks) {
+    boundaries_.push_back(t.release);
+    boundaries_.push_back(t.deadline);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  // Merge boundaries closer than merge_tol: keep the first representative.
+  std::vector<double> merged;
+  merged.reserve(boundaries_.size());
+  for (const double b : boundaries_) {
+    if (merged.empty() || b - merged.back() > merge_tol) merged.push_back(b);
+  }
+  boundaries_ = std::move(merged);
+  EASCHED_ASSERT(boundaries_.size() >= 2);
+
+  intervals_.reserve(boundaries_.size() - 1);
+  for (std::size_t j = 0; j + 1 < boundaries_.size(); ++j) {
+    Subinterval si;
+    si.begin = boundaries_[j];
+    si.end = boundaries_[j + 1];
+    si.overlapping = tasks.live_during(si.begin, si.end);
+    intervals_.push_back(std::move(si));
+  }
+}
+
+std::vector<std::size_t> SubintervalDecomposition::covering(const Task& task) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < intervals_.size(); ++j) {
+    if (intervals_[j].begin >= task.release && intervals_[j].end <= task.deadline) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::size_t SubintervalDecomposition::index_at(double t) const {
+  EASCHED_EXPECTS(t >= boundaries_.front() && t <= boundaries_.back());
+  // boundaries_ is sorted; find the last boundary <= t.
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  std::size_t idx = static_cast<std::size_t>(it - boundaries_.begin());
+  if (idx > 0) --idx;
+  if (idx >= intervals_.size()) idx = intervals_.size() - 1;  // right endpoint
+  return idx;
+}
+
+std::size_t SubintervalDecomposition::max_overlap() const {
+  std::size_t best = 0;
+  for (const auto& si : intervals_) best = std::max(best, si.overlapping.size());
+  return best;
+}
+
+}  // namespace easched

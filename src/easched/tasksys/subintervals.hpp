@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file subintervals.hpp
+/// \brief Subinterval decomposition of the scheduling horizon (Section IV).
+///
+/// All distinct release times and deadlines `t_1 < t_2 < … < t_N` cut the
+/// horizon `[R̄, D̄]` into `N−1` subintervals. Within a subinterval the set of
+/// live ("overlapping") tasks is constant, which is what makes the paper's
+/// per-subinterval rationing well defined.
+
+#include <cstddef>
+#include <vector>
+
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// One subinterval `[t_j, t_{j+1}]` together with its overlapping tasks.
+struct Subinterval {
+  double begin = 0.0;
+  double end = 0.0;
+  /// Tasks with `release ≤ begin` and `deadline ≥ end`, ascending TaskId.
+  std::vector<TaskId> overlapping;
+
+  double length() const { return end - begin; }
+
+  /// Heavy ⇔ more overlapping tasks than cores (Section IV definition).
+  bool heavy(int cores) const { return overlapping.size() > static_cast<std::size_t>(cores); }
+};
+
+/// The ordered decomposition for one task set.
+class SubintervalDecomposition {
+ public:
+  /// Build from a non-empty task set. Nearly-equal boundary values (within
+  /// `merge_tol`) are merged so that floating-point release/deadline noise
+  /// does not create degenerate slivers.
+  explicit SubintervalDecomposition(const TaskSet& tasks, double merge_tol = 1e-12);
+
+  std::size_t size() const { return intervals_.size(); }
+  const Subinterval& operator[](std::size_t j) const { return intervals_[j]; }
+
+  auto begin() const { return intervals_.begin(); }
+  auto end() const { return intervals_.end(); }
+
+  /// The sorted distinct boundary values `t_1 … t_N`.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Indices of subintervals fully inside `[task.release, task.deadline]`.
+  std::vector<std::size_t> covering(const Task& task) const;
+
+  /// Index of the subinterval containing time `t` (`begin ≤ t < end`;
+  /// the final subinterval also claims its right endpoint).
+  std::size_t index_at(double t) const;
+
+  /// Largest overlap count max_j n_j.
+  std::size_t max_overlap() const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<Subinterval> intervals_;
+};
+
+}  // namespace easched

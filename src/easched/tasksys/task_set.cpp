@@ -1,0 +1,49 @@
+#include "easched/tasksys/task_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  if (tasks_.empty()) return;
+  earliest_release_ = std::numeric_limits<double>::infinity();
+  latest_deadline_ = -std::numeric_limits<double>::infinity();
+  for (const Task& t : tasks_) {
+    EASCHED_EXPECTS_MSG(std::isfinite(t.release) && std::isfinite(t.deadline) &&
+                            std::isfinite(t.work),
+                        "task fields must be finite");
+    EASCHED_EXPECTS_MSG(t.work > 0.0, "task work must be positive");
+    EASCHED_EXPECTS_MSG(t.deadline > t.release, "task deadline must exceed release");
+    earliest_release_ = std::min(earliest_release_, t.release);
+    latest_deadline_ = std::max(latest_deadline_, t.deadline);
+    total_work_ += t.work;
+  }
+}
+
+const Task& TaskSet::at(TaskId id) const {
+  EASCHED_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < tasks_.size());
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+double TaskSet::max_intensity() const {
+  double best = 0.0;
+  for (const Task& t : tasks_) best = std::max(best, t.intensity());
+  return best;
+}
+
+std::vector<TaskId> TaskSet::live_during(double t1, double t2) const {
+  EASCHED_EXPECTS(t1 <= t2);
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].release <= t1 && tasks_[i].deadline >= t2) {
+      out.push_back(static_cast<TaskId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace easched

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file task_set.hpp
+/// \brief An immutable, validated collection of aperiodic tasks.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "easched/tasksys/task.hpp"
+
+namespace easched {
+
+/// A validated task set `T = {τ_1, …, τ_n}`.
+///
+/// Construction enforces the model's well-formedness conditions
+/// (`work > 0`, `deadline > release`, finite values); all schedulers may then
+/// assume them. Tasks are identified by their index (`TaskId`) in the order
+/// given at construction.
+class TaskSet {
+ public:
+  TaskSet() = default;
+
+  /// Validates and stores the tasks. Throws `ContractViolation` when any
+  /// task is malformed.
+  explicit TaskSet(std::vector<Task> tasks);
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  const Task& operator[](std::size_t i) const { return tasks_[i]; }
+  const Task& at(TaskId id) const;
+
+  std::span<const Task> tasks() const { return tasks_; }
+
+  auto begin() const { return tasks_.begin(); }
+  auto end() const { return tasks_.end(); }
+
+  /// \name Aggregate properties (Section III notation)
+  /// @{
+  /// Earliest release time `R̄` (0 for an empty set).
+  double earliest_release() const { return earliest_release_; }
+  /// Latest deadline `D̄` (0 for an empty set).
+  double latest_deadline() const { return latest_deadline_; }
+  /// Total execution requirement Σ C_i.
+  double total_work() const { return total_work_; }
+  /// Largest per-task intensity max_i C_i/(D_i−R_i).
+  double max_intensity() const;
+  /// @}
+
+  /// Tasks *live* during `[t1, t2]`: release ≤ t1 and deadline ≥ t2.
+  /// (The paper's "overlapping tasks" of a subinterval.)
+  std::vector<TaskId> live_during(double t1, double t2) const;
+
+ private:
+  std::vector<Task> tasks_;
+  double earliest_release_ = 0.0;
+  double latest_deadline_ = 0.0;
+  double total_work_ = 0.0;
+};
+
+}  // namespace easched

@@ -1,0 +1,48 @@
+#include "easched/tasksys/trace_io.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "easched/common/csv.hpp"
+#include "easched/common/table.hpp"
+
+namespace easched {
+
+std::string task_set_to_csv(const TaskSet& tasks) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tasks.size());
+  for (const Task& t : tasks) {
+    rows.push_back({format_fixed(t.release, 9), format_fixed(t.deadline, 9),
+                    format_fixed(t.work, 9)});
+  }
+  return to_csv({"release", "deadline", "work"}, rows);
+}
+
+TaskSet task_set_from_csv(const std::string& text) {
+  const CsvDocument doc = parse_csv(text);
+  const std::size_t rel = doc.column("release");
+  const std::size_t dl = doc.column("deadline");
+  const std::size_t wk = doc.column("work");
+  std::vector<Task> tasks;
+  tasks.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    Task t;
+    try {
+      t.release = std::stod(row[rel]);
+      t.deadline = std::stod(row[dl]);
+      t.work = std::stod(row[wk]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("non-numeric field in task trace");
+    }
+    tasks.push_back(t);
+  }
+  return TaskSet(std::move(tasks));
+}
+
+void write_task_set(const std::string& path, const TaskSet& tasks) {
+  write_file(path, task_set_to_csv(tasks));
+}
+
+TaskSet read_task_set(const std::string& path) { return task_set_from_csv(read_file(path)); }
+
+}  // namespace easched

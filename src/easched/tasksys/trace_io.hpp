@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// \brief Persist task sets as CSV traces (`release,deadline,work`).
+///
+/// Examples ship with traces so users can feed their own task sets into the
+/// schedulers without touching C++.
+
+#include <string>
+
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Serialize a task set to CSV text with header `release,deadline,work`.
+std::string task_set_to_csv(const TaskSet& tasks);
+
+/// Parse a task set from CSV text (columns may appear in any order; extra
+/// columns are ignored). Throws on malformed input.
+TaskSet task_set_from_csv(const std::string& text);
+
+/// File-based convenience wrappers.
+void write_task_set(const std::string& path, const TaskSet& tasks);
+TaskSet read_task_set(const std::string& path);
+
+}  // namespace easched

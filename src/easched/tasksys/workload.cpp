@@ -1,0 +1,57 @@
+#include "easched/tasksys/workload.hpp"
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+IntensityDistribution IntensityDistribution::paper_grid() {
+  IntensityDistribution d;
+  d.choices = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  return d;
+}
+
+IntensityDistribution IntensityDistribution::range(double lo, double hi) {
+  EASCHED_EXPECTS(lo > 0.0 && lo <= hi);
+  IntensityDistribution d;
+  d.lo = lo;
+  d.hi = hi;
+  return d;
+}
+
+double IntensityDistribution::sample(Rng& rng) const {
+  if (!choices.empty()) return rng.pick(choices);
+  return rng.uniform(lo, hi);
+}
+
+WorkloadConfig WorkloadConfig::xscale(std::size_t task_count, double f2_mhz) {
+  EASCHED_EXPECTS(f2_mhz > 0.0);
+  WorkloadConfig c;
+  c.task_count = task_count;
+  c.work_lo = 4000.0;  // megacycles
+  c.work_hi = 8000.0;
+  c.intensity = IntensityDistribution::range(0.1, 1.0);
+  c.deadline_freq_scale = f2_mhz;
+  return c;
+}
+
+TaskSet generate_workload(const WorkloadConfig& config, Rng& rng) {
+  EASCHED_EXPECTS(config.task_count > 0);
+  EASCHED_EXPECTS(config.release_lo <= config.release_hi);
+  EASCHED_EXPECTS(0.0 < config.work_lo && config.work_lo <= config.work_hi);
+  EASCHED_EXPECTS(config.deadline_freq_scale > 0.0);
+
+  std::vector<Task> tasks;
+  tasks.reserve(config.task_count);
+  for (std::size_t i = 0; i < config.task_count; ++i) {
+    Task t;
+    t.release = rng.uniform(config.release_lo, config.release_hi);
+    t.work = rng.uniform(config.work_lo, config.work_hi);
+    const double intensity = config.intensity.sample(rng);
+    EASCHED_ASSERT(intensity > 0.0);
+    t.deadline = t.release + t.work / (intensity * config.deadline_freq_scale);
+    tasks.push_back(t);
+  }
+  return TaskSet(std::move(tasks));
+}
+
+}  // namespace easched

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief Synthetic workload generators reproducing Section VI's setup.
+///
+/// The paper generates releases uniformly on [0, 200], work uniformly on
+/// [10, 30], draws a task *intensity* from a discrete set (or a continuous
+/// range), and derives the deadline as `D_i = R_i + C_i / intensity_i`. The
+/// practical Intel-XScale experiment (Section VI-C) scales work to
+/// [4000, 8000] megacycles and anchors deadlines on the second frequency
+/// level: `D_i = R_i + C_i / (intensity_i · f2)`.
+
+#include <cstdint>
+#include <vector>
+
+#include "easched/common/rng.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// How task intensities are drawn.
+struct IntensityDistribution {
+  /// Discrete uniform over `choices` when non-empty; otherwise continuous
+  /// uniform over `[lo, hi]`.
+  std::vector<double> choices;
+  double lo = 0.1;
+  double hi = 1.0;
+
+  /// The paper's default grid {0.1, 0.2, …, 1.0}.
+  static IntensityDistribution paper_grid();
+  /// Continuous uniform over `[lo, 1.0]` (Fig 9 sweeps `lo`).
+  static IntensityDistribution range(double lo, double hi = 1.0);
+
+  double sample(Rng& rng) const;
+};
+
+/// Parameters of the synthetic generator (paper Section VI defaults).
+struct WorkloadConfig {
+  std::size_t task_count = 20;
+  double release_lo = 0.0;
+  double release_hi = 200.0;
+  double work_lo = 10.0;
+  double work_hi = 30.0;
+  IntensityDistribution intensity = IntensityDistribution::paper_grid();
+  /// Deadline scale: `D_i = R_i + C_i / (intensity_i · deadline_freq_scale)`.
+  /// 1.0 for the abstract model; `f2` (MHz) for the XScale experiment so that
+  /// intensities stay in (0, 1] relative to that frequency level.
+  double deadline_freq_scale = 1.0;
+
+  /// The Intel-XScale practical configuration of Section VI-C.
+  static WorkloadConfig xscale(std::size_t task_count = 20, double f2_mhz = 400.0);
+};
+
+/// Draw one task set. All randomness comes from `rng`.
+TaskSet generate_workload(const WorkloadConfig& config, Rng& rng);
+
+}  // namespace easched

@@ -1,0 +1,106 @@
+// Admission control decisions and energy quotes.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/admission.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(AdmissionTest, AdmitsIntoAnEmptySystem) {
+  const PowerModel power(3.0, 0.1);
+  const AdmissionDecision d = admit_task(TaskSet{}, {0.0, 10.0, 4.0}, 2, power);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_DOUBLE_EQ(d.energy_before, 0.0);
+  EXPECT_GT(d.energy_after, 0.0);
+  EXPECT_DOUBLE_EQ(d.marginal_energy, d.energy_after);
+}
+
+TEST(AdmissionTest, QuoteMatchesPipelineDelta) {
+  Rng rng(Rng::seed_of("admission-quote", 0));
+  WorkloadConfig config;
+  config.task_count = 8;
+  const TaskSet committed = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const Task candidate{50.0, 120.0, 20.0};
+  const AdmissionDecision d = admit_task(committed, candidate, 4, power);
+  ASSERT_TRUE(d.admitted);
+
+  std::vector<Task> merged(committed.begin(), committed.end());
+  merged.push_back(candidate);
+  const double expected_after = run_pipeline(TaskSet(merged), 4, power).der.final_energy;
+  const double expected_before = run_pipeline(committed, 4, power).der.final_energy;
+  EXPECT_NEAR(d.energy_after, expected_after, 1e-9 * expected_after);
+  EXPECT_NEAR(d.marginal_energy, expected_after - expected_before,
+              1e-9 * expected_after);
+}
+
+TEST(AdmissionTest, RejectsMalformedCandidates) {
+  const PowerModel power(3.0, 0.0);
+  EXPECT_FALSE(admit_task(TaskSet{}, {0.0, 10.0, 0.0}, 1, power).admitted);
+  EXPECT_FALSE(admit_task(TaskSet{}, {5.0, 5.0, 1.0}, 1, power).admitted);
+  EXPECT_FALSE(admit_task(TaskSet{}, {5.0, 2.0, 1.0}, 1, power).admitted);
+  const AdmissionDecision d = admit_task(TaskSet{}, {0.0, 10.0, -1.0}, 1, power);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_FALSE(d.rejection_reason.empty());
+}
+
+TEST(AdmissionTest, RejectsWhenCandidateAloneExceedsCeiling) {
+  const PowerModel power(3.0, 0.0);
+  // Needs frequency 2 alone, ceiling 1.
+  const AdmissionDecision d = admit_task(TaskSet{}, {0.0, 1.0, 2.0}, 4, power, 1.0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_NE(d.rejection_reason.find("alone"), std::string::npos);
+}
+
+TEST(AdmissionTest, RejectsWhenCombinedLoadBreaksTheCeiling) {
+  // Two committed unit-intensity tasks fill both cores on [0, 2]; a third
+  // identical task cannot fit at ceiling 1 (the flow test catches it).
+  const TaskSet committed({{0.0, 2.0, 2.0}, {0.0, 2.0, 2.0}});
+  const PowerModel power(3.0, 0.0);
+  const AdmissionDecision d = admit_task(committed, {0.0, 2.0, 2.0}, 2, power, 1.0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_DOUBLE_EQ(d.energy_after, 0.0);
+  // A higher ceiling admits it.
+  const AdmissionDecision ok = admit_task(committed, {0.0, 2.0, 2.0}, 2, power, 2.0);
+  EXPECT_TRUE(ok.admitted);
+}
+
+TEST(AdmissionTest, UnlimitedFrequencyAlwaysAdmitsWellFormedTasks) {
+  Rng rng(Rng::seed_of("admission-unlimited", 1));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet committed = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const AdmissionDecision d = admit_task(committed, {0.0, 0.5, 100.0}, 2, power);
+  EXPECT_TRUE(d.admitted);  // absurd but schedulable with unbounded frequency
+}
+
+TEST(AdmissionTest, MarginalEnergyIsAtLeastTheCandidatesIdealCost) {
+  // Adding a task cannot cost less than its own ideal (unlimited-core)
+  // energy... not in general (interactions), but with DER allocation the
+  // committed tasks' energies can only degrade, so the delta is at least
+  // the candidate's own F2 energy computed in isolation minus nothing.
+  // Assert the weaker, always-true direction: the quote is positive.
+  Rng rng(Rng::seed_of("admission-positive", 2));
+  WorkloadConfig config;
+  config.task_count = 6;
+  const TaskSet committed = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const AdmissionDecision d = admit_task(committed, {10.0, 60.0, 15.0}, 4, power);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_GT(d.marginal_energy, 0.0);
+}
+
+TEST(AdmissionTest, RejectsBadPlatformArguments) {
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(admit_task(TaskSet{}, {0.0, 1.0, 1.0}, 0, power), ContractViolation);
+  EXPECT_THROW(admit_task(TaskSet{}, {0.0, 1.0, 1.0}, 1, power, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,155 @@
+// Available-time allocation (Observation 2 + Algorithm 2).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <numeric>
+
+#include "easched/common/rng.hpp"
+#include "easched/sched/allocation.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(AllocationMatrixTest, SetGetAndSums) {
+  AllocationMatrix m(2, 3);
+  m.set(0, 0, 1.0);
+  m.set(0, 2, 2.0);
+  m.set(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.column_sum(2), 5.0);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m.set(0, 3, 1.0), ContractViolation);
+  EXPECT_THROW(m.set(0, 0, -1.0), ContractViolation);
+}
+
+TEST(EvenRationTest, SplitsCapacityEvenly) {
+  const auto r = even_ration(5, 4, 2.0);
+  ASSERT_EQ(r.size(), 5u);
+  for (const double v : r) EXPECT_DOUBLE_EQ(v, 8.0 / 5.0);
+}
+
+TEST(EvenRationTest, CapsAtLengthWhenFewTasks) {
+  // 2 tasks, 4 cores: the even share 4*len/2 exceeds len and must cap.
+  const auto r = even_ration(2, 4, 2.0);
+  for (const double v : r) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(DerRationTest, ReproducesPaperFirstHeavyInterval) {
+  // Section V-D, interval [8,10]: DERs 8/5, 7/4, 4/3, 1, 5/3; capacity 8.
+  const std::vector<double> ders{8.0 / 5.0, 7.0 / 4.0, 4.0 / 3.0, 1.0, 5.0 / 3.0};
+  const auto r = der_ration(ders, 4, 2.0);
+  const double expected[] = {1.7415, 1.9048, 1.4512, 1.0884, 1.8141};
+  for (std::size_t i = 0; i < ders.size(); ++i) EXPECT_NEAR(r[i], expected[i], 1e-4);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 8.0, 1e-9);
+}
+
+TEST(DerRationTest, ReproducesPaperSecondHeavyIntervalWithCapping) {
+  // Interval [12,14]: DERs 7/4, 4/3, 1, 5/3, 6/5; tau2's proportional share
+  // 8*1.75/6.95 > 2 caps at the length; the rest renormalizes.
+  const std::vector<double> ders{7.0 / 4.0, 4.0 / 3.0, 1.0, 5.0 / 3.0, 6.0 / 5.0};
+  const auto r = der_ration(ders, 4, 2.0);
+  const double expected[] = {2.0, 1.5385, 1.1538, 1.9231, 1.3846};
+  for (std::size_t i = 0; i < ders.size(); ++i) EXPECT_NEAR(r[i], expected[i], 1e-4);
+}
+
+TEST(DerRationTest, NeverExceedsLengthOrCapacity) {
+  Rng rng(Rng::seed_of("der-bounds", 0));
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 3 + rng.uniform_index(10);
+    const int cores = 1 + static_cast<int>(rng.uniform_index(4));
+    if (n <= static_cast<std::size_t>(cores)) continue;
+    const double length = rng.uniform(0.5, 5.0);
+    std::vector<double> ders(n);
+    for (double& d : ders) d = rng.uniform(0.0, 3.0);
+    const auto r = der_ration(ders, cores, length);
+    double sum = 0.0;
+    for (const double v : r) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, length + 1e-9);
+      sum += v;
+    }
+    EXPECT_LE(sum, cores * length + 1e-9);
+  }
+}
+
+TEST(DerRationTest, ZeroDerTasksGetNothing) {
+  const std::vector<double> ders{2.0, 0.0, 1.0};
+  const auto r = der_ration(ders, 1, 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+  EXPECT_GT(r[0], 0.0);
+  EXPECT_GT(r[2], 0.0);
+}
+
+TEST(DerRationTest, AllZeroDersFallBackToEvenSplit) {
+  const std::vector<double> ders{0.0, 0.0, 0.0, 0.0, 0.0};
+  const auto r = der_ration(ders, 4, 2.0);
+  for (const double v : r) EXPECT_DOUBLE_EQ(v, 8.0 / 5.0);
+}
+
+TEST(DerRationTest, MonotoneInDer) {
+  // A task with a larger DER never receives less than one with a smaller DER.
+  const std::vector<double> ders{0.5, 2.0, 1.0, 1.5};
+  const auto r = der_ration(ders, 2, 1.0);
+  EXPECT_LE(r[0], r[2] + 1e-12);
+  EXPECT_LE(r[2], r[3] + 1e-12);
+  EXPECT_LE(r[3], r[1] + 1e-12);
+}
+
+TEST(AllocateAvailableTimeTest, LightIntervalsGrantFullLength) {
+  const TaskSet ts({{0.0, 4.0, 2.0}, {2.0, 6.0, 2.0}});
+  const SubintervalDecomposition subs(ts);
+  const PowerModel power(3.0, 0.0);
+  const IdealCase ideal(ts, power);
+  const auto avail = allocate_available_time(ts, subs, 2, ideal, AllocationMethod::kEven);
+  // All subintervals are light on 2 cores: availability = subinterval length
+  // wherever the task covers it.
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    for (const TaskId i : subs[j].overlapping) {
+      EXPECT_DOUBLE_EQ(avail(static_cast<std::size_t>(i), j), subs[j].length());
+    }
+  }
+}
+
+TEST(AllocateAvailableTimeTest, NonCoveredCellsStayZero) {
+  const TaskSet ts({{0.0, 4.0, 2.0}, {2.0, 6.0, 2.0}});
+  const SubintervalDecomposition subs(ts);
+  const IdealCase ideal(ts, PowerModel(3.0, 0.0));
+  const auto avail = allocate_available_time(ts, subs, 2, ideal, AllocationMethod::kDer);
+  EXPECT_DOUBLE_EQ(avail(1, 0), 0.0);  // task 1 not released in [0,2]
+  EXPECT_DOUBLE_EQ(avail(0, 2), 0.0);  // task 0 past deadline in [4,6]
+}
+
+TEST(AllocateAvailableTimeTest, CapacityRespectedOnRandomHeavyWorkloads) {
+  Rng rng(Rng::seed_of("alloc-capacity", 0));
+  WorkloadConfig config;
+  config.task_count = 30;  // plenty of heavy subintervals on 2 cores
+  const TaskSet ts = generate_workload(config, rng);
+  const SubintervalDecomposition subs(ts);
+  const PowerModel power(3.0, 0.1);
+  const IdealCase ideal(ts, power);
+  const int cores = 2;
+  for (const auto method : {AllocationMethod::kEven, AllocationMethod::kDer}) {
+    const auto avail = allocate_available_time(ts, subs, cores, ideal, method);
+    for (std::size_t j = 0; j < subs.size(); ++j) {
+      if (subs[j].heavy(cores)) {
+        EXPECT_LE(avail.column_sum(j), cores * subs[j].length() + 1e-9);
+      }
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_LE(avail(i, j), subs[j].length() + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ToStringTest, MethodNames) {
+  EXPECT_STREQ(to_string(AllocationMethod::kEven), "even");
+  EXPECT_STREQ(to_string(AllocationMethod::kDer), "der");
+}
+
+}  // namespace
+}  // namespace easched

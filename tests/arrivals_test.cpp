@@ -1,0 +1,143 @@
+// Extended workload models: bursty arrivals, periodic expansion, statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/tasksys/arrivals.hpp"
+
+namespace easched {
+namespace {
+
+TEST(BurstyWorkloadTest, ProducesExpectedCount) {
+  BurstyConfig config;
+  config.bursts = 3;
+  config.tasks_per_burst = 4;
+  Rng rng(Rng::seed_of("bursty-count", 0));
+  const TaskSet ts = generate_bursty_workload(config, rng);
+  EXPECT_EQ(ts.size(), 12u);
+}
+
+TEST(BurstyWorkloadTest, ReleasesClusterAroundBurstCenters) {
+  BurstyConfig config;
+  config.bursts = 2;
+  config.tasks_per_burst = 8;
+  config.burst_spread = 1.0;
+  Rng rng(Rng::seed_of("bursty-cluster", 1));
+  const TaskSet ts = generate_bursty_workload(config, rng);
+  // Sorted releases must form 2 groups whose internal span <= 2*spread.
+  std::vector<double> releases;
+  for (const Task& t : ts) releases.push_back(t.release);
+  std::sort(releases.begin(), releases.end());
+  // The largest gap separates the clusters (the bursts are far apart with
+  // high probability under this seed; the assertion pins the seed).
+  double max_gap = 0.0;
+  std::size_t split = 0;
+  for (std::size_t k = 1; k < releases.size(); ++k) {
+    if (releases[k] - releases[k - 1] > max_gap) {
+      max_gap = releases[k] - releases[k - 1];
+      split = k;
+    }
+  }
+  EXPECT_LE(releases[split - 1] - releases.front(), 2.0 + 1e-9);
+  EXPECT_LE(releases.back() - releases[split], 2.0 + 1e-9);
+}
+
+TEST(BurstyWorkloadTest, TasksAreWellFormed) {
+  BurstyConfig config;
+  Rng rng(Rng::seed_of("bursty-valid", 2));
+  const TaskSet ts = generate_bursty_workload(config, rng);
+  for (const Task& t : ts) {
+    EXPECT_GE(t.release, 0.0);
+    EXPECT_GE(t.work, config.work_lo);
+    EXPECT_LE(t.work, config.work_hi);
+    EXPECT_GE(t.intensity(), config.intensity_lo - 1e-9);
+    EXPECT_LE(t.intensity(), config.intensity_hi + 1e-9);
+  }
+}
+
+TEST(BurstyWorkloadTest, SchedulesEndToEnd) {
+  BurstyConfig config;
+  config.bursts = 3;
+  config.tasks_per_burst = 6;
+  Rng rng(Rng::seed_of("bursty-pipeline", 3));
+  const TaskSet ts = generate_bursty_workload(config, rng);
+  const PipelineResult result = run_pipeline(ts, 4, PowerModel(3.0, 0.1));
+  EXPECT_TRUE(result.der.final_schedule.validate(ts, 1e-5).ok);
+}
+
+TEST(BurstyWorkloadTest, RejectsBadConfig) {
+  Rng rng(0);
+  BurstyConfig config;
+  config.bursts = 0;
+  EXPECT_THROW(generate_bursty_workload(config, rng), ContractViolation);
+  config = BurstyConfig{};
+  config.intensity_lo = 0.0;
+  EXPECT_THROW(generate_bursty_workload(config, rng), ContractViolation);
+}
+
+TEST(PeriodicExpansionTest, ImplicitDeadlinesUnrollOverHorizon) {
+  // period 10, horizon 35: jobs at 0, 10, 20 (job at 30 has deadline 40 >
+  // 35 and is not emitted).
+  const TaskSet ts = expand_periodic({{10.0, 2.0, 0.0, 0.0}}, 35.0);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts[0].release, 0.0);
+  EXPECT_DOUBLE_EQ(ts[0].deadline, 10.0);
+  EXPECT_DOUBLE_EQ(ts[2].release, 20.0);
+  EXPECT_DOUBLE_EQ(ts[2].work, 2.0);
+}
+
+TEST(PeriodicExpansionTest, ConstrainedDeadlinesAndOffsets) {
+  const TaskSet ts = expand_periodic({{10.0, 2.0, 4.0, 3.0}}, 30.0);
+  ASSERT_EQ(ts.size(), 3u);  // releases 3, 13, 23 with deadline +4
+  EXPECT_DOUBLE_EQ(ts[0].release, 3.0);
+  EXPECT_DOUBLE_EQ(ts[0].deadline, 7.0);
+}
+
+TEST(PeriodicExpansionTest, MultipleSpecsMerge) {
+  const TaskSet ts = expand_periodic({{10.0, 1.0}, {20.0, 5.0}}, 40.0);
+  EXPECT_EQ(ts.size(), 4u + 2u);
+}
+
+TEST(PeriodicExpansionTest, ExpandedSetSchedulesLikePeriodicTheoryPredicts) {
+  // Two implicit-deadline tasks with total utilization 0.7: EDF-schedulable
+  // on one core, and our exact feasibility via the pipeline must agree (the
+  // subinterval scheduler meets all deadlines at bounded frequency).
+  const TaskSet ts = expand_periodic({{10.0, 4.0}, {20.0, 6.0}}, 40.0);
+  const PipelineResult result = run_pipeline(ts, 1, PowerModel(3.0, 0.0));
+  EXPECT_TRUE(result.der.final_schedule.validate(ts, 1e-5).ok);
+  const double peak =
+      *std::max_element(result.der.final_frequency.begin(), result.der.final_frequency.end());
+  EXPECT_LE(peak, 1.0 + 1e-9);  // never needs more than unit speed
+}
+
+TEST(PeriodicExpansionTest, RejectsBadSpecs) {
+  EXPECT_THROW(expand_periodic({}, 10.0), ContractViolation);
+  EXPECT_THROW(expand_periodic({{0.0, 1.0}}, 10.0), ContractViolation);
+  EXPECT_THROW(expand_periodic({{10.0, 0.0}}, 10.0), ContractViolation);
+  EXPECT_THROW(expand_periodic({{10.0, 1.0}}, 5.0), ContractViolation);  // no job fits
+}
+
+TEST(WorkloadStatsTest, DescribesKnownInstance) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const WorkloadStats stats = describe_workload(ts, 2);
+  EXPECT_EQ(stats.task_count, 3u);
+  EXPECT_DOUBLE_EQ(stats.horizon, 12.0);
+  EXPECT_DOUBLE_EQ(stats.total_work, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max_intensity, 1.0);
+  EXPECT_EQ(stats.max_overlap, 3u);
+  // Only [4, 8] is heavy on 2 cores: 4 of 12 time units.
+  EXPECT_NEAR(stats.heavy_time_fraction, 4.0 / 12.0, 1e-12);
+  // Utilization: (1/3 + 1/4 + 1) / 2.
+  EXPECT_NEAR(stats.utilization, (4.0 / 12.0 + 2.0 / 8.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(WorkloadStatsTest, HeavyFractionIsZeroWithEnoughCores) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  EXPECT_DOUBLE_EQ(describe_workload(ts, 3).heavy_time_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,104 @@
+// Race-to-idle and critical-speed baselines.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/baselines.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(RaceToIdleTest, EnergyIsClosedForm) {
+  // At fixed f, energy = sum C_i * (f^{a-1} + p0/f) regardless of packing.
+  const TaskSet tasks({{0.0, 10.0, 4.0}, {1.0, 12.0, 3.0}});
+  const PowerModel power(3.0, 0.2);
+  const double f = 2.0;
+  const BaselineResult r = race_to_idle(tasks, 2, power, f);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.energy, power.energy_for_work(7.0, f), 1e-9);
+}
+
+TEST(RaceToIdleTest, TooSlowMissesDeadlines) {
+  const TaskSet tasks({{0.0, 2.0, 4.0}});
+  const PowerModel power(3.0, 0.0);
+  const BaselineResult r = race_to_idle(tasks, 1, power, 1.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(RaceToIdleTest, NeverBeatsTheOptimum) {
+  Rng rng(Rng::seed_of("baseline-rti", 0));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const double optimum = solve_optimal_allocation(tasks, 4, power).energy;
+  const BaselineResult r = race_to_idle(tasks, 4, power, 2.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.energy, optimum * (1.0 - 1e-9));
+}
+
+TEST(CriticalSpeedTest, FindsAFeasibleSingleFrequency) {
+  Rng rng(Rng::seed_of("baseline-critical", 1));
+  WorkloadConfig config;
+  config.task_count = 15;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const BaselineResult r = critical_speed(tasks, 4, power);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.frequency, power.critical_frequency() - 1e-12);
+  EXPECT_TRUE(r.schedule.validate(tasks, 1e-5).ok);
+}
+
+TEST(CriticalSpeedTest, NeverRunsBelowTheCriticalFrequency) {
+  // A loose workload: the deadline floor is tiny, so f* binds.
+  const TaskSet tasks({{0.0, 100.0, 1.0}, {0.0, 100.0, 1.0}});
+  const PowerModel power(3.0, 0.4);
+  const BaselineResult r = critical_speed(tasks, 2, power);
+  EXPECT_NEAR(r.frequency, power.critical_frequency(), 1e-9);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(CriticalSpeedTest, BeatsNaiveRaceToIdleWhenDvfsHelps) {
+  // Low static power: racing at a high fixed frequency wastes cubic dynamic
+  // energy; one well-chosen global frequency is already much better.
+  Rng rng(Rng::seed_of("baseline-compare", 2));
+  WorkloadConfig config;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.01);
+  const BaselineResult race = race_to_idle(tasks, 4, power, 2.0);
+  const BaselineResult critical = critical_speed(tasks, 4, power);
+  ASSERT_TRUE(race.feasible);
+  ASSERT_TRUE(critical.feasible);
+  EXPECT_LT(critical.energy, race.energy);
+}
+
+TEST(CriticalSpeedTest, PerTaskDvfsBeatsOneGlobalFrequency) {
+  // F2 chooses per-task frequencies, so it should beat (or match) the best
+  // single frequency on heterogeneous-laxity workloads.
+  const PowerModel power(3.0, 0.05);
+  double f2_total = 0.0, critical_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(Rng::seed_of("baseline-f2", seed));
+    WorkloadConfig config;
+    const TaskSet tasks = generate_workload(config, rng);
+    f2_total += run_pipeline(tasks, 4, power).der.final_energy;
+    critical_total += critical_speed(tasks, 4, power).energy;
+  }
+  EXPECT_LT(f2_total, critical_total);
+}
+
+TEST(BaselinesTest, RejectBadArguments) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(race_to_idle(TaskSet{}, 1, power, 1.0), ContractViolation);
+  EXPECT_THROW(race_to_idle(tasks, 0, power, 1.0), ContractViolation);
+  EXPECT_THROW(race_to_idle(tasks, 1, power, 0.0), ContractViolation);
+  EXPECT_THROW(critical_speed(tasks, 1, power, -0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,91 @@
+// Contract macros must throw ContractViolation with useful diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+namespace {
+
+TEST(ContractsTest, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(EASCHED_EXPECTS(1 + 1 == 2));
+}
+
+TEST(ContractsTest, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(EASCHED_EXPECTS(1 + 1 == 3), ContractViolation);
+}
+
+TEST(ContractsTest, MessageContainsExpressionAndLocation) {
+  try {
+    EASCHED_EXPECTS(false);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("Precondition"), std::string::npos);
+  }
+}
+
+TEST(ContractsTest, ExpectsMsgCarriesCustomText) {
+  try {
+    EASCHED_EXPECTS_MSG(false, "custom detail");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
+  }
+}
+
+TEST(ContractsTest, EnsuresAndAssertReportTheirKind) {
+  try {
+    EASCHED_ENSURES(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Postcondition"), std::string::npos);
+  }
+  try {
+    EASCHED_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Invariant"), std::string::npos);
+  }
+}
+
+TEST(ContractsTest, ViolationIsALogicError) {
+  EXPECT_THROW(EASCHED_ASSERT(false), std::logic_error);
+}
+
+TEST(MathTest, AlmostEqualHandlesAbsoluteAndRelative) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_FALSE(almost_equal(1.0, 1.01));
+  EXPECT_TRUE(almost_equal(0.0, 1e-10));
+}
+
+TEST(MathTest, ToleranceComparisons) {
+  EXPECT_TRUE(leq_tol(1.0, 1.0));
+  EXPECT_TRUE(leq_tol(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(leq_tol(1.1, 1.0));
+  EXPECT_TRUE(geq_tol(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(in_range_tol(0.5, 0.0, 1.0));
+  EXPECT_TRUE(in_range_tol(-1e-12, 0.0, 1.0));
+  EXPECT_FALSE(in_range_tol(-0.1, 0.0, 1.0));
+}
+
+TEST(MathTest, OverlapLength) {
+  EXPECT_DOUBLE_EQ(overlap_length(0.0, 4.0, 2.0, 6.0), 2.0);
+  EXPECT_DOUBLE_EQ(overlap_length(0.0, 4.0, 4.0, 6.0), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_length(0.0, 10.0, 2.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(overlap_length(5.0, 6.0, 0.0, 1.0), 0.0);
+}
+
+TEST(MathTest, PosAndSq) {
+  EXPECT_DOUBLE_EQ(pos(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(pos(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(sq(-4.0), 16.0);
+}
+
+}  // namespace
+}  // namespace easched

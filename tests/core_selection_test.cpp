@@ -1,0 +1,97 @@
+// Core-count selection (Section VI-D).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include "easched/common/rng.hpp"
+#include "easched/sched/core_selection.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(CoreSelectionTest, ReturnsCandidateForEveryCount) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const PowerModel power(3.0, 0.1);
+  const CoreSelectionResult r = select_core_count(ts, 4, power);
+  ASSERT_EQ(r.candidates.size(), 4u);
+  for (int m = 1; m <= 4; ++m) EXPECT_EQ(r.candidates[static_cast<std::size_t>(m - 1)].cores, m);
+}
+
+TEST(CoreSelectionTest, BestIsTheMinimumCandidate) {
+  Rng rng(Rng::seed_of("core-selection-min", 0));
+  WorkloadConfig config;
+  config.task_count = 15;
+  const TaskSet ts = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const CoreSelectionResult r = select_core_count(ts, 6, power);
+  for (const auto& c : r.candidates) {
+    EXPECT_GE(c.final_energy, r.best_energy - 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(r.best.final_energy, r.best_energy);
+  EXPECT_GE(r.best_cores, 1);
+  EXPECT_LE(r.best_cores, 6);
+}
+
+TEST(CoreSelectionTest, BestScheduleIsValid) {
+  Rng rng(Rng::seed_of("core-selection-valid", 1));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet ts = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.3);
+  const CoreSelectionResult r = select_core_count(ts, 4, power);
+  const ValidationReport report = r.best.final_schedule.validate(ts, 1e-5);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(CoreSelectionTest, SelectingUpToOneCoreIsJustThatPipeline) {
+  const TaskSet ts({{0.0, 10.0, 2.0}});
+  const PowerModel power(3.0, 0.1);
+  const CoreSelectionResult r = select_core_count(ts, 1, power);
+  EXPECT_EQ(r.best_cores, 1);
+  const PipelineResult pipeline = run_pipeline(ts, 1, power);
+  EXPECT_NEAR(r.best_energy, pipeline.der.final_energy, 1e-12);
+}
+
+TEST(CoreSelectionTest, SingleLooseTaskPrefersFewCores) {
+  // One task cannot use parallelism: adding cores must not help, so m = 1 is
+  // among the optimal counts and the chosen energy equals the m = 1 energy.
+  const TaskSet ts({{0.0, 100.0, 5.0}});
+  const PowerModel power(3.0, 0.4);
+  const CoreSelectionResult r = select_core_count(ts, 8, power);
+  EXPECT_NEAR(r.best_energy, r.candidates.front().final_energy, 1e-12);
+}
+
+TEST(CoreSelectionTest, HeavyOverlapPrefersMoreCores) {
+  // Many simultaneous identical tasks: more cores means less frequency
+  // inflation, so the best count is the maximum available (p0 = 0 so static
+  // power does not penalize extra cores).
+  std::vector<Task> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back({0.0, 10.0, 8.0});
+  const TaskSet ts{std::move(tasks)};
+  const PowerModel power(3.0, 0.0);
+  const CoreSelectionResult r = select_core_count(ts, 8, power);
+  EXPECT_EQ(r.best_cores, 8);
+}
+
+TEST(CoreSelectionTest, WorksWithEvenMethodToo) {
+  Rng rng(Rng::seed_of("core-selection-even", 2));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet ts = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const CoreSelectionResult r = select_core_count(ts, 4, power, AllocationMethod::kEven);
+  EXPECT_EQ(r.best.method, AllocationMethod::kEven);
+  EXPECT_GT(r.best_energy, 0.0);
+}
+
+TEST(CoreSelectionTest, RejectsBadArguments) {
+  const TaskSet ts({{0.0, 1.0, 1.0}});
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(select_core_count(ts, 0, power), ContractViolation);
+  EXPECT_THROW(select_core_count(TaskSet{}, 2, power), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

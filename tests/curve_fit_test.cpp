@@ -1,0 +1,98 @@
+// Curve fitting of p(f) = gamma*f^alpha + p0 (paper Section VI-C).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <cmath>
+
+#include "easched/power/curve_fit.hpp"
+
+namespace easched {
+namespace {
+
+TEST(CurveFitTest, RecoversExactSyntheticModel) {
+  // Points generated from a known model must be recovered (near) exactly.
+  const double gamma = 2.5e-6, alpha = 2.7, p0 = 50.0;
+  std::vector<FrequencyLevel> pts;
+  for (const double f : {100.0, 300.0, 500.0, 700.0, 900.0}) {
+    pts.push_back({f, gamma * std::pow(f, alpha) + p0});
+  }
+  const PowerFit fit = fit_power_model(DiscreteLevels(std::move(pts)));
+  EXPECT_NEAR(fit.alpha, alpha, 1e-3);
+  EXPECT_NEAR(fit.gamma / gamma, 1.0, 2e-2);
+  EXPECT_NEAR(fit.static_power, p0, 0.5);
+  EXPECT_LT(fit.rms, 1e-3);
+}
+
+TEST(CurveFitTest, XscaleFitMatchesPaperCoefficients) {
+  // Paper: p(f) = 3.855e-6 * f^2.867 + 63.58 for the Intel XScale table.
+  const PowerFit fit = fit_power_model(DiscreteLevels::intel_xscale());
+  EXPECT_NEAR(fit.alpha, 2.867, 0.05);
+  EXPECT_NEAR(fit.static_power, 63.58, 5.0);
+  EXPECT_NEAR(fit.gamma / 3.855e-6, 1.0, 0.35);
+  // The fitted curve matches the table well (residual far below the power
+  // values, which span 80..1600 mW).
+  EXPECT_LT(fit.rms, 30.0);
+}
+
+TEST(CurveFitTest, XscaleFitPredictsTablePowers) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  const PowerModel model = fit_power_model(xs).model();
+  for (const auto& [f, p] : xs.levels()) {
+    EXPECT_NEAR(model.power(f), p, 0.12 * p + 20.0) << "f=" << f;
+  }
+}
+
+TEST(CurveFitTest, FixedAlphaIsLeastSquaresOptimal) {
+  // Perturbing (gamma, p0) around the fixed-alpha solution cannot reduce SSE.
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  const PowerFit fit = fit_power_model_fixed_alpha(xs, 2.9);
+  const auto sse = [&](double g, double p0) {
+    double total = 0.0;
+    for (const auto& [f, p] : xs.levels()) {
+      const double r = g * std::pow(f, 2.9) + p0 - p;
+      total += r * r;
+    }
+    return total;
+  };
+  const double base = sse(fit.gamma, fit.static_power);
+  EXPECT_NEAR(base, fit.sse, 1e-6 * base);
+  for (const double dg : {-0.1, 0.1}) {
+    for (const double dp : {-5.0, 5.0}) {
+      EXPECT_GE(sse(fit.gamma * (1.0 + dg), fit.static_power + dp), base - 1e-9);
+    }
+  }
+}
+
+TEST(CurveFitTest, NegativeStaticPowerIsClampedToZero) {
+  // Data from a zero-static model: the unconstrained LS p0 may come out
+  // slightly negative; the fit must clamp it.
+  std::vector<FrequencyLevel> pts;
+  for (const double f : {1.0, 2.0, 3.0, 4.0}) pts.push_back({f, std::pow(f, 3.0)});
+  const PowerFit fit = fit_power_model(DiscreteLevels(std::move(pts)));
+  EXPECT_GE(fit.static_power, 0.0);
+  EXPECT_NEAR(fit.alpha, 3.0, 1e-2);
+}
+
+TEST(CurveFitTest, OptionsValidation) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  CurveFitOptions bad;
+  bad.alpha_min = 1.0;
+  EXPECT_THROW(fit_power_model(xs, bad), ContractViolation);
+  bad = CurveFitOptions{};
+  bad.alpha_max = bad.alpha_min;
+  EXPECT_THROW(fit_power_model(xs, bad), ContractViolation);
+  EXPECT_THROW(fit_power_model_fixed_alpha(DiscreteLevels({{1.0, 1.0}, {2.0, 2.0}}), 3.0),
+               ContractViolation);  // needs >= 3 points
+}
+
+TEST(CurveFitTest, ModelAccessorBuildsUsablePowerModel) {
+  const PowerFit fit = fit_power_model(DiscreteLevels::intel_xscale());
+  const PowerModel model = fit.model();
+  EXPECT_GT(model.critical_frequency(), 0.0);
+  EXPECT_GT(model.power(500.0), 0.0);
+}
+
+}  // namespace
+}  // namespace easched

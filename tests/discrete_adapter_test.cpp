@@ -1,0 +1,148 @@
+// Discrete-frequency re-costing (Section VI-C).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/power/curve_fit.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+const DiscreteLevels& xscale() {
+  static const DiscreteLevels levels = DiscreteLevels::intel_xscale();
+  return levels;
+}
+
+TEST(BestFeasibleLevelTest, PicksLowestSufficientLevelWhenPowerIsSteep) {
+  // Required rate 300 MHz: feasible levels are 400..1000; on the XScale
+  // ladder energy per work strictly increases with f, so 400 wins.
+  const auto level = best_feasible_level(xscale(), 3000.0, 10.0);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_DOUBLE_EQ(level->frequency, 400.0);
+}
+
+TEST(BestFeasibleLevelTest, SkipsUselesslySlowLevels) {
+  const auto level = best_feasible_level(xscale(), 9000.0, 10.0);  // needs 900
+  ASSERT_TRUE(level.has_value());
+  EXPECT_DOUBLE_EQ(level->frequency, 1000.0);
+}
+
+TEST(BestFeasibleLevelTest, MayPreferAHigherLevelWhenEnergyPerWorkDrops) {
+  // Construct a ladder where the higher level is more efficient per cycle:
+  // p/f = 1.0 at f=100 but 0.5 at f=200.
+  const DiscreteLevels ladder({{100.0, 100.0}, {200.0, 100.0}});
+  const auto level = best_feasible_level(ladder, 100.0, 10.0);  // needs 10
+  ASSERT_TRUE(level.has_value());
+  EXPECT_DOUBLE_EQ(level->frequency, 200.0);
+}
+
+TEST(BestFeasibleLevelTest, ReturnsNulloptAboveTopLevel) {
+  EXPECT_FALSE(best_feasible_level(xscale(), 20000.0, 10.0).has_value());
+}
+
+class DiscreteAdapterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(Rng::seed_of("discrete-adapter", 3));
+    const WorkloadConfig config = WorkloadConfig::xscale(20);
+    tasks_ = generate_workload(config, rng);
+    power_ = fit_power_model(xscale()).model();
+    subs_ = std::make_unique<SubintervalDecomposition>(tasks_);
+    ideal_ = std::make_unique<IdealCase>(tasks_, power_);
+    even_ = schedule_with_method(tasks_, *subs_, 4, power_, *ideal_, AllocationMethod::kEven);
+    der_ = schedule_with_method(tasks_, *subs_, 4, power_, *ideal_, AllocationMethod::kDer);
+  }
+
+  TaskSet tasks_;
+  PowerModel power_{3.0, 0.0};
+  std::unique_ptr<SubintervalDecomposition> subs_;
+  std::unique_ptr<IdealCase> ideal_;
+  MethodResult even_, der_;
+};
+
+TEST_F(DiscreteAdapterTest, FinalQuantizationChoosesOperatingPoints) {
+  const DiscreteRunReport r = quantize_final(tasks_, der_, xscale());
+  ASSERT_EQ(r.chosen_frequency.size(), tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    bool is_level = false;
+    for (const auto& l : xscale().levels()) {
+      if (l.frequency == r.chosen_frequency[i]) is_level = true;
+    }
+    EXPECT_TRUE(is_level) << "task " << i << " at " << r.chosen_frequency[i];
+  }
+  EXPECT_GT(r.energy, 0.0);
+}
+
+TEST_F(DiscreteAdapterTest, QuantizedFrequencyMeetsRequiredRateUnlessMissed) {
+  const DiscreteRunReport r = quantize_final(tasks_, der_, xscale());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const double required = tasks_[i].work / der_.total_available[i];
+    if (!r.missed[i]) {
+      EXPECT_GE(r.chosen_frequency[i], required * (1.0 - 1e-9)) << "task " << i;
+    } else {
+      EXPECT_GT(required, xscale().max_frequency() * (1.0 - 1e-9)) << "task " << i;
+    }
+  }
+}
+
+TEST_F(DiscreteAdapterTest, QuantizedEnergyAtLeastContinuousEnergy) {
+  // Quantizing restricts choices; with the fitted model roughly matching the
+  // ladder, the discrete energy should not be dramatically below the
+  // continuous optimum of the same frequencies. We check the weaker sanity
+  // bound: positive and within a sane factor.
+  const DiscreteRunReport r = quantize_final(tasks_, der_, xscale());
+  EXPECT_GT(r.energy, 0.1 * der_.final_energy);
+  EXPECT_LT(r.energy, 10.0 * der_.final_energy);
+}
+
+TEST_F(DiscreteAdapterTest, IdealQuantizationUsesWindows) {
+  const IdealCase ideal(tasks_, power_);
+  const DiscreteRunReport r = quantize_ideal(tasks_, ideal, xscale());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!r.missed[i]) {
+      EXPECT_GE(r.chosen_frequency[i] * tasks_[i].window(), tasks_[i].work * (1.0 - 1e-9));
+    }
+  }
+}
+
+TEST_F(DiscreteAdapterTest, IntermediateQuantizationCountsInfeasibleChunks) {
+  const DiscreteRunReport r = quantize_intermediate(tasks_, even_, xscale());
+  // Any piece above 1000 MHz forces a miss; verify the flags agree with the
+  // pieces.
+  std::vector<bool> expected(tasks_.size(), false);
+  for (const IntermediatePiece& p : even_.intermediate_pieces) {
+    if (p.frequency > xscale().max_frequency() * (1.0 + 1e-9)) {
+      expected[static_cast<std::size_t>(p.task)] = true;
+    }
+  }
+  EXPECT_EQ(r.missed, expected);
+}
+
+TEST_F(DiscreteAdapterTest, DerFinalMissesNoMoreThanEvenFinal) {
+  // The paper's observation: F2's misses are negligible, F1's are not. On a
+  // single seed we can only assert the weak direction.
+  const DiscreteRunReport f1 = quantize_final(tasks_, even_, xscale());
+  const DiscreteRunReport f2 = quantize_final(tasks_, der_, xscale());
+  EXPECT_LE(f2.miss_count(), f1.miss_count());
+}
+
+TEST(DiscreteAdapterMissTest, ImpossibleTaskIsMissedAndBudgetBurned) {
+  // 2000 Mcycles in 1 second needs 2000 MHz > 1000 MHz top level.
+  const TaskSet tasks({{0.0, 1.0, 2000.0}});
+  const PowerModel power(3.0, 0.0);
+  const SubintervalDecomposition subs(tasks);
+  const IdealCase ideal(tasks, power);
+  const MethodResult m =
+      schedule_with_method(tasks, subs, 1, power, ideal, AllocationMethod::kDer);
+  const DiscreteRunReport r = quantize_final(tasks, m, xscale());
+  EXPECT_TRUE(r.missed[0]);
+  EXPECT_TRUE(r.any_miss());
+  EXPECT_EQ(r.miss_count(), 1u);
+  // Runs flat-out for the whole budget: 1600 mW * 1 s.
+  EXPECT_NEAR(r.energy, 1600.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace easched

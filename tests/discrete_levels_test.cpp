@@ -1,0 +1,65 @@
+// Discrete frequency ladders and the Intel XScale table (paper Table III).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include "easched/power/discrete_levels.hpp"
+
+namespace easched {
+namespace {
+
+TEST(DiscreteLevelsTest, XscaleTableMatchesPaper) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[0].frequency, 150.0);
+  EXPECT_DOUBLE_EQ(xs[0].power, 80.0);
+  EXPECT_DOUBLE_EQ(xs[1].frequency, 400.0);
+  EXPECT_DOUBLE_EQ(xs[1].power, 170.0);
+  EXPECT_DOUBLE_EQ(xs[4].frequency, 1000.0);
+  EXPECT_DOUBLE_EQ(xs[4].power, 1600.0);
+  EXPECT_DOUBLE_EQ(xs.min_frequency(), 150.0);
+  EXPECT_DOUBLE_EQ(xs.max_frequency(), 1000.0);
+}
+
+TEST(DiscreteLevelsTest, QuantizeUpPicksNextLevel) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  EXPECT_DOUBLE_EQ(xs.quantize_up(100.0)->frequency, 150.0);
+  EXPECT_DOUBLE_EQ(xs.quantize_up(150.0)->frequency, 150.0);
+  EXPECT_DOUBLE_EQ(xs.quantize_up(151.0)->frequency, 400.0);
+  EXPECT_DOUBLE_EQ(xs.quantize_up(999.0)->frequency, 1000.0);
+}
+
+TEST(DiscreteLevelsTest, QuantizeUpFailsAboveTopLevel) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  EXPECT_FALSE(xs.quantize_up(1000.1).has_value());
+  EXPECT_DOUBLE_EQ(xs.quantize_up_saturating(5000.0).frequency, 1000.0);
+}
+
+TEST(DiscreteLevelsTest, QuantizeUpToleratesFloatNoise) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  EXPECT_DOUBLE_EQ(xs.quantize_up(400.0 * (1.0 + 1e-13))->frequency, 400.0);
+}
+
+TEST(DiscreteLevelsTest, PowerAtExactLevels) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  EXPECT_DOUBLE_EQ(xs.power_at(600.0), 400.0);
+  EXPECT_THROW(xs.power_at(500.0), ContractViolation);
+}
+
+TEST(DiscreteLevelsTest, RejectsMalformedLadders) {
+  EXPECT_THROW(DiscreteLevels({}), ContractViolation);
+  EXPECT_THROW(DiscreteLevels({{100.0, 10.0}, {100.0, 20.0}}), ContractViolation);
+  EXPECT_THROW(DiscreteLevels({{200.0, 10.0}, {100.0, 20.0}}), ContractViolation);
+  EXPECT_THROW(DiscreteLevels({{100.0, 20.0}, {200.0, 10.0}}), ContractViolation);
+  EXPECT_THROW(DiscreteLevels({{-100.0, 20.0}}), ContractViolation);
+}
+
+TEST(DiscreteLevelsTest, SingleLevelLadderWorks) {
+  const DiscreteLevels one({{500.0, 300.0}});
+  EXPECT_DOUBLE_EQ(one.quantize_up(100.0)->frequency, 500.0);
+  EXPECT_FALSE(one.quantize_up(501.0).has_value());
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,109 @@
+// Executable discrete-ladder plans (Section VI-C as running code).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/power/curve_fit.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/sched/discrete_plan.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+class DiscretePlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    levels_ = std::make_unique<DiscreteLevels>(DiscreteLevels::intel_xscale());
+    power_ = std::make_unique<PowerModel>(fit_power_model(*levels_).model());
+    Rng rng(Rng::seed_of("discrete-plan", 0));
+    tasks_ = generate_workload(WorkloadConfig::xscale(20), rng);
+    subs_ = std::make_unique<SubintervalDecomposition>(tasks_);
+    ideal_ = std::make_unique<IdealCase>(tasks_, *power_);
+    method_ = schedule_with_method(tasks_, *subs_, 4, *power_, *ideal_,
+                                   AllocationMethod::kDer);
+    plan_ = plan_on_ladder(tasks_, *subs_, 4, method_, *levels_);
+  }
+
+  std::unique_ptr<DiscreteLevels> levels_;
+  std::unique_ptr<PowerModel> power_;
+  TaskSet tasks_;
+  std::unique_ptr<SubintervalDecomposition> subs_;
+  std::unique_ptr<IdealCase> ideal_;
+  MethodResult method_;
+  DiscretePlan plan_;
+};
+
+TEST_F(DiscretePlanTest, EveryFrequencyIsALadderLevel) {
+  for (const Segment& s : plan_.schedule.segments()) {
+    bool on_ladder = false;
+    for (const auto& level : levels_->levels()) {
+      if (level.frequency == s.frequency) on_ladder = true;
+    }
+    EXPECT_TRUE(on_ladder) << "segment at f=" << s.frequency;
+  }
+}
+
+TEST_F(DiscretePlanTest, ScheduleIsValidWhenNothingMisses) {
+  ASSERT_EQ(plan_.miss_count(), 0u);
+  const ValidationReport report = plan_.schedule.validate(tasks_, 1e-5);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST_F(DiscretePlanTest, EnergyAgreesWithTheAdapterReport) {
+  // The plan materializes exactly the costs quantize_final predicts.
+  const DiscreteRunReport report = quantize_final(tasks_, method_, *levels_);
+  EXPECT_NEAR(plan_.energy, report.energy, 1e-6 * report.energy);
+  EXPECT_EQ(plan_.miss_count(), report.miss_count());
+}
+
+TEST_F(DiscretePlanTest, SimulatorConfirmsEnergyAndDeadlines) {
+  const ExecutionReport run =
+      execute_schedule(tasks_, plan_.schedule, power_function(*levels_), 1e-5);
+  EXPECT_TRUE(run.anomalies.empty()) << (run.anomalies.empty() ? "" : run.anomalies.front());
+  EXPECT_NEAR(run.energy, plan_.energy, 1e-6 * plan_.energy);
+  EXPECT_TRUE(run.all_deadlines_met());
+}
+
+TEST_F(DiscretePlanTest, QuantizationNeverRunsBelowTheRequiredRate) {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (plan_.missed[i]) continue;
+    EXPECT_GE(plan_.level[i] * method_.total_available[i],
+              tasks_[i].work * (1.0 - 1e-9));
+  }
+}
+
+TEST(DiscretePlanMissTest, ImpossibleTaskRunsFlatOutAndIsFlagged) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  const TaskSet tasks({{0.0, 1.0, 2000.0}});  // needs 2000 MHz > 1000
+  const PowerModel power(3.0, 0.0);
+  const SubintervalDecomposition subs(tasks);
+  const IdealCase ideal(tasks, power);
+  const MethodResult m =
+      schedule_with_method(tasks, subs, 1, power, ideal, AllocationMethod::kDer);
+  const DiscretePlan plan = plan_on_ladder(tasks, subs, 1, m, xs);
+  EXPECT_EQ(plan.miss_count(), 1u);
+  EXPECT_DOUBLE_EQ(plan.level[0], 1000.0);
+  // Burns the full 1 s budget at 1600 mW.
+  EXPECT_NEAR(plan.energy, 1600.0, 1e-9);
+  // The simulator reports the shortfall.
+  const ExecutionReport run = execute_schedule(tasks, plan.schedule, power_function(xs));
+  EXPECT_FALSE(run.all_deadlines_met());
+}
+
+TEST(DiscretePlanMissTest, RejectsBadArguments) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  const TaskSet tasks({{0.0, 1.0, 100.0}});
+  const PowerModel power(3.0, 0.0);
+  const SubintervalDecomposition subs(tasks);
+  const IdealCase ideal(tasks, power);
+  const MethodResult m =
+      schedule_with_method(tasks, subs, 1, power, ideal, AllocationMethod::kDer);
+  EXPECT_THROW(plan_on_ladder(TaskSet{}, subs, 1, m, xs), ContractViolation);
+  EXPECT_THROW(plan_on_ladder(tasks, subs, 0, m, xs), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

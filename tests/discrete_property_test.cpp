@@ -1,0 +1,112 @@
+// Parameterized discrete-ladder planning properties across seeds, core
+// counts and allocation methods (Section VI-C machinery).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/power/curve_fit.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/sched/discrete_plan.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+using Params = std::tuple<AllocationMethod, int, std::size_t, std::uint64_t>;
+
+class DiscretePropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const auto [method, cores, n, seed] = GetParam();
+    cores_ = cores;
+    levels_ = std::make_unique<DiscreteLevels>(DiscreteLevels::intel_xscale());
+    power_ = std::make_unique<PowerModel>(fit_power_model(*levels_).model());
+    Rng rng(Rng::seed_of("discrete-property", seed, n));
+    tasks_ = generate_workload(WorkloadConfig::xscale(n), rng);
+    subs_ = std::make_unique<SubintervalDecomposition>(tasks_);
+    ideal_ = std::make_unique<IdealCase>(tasks_, *power_);
+    method_ = schedule_with_method(tasks_, *subs_, cores, *power_, *ideal_, method);
+    plan_ = plan_on_ladder(tasks_, *subs_, cores, method_, *levels_);
+  }
+
+  int cores_ = 0;
+  std::unique_ptr<DiscreteLevels> levels_;
+  std::unique_ptr<PowerModel> power_;
+  TaskSet tasks_;
+  std::unique_ptr<SubintervalDecomposition> subs_;
+  std::unique_ptr<IdealCase> ideal_;
+  MethodResult method_;
+  DiscretePlan plan_;
+};
+
+TEST_P(DiscretePropertyTest, PlanEnergyEqualsAdapterEnergy) {
+  const DiscreteRunReport report = quantize_final(tasks_, method_, *levels_);
+  EXPECT_NEAR(plan_.energy, report.energy, 1e-6 * report.energy);
+  EXPECT_EQ(plan_.miss_count(), report.miss_count());
+}
+
+TEST_P(DiscretePropertyTest, SimulatorReproducesPlanEnergy) {
+  const ExecutionReport run =
+      execute_schedule(tasks_, plan_.schedule, power_function(*levels_), 1e-5);
+  EXPECT_NEAR(run.energy, plan_.energy, 1e-6 * plan_.energy);
+  // Runtime anomalies only from intentionally missed tasks.
+  if (plan_.miss_count() == 0) {
+    EXPECT_TRUE(run.anomalies.empty())
+        << (run.anomalies.empty() ? "" : run.anomalies.front());
+  }
+}
+
+TEST_P(DiscretePropertyTest, NonMissedTasksMeetDeadlines) {
+  const ExecutionReport run =
+      execute_schedule(tasks_, plan_.schedule, power_function(*levels_), 1e-5);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!plan_.missed[i]) {
+      EXPECT_TRUE(run.tasks[i].deadline_met) << "task " << i;
+    }
+  }
+}
+
+TEST_P(DiscretePropertyTest, GeometryRespectsCoresAndWindows) {
+  for (const Segment& s : plan_.schedule.segments()) {
+    EXPECT_GE(s.core, 0);
+    EXPECT_LT(s.core, cores_);
+    EXPECT_GE(s.start, tasks_.at(s.task).release - 1e-9);
+    EXPECT_LE(s.end, tasks_.at(s.task).deadline + 1e-7);
+  }
+  for (int c = 0; c < cores_; ++c) {
+    const auto on_core = plan_.schedule.segments_on_core(c);
+    for (std::size_t k = 1; k < on_core.size(); ++k) {
+      EXPECT_GE(on_core[k].start, on_core[k - 1].end - 1e-9);
+    }
+  }
+}
+
+TEST_P(DiscretePropertyTest, QuantizedEnergyAtLeastContinuousFinalEnergy) {
+  // The continuous final frequency minimizes the fitted-model energy over
+  // f >= C/A; quantization restricts the choice set, and the ladder's true
+  // power at every level is within fitting error of the model. Allow that
+  // error band.
+  EXPECT_GE(plan_.energy, 0.75 * method_.final_energy);
+}
+
+std::string discrete_param_name(const ::testing::TestParamInfo<Params>& info) {
+  const auto [method, cores, n, seed] = info.param;
+  return std::string(to_string(method)) + "_m" + std::to_string(cores) + "_n" +
+         std::to_string(n) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DiscretePropertyTest,
+                         ::testing::Values(Params{AllocationMethod::kDer, 4, 20, 1},
+                                           Params{AllocationMethod::kEven, 4, 20, 2},
+                                           Params{AllocationMethod::kDer, 2, 15, 3},
+                                           Params{AllocationMethod::kDer, 4, 40, 4},
+                                           Params{AllocationMethod::kEven, 4, 40, 5},
+                                           Params{AllocationMethod::kDer, 8, 30, 6}),
+                         discrete_param_name);
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,114 @@
+// Schedule executor: energy integration, completion detection, anomalies.
+
+#include <gtest/gtest.h>
+
+#include "easched/sim/executor.hpp"
+
+namespace easched {
+namespace {
+
+TEST(ExecutorTest, SimpleScheduleEnergyAndCompletion) {
+  const TaskSet ts({{0.0, 10.0, 4.0}});
+  Schedule s(1);
+  s.add({0, 0, 1.0, 5.0, 1.0});  // 4 units of work
+  const PowerModel power(3.0, 0.5);
+  const ExecutionReport r = execute_schedule(ts, s, power_function(power));
+  EXPECT_TRUE(r.anomalies.empty());
+  EXPECT_NEAR(r.energy, (1.0 + 0.5) * 4.0, 1e-12);
+  EXPECT_NEAR(r.tasks[0].completed_work, 4.0, 1e-12);
+  EXPECT_NEAR(r.tasks[0].completion_time, 5.0, 1e-9);
+  EXPECT_TRUE(r.tasks[0].deadline_met);
+  EXPECT_TRUE(r.all_deadlines_met());
+}
+
+TEST(ExecutorTest, CompletionInstantInterpolatesWithinSegment) {
+  const TaskSet ts({{0.0, 10.0, 2.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 4.0, 1.0});  // completes the 2 units at t = 2
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_NEAR(r.tasks[0].completion_time, 2.0, 1e-9);
+}
+
+TEST(ExecutorTest, MultiSegmentAccumulation) {
+  const TaskSet ts({{0.0, 20.0, 6.0}});
+  Schedule s(2);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({0, 1, 5.0, 9.0, 1.0});
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_NEAR(r.tasks[0].completed_work, 6.0, 1e-12);
+  EXPECT_NEAR(r.tasks[0].completion_time, 9.0, 1e-9);
+}
+
+TEST(ExecutorTest, DetectsDeadlineMiss) {
+  const TaskSet ts({{0.0, 3.0, 4.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 4.0, 1.0});  // finishes at 4 > deadline 3
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_FALSE(r.tasks[0].deadline_met);
+  EXPECT_EQ(r.missed_deadline_count(), 1u);
+}
+
+TEST(ExecutorTest, DetectsUnderServedTask) {
+  const TaskSet ts({{0.0, 10.0, 5.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.0});  // only 2 of 5
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_FALSE(r.anomalies.empty());
+  EXPECT_FALSE(r.all_deadlines_met());
+}
+
+TEST(ExecutorTest, DetectsCoreConflict) {
+  const TaskSet ts({{0.0, 10.0, 2.0}, {0.0, 10.0, 2.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({1, 0, 1.0, 3.0, 1.0});  // overlaps on core 0
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  bool conflict_reported = false;
+  for (const auto& a : r.anomalies) {
+    if (a.find("core conflict") != std::string::npos) conflict_reported = true;
+  }
+  EXPECT_TRUE(conflict_reported);
+}
+
+TEST(ExecutorTest, DetectsTaskSelfOverlap) {
+  const TaskSet ts({{0.0, 10.0, 4.0}});
+  Schedule s(2);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({0, 1, 1.0, 3.0, 1.0});  // same task on both cores at t in [1,2)
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  bool reported = false;
+  for (const auto& a : r.anomalies) {
+    if (a.find("two cores") != std::string::npos) reported = true;
+  }
+  EXPECT_TRUE(reported);
+}
+
+TEST(ExecutorTest, DiscreteLadderPowerLookup) {
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  const TaskSet ts({{0.0, 100.0, 4000.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 10.0, 400.0});  // 4000 Mcycles at 400 MHz, 170 mW
+  const ExecutionReport r = execute_schedule(ts, s, power_function(xs));
+  EXPECT_TRUE(r.anomalies.empty());
+  EXPECT_NEAR(r.energy, 170.0 * 10.0, 1e-9);
+}
+
+TEST(ExecutorTest, EmptyScheduleReportsUnderService) {
+  const TaskSet ts({{0.0, 1.0, 1.0}});
+  const Schedule s(1);
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_DOUBLE_EQ(r.energy, 0.0);
+  EXPECT_FALSE(r.all_deadlines_met());
+}
+
+TEST(ExecutorTest, EventCountIsTwoPerSegment) {
+  const TaskSet ts({{0.0, 10.0, 2.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 1.0, 1.0});
+  s.add({0, 0, 2.0, 3.0, 1.0});
+  const ExecutionReport r = execute_schedule(ts, s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_EQ(r.events, 4u);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,130 @@
+// Monte-Carlo experiment harness: determinism, NEC sanity, paper-shape checks
+// at reduced run counts.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <cstdlib>
+
+#include "easched/exp/experiment.hpp"
+
+namespace easched {
+namespace {
+
+TEST(EvaluateInstanceTest, EnergiesHaveTheProvenOrdering) {
+  Rng rng(Rng::seed_of("experiment-ordering", 0));
+  WorkloadConfig config;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const InstanceEnergies e = evaluate_instance(tasks, 4, power);
+  EXPECT_TRUE(e.solver_converged);
+  // E^{OPT} lower-bounds every feasible scheduler.
+  EXPECT_LE(e.optimal, e.f1 * (1.0 + 1e-6));
+  EXPECT_LE(e.optimal, e.f2 * (1.0 + 1e-6));
+  // Final refinement only helps.
+  EXPECT_LE(e.f1, e.i1 * (1.0 + 1e-9));
+  EXPECT_LE(e.f2, e.i2 * (1.0 + 1e-9));
+  // The unlimited-core ideal is a relaxation of the optimum.
+  EXPECT_LE(e.ideal, e.optimal * (1.0 + 1e-6));
+}
+
+TEST(MonteCarloNecTest, IsDeterministicForAGivenLabel) {
+  WorkloadConfig config;
+  config.task_count = 8;
+  const PowerModel power(3.0, 0.1);
+  const NecAccumulators a = monte_carlo_nec("determinism-check", config, 4, power, 6);
+  const NecAccumulators b = monte_carlo_nec("determinism-check", config, 4, power, 6);
+  EXPECT_DOUBLE_EQ(a.f2.mean(), b.f2.mean());
+  EXPECT_DOUBLE_EQ(a.i1.mean(), b.i1.mean());
+}
+
+TEST(MonteCarloNecTest, DifferentLabelsGiveDifferentDraws) {
+  WorkloadConfig config;
+  config.task_count = 8;
+  const PowerModel power(3.0, 0.1);
+  const NecAccumulators a = monte_carlo_nec("label-a", config, 4, power, 4);
+  const NecAccumulators b = monte_carlo_nec("label-b", config, 4, power, 4);
+  EXPECT_NE(a.f2.mean(), b.f2.mean());
+}
+
+TEST(MonteCarloNecTest, NecOfHeuristicsIsAtLeastOne) {
+  WorkloadConfig config;
+  const PowerModel power(3.0, 0.1);
+  const NecAccumulators acc = monte_carlo_nec("nec-floor", config, 4, power, 8);
+  EXPECT_EQ(acc.runs, 8u);
+  EXPECT_GE(acc.f1.min(), 1.0 - 1e-6);
+  EXPECT_GE(acc.f2.min(), 1.0 - 1e-6);
+  EXPECT_GE(acc.i1.min(), 1.0 - 1e-6);
+  EXPECT_GE(acc.i2.min(), 1.0 - 1e-6);
+  EXPECT_EQ(acc.solver_failures, 0u);
+}
+
+TEST(MonteCarloNecTest, DerFinalBeatsEvenFinalOnAverage) {
+  // The paper's headline comparison at the default configuration.
+  WorkloadConfig config;
+  const PowerModel power(3.0, 0.1);
+  const NecAccumulators acc = monte_carlo_nec("der-vs-even", config, 4, power, 16);
+  EXPECT_LT(acc.f2.mean(), acc.f1.mean());
+  // And F2 is near-optimal (paper: ~1.03-1.1).
+  EXPECT_LT(acc.f2.mean(), 1.25);
+}
+
+TEST(MonteCarloNecTest, MeansComeInPlottingOrder) {
+  WorkloadConfig config;
+  config.task_count = 6;
+  const PowerModel power(3.0, 0.0);
+  const NecAccumulators acc = monte_carlo_nec("means-order", config, 4, power, 3);
+  const auto m = acc.means();
+  ASSERT_EQ(m.size(), 5u);
+  EXPECT_DOUBLE_EQ(m[0], acc.ideal.mean());
+  EXPECT_DOUBLE_EQ(m[4], acc.f2.mean());
+}
+
+TEST(MonteCarloDiscreteTest, ReportsNecAndMissProbabilities) {
+  const WorkloadConfig config = WorkloadConfig::xscale(15);
+  const DiscreteAccumulators acc =
+      monte_carlo_discrete("discrete-sanity", config, 4, DiscreteLevels::intel_xscale(), 6);
+  EXPECT_EQ(acc.runs, 6u);
+  EXPECT_GT(acc.nec_f2.mean(), 0.0);
+  // Miss probabilities are in [0, 1].
+  for (const RunningStats* s :
+       {&acc.miss_ideal, &acc.miss_i1, &acc.miss_f1, &acc.miss_i2, &acc.miss_f2}) {
+    EXPECT_GE(s->min(), 0.0);
+    EXPECT_LE(s->max(), 1.0);
+  }
+}
+
+TEST(MonteCarloDiscreteTest, F2MissesLeastOftenAmongHeuristics) {
+  const WorkloadConfig config = WorkloadConfig::xscale(20);
+  const DiscreteAccumulators acc =
+      monte_carlo_discrete("discrete-miss-order", config, 4, DiscreteLevels::intel_xscale(), 10);
+  EXPECT_LE(acc.miss_f2.mean(), acc.miss_f1.mean() + 1e-9);
+  EXPECT_LE(acc.miss_f2.mean(), acc.miss_i2.mean() + 1e-9);
+}
+
+TEST(DefaultRunsTest, HonorsEnvironmentOverride) {
+  // setenv/unsetenv are process-global: restore the prior value.
+  const char* old = std::getenv("REPRO_RUNS");
+  const std::string saved = old ? old : "";
+  ::setenv("REPRO_RUNS", "7", 1);
+  EXPECT_EQ(default_runs(), 7u);
+  ::setenv("REPRO_RUNS", "0", 1);  // invalid -> default
+  EXPECT_EQ(default_runs(), 100u);
+  ::setenv("REPRO_RUNS", "junk", 1);
+  EXPECT_EQ(default_runs(), 100u);
+  if (old) {
+    ::setenv("REPRO_RUNS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("REPRO_RUNS");
+  }
+}
+
+TEST(MonteCarloNecTest, RejectsZeroRuns) {
+  WorkloadConfig config;
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(monte_carlo_nec("zero", config, 4, power, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

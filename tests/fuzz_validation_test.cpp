@@ -1,0 +1,169 @@
+// Failure injection: start from valid schedules, apply a known corruption,
+// and require the validator and the simulator to catch it. Guards against
+// the checkers silently passing broken plans.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+struct Fixture {
+  TaskSet tasks;
+  PowerModel power{3.0, 0.1};
+  Schedule valid;
+
+  static Fixture make(std::uint64_t seed) {
+    Fixture f;
+    Rng rng(Rng::seed_of("fuzz-validation", seed));
+    WorkloadConfig config;
+    config.task_count = 10;
+    f.tasks = generate_workload(config, rng);
+    f.valid = run_pipeline(f.tasks, 4, f.power).der.final_schedule;
+    return f;
+  }
+};
+
+/// Rebuild a schedule from mutated segments.
+Schedule rebuild(const Schedule& base, std::vector<Segment> segments) {
+  Schedule out(base.core_count());
+  for (const Segment& s : segments) out.add(s);
+  return out;
+}
+
+TEST(FuzzValidationTest, BaselineIsValid) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Fixture f = Fixture::make(seed);
+    EXPECT_TRUE(f.valid.validate(f.tasks, 1e-5).ok) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidationTest, DroppingASegmentIsCaughtAsUnderService) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Fixture f = Fixture::make(seed);
+    auto segments = f.valid.segments();
+    Rng rng(Rng::seed_of("fuzz-drop", seed));
+    segments.erase(segments.begin() +
+                   static_cast<std::ptrdiff_t>(rng.uniform_index(segments.size())));
+    const Schedule broken = rebuild(f.valid, std::move(segments));
+    EXPECT_FALSE(broken.validate(f.tasks, 1e-5).ok) << "seed " << seed;
+    const ExecutionReport run = execute_schedule(f.tasks, broken, power_function(f.power), 1e-5);
+    EXPECT_FALSE(run.all_deadlines_met()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidationTest, ShiftingPastTheDeadlineIsCaught) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Fixture f = Fixture::make(seed);
+    auto segments = f.valid.segments();
+    Rng rng(Rng::seed_of("fuzz-shift", seed));
+    Segment& victim = segments[rng.uniform_index(segments.size())];
+    const double deadline = f.tasks.at(victim.task).deadline;
+    const double shift = deadline - victim.end + 1.0;  // push 1.0 past D_i
+    victim.start += shift;
+    victim.end += shift;
+    const Schedule broken = rebuild(f.valid, std::move(segments));
+    EXPECT_FALSE(broken.validate(f.tasks, 1e-5).ok) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidationTest, MovingBeforeReleaseIsCaught) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Fixture f = Fixture::make(seed);
+    auto segments = f.valid.segments();
+    Rng rng(Rng::seed_of("fuzz-early", seed));
+    Segment& victim = segments[rng.uniform_index(segments.size())];
+    const double release = f.tasks.at(victim.task).release;
+    const double shift = victim.start - release + 1.0;
+    victim.start -= shift;
+    victim.end -= shift;
+    if (victim.start < 0.0) {
+      victim.end -= victim.start;
+      victim.start = 0.0;
+    }
+    const Schedule broken = rebuild(f.valid, std::move(segments));
+    EXPECT_FALSE(broken.validate(f.tasks, 1e-5).ok) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidationTest, DuplicatingOntoABusyCoreIsCaught) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Fixture f = Fixture::make(seed);
+    auto segments = f.valid.segments();
+    Rng rng(Rng::seed_of("fuzz-duplicate", seed));
+    // Copy a random segment onto another core at a time where that core is
+    // already busy: pick two segments overlapping in time on different
+    // cores and retarget one onto the other's core.
+    bool mutated = false;
+    for (std::size_t attempts = 0; attempts < 200 && !mutated; ++attempts) {
+      const std::size_t a = rng.uniform_index(segments.size());
+      const std::size_t b = rng.uniform_index(segments.size());
+      if (a == b || segments[a].core == segments[b].core) continue;
+      const double lo = std::max(segments[a].start, segments[b].start);
+      const double hi = std::min(segments[a].end, segments[b].end);
+      if (hi - lo < 1e-6) continue;
+      segments[a].core = segments[b].core;
+      mutated = true;
+    }
+    if (!mutated) continue;  // rare: no overlapping pair; skip this seed
+    const Schedule broken = rebuild(f.valid, std::move(segments));
+    EXPECT_FALSE(broken.validate(f.tasks, 1e-5).ok) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidationTest, LoweringAFrequencyIsCaughtAsShortfall) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Fixture f = Fixture::make(seed);
+    auto segments = f.valid.segments();
+    Rng rng(Rng::seed_of("fuzz-frequency", seed));
+    Segment& victim = segments[rng.uniform_index(segments.size())];
+    victim.frequency *= 0.5;  // half the work gets done in this segment
+    const Schedule broken = rebuild(f.valid, std::move(segments));
+    EXPECT_FALSE(broken.validate(f.tasks, 1e-5).ok) << "seed " << seed;
+    const ExecutionReport run = execute_schedule(f.tasks, broken, power_function(f.power), 1e-5);
+    EXPECT_FALSE(run.all_deadlines_met()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzValidationTest, RetargetingToANonexistentCoreIsCaught) {
+  const Fixture f = Fixture::make(0);
+  auto segments = f.valid.segments();
+  segments.front().core = f.valid.core_count() + 3;
+  const Schedule broken = rebuild(f.valid, std::move(segments));
+  EXPECT_FALSE(broken.validate(f.tasks, 1e-5).ok);
+}
+
+TEST(FuzzValidationTest, SimulatorAgreesWithValidatorOnRandomMutations) {
+  // Random small perturbations: whenever the validator says OK, the
+  // simulator must complete everything; whenever the simulator reports an
+  // anomaly or miss, the validator must have flagged something.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Fixture f = Fixture::make(seed % 5);
+    auto segments = f.valid.segments();
+    Rng rng(Rng::seed_of("fuzz-random", seed));
+    Segment& victim = segments[rng.uniform_index(segments.size())];
+    const double jitter = rng.uniform(-0.5, 0.5);
+    victim.start += jitter;
+    victim.end += jitter;
+    if (victim.start < 0.0) continue;
+    const Schedule mutated = rebuild(f.valid, std::move(segments));
+    const bool validator_ok = mutated.validate(f.tasks, 1e-5).ok;
+    const ExecutionReport run =
+        execute_schedule(f.tasks, mutated, power_function(f.power), 1e-5);
+    const bool simulator_ok = run.anomalies.empty() && run.all_deadlines_met();
+    if (validator_ok) {
+      EXPECT_TRUE(simulator_ok) << "seed " << seed;
+    }
+    if (!simulator_ok) {
+      EXPECT_FALSE(validator_ok) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,91 @@
+// Ideal unlimited-core case S^O (Section V-A, equations (19)-(21)).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <cmath>
+
+#include "easched/common/rng.hpp"
+#include "easched/sched/ideal.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(IdealCaseTest, WithoutStaticPowerFrequencyIsIntensity) {
+  const TaskSet ts({{0.0, 10.0, 8.0}, {2.0, 18.0, 14.0}});
+  const PowerModel power(3.0, 0.0);
+  const IdealCase ideal(ts, power);
+  EXPECT_NEAR(ideal.frequency(0), 0.8, 1e-12);
+  EXPECT_NEAR(ideal.frequency(1), 14.0 / 16.0, 1e-12);
+  // Execution fills the whole window.
+  EXPECT_NEAR(ideal.execution_end(0), 10.0, 1e-12);
+  EXPECT_NEAR(ideal.execution_end(1), 18.0, 1e-12);
+}
+
+TEST(IdealCaseTest, StaticPowerRaisesFrequencyToCritical) {
+  // Loose task: window 100, work 1 -> intensity 0.01; with p0 = 0.16 and
+  // alpha = 3, f* = (0.16/2)^(1/3) = 0.43..., so the task does not stretch.
+  const TaskSet ts({{0.0, 100.0, 1.0}});
+  const PowerModel power(3.0, 0.16);
+  const IdealCase ideal(ts, power);
+  EXPECT_NEAR(ideal.frequency(0), std::pow(0.08, 1.0 / 3.0), 1e-12);
+  EXPECT_LT(ideal.execution_end(0), 100.0);
+}
+
+TEST(IdealCaseTest, EnergyMatchesEquation20) {
+  const TaskSet ts({{0.0, 10.0, 8.0}});
+  const PowerModel power(3.0, 0.05);
+  const IdealCase ideal(ts, power);
+  const double f = ideal.frequency(0);
+  EXPECT_NEAR(ideal.task_energy(0), 8.0 * (f * f + 0.05 / f), 1e-12);
+  EXPECT_NEAR(ideal.total_energy(), ideal.task_energy(0), 1e-12);
+}
+
+TEST(IdealCaseTest, TotalEnergySumsTaskEnergies) {
+  Rng rng(Rng::seed_of("ideal-sum", 0));
+  WorkloadConfig config;
+  config.task_count = 17;
+  const TaskSet ts = generate_workload(config, rng);
+  const PowerModel power(2.8, 0.12);
+  const IdealCase ideal(ts, power);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) sum += ideal.task_energy(static_cast<TaskId>(i));
+  EXPECT_NEAR(ideal.total_energy(), sum, 1e-9 * sum);
+}
+
+TEST(IdealCaseTest, ExecutionTimeInClipsToTheStretch) {
+  const TaskSet ts({{2.0, 12.0, 4.0}});  // f^O = 0.4 (p0=0), runs [2, 12]
+  const PowerModel p0_model(3.0, 0.0);
+  const IdealCase stretched(ts, p0_model);
+  EXPECT_NEAR(stretched.execution_time_in(0, 0.0, 4.0), 2.0, 1e-12);
+  EXPECT_NEAR(stretched.execution_time_in(0, 4.0, 20.0), 8.0, 1e-12);
+  EXPECT_NEAR(stretched.execution_time_in(0, 12.0, 14.0), 0.0, 1e-12);
+
+  // With heavy static power the stretch is shorter, so late subintervals see
+  // zero ideal execution time (the DER-zero case of Algorithm 2).
+  const PowerModel heavy(2.0, 4.0);  // f* = 2 -> execution time 2, ends at 4
+  const IdealCase compressed(ts, heavy);
+  EXPECT_NEAR(compressed.execution_end(0), 4.0, 1e-12);
+  EXPECT_NEAR(compressed.execution_time_in(0, 6.0, 12.0), 0.0, 1e-12);
+}
+
+TEST(IdealCaseTest, IdealIsALowerBoundPerTask) {
+  // Any single frequency meeting the window cannot beat the ideal energy.
+  const TaskSet ts({{0.0, 9.0, 3.0}});
+  const PowerModel power(3.0, 0.2);
+  const IdealCase ideal(ts, power);
+  for (double f = ts[0].intensity(); f < 3.0; f += 0.07) {
+    EXPECT_GE(power.energy_for_work(3.0, f), ideal.task_energy(0) - 1e-12);
+  }
+}
+
+TEST(IdealCaseTest, ContractChecksIndices) {
+  const TaskSet ts({{0.0, 1.0, 1.0}});
+  const IdealCase ideal(ts, PowerModel(3.0, 0.0));
+  EXPECT_THROW(ideal.execution_time_in(2, 0.0, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

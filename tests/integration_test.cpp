@@ -1,0 +1,146 @@
+// Cross-module integration: full pipeline -> schedules -> simulator -> solver
+// on shared instances, plus the theoretical bound of Section V-B.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "easched/common/rng.hpp"
+#include "easched/exp/experiment.hpp"
+#include "easched/power/curve_fit.hpp"
+#include "easched/sched/core_selection.hpp"
+#include "easched/sched/discrete_adapter.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/edf.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/trace_io.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(IntegrationTest, TracePipelineRoundTrip) {
+  // Generate -> serialize -> parse -> schedule -> simulate: the whole user
+  // path from the README quickstart.
+  Rng rng(Rng::seed_of("integration-trace", 0));
+  WorkloadConfig config;
+  config.task_count = 16;
+  const TaskSet generated = generate_workload(config, rng);
+  const TaskSet tasks = task_set_from_csv(task_set_to_csv(generated));
+
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const ExecutionReport run =
+      execute_schedule(tasks, result.der.final_schedule, power_function(power), 1e-5);
+  EXPECT_TRUE(run.anomalies.empty());
+  EXPECT_TRUE(run.all_deadlines_met());
+  EXPECT_NEAR(run.energy, result.der.final_energy, 1e-5 * result.der.final_energy);
+}
+
+TEST(IntegrationTest, IntermediateEvenRespectsTheoreticalBound) {
+  // Section V-B: E^{I1} <= (n_max/m)^{alpha-1} * E^O where n_max =
+  // max(m, max_j n_j).
+  const PowerModel power(3.0, 0.05);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(Rng::seed_of("integration-bound", seed));
+    WorkloadConfig config;
+    config.task_count = 20;
+    const TaskSet tasks = generate_workload(config, rng);
+    const SubintervalDecomposition subs(tasks);
+    const int m = 4;
+    const double n_max =
+        std::max(static_cast<double>(m), static_cast<double>(subs.max_overlap()));
+    const PipelineResult result = run_pipeline(tasks, m, power);
+    const double bound =
+        std::pow(n_max / static_cast<double>(m), power.alpha() - 1.0) * result.ideal_energy;
+    EXPECT_LE(result.even.intermediate_energy, bound * (1.0 + 1e-9)) << "seed " << seed;
+    // And the chain E^{F1} <= E^{I1} <= bound (paper's inequality chain).
+    EXPECT_LE(result.even.final_energy, result.even.intermediate_energy * (1.0 + 1e-9));
+  }
+}
+
+TEST(IntegrationTest, YdsVersusMulticorePipelineOnUniprocessor) {
+  // On m = 1, p0 = 0, YDS is optimal: F2 can be no better (up to solver
+  // noise) and the convex solver must agree with YDS.
+  Rng rng(Rng::seed_of("integration-yds", 1));
+  WorkloadConfig config;
+  config.task_count = 8;
+  config.intensity = IntensityDistribution::range(0.02, 0.08);
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.0);
+
+  const double yds_energy = yds_schedule(tasks).schedule.energy(power);
+  const double opt = solve_optimal_allocation(tasks, 1, power).energy;
+  const PipelineResult pipeline = run_pipeline(tasks, 1, power);
+  EXPECT_NEAR(yds_energy, opt, 1e-4 * opt);
+  EXPECT_GE(pipeline.der.final_energy, yds_energy * (1.0 - 1e-6));
+}
+
+TEST(IntegrationTest, XscaleEndToEnd) {
+  // Fit the ladder, plan with the fitted model, quantize, and execute the
+  // continuous final schedule in the simulator.
+  const DiscreteLevels xs = DiscreteLevels::intel_xscale();
+  const PowerModel power = fit_power_model(xs).model();
+  Rng rng(Rng::seed_of("integration-xscale", 2));
+  const TaskSet tasks = generate_workload(WorkloadConfig::xscale(20), rng);
+
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const ValidationReport report = result.der.final_schedule.validate(tasks, 1e-5);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+
+  const DiscreteRunReport discrete = quantize_final(tasks, result.der, xs);
+  EXPECT_GT(discrete.energy, 0.0);
+  // F2's quantized plan should rarely miss; on this seed, never.
+  EXPECT_EQ(discrete.miss_count(), 0u);
+}
+
+TEST(IntegrationTest, CoreSelectionAgreesWithExhaustivePipelineRuns) {
+  Rng rng(Rng::seed_of("integration-core-selection", 3));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.25);
+  const CoreSelectionResult sel = select_core_count(tasks, 5, power);
+  for (int m = 1; m <= 5; ++m) {
+    const PipelineResult p = run_pipeline(tasks, m, power);
+    EXPECT_NEAR(sel.candidates[static_cast<std::size_t>(m - 1)].final_energy,
+                p.der.final_energy, 1e-12);
+  }
+}
+
+TEST(IntegrationTest, EdfExecutionOfOptimalAllocationFrequencies) {
+  // Dispatch the solver's per-task constant frequencies with online EDF and
+  // verify all work completes (the frequencies are offline-feasible; EDF may
+  // reorder but the total demand matches capacity).
+  Rng rng(Rng::seed_of("integration-edf-opt", 4));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const SolverResult opt = solve_optimal_allocation(tasks, 4, power);
+  std::vector<double> freq(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    freq[i] = tasks[i].work / opt.execution_time[i];
+  }
+  const EdfResult edf = edf_dispatch(tasks, 4, freq);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_NEAR(edf.schedule.completed_work(static_cast<TaskId>(i)), tasks[i].work,
+                1e-6 * tasks[i].work);
+  }
+  EXPECT_NEAR(edf.schedule.energy(power), opt.energy, 1e-5 * opt.energy);
+}
+
+TEST(IntegrationTest, NecShrinksWithMoreCoresOnAverage) {
+  // Fig 8's qualitative shape at tiny sample size: F2's NEC at m = 12 is
+  // better than at m = 2.
+  WorkloadConfig config;
+  const PowerModel power(3.0, 0.2);
+  const NecAccumulators at2 = monte_carlo_nec("integration-fig8", config, 2, power, 10);
+  const NecAccumulators at12 = monte_carlo_nec("integration-fig8", config, 12, power, 10);
+  EXPECT_LT(at12.f2.mean(), at2.f2.mean());
+}
+
+}  // namespace
+}  // namespace easched

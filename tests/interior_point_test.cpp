@@ -1,0 +1,135 @@
+// The interior-point solver must agree with closed forms, with the
+// first-order (FISTA) solver, and respect the feasible region.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/interior_point.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(InteriorPointTest, MotivationalExampleMatchesKkt) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const PowerModel power(3.0, 0.01);
+  const InteriorPointResult r = solve_optimal_interior_point(tasks, 2, power);
+  EXPECT_TRUE(r.solution.converged);
+  const double expected = 155.0 / 32.0 + 0.01 * 20.0;
+  EXPECT_NEAR(r.solution.energy, expected, 1e-6 * expected);
+  EXPECT_NEAR(r.solution.execution_time[0], 32.0 / 3.0, 1e-4);
+  EXPECT_NEAR(r.solution.execution_time[1], 16.0 / 3.0, 1e-4);
+  EXPECT_NEAR(r.solution.execution_time[2], 4.0, 1e-4);
+}
+
+TEST(InteriorPointTest, SingleTaskClosedForm) {
+  const TaskSet tasks({{0.0, 10.0, 4.0}});
+  for (const double p0 : {0.0, 0.05, 0.5}) {
+    const PowerModel power(3.0, p0);
+    const double f = power.optimal_frequency(4.0, 10.0);
+    const double expected = power.energy_for_work(4.0, f);
+    const InteriorPointResult r = solve_optimal_interior_point(tasks, 1, power);
+    EXPECT_NEAR(r.solution.energy, expected, 1e-6 * expected) << "p0=" << p0;
+  }
+}
+
+TEST(InteriorPointTest, AgreesWithFistaOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(Rng::seed_of("ipm-vs-fista", seed));
+    WorkloadConfig config;
+    config.task_count = 12;
+    const TaskSet tasks = generate_workload(config, rng);
+    const PowerModel power(3.0, 0.1);
+    const double fista = solve_optimal_allocation(tasks, 4, power).energy;
+    const InteriorPointResult ipm = solve_optimal_interior_point(tasks, 4, power);
+    EXPECT_TRUE(ipm.solution.converged) << "seed " << seed;
+    EXPECT_NEAR(ipm.solution.energy, fista, 1e-6 * fista) << "seed " << seed;
+  }
+}
+
+TEST(InteriorPointTest, AgreesAcrossPowerParameters) {
+  Rng rng(Rng::seed_of("ipm-power-sweep", 1));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  for (const double alpha : {2.0, 2.5, 3.0}) {
+    for (const double p0 : {0.0, 0.2, 1.0}) {
+      const PowerModel power(alpha, p0);
+      const double fista = solve_optimal_allocation(tasks, 4, power).energy;
+      const double ipm = solve_optimal_interior_point(tasks, 4, power).solution.energy;
+      EXPECT_NEAR(ipm, fista, 1e-5 * fista) << "alpha=" << alpha << " p0=" << p0;
+    }
+  }
+}
+
+TEST(InteriorPointTest, SolutionIsStrictlyFeasible) {
+  Rng rng(Rng::seed_of("ipm-feasible", 2));
+  WorkloadConfig config;
+  config.task_count = 18;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.05);
+  const SubintervalDecomposition subs(tasks);
+  const int cores = 3;
+  const InteriorPointResult r = solve_optimal_interior_point(tasks, subs, cores, power);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    EXPECT_LE(r.solution.allocation.column_sum(j), cores * subs[j].length() + 1e-7);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_GE(r.solution.allocation(i, j), 0.0);
+      EXPECT_LE(r.solution.allocation(i, j), subs[j].length() + 1e-9);
+    }
+  }
+}
+
+TEST(InteriorPointTest, LowerBoundsTheHeuristics) {
+  Rng rng(Rng::seed_of("ipm-bounds", 3));
+  WorkloadConfig config;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult pipeline = run_pipeline(tasks, 4, power);
+  const double opt = solve_optimal_interior_point(tasks, 4, power).solution.energy;
+  EXPECT_LE(opt, pipeline.even.final_energy * (1.0 + 1e-6));
+  EXPECT_LE(opt, pipeline.der.final_energy * (1.0 + 1e-6));
+}
+
+TEST(InteriorPointTest, ReportsWorkCounters) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}});
+  const PowerModel power(3.0, 0.1);
+  const InteriorPointResult r = solve_optimal_interior_point(tasks, 2, power);
+  // The paper's complexity point: the exact method needs many numeric
+  // evaluations — every Newton step costs a dense factorization.
+  EXPECT_GT(r.outer_iterations, 1u);
+  EXPECT_GT(r.newton_steps, 0u);
+  EXPECT_GE(r.factorizations, r.newton_steps);
+}
+
+TEST(InteriorPointTest, TighterGapToleranceGetsCloserToFista) {
+  Rng rng(Rng::seed_of("ipm-tolerance", 4));
+  WorkloadConfig config;
+  config.task_count = 8;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const double reference = solve_optimal_allocation(tasks, 4, power).energy;
+
+  InteriorPointOptions loose;
+  loose.gap_tol = 1e-3;
+  InteriorPointOptions tight;
+  tight.gap_tol = 1e-10;
+  const double e_loose = solve_optimal_interior_point(tasks, 4, power, loose).solution.energy;
+  const double e_tight = solve_optimal_interior_point(tasks, 4, power, tight).solution.energy;
+  EXPECT_LE(std::abs(e_tight - reference), std::abs(e_loose - reference) + 1e-9 * reference);
+}
+
+TEST(InteriorPointTest, RejectsBadArguments) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(solve_optimal_interior_point(TaskSet{}, 1, power), ContractViolation);
+  EXPECT_THROW(solve_optimal_interior_point(tasks, 0, power), ContractViolation);
+  InteriorPointOptions bad;
+  bad.barrier_decrease = 1.5;
+  EXPECT_THROW(solve_optimal_interior_point(tasks, 1, power, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

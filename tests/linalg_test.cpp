@@ -1,0 +1,111 @@
+// Dense linear algebra: Cholesky factor/solve on SPD systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/linalg.hpp"
+#include "easched/common/rng.hpp"
+
+namespace easched {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A = B·Bᵀ + n·I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += b(r, k) * b(c, k);
+      a(r, c) = sum + (r == c ? static_cast<double>(n) : 0.0);
+    }
+  }
+  return a;
+}
+
+TEST(MatrixTest, BasicAccessAndMultiply) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  const auto y = m.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m.multiply({1.0}), ContractViolation);
+}
+
+TEST(MatrixTest, IdentityAndDistance) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  Matrix other = Matrix::identity(3);
+  other(2, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(i3.distance(other), 3.0);
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3 and -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Rng rng(Rng::seed_of("linalg-solve", 0));
+  for (const std::size_t n : {1u, 2u, 5u, 20u, 60u}) {
+    const Matrix a = random_spd(n, rng);
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.uniform(-2.0, 2.0);
+    const std::vector<double> b = a.multiply(x_true);
+    const auto x = solve_spd(a, b);
+    ASSERT_TRUE(x.has_value()) << "n=" << n;
+    for (std::size_t k = 0; k < n; ++k) EXPECT_NEAR((*x)[k], x_true[k], 1e-8) << "n=" << n;
+  }
+}
+
+TEST(CholeskyTest, ResidualIsTiny) {
+  Rng rng(Rng::seed_of("linalg-residual", 1));
+  const Matrix a = random_spd(30, rng);
+  std::vector<double> b(30);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto x = solve_spd(a, b);
+  ASSERT_TRUE(x.has_value());
+  const auto ax = a.multiply(*x);
+  for (std::size_t k = 0; k < b.size(); ++k) EXPECT_NEAR(ax[k], b[k], 1e-9);
+}
+
+TEST(CholeskyTest, SolveValidatesSizes) {
+  const Matrix l = Matrix::identity(3);
+  EXPECT_THROW(cholesky_solve(l, {1.0, 2.0}), ContractViolation);
+  Matrix rect(2, 3);
+  EXPECT_THROW(cholesky(rect), ContractViolation);
+}
+
+TEST(VectorOpsTest, NormAndDot) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

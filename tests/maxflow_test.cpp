@@ -1,0 +1,121 @@
+// Dinic max flow on known networks and random sanity checks.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/solver/maxflow.hpp"
+
+namespace easched {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlowNetwork net(2);
+  net.add_edge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 1), 3.5);
+}
+
+TEST(MaxFlowTest, SeriesTakesTheMinimum) {
+  MaxFlowNetwork net(3);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 2), 2.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlowNetwork net(4);
+  net.add_edge(0, 1, 3.0);
+  net.add_edge(1, 3, 3.0);
+  net.add_edge(0, 2, 4.0);
+  net.add_edge(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 3), 5.0);
+}
+
+TEST(MaxFlowTest, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  MaxFlowNetwork net(6);
+  net.add_edge(0, 1, 16.0);
+  net.add_edge(0, 2, 13.0);
+  net.add_edge(1, 3, 12.0);
+  net.add_edge(2, 1, 4.0);
+  net.add_edge(2, 4, 14.0);
+  net.add_edge(3, 2, 9.0);
+  net.add_edge(3, 5, 20.0);
+  net.add_edge(4, 3, 7.0);
+  net.add_edge(4, 5, 4.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, RequiresAugmentingPathsThroughResiduals) {
+  // Flow must be rerouted via the residual of a greedy first path.
+  MaxFlowNetwork net(4);
+  net.add_edge(0, 1, 1.0);
+  net.add_edge(0, 2, 1.0);
+  net.add_edge(1, 2, 1.0);
+  net.add_edge(1, 3, 1.0);
+  net.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 3), 2.0);
+}
+
+TEST(MaxFlowTest, FlowOnReportsPerEdgeFlows) {
+  MaxFlowNetwork net(3);
+  const std::size_t a = net.add_edge(0, 1, 5.0);
+  const std::size_t b = net.add_edge(1, 2, 2.0);
+  net.max_flow(0, 2);
+  EXPECT_DOUBLE_EQ(net.flow_on(a), 2.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(b), 2.0);
+}
+
+TEST(MaxFlowTest, DisconnectedSinkHasZeroFlow) {
+  MaxFlowNetwork net(4);
+  net.add_edge(0, 1, 5.0);
+  // node 3 unreachable
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 3), 0.0);
+}
+
+TEST(MaxFlowTest, FlowConservationOnRandomBipartiteGraphs) {
+  Rng rng(Rng::seed_of("maxflow-random", 0));
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t left = 2 + rng.uniform_index(6);
+    const std::size_t right = 2 + rng.uniform_index(6);
+    MaxFlowNetwork net(2 + left + right);
+    const std::size_t sink = 1 + left + right;
+    double supply = 0.0;
+    std::vector<std::size_t> source_edges;
+    for (std::size_t i = 0; i < left; ++i) {
+      const double cap = rng.uniform(0.0, 3.0);
+      supply += cap;
+      source_edges.push_back(net.add_edge(0, 1 + i, cap));
+      for (std::size_t j = 0; j < right; ++j) {
+        if (rng.uniform() < 0.5) net.add_edge(1 + i, 1 + left + j, rng.uniform(0.0, 2.0));
+      }
+    }
+    double capacity_out = 0.0;
+    for (std::size_t j = 0; j < right; ++j) {
+      const double cap = rng.uniform(0.0, 3.0);
+      capacity_out += cap;
+      net.add_edge(1 + left + j, sink, cap);
+    }
+    const double flow = net.max_flow(0, sink);
+    EXPECT_LE(flow, supply + 1e-9);
+    EXPECT_LE(flow, capacity_out + 1e-9);
+    double from_source = 0.0;
+    for (const std::size_t e : source_edges) from_source += net.flow_on(e);
+    EXPECT_NEAR(from_source, flow, 1e-9);
+  }
+}
+
+TEST(MaxFlowTest, RejectsMisuse) {
+  MaxFlowNetwork net(3);
+  EXPECT_THROW(net.add_edge(0, 0, 1.0), ContractViolation);
+  EXPECT_THROW(net.add_edge(0, 5, 1.0), ContractViolation);
+  EXPECT_THROW(net.add_edge(0, 1, -1.0), ContractViolation);
+  net.add_edge(0, 1, 1.0);
+  net.max_flow(0, 1);
+  EXPECT_THROW(net.add_edge(1, 2, 1.0), ContractViolation);  // after solve
+  EXPECT_THROW(net.max_flow(0, 1), ContractViolation);       // twice
+  EXPECT_THROW(MaxFlowNetwork(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,167 @@
+// Rolling-horizon online scheduler.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/online.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(OnlineTest, SingleTaskMatchesOffline) {
+  // One task: the online scheduler sees everything at its release, so it
+  // must equal the offline plan.
+  const TaskSet tasks({{2.0, 12.0, 4.0}});
+  const PowerModel power(3.0, 0.1);
+  const OnlineResult online = schedule_online(tasks, 2, power);
+  const PipelineResult offline = run_pipeline(tasks, 2, power);
+  EXPECT_NEAR(online.energy, offline.der.final_energy, 1e-9 * online.energy);
+  EXPECT_EQ(online.replans, 1u);
+}
+
+TEST(OnlineTest, SimultaneousReleasesMatchOffline) {
+  // All tasks released together: one re-plan, identical knowledge.
+  const TaskSet tasks({{0.0, 10.0, 4.0}, {0.0, 14.0, 6.0}, {0.0, 8.0, 3.0}});
+  const PowerModel power(3.0, 0.05);
+  const OnlineResult online = schedule_online(tasks, 2, power);
+  const PipelineResult offline = run_pipeline(tasks, 2, power);
+  EXPECT_EQ(online.replans, 1u);
+  EXPECT_NEAR(online.energy, offline.der.final_energy, 1e-6 * online.energy);
+}
+
+TEST(OnlineTest, CompletesAllWorkOnRandomWorkloads) {
+  const PowerModel power(3.0, 0.1);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(Rng::seed_of("online-complete", seed));
+    WorkloadConfig config;
+    config.task_count = 15;
+    const TaskSet tasks = generate_workload(config, rng);
+    const OnlineResult result = schedule_online(tasks, 4, power);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_LE(result.unfinished[i], 1e-6 * tasks[i].work) << "seed " << seed << " task " << i;
+    }
+  }
+}
+
+TEST(OnlineTest, ExecutedScheduleIsValid) {
+  Rng rng(Rng::seed_of("online-valid", 1));
+  WorkloadConfig config;
+  config.task_count = 18;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const OnlineResult result = schedule_online(tasks, 4, power);
+  const ValidationReport report = result.schedule.validate(tasks, 1e-5);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(OnlineTest, MeetsDeadlinesInTheSimulator) {
+  Rng rng(Rng::seed_of("online-deadlines", 2));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const OnlineResult result = schedule_online(tasks, 4, power);
+  const ExecutionReport run =
+      execute_schedule(tasks, result.schedule, power_function(power), 1e-5);
+  EXPECT_TRUE(run.anomalies.empty()) << (run.anomalies.empty() ? "" : run.anomalies.front());
+  EXPECT_TRUE(run.all_deadlines_met());
+}
+
+TEST(OnlineTest, EnergyAtLeastOfflineOptimum) {
+  // Non-clairvoyance can only cost energy.
+  Rng rng(Rng::seed_of("online-vs-optimal", 3));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const OnlineResult online = schedule_online(tasks, 4, power);
+  const double optimal = solve_optimal_allocation(tasks, 4, power).energy;
+  EXPECT_GE(online.energy, optimal * (1.0 - 1e-6));
+}
+
+TEST(OnlineTest, OnlinePenaltyIsModest) {
+  // Averaged over seeds, rolling-horizon F2 should stay within a reasonable
+  // factor of clairvoyant F2 on the paper's workload.
+  const PowerModel power(3.0, 0.1);
+  double online_sum = 0.0, offline_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(Rng::seed_of("online-penalty", seed));
+    WorkloadConfig config;
+    const TaskSet tasks = generate_workload(config, rng);
+    online_sum += schedule_online(tasks, 4, power).energy;
+    offline_sum += run_pipeline(tasks, 4, power).der.final_energy;
+  }
+  EXPECT_LT(online_sum, offline_sum * 1.6);
+}
+
+TEST(OnlineTest, ReplansOncePerDistinctReleaseWithLiveWork) {
+  const TaskSet tasks({{0.0, 20.0, 2.0}, {5.0, 25.0, 2.0}, {5.0, 22.0, 1.0}, {9.0, 30.0, 2.0}});
+  const PowerModel power(3.0, 0.0);
+  const OnlineResult result = schedule_online(tasks, 2, power);
+  EXPECT_EQ(result.replans, 3u);  // releases at 0, 5, 9
+}
+
+TEST(OnlineTest, EvenMethodIsSupported) {
+  Rng rng(Rng::seed_of("online-even", 4));
+  WorkloadConfig config;
+  config.task_count = 8;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  OnlineOptions options;
+  options.method = AllocationMethod::kEven;
+  const OnlineResult result = schedule_online(tasks, 4, power, options);
+  const double total_unfinished =
+      std::accumulate(result.unfinished.begin(), result.unfinished.end(), 0.0);
+  EXPECT_LE(total_unfinished, 1e-6 * tasks.total_work());
+}
+
+TEST(OnlineTest, YdsPlannerIsOptimalAvailable) {
+  // With a single release instant OA equals offline YDS exactly.
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {0.0, 10.0, 2.0}, {0.0, 8.0, 4.0}});
+  const PowerModel power(3.0, 0.0);
+  OnlineOptions options;
+  options.planner = OnlinePlanner::kYds;
+  const OnlineResult online = schedule_online(tasks, 1, power, options);
+  const double offline = yds_schedule(tasks).schedule.energy(power);
+  EXPECT_NEAR(online.energy, offline, 1e-9 * offline);
+}
+
+TEST(OnlineTest, YdsPlannerCompletesStaggeredArrivals) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const PowerModel power(3.0, 0.0);
+  OnlineOptions options;
+  options.planner = OnlinePlanner::kYds;
+  const OnlineResult online = schedule_online(tasks, 1, power, options);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_LE(online.unfinished[i], 1e-6 * tasks[i].work);
+  }
+  EXPECT_TRUE(online.schedule.validate(tasks, 1e-5).ok);
+  // OA pays for its lack of clairvoyance relative to offline YDS.
+  const double offline = yds_schedule(tasks).schedule.energy(power);
+  EXPECT_GE(online.energy, offline * (1.0 - 1e-9));
+}
+
+TEST(OnlineTest, YdsPlannerRequiresUniprocessor) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  OnlineOptions options;
+  options.planner = OnlinePlanner::kYds;
+  EXPECT_THROW(schedule_online(tasks, 2, PowerModel(3.0, 0.0), options), ContractViolation);
+}
+
+TEST(OnlineTest, RejectsBadArguments) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(schedule_online(TaskSet{}, 1, power), ContractViolation);
+  EXPECT_THROW(schedule_online(tasks, 0, power), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

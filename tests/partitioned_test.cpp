@@ -1,0 +1,111 @@
+// Partitioned (migration-free) scheduling.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/partitioned.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/schedule_stats.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(PartitionedTest, EveryTaskStaysOnItsCore) {
+  Rng rng(Rng::seed_of("partitioned-affinity", 0));
+  WorkloadConfig config;
+  config.task_count = 15;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PartitionedResult result = schedule_partitioned(tasks, 4, power);
+  ASSERT_EQ(result.assignment.size(), tasks.size());
+  for (const Segment& s : result.schedule.segments()) {
+    EXPECT_EQ(s.core, result.assignment[static_cast<std::size_t>(s.task)]);
+  }
+  const ScheduleStats stats = compute_schedule_stats(tasks, result.schedule);
+  EXPECT_EQ(stats.migrations, 0u);
+}
+
+TEST(PartitionedTest, ScheduleIsValidAndMeetsDeadlines) {
+  Rng rng(Rng::seed_of("partitioned-valid", 1));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const PartitionedResult result = schedule_partitioned(tasks, 4, power);
+  const ValidationReport report = result.schedule.validate(tasks, 1e-5);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+  const ExecutionReport run =
+      execute_schedule(tasks, result.schedule, power_function(power), 1e-5);
+  EXPECT_TRUE(run.all_deadlines_met());
+  EXPECT_NEAR(run.energy, result.total_energy, 1e-6 * result.total_energy);
+}
+
+TEST(PartitionedTest, WorstFitBalancesLoad) {
+  // Eight identical tasks on 4 cores: worst-fit puts exactly two per core.
+  std::vector<Task> tasks(8, Task{0.0, 10.0, 5.0});
+  const TaskSet ts(std::move(tasks));
+  const PartitionedResult result = schedule_partitioned(ts, 4, PowerModel(3.0, 0.0));
+  for (const double load : result.core_intensity) {
+    EXPECT_NEAR(load, 1.0, 1e-9);  // two tasks of intensity 0.5 each
+  }
+}
+
+TEST(PartitionedTest, FirstFitPacksOntoFewCores) {
+  // Four tasks of intensity 0.25 fit on one core under first-fit.
+  std::vector<Task> tasks(4, Task{0.0, 20.0, 5.0});
+  const TaskSet ts(std::move(tasks));
+  const PartitionedResult result =
+      schedule_partitioned(ts, 4, PowerModel(3.0, 0.0), AllocationMethod::kDer,
+                           PartitionHeuristic::kFirstFitDecreasing);
+  for (const CoreId c : result.assignment) EXPECT_EQ(c, 0);
+}
+
+TEST(PartitionedTest, NeverBeatsTheMigratingOptimum) {
+  Rng rng(Rng::seed_of("partitioned-bound", 2));
+  WorkloadConfig config;
+  config.task_count = 14;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const double optimum = solve_optimal_allocation(tasks, 4, power).energy;
+  const PartitionedResult result = schedule_partitioned(tasks, 4, power);
+  EXPECT_GE(result.total_energy, optimum * (1.0 - 1e-9));
+}
+
+TEST(PartitionedTest, DisjointTasksMatchGlobalScheduling) {
+  // Without overlap there is nothing to migrate: partitioned == global F2.
+  std::vector<Task> tasks;
+  for (int k = 0; k < 6; ++k) tasks.push_back({12.0 * k, 12.0 * (k + 1), 5.0});
+  const TaskSet ts(std::move(tasks));
+  const PowerModel power(3.0, 0.1);
+  const PartitionedResult partitioned = schedule_partitioned(ts, 3, power);
+  const PipelineResult global = run_pipeline(ts, 3, power);
+  EXPECT_NEAR(partitioned.total_energy, global.der.final_energy,
+              1e-9 * global.der.final_energy);
+}
+
+TEST(PartitionedTest, SingleCoreEqualsUniprocessorPipeline) {
+  Rng rng(Rng::seed_of("partitioned-uni", 3));
+  WorkloadConfig config;
+  config.task_count = 6;
+  config.intensity = IntensityDistribution::range(0.05, 0.15);
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PartitionedResult partitioned = schedule_partitioned(tasks, 1, power);
+  const PipelineResult pipeline = run_pipeline(tasks, 1, power);
+  EXPECT_NEAR(partitioned.total_energy, pipeline.der.final_energy,
+              1e-9 * pipeline.der.final_energy);
+}
+
+TEST(PartitionedTest, RejectsBadArguments) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const PowerModel power(3.0, 0.0);
+  EXPECT_THROW(schedule_partitioned(TaskSet{}, 2, power), ContractViolation);
+  EXPECT_THROW(schedule_partitioned(tasks, 0, power), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

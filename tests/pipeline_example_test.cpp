@@ -1,0 +1,155 @@
+// End-to-end checks of the subinterval schedulers against the numbers the
+// paper works out by hand (Sections II and V-D).
+
+#include <gtest/gtest.h>
+
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/subintervals.hpp"
+
+namespace easched {
+namespace {
+
+// Worked example of Section V-D: six tasks (R, C, D) on a quad core with
+// p(f) = f^3. The paper reports E^{F1} = 33.0642 and E^{F2} = 31.8362.
+TaskSet worked_example_tasks() {
+  return TaskSet({
+      {0.0, 10.0, 8.0},    // tau1 = (R=0,  C=8,  D=10)
+      {2.0, 18.0, 14.0},   // tau2 = (R=2,  C=14, D=18)
+      {4.0, 16.0, 8.0},    // tau3 = (R=4,  C=8,  D=16)
+      {6.0, 14.0, 4.0},    // tau4 = (R=6,  C=4,  D=14)
+      {8.0, 20.0, 10.0},   // tau5 = (R=8,  C=10, D=20)
+      {12.0, 22.0, 6.0},   // tau6 = (R=12, C=6,  D=22)
+  });
+}
+
+class WorkedExampleTest : public ::testing::Test {
+ protected:
+  TaskSet tasks_ = worked_example_tasks();
+  PowerModel power_{3.0, 0.0};
+  PipelineResult result_ = run_pipeline(tasks_, 4, power_);
+};
+
+TEST_F(WorkedExampleTest, DecompositionHasElevenUniformSubintervals) {
+  const SubintervalDecomposition subs(tasks_);
+  ASSERT_EQ(subs.size(), 11u);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(subs[j].begin, 2.0 * static_cast<double>(j));
+    EXPECT_DOUBLE_EQ(subs[j].length(), 2.0);
+  }
+}
+
+TEST_F(WorkedExampleTest, OnlyTwoSubintervalsAreHeavy) {
+  const SubintervalDecomposition subs(tasks_);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const bool expect_heavy = (subs[j].begin == 8.0) || (subs[j].begin == 12.0);
+    EXPECT_EQ(subs[j].heavy(4), expect_heavy) << "subinterval starting at " << subs[j].begin;
+    if (expect_heavy) {
+      EXPECT_EQ(subs[j].overlapping.size(), 5u);
+    }
+  }
+}
+
+TEST_F(WorkedExampleTest, IdealFrequenciesMatchPaper) {
+  const IdealCase ideal(tasks_, power_);
+  EXPECT_NEAR(ideal.frequency(0), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(ideal.frequency(1), 7.0 / 8.0, 1e-12);
+  EXPECT_NEAR(ideal.frequency(2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ideal.frequency(3), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(ideal.frequency(4), 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(ideal.frequency(5), 3.0 / 5.0, 1e-12);
+}
+
+TEST_F(WorkedExampleTest, EvenAllocationGivesEightFifthsInHeavyIntervals) {
+  const SubintervalDecomposition subs(tasks_);
+  // [8,10] is subinterval 4; every overlapping task gets m*len/n = 8/5.
+  for (const TaskId i : subs[4].overlapping) {
+    EXPECT_NEAR(result_.even.availability(static_cast<std::size_t>(i), 4), 8.0 / 5.0, 1e-12);
+  }
+}
+
+TEST_F(WorkedExampleTest, EvenFinalFrequenciesMatchPaper) {
+  const auto& f = result_.even.final_frequency;
+  EXPECT_NEAR(f[0], 8.0 / (8.0 + 8.0 / 5.0), 1e-12);
+  EXPECT_NEAR(f[1], 14.0 / (12.0 + 16.0 / 5.0), 1e-12);
+  EXPECT_NEAR(f[2], 8.0 / (8.0 + 16.0 / 5.0), 1e-12);
+  EXPECT_NEAR(f[3], 4.0 / (4.0 + 16.0 / 5.0), 1e-12);
+  EXPECT_NEAR(f[4], 10.0 / (8.0 + 16.0 / 5.0), 1e-12);
+  EXPECT_NEAR(f[5], 6.0 / (8.0 + 8.0 / 5.0), 1e-12);
+}
+
+TEST_F(WorkedExampleTest, EvenFinalEnergyMatchesPaper) {
+  // Paper Section V-D: "The overall energy consumption of S^{F1} is 33.0642".
+  EXPECT_NEAR(result_.even.final_energy, 33.0642, 2e-3);
+}
+
+TEST_F(WorkedExampleTest, DerAllocationsMatchPaperInFirstHeavyInterval) {
+  // Paper: allocations 1.7415, 1.9048, 1.4512, 1.0884, 1.8141 in [8,10].
+  const double expected[] = {1.7415, 1.9048, 1.4512, 1.0884, 1.8141};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result_.der.availability(static_cast<std::size_t>(i), 4), expected[i], 1e-4);
+  }
+}
+
+TEST_F(WorkedExampleTest, DerAllocationsMatchPaperInSecondHeavyInterval) {
+  // Paper: allocations 2, 1.5385, 1.1538, 1.9231, 1.3846 in [12,14] for
+  // tau2..tau6 (tau2's proportional share exceeds the length and is capped).
+  const double expected[] = {2.0, 1.5385, 1.1538, 1.9231, 1.3846};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result_.der.availability(static_cast<std::size_t>(i + 1), 6), expected[i], 1e-4);
+  }
+}
+
+TEST_F(WorkedExampleTest, DerFinalEnergyMatchesPaper) {
+  // Paper Section V-D: "The overall energy consumption of S^{F2} is 31.8362".
+  EXPECT_NEAR(result_.der.final_energy, 31.8362, 5e-3);
+}
+
+TEST_F(WorkedExampleTest, DerBeatsEvenOnThisInstance) {
+  EXPECT_LT(result_.der.final_energy, result_.even.final_energy);
+}
+
+TEST_F(WorkedExampleTest, FinalImprovesOnIntermediateForBothMethods) {
+  EXPECT_LE(result_.even.final_energy, result_.even.intermediate_energy + 1e-9);
+  EXPECT_LE(result_.der.final_energy, result_.der.intermediate_energy + 1e-9);
+}
+
+TEST_F(WorkedExampleTest, AllFourSchedulesAreValid) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    const ValidationReport inter = m->intermediate_schedule.validate(tasks_);
+    EXPECT_TRUE(inter.ok) << (inter.violations.empty() ? "" : inter.violations.front());
+    const ValidationReport fin = m->final_schedule.validate(tasks_);
+    EXPECT_TRUE(fin.ok) << (fin.violations.empty() ? "" : fin.violations.front());
+  }
+}
+
+TEST_F(WorkedExampleTest, SimulatedEnergyMatchesAnalyticEnergy) {
+  const PowerFunction pf = power_function(power_);
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    const ExecutionReport inter = execute_schedule(tasks_, m->intermediate_schedule, pf);
+    EXPECT_TRUE(inter.anomalies.empty());
+    EXPECT_NEAR(inter.energy, m->intermediate_energy, 1e-6 * m->intermediate_energy);
+    const ExecutionReport fin = execute_schedule(tasks_, m->final_schedule, pf);
+    EXPECT_TRUE(fin.anomalies.empty());
+    EXPECT_NEAR(fin.energy, m->final_energy, 1e-6 * m->final_energy);
+    EXPECT_TRUE(fin.all_deadlines_met());
+  }
+}
+
+// Motivational example of Section II: three tasks on two cores with
+// p(f) = f^3 + 0.01. The KKT solution gives total times T1 = 32/3,
+// T2 = 16/3, T3 = 4 and energy 155/32 + 0.01*20.
+TEST(MotivationalExampleTest, PipelineEnergiesStayCloseToKktOptimum) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const PowerModel power(3.0, 0.01);
+  const double kkt_optimum = 155.0 / 32.0 + 0.01 * 20.0;
+
+  const PipelineResult result = run_pipeline(tasks, 2, power);
+  EXPECT_GE(result.der.final_energy, kkt_optimum - 1e-9);
+  EXPECT_GE(result.even.final_energy, kkt_optimum - 1e-9);
+  // The heuristic should be within a few percent on this tiny instance.
+  EXPECT_LT(result.der.final_energy, kkt_optimum * 1.10);
+}
+
+}  // namespace
+}  // namespace easched

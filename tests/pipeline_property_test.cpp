@@ -1,0 +1,160 @@
+// Property-based sweep over (alpha, p0, cores, n, seed): every invariant the
+// paper's construction promises must hold on random workloads.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "easched/common/math.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+// (alpha, p0, cores, task_count, seed)
+using Params = std::tuple<double, double, int, std::size_t, std::uint64_t>;
+
+class PipelinePropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const auto [alpha, p0, cores, n, seed] = GetParam();
+    alpha_ = alpha;
+    p0_ = p0;
+    cores_ = cores;
+    Rng rng(Rng::seed_of("pipeline-property", seed, n, static_cast<std::uint64_t>(cores_)));
+    WorkloadConfig config;
+    config.task_count = n;
+    tasks_ = generate_workload(config, rng);
+    power_ = PowerModel(alpha, p0);
+    result_ = run_pipeline(tasks_, cores_, power_);
+  }
+
+  double alpha_ = 0.0, p0_ = 0.0;
+  int cores_ = 0;
+  TaskSet tasks_;
+  PowerModel power_{2.0, 0.0};
+  PipelineResult result_;
+};
+
+TEST_P(PipelinePropertyTest, FinalSchedulesAreValid) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    const ValidationReport r = m->final_schedule.validate(tasks_, 1e-5);
+    EXPECT_TRUE(r.ok) << to_string(m->method) << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+  }
+}
+
+TEST_P(PipelinePropertyTest, IntermediateSchedulesAreValid) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    const ValidationReport r = m->intermediate_schedule.validate(tasks_, 1e-5);
+    EXPECT_TRUE(r.ok) << to_string(m->method) << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+  }
+}
+
+TEST_P(PipelinePropertyTest, FinalNeverWorseThanIntermediate) {
+  EXPECT_LE(result_.even.final_energy, result_.even.intermediate_energy * (1.0 + 1e-9));
+  EXPECT_LE(result_.der.final_energy, result_.der.intermediate_energy * (1.0 + 1e-9));
+}
+
+TEST_P(PipelinePropertyTest, IdealLowerBoundsFinalSchedules) {
+  // E^O ignores the core count, so it bounds both heuristics from below.
+  EXPECT_GE(result_.even.final_energy, result_.ideal_energy * (1.0 - 1e-9));
+  EXPECT_GE(result_.der.final_energy, result_.ideal_energy * (1.0 - 1e-9));
+}
+
+TEST_P(PipelinePropertyTest, AnalyticEnergyMatchesSimulatedEnergy) {
+  const PowerFunction pf = power_function(power_);
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    const ExecutionReport fin = execute_schedule(tasks_, m->final_schedule, pf, 1e-5);
+    EXPECT_TRUE(fin.anomalies.empty())
+        << to_string(m->method) << ": " << (fin.anomalies.empty() ? "" : fin.anomalies.front());
+    EXPECT_NEAR(fin.energy, m->final_energy, 1e-5 * m->final_energy) << to_string(m->method);
+    EXPECT_TRUE(fin.all_deadlines_met()) << to_string(m->method);
+  }
+}
+
+TEST_P(PipelinePropertyTest, AvailabilityRespectsCapacityEverywhere) {
+  const SubintervalDecomposition subs(tasks_);
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    for (std::size_t j = 0; j < subs.size(); ++j) {
+      EXPECT_LE(m->availability.column_sum(j),
+                static_cast<double>(cores_) * subs[j].length() + 1e-9);
+      for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        EXPECT_LE(m->availability(i, j), subs[j].length() + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, TotalAvailableMatchesRowSums) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      EXPECT_NEAR(m->total_available[i], m->availability.row_sum(i),
+                  1e-9 * std::max(1.0, m->total_available[i]));
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, FinalFrequenciesObeyEquation23) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const double expected =
+          std::max(power_.critical_frequency(), tasks_[i].work / m->total_available[i]);
+      EXPECT_NEAR(m->final_frequency[i], expected, 1e-12 * std::max(1.0, expected));
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, FinalEnergyMatchesClosedForm) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    double expected = 0.0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      expected += power_.energy_for_work(tasks_[i].work, m->final_frequency[i]);
+    }
+    EXPECT_NEAR(m->final_energy, expected, 1e-9 * expected);
+  }
+}
+
+TEST_P(PipelinePropertyTest, IntermediateCompletesAllWork) {
+  for (const MethodResult* m : {&result_.even, &result_.der}) {
+    std::vector<double> done(tasks_.size(), 0.0);
+    for (const IntermediatePiece& p : m->intermediate_pieces) {
+      done[static_cast<std::size_t>(p.task)] += p.work();
+    }
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      EXPECT_NEAR(done[i], tasks_[i].work, 1e-6 * tasks_[i].work)
+          << to_string(m->method) << " task " << i;
+    }
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  const auto [alpha, p0, cores, n, seed] = info.param;
+  return "a" + std::to_string(static_cast<int>(alpha * 10)) + "_p" +
+         std::to_string(static_cast<int>(p0 * 100)) + "_m" + std::to_string(cores) + "_n" +
+         std::to_string(n) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelinePropertyTest,
+    ::testing::Values(
+        // Paper default: alpha=3, p0 sweep, m=4, n=20.
+        Params{3.0, 0.0, 4, 20, 1}, Params{3.0, 0.1, 4, 20, 2}, Params{3.0, 0.2, 4, 20, 3},
+        // Alpha sweep at p0=0 (Fig 7 regime).
+        Params{2.0, 0.0, 4, 20, 4}, Params{2.5, 0.0, 4, 20, 5},
+        // Core sweep (Fig 8 regime).
+        Params{3.0, 0.2, 2, 20, 6}, Params{3.0, 0.2, 8, 20, 7}, Params{3.0, 0.2, 12, 20, 8},
+        // Task-count sweep (Fig 10 regime).
+        Params{3.0, 0.2, 4, 5, 9}, Params{3.0, 0.2, 4, 40, 10},
+        // Stress: single core, large static power, many tasks.
+        Params{2.0, 0.5, 1, 15, 11}, Params{3.0, 1.0, 4, 25, 12},
+        // gamma-free stress with alpha between integer values.
+        Params{2.3, 0.05, 3, 18, 13}, Params{2.9, 0.15, 6, 30, 14}),
+    param_name);
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,63 @@
+// Gnuplot artifact emission.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/csv.hpp"
+#include "easched/exp/plot.hpp"
+
+namespace easched {
+namespace {
+
+TEST(PlotTest, WritesDatAndScript) {
+  const std::string dir = ::testing::TempDir();
+  const std::vector<double> xs{0.0, 0.1, 0.2};
+  const std::vector<PlotSeries> series{{"F1", {1.8, 1.5, 1.4}}, {"F2", {1.07, 1.06, 1.04}}};
+  const std::string gp =
+      write_gnuplot_artifacts(dir, "fig06_test", "Fig 6", "p0", "NEC", xs, series);
+  EXPECT_NE(gp.find("fig06_test.gp"), std::string::npos);
+
+  const std::string dat = read_file(dir + "/fig06_test.dat");
+  // Header + 3 data rows; tab-separated columns x, F1, F2.
+  EXPECT_NE(dat.find("F1\tF2"), std::string::npos);
+  EXPECT_NE(dat.find("0.100000\t1.500000\t1.060000"), std::string::npos);
+
+  const std::string script = read_file(gp);
+  EXPECT_NE(script.find("set xlabel 'p0'"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("title 'F2'"), std::string::npos);
+  EXPECT_NE(script.find("fig06_test.dat"), std::string::npos);
+}
+
+TEST(PlotTest, DatRowsMatchInput) {
+  const std::string dir = ::testing::TempDir();
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<PlotSeries> series{{"s", {10.0, 20.0, 30.0, 40.0}}};
+  write_gnuplot_artifacts(dir, "rows_test", "t", "x", "y", xs, series);
+  const std::string dat = read_file(dir + "/rows_test.dat");
+  std::size_t data_lines = 0;
+  std::istringstream is(dat);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.front() != '#') ++data_lines;
+  }
+  EXPECT_EQ(data_lines, 4u);
+}
+
+TEST(PlotTest, ValidatesInput) {
+  const std::string dir = ::testing::TempDir();
+  EXPECT_THROW(write_gnuplot_artifacts(dir, "x", "t", "x", "y", {}, {{"s", {}}}),
+               ContractViolation);
+  EXPECT_THROW(write_gnuplot_artifacts(dir, "x", "t", "x", "y", {1.0}, {}),
+               ContractViolation);
+  EXPECT_THROW(
+      write_gnuplot_artifacts(dir, "x", "t", "x", "y", {1.0}, {{"s", {1.0, 2.0}}}),
+      ContractViolation);
+  EXPECT_THROW(write_gnuplot_artifacts("/nonexistent-dir-xyz", "x", "t", "x", "y", {1.0},
+                                       {{"s", {1.0}}}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace easched

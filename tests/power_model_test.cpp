@@ -1,0 +1,89 @@
+// Continuous power model: energies, critical frequency, Fig 3 effect.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <cmath>
+
+#include "easched/power/power_model.hpp"
+
+namespace easched {
+namespace {
+
+TEST(PowerModelTest, PowerFormula) {
+  const PowerModel m(3.0, 0.01);
+  EXPECT_NEAR(m.power(2.0), 8.01, 1e-12);
+  const PowerModel scaled(2.867, 63.58, 3.855e-6);
+  EXPECT_NEAR(scaled.power(1000.0), 3.855e-6 * std::pow(1000.0, 2.867) + 63.58, 1e-6);
+}
+
+TEST(PowerModelTest, EnergyForWorkMatchesDurationForm) {
+  const PowerModel m(3.0, 0.2);
+  const double work = 5.0, f = 0.8;
+  const double duration = work / f;
+  EXPECT_NEAR(m.energy_for_work(work, f), m.energy_for_duration(duration, f), 1e-12);
+}
+
+TEST(PowerModelTest, CriticalFrequencyClosedForm) {
+  // f* = (p0 / ((alpha-1) * gamma))^(1/alpha).
+  const PowerModel m(3.0, 0.16);
+  EXPECT_NEAR(m.critical_frequency(), std::pow(0.16 / 2.0, 1.0 / 3.0), 1e-12);
+  const PowerModel no_static(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(no_static.critical_frequency(), 0.0);
+  const PowerModel gamma_scaled(2.0, 0.5, 2.0);
+  EXPECT_NEAR(gamma_scaled.critical_frequency(), std::sqrt(0.5 / 2.0), 1e-12);
+}
+
+TEST(PowerModelTest, CriticalFrequencyMinimizesEnergyPerWork) {
+  const PowerModel m(3.0, 0.1);
+  const double fc = m.critical_frequency();
+  const double e_at = m.energy_for_work(1.0, fc);
+  for (const double factor : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_GT(m.energy_for_work(1.0, fc * factor), e_at) << "factor " << factor;
+  }
+}
+
+TEST(PowerModelTest, OptimalFrequencyClampsAtRequiredRate) {
+  const PowerModel m(3.0, 0.01);
+  // Tight window: required rate dominates.
+  EXPECT_NEAR(m.optimal_frequency(8.0, 10.0), 0.8, 1e-12);
+  // Loose window: critical frequency dominates.
+  const double fc = m.critical_frequency();
+  EXPECT_NEAR(m.optimal_frequency(1.0, 1000.0), fc, 1e-12);
+}
+
+TEST(PowerModelTest, Fig3PartialUseBeatsFullStretch) {
+  // Paper Fig 3: p(f) = f^2 + 0.25, work 2, window 5. Full stretch (f=0.4)
+  // costs 2.05; using 4 time units (f=0.5) costs 2.00.
+  const PowerModel m(2.0, 0.25);
+  EXPECT_NEAR(m.energy_for_work(2.0, 0.4), 2.05, 1e-12);
+  EXPECT_NEAR(m.energy_for_work(2.0, 0.5), 2.00, 1e-12);
+  EXPECT_NEAR(m.critical_frequency(), 0.5, 1e-12);
+  EXPECT_NEAR(m.optimal_frequency(2.0, 5.0), 0.5, 1e-12);
+}
+
+TEST(PowerModelTest, EnergyConvexInExecutionTime) {
+  // g(T) = C^alpha/T^(alpha-1) + p0*T must be convex: midpoint test.
+  const PowerModel m(2.5, 0.3);
+  const double C = 4.0;
+  const auto g = [&](double T) { return m.energy_for_work(C, C / T); };
+  for (double a = 1.0; a < 10.0; a += 1.3) {
+    const double b = a + 2.0;
+    EXPECT_LE(g(0.5 * (a + b)), 0.5 * (g(a) + g(b)) + 1e-12);
+  }
+}
+
+TEST(PowerModelTest, RejectsInvalidParameters) {
+  EXPECT_THROW(PowerModel(1.5, 0.0), ContractViolation);    // alpha < 2
+  EXPECT_THROW(PowerModel(3.0, -0.1), ContractViolation);   // negative static
+  EXPECT_THROW(PowerModel(3.0, 0.1, 0.0), ContractViolation);  // gamma <= 0
+  const PowerModel m(3.0, 0.1);
+  EXPECT_THROW(m.power(0.0), ContractViolation);
+  EXPECT_THROW(m.power(-1.0), ContractViolation);
+  EXPECT_THROW(m.optimal_frequency(0.0, 1.0), ContractViolation);
+  EXPECT_THROW(m.optimal_frequency(1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

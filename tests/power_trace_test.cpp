@@ -1,0 +1,107 @@
+// Power profiles: sweep correctness and the integral cross-check.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/power_trace.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(PowerTraceTest, SingleSegmentProfile) {
+  Schedule s(1);
+  s.add({0, 0, 1.0, 3.0, 2.0});
+  const PowerModel power(3.0, 0.5);
+  const PowerTrace trace(s, power_function(power));
+  ASSERT_EQ(trace.steps().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.steps()[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(trace.steps()[0].end, 3.0);
+  EXPECT_DOUBLE_EQ(trace.steps()[0].power, 8.5);
+  EXPECT_DOUBLE_EQ(trace.total_energy(), 17.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power(), 8.5);
+}
+
+TEST(PowerTraceTest, OverlappingCoresAddPower) {
+  Schedule s(2);
+  s.add({0, 0, 0.0, 4.0, 1.0});
+  s.add({1, 1, 2.0, 6.0, 1.0});
+  const PowerModel power(2.0, 0.0);  // p(1) = 1
+  const PowerTrace trace(s, power_function(power));
+  EXPECT_DOUBLE_EQ(trace.power_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(7.0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power(), 2.0);
+}
+
+TEST(PowerTraceTest, IdleGapsHaveZeroPower) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 1.0, 1.0});
+  s.add({0, 0, 3.0, 4.0, 1.0});
+  const PowerTrace trace(s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_EQ(trace.steps().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.power_at(2.0), 0.0);
+}
+
+TEST(PowerTraceTest, IntegralMatchesScheduleEnergyOnPipelines) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(Rng::seed_of("power-trace", seed));
+    WorkloadConfig config;
+    config.task_count = 15;
+    const TaskSet tasks = generate_workload(config, rng);
+    const PowerModel power(3.0, 0.1);
+    const PipelineResult result = run_pipeline(tasks, 4, power);
+    const PowerTrace trace(result.der.final_schedule, power_function(power));
+    const double direct = result.der.final_schedule.energy(power);
+    EXPECT_NEAR(trace.total_energy(), direct, 1e-9 * direct) << "seed " << seed;
+  }
+}
+
+TEST(PowerTraceTest, AveragePowerIsEnergyOverSpan) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({0, 0, 8.0, 10.0, 1.0});
+  const PowerModel power(2.0, 0.0);
+  const PowerTrace trace(s, power_function(power));
+  EXPECT_NEAR(trace.average_power(), 2.0 * 1.0 * 2.0 / 10.0, 1e-12);
+}
+
+TEST(PowerTraceTest, EmptyScheduleGivesEmptyTrace) {
+  const Schedule s(2);
+  const PowerTrace trace(s, power_function(PowerModel(2.0, 0.0)));
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.average_power(), 0.0);
+}
+
+TEST(PowerTraceTest, CsvSerialization) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 1.0, 1.0});
+  const PowerTrace trace(s, power_function(PowerModel(2.0, 0.0)));
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("begin,end,power"), std::string::npos);
+  EXPECT_NE(csv.find("1.000000000"), std::string::npos);
+}
+
+TEST(PowerTraceTest, StepsAreContiguousOrSeparatedNeverOverlapping) {
+  Rng rng(Rng::seed_of("power-trace-steps", 1));
+  WorkloadConfig config;
+  config.task_count = 20;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.2);
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const PowerTrace trace(result.der.final_schedule, power_function(power));
+  for (std::size_t k = 1; k < trace.steps().size(); ++k) {
+    EXPECT_GE(trace.steps()[k].begin, trace.steps()[k - 1].end - 1e-12);
+  }
+  for (const PowerStep& step : trace.steps()) {
+    EXPECT_GT(step.end, step.begin);
+    EXPECT_GT(step.power, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,132 @@
+// Exact Euclidean projection onto the capped simplex.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <numeric>
+
+#include "easched/common/math.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/solver/projection.hpp"
+
+namespace easched {
+namespace {
+
+double l2(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += sq(a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+TEST(ProjectionTest, FeasiblePointIsFixed) {
+  const std::vector<double> caps{1.0, 1.0, 1.0};
+  const std::vector<double> v{0.2, 0.3, 0.1};
+  const auto p = project_capped_simplex_copy(v, caps, 1.0);
+  EXPECT_EQ(p, v);
+}
+
+TEST(ProjectionTest, BoxClampWithoutBudgetPressure) {
+  const std::vector<double> caps{1.0, 2.0};
+  const auto p = project_capped_simplex_copy({-0.5, 3.0}, caps, 10.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+TEST(ProjectionTest, BudgetBindsViaUniformShift) {
+  // Interior coordinates all shift by the same lambda.
+  const std::vector<double> caps{10.0, 10.0, 10.0};
+  const auto p = project_capped_simplex_copy({2.0, 3.0, 4.0}, caps, 6.0);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 6.0, 1e-9);
+  EXPECT_NEAR(p[1] - p[0], 1.0, 1e-9);  // shift preserves differences
+  EXPECT_NEAR(p[2] - p[1], 1.0, 1e-9);
+}
+
+TEST(ProjectionTest, ZeroBudgetGivesZeroVector) {
+  const std::vector<double> caps{1.0, 2.0};
+  const auto p = project_capped_simplex_copy({0.7, 1.5}, caps, 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(ProjectionTest, ResultIsAlwaysFeasible) {
+  Rng rng(Rng::seed_of("projection-feasible", 0));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    std::vector<double> caps(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      caps[i] = rng.uniform(0.0, 3.0);
+      v[i] = rng.uniform(-2.0, 5.0);
+    }
+    const double budget = rng.uniform(0.0, 6.0);
+    const auto p = project_capped_simplex_copy(v, caps, budget);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(p[i], -1e-12);
+      EXPECT_LE(p[i], caps[i] + 1e-12);
+      sum += p[i];
+    }
+    EXPECT_LE(sum, budget + 1e-9);
+  }
+}
+
+TEST(ProjectionTest, IsTheNearestFeasiblePoint) {
+  // Compare against random feasible points: none may be closer to v.
+  Rng rng(Rng::seed_of("projection-nearest", 1));
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(5);
+    std::vector<double> caps(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      caps[i] = rng.uniform(0.2, 2.0);
+      v[i] = rng.uniform(-1.0, 3.0);
+    }
+    const double budget = rng.uniform(0.1, 3.0);
+    const auto p = project_capped_simplex_copy(v, caps, budget);
+    const double d_proj = l2(p, v);
+    for (int probe = 0; probe < 200; ++probe) {
+      std::vector<double> q(n);
+      for (std::size_t i = 0; i < n; ++i) q[i] = rng.uniform(0.0, caps[i]);
+      const double total = std::accumulate(q.begin(), q.end(), 0.0);
+      if (total > budget) {
+        for (double& x : q) x *= budget / total;  // still feasible
+      }
+      EXPECT_GE(l2(q, v), d_proj - 1e-7);
+    }
+  }
+}
+
+TEST(ProjectionTest, IdempotentOnItsOutput) {
+  Rng rng(Rng::seed_of("projection-idempotent", 2));
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(8);
+    std::vector<double> caps(n), v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      caps[i] = rng.uniform(0.0, 2.0);
+      v[i] = rng.uniform(-1.0, 3.0);
+    }
+    const double budget = rng.uniform(0.0, 4.0);
+    const auto once = project_capped_simplex_copy(v, caps, budget);
+    const auto twice = project_capped_simplex_copy(once, caps, budget);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(twice[i], once[i], 1e-9);
+  }
+}
+
+TEST(ProjectionTest, RejectsBadArguments) {
+  std::vector<double> v{1.0, 2.0};
+  const std::vector<double> caps{1.0};
+  EXPECT_THROW(project_capped_simplex(v, caps, 1.0), ContractViolation);
+  const std::vector<double> caps2{1.0, 1.0};
+  EXPECT_THROW(project_capped_simplex(v, caps2, -1.0), ContractViolation);
+  std::vector<double> v3{1.0};
+  const std::vector<double> negcap{-0.5};
+  EXPECT_THROW(project_capped_simplex(v3, negcap, 1.0), ContractViolation);
+}
+
+TEST(ProjectionTest, EmptyVectorIsNoop) {
+  std::vector<double> v;
+  const std::vector<double> caps;
+  EXPECT_NO_THROW(project_capped_simplex(v, caps, 1.0));
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,122 @@
+// Gantt rendering and schedule CSV round trips.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/render.hpp"
+#include "easched/sched/schedule_io.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(GanttLabelTest, CyclesThroughAlphabet) {
+  EXPECT_EQ(gantt_label(0), '0');
+  EXPECT_EQ(gantt_label(9), '9');
+  EXPECT_EQ(gantt_label(10), 'a');
+  EXPECT_EQ(gantt_label(35), 'z');
+  EXPECT_EQ(gantt_label(36), 'A');
+  EXPECT_EQ(gantt_label(62), '0');  // wraps
+  EXPECT_THROW(gantt_label(-1), ContractViolation);
+}
+
+TEST(RenderGanttTest, ShowsOneRowPerCoreWithTaskMarks) {
+  const TaskSet tasks({{0.0, 10.0, 5.0}, {0.0, 10.0, 5.0}});
+  Schedule s(2);
+  s.add({0, 0, 0.0, 10.0, 0.5});
+  s.add({1, 1, 0.0, 10.0, 0.5});
+  const std::string out = render_gantt(tasks, s);
+  EXPECT_NE(out.find("core 0 |"), std::string::npos);
+  EXPECT_NE(out.find("core 1 |"), std::string::npos);
+  // Core 0 fully busy with task 0: its row contains '0' and no '.'.
+  const auto row0_start = out.find("core 0 |") + 8;
+  const auto row0 = out.substr(row0_start, out.find('|', row0_start) - row0_start);
+  EXPECT_EQ(row0.find('.'), std::string::npos);
+  EXPECT_NE(row0.find('0'), std::string::npos);
+}
+
+TEST(RenderGanttTest, IdleTimeIsDotted) {
+  const TaskSet tasks({{0.0, 10.0, 1.0}});
+  Schedule s(1);
+  s.add({0, 0, 0.0, 1.0, 1.0});
+  const std::string out = render_gantt(tasks, s);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(RenderGanttTest, LegendListsTaskParameters) {
+  const TaskSet tasks({{1.0, 9.0, 4.0}});
+  Schedule s(1);
+  s.add({0, 0, 1.0, 9.0, 0.5});
+  const std::string out = render_gantt(tasks, s);
+  EXPECT_NE(out.find("R=1"), std::string::npos);
+  EXPECT_NE(out.find("D=9"), std::string::npos);
+  GanttOptions no_legend;
+  no_legend.frequency_legend = false;
+  EXPECT_EQ(render_gantt(tasks, s, no_legend).find("R=1"), std::string::npos);
+}
+
+TEST(RenderGanttTest, RendersPipelineOutputWithoutError) {
+  Rng rng(Rng::seed_of("render-pipeline", 0));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PipelineResult result = run_pipeline(tasks, 4, PowerModel(3.0, 0.1));
+  const std::string out = render_gantt(tasks, result.der.final_schedule);
+  EXPECT_GT(out.size(), 100u);
+}
+
+TEST(RenderGanttTest, RejectsBadArguments) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const Schedule s(1);
+  GanttOptions narrow;
+  narrow.width = 2;
+  EXPECT_THROW(render_gantt(tasks, s, narrow), ContractViolation);
+  EXPECT_THROW(render_gantt(TaskSet{}, s), ContractViolation);
+}
+
+TEST(ScheduleIoTest, RoundTripPreservesSegmentsAndCoreCount) {
+  Schedule s(3);
+  s.add({0, 0, 0.0, 1.5, 0.75});
+  s.add({1, 2, 1.0, 4.0, 1.25});
+  const Schedule parsed = schedule_from_csv(schedule_to_csv(s));
+  EXPECT_EQ(parsed.core_count(), 3);
+  ASSERT_EQ(parsed.segments().size(), 2u);
+  EXPECT_EQ(parsed.segments()[0].task, 0);
+  EXPECT_NEAR(parsed.segments()[1].frequency, 1.25, 1e-9);
+  EXPECT_NEAR(parsed.segments()[1].end, 4.0, 1e-9);
+}
+
+TEST(ScheduleIoTest, CoreCountFallsBackToMaxCoreId) {
+  const Schedule parsed =
+      schedule_from_csv("task,core,start,end,frequency\n0,5,0.0,1.0,1.0\n");
+  EXPECT_EQ(parsed.core_count(), 6);
+}
+
+TEST(ScheduleIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(schedule_from_csv("task,core,start,end\n0,0,0,1\n"), ContractViolation);
+  EXPECT_THROW(schedule_from_csv("task,core,start,end,frequency\n0,0,zero,1,1\n"),
+               std::runtime_error);
+  // Degenerate segment rejected by Schedule::add's contracts.
+  EXPECT_THROW(schedule_from_csv("task,core,start,end,frequency\n0,0,2,2,1\n"),
+               ContractViolation);
+}
+
+TEST(ScheduleIoTest, FileRoundTripThroughValidator) {
+  Rng rng(Rng::seed_of("schedule-io-file", 0));
+  WorkloadConfig config;
+  config.task_count = 8;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PipelineResult result = run_pipeline(tasks, 4, PowerModel(3.0, 0.1));
+
+  const std::string path = ::testing::TempDir() + "/easched_plan.csv";
+  write_schedule(path, result.der.final_schedule);
+  const Schedule loaded = read_schedule(path);
+  EXPECT_EQ(loaded.segments().size(), result.der.final_schedule.segments().size());
+  const ValidationReport report = loaded.validate(tasks, 1e-5);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+}
+
+}  // namespace
+}  // namespace easched

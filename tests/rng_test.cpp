@@ -1,0 +1,104 @@
+// Deterministic RNG: reproducibility, range correctness, stream splitting.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <set>
+#include <vector>
+
+#include "easched/common/rng.hpp"
+
+namespace easched {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(3.0, 8.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 8.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, PickDrawsFromContainer) {
+  Rng rng(17);
+  const std::vector<double> values{0.1, 0.2, 0.3};
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.pick(values);
+    EXPECT_TRUE(v == 0.1 || v == 0.2 || v == 0.3);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentChildStreams) {
+  Rng parent(23);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c0() == c1()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+  // Splitting does not perturb the parent.
+  Rng parent2(23);
+  (void)parent2.split(0);
+  EXPECT_EQ(parent(), parent2());
+}
+
+TEST(RngTest, SeedOfIsStableAndSensitive) {
+  const auto s1 = Rng::seed_of("fig06", 3, 17);
+  EXPECT_EQ(s1, Rng::seed_of("fig06", 3, 17));
+  EXPECT_NE(s1, Rng::seed_of("fig06", 3, 18));
+  EXPECT_NE(s1, Rng::seed_of("fig07", 3, 17));
+  EXPECT_NE(Rng::seed_of("a", 0, 1), Rng::seed_of("a", 1, 0));
+}
+
+TEST(RngTest, ContractsRejectBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+  const std::vector<double> empty;
+  EXPECT_THROW(rng.pick(empty), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,134 @@
+// Frequency-derating robustness analysis.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/robustness.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(DerateScheduleTest, ScalesFrequenciesOnly) {
+  Schedule s(1);
+  s.add({0, 0, 1.0, 3.0, 2.0});
+  const Schedule derated = derate_schedule(s, 0.5);
+  ASSERT_EQ(derated.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(derated.segments()[0].frequency, 1.0);
+  EXPECT_DOUBLE_EQ(derated.segments()[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(derated.segments()[0].end, 3.0);
+  EXPECT_THROW(derate_schedule(s, 0.0), ContractViolation);
+}
+
+TEST(DeratingSweepTest, NominalFactorIsClean) {
+  Rng rng(Rng::seed_of("robustness-nominal", 0));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const auto points =
+      derating_sweep(tasks, result.der.final_schedule, {1.0}, power_function(power));
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].missed_tasks, 0u);
+  EXPECT_NEAR(points[0].shortfall_fraction, 0.0, 1e-9);
+}
+
+TEST(DeratingSweepTest, FixedPlanShortfallIsExactlyOneMinusFactor) {
+  // Plans complete exactly the requirement, so with fixed timings the
+  // shortfall is linear in the factor — the degenerate view documented in
+  // the header.
+  Rng rng(Rng::seed_of("robustness-linear", 1));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const auto points = derating_sweep(tasks, result.der.final_schedule,
+                                     {1.0, 0.9, 0.7, 0.5}, power_function(power));
+  for (const RobustnessPoint& p : points) {
+    EXPECT_NEAR(p.shortfall_fraction, 1.0 - p.factor, 1e-6);
+  }
+  EXPECT_GT(points.back().missed_tasks, 0u);
+}
+
+TEST(DeratingSweepTest, EnergyScalesWithPowerAtDeratedFrequency) {
+  Schedule plan(1);
+  plan.add({0, 0, 0.0, 2.0, 1.0});
+  const TaskSet tasks({{0.0, 2.0, 2.0}});
+  const PowerModel power(3.0, 0.0);
+  const auto points = derating_sweep(tasks, plan, {0.5}, power_function(power));
+  // Same 2 seconds, at frequency 0.5: energy = 0.125 * 2.
+  EXPECT_NEAR(points[0].energy, 0.25, 1e-12);
+}
+
+TEST(DeratingSweepTest, RejectsEmptyFactorList) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const Schedule plan(1);
+  EXPECT_THROW(derating_sweep(tasks, plan, {}, power_function(PowerModel(3.0, 0.0))),
+               ContractViolation);
+}
+
+TEST(CriticalDeratingTest, TightAssignmentHasNoHeadroom) {
+  // f = C/(D-R): any slowdown misses under a reacting runtime too.
+  const TaskSet tasks({{0.0, 10.0, 5.0}});
+  const double factor = critical_derating_factor(tasks, 1, {0.5});
+  EXPECT_DOUBLE_EQ(factor, 1.0);
+}
+
+TEST(CriticalDeratingTest, DoubleSpeedToleratesHalfDerating) {
+  const TaskSet tasks({{0.0, 10.0, 5.0}});
+  const double factor = critical_derating_factor(tasks, 1, {1.0}, 1e-4);
+  EXPECT_NEAR(factor, 0.5, 1e-3);
+}
+
+TEST(CriticalDeratingTest, ClampedFinalFrequenciesLeaveHeadroom) {
+  // With large static power, F2's frequencies sit at f* above the
+  // bare-minimum rates; a reacting EDF runtime absorbs real derating.
+  Rng rng(Rng::seed_of("robustness-slack", 2));
+  WorkloadConfig config;
+  config.task_count = 10;
+  config.intensity = IntensityDistribution::range(0.1, 0.3);  // loose tasks
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 1.0);  // f* ~ 0.79 dominates the loose rates
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const double factor =
+      critical_derating_factor(tasks, 4, result.der.final_frequency, 1e-3);
+  EXPECT_LT(factor, 0.9);
+}
+
+TEST(CriticalDeratingTest, ZeroStaticPowerPlansAreTighter) {
+  // p0 = 0 stretches tasks to their windows: less headroom than with
+  // f*-clamped assignments on the same workload.
+  Rng rng(Rng::seed_of("robustness-compare", 3));
+  WorkloadConfig config;
+  config.task_count = 10;
+  config.intensity = IntensityDistribution::range(0.1, 0.3);
+  const TaskSet tasks = generate_workload(config, rng);
+  const PipelineResult tight = run_pipeline(tasks, 4, PowerModel(3.0, 0.0));
+  const PipelineResult clamped = run_pipeline(tasks, 4, PowerModel(3.0, 1.0));
+  const double tight_factor = critical_derating_factor(tasks, 4, tight.der.final_frequency);
+  const double clamped_factor =
+      critical_derating_factor(tasks, 4, clamped.der.final_frequency);
+  EXPECT_LE(clamped_factor, tight_factor + 1e-9);
+}
+
+TEST(CriticalDeratingTest, InfeasibleNominalReportsOne) {
+  // Frequencies already too slow: the function reports 1.0 (no tolerance).
+  const TaskSet tasks({{0.0, 2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(critical_derating_factor(tasks, 1, {1.0}), 1.0);
+}
+
+TEST(EdfMeetsDeadlinesAtTest, Basics) {
+  const TaskSet tasks({{0.0, 10.0, 5.0}});
+  EXPECT_TRUE(edf_meets_deadlines_at(tasks, 1, {1.0}, 1.0));
+  EXPECT_TRUE(edf_meets_deadlines_at(tasks, 1, {1.0}, 0.6));
+  EXPECT_FALSE(edf_meets_deadlines_at(tasks, 1, {1.0}, 0.4));
+  EXPECT_THROW(edf_meets_deadlines_at(tasks, 1, {1.0}, 0.0), ContractViolation);
+  EXPECT_THROW(edf_meets_deadlines_at(tasks, 1, {}, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,85 @@
+// Schedule summary metrics.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/schedule_stats.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(ScheduleStatsTest, EmptySchedule) {
+  const TaskSet ts({{0.0, 1.0, 1.0}});
+  const ScheduleStats stats = compute_schedule_stats(ts, Schedule(4));
+  EXPECT_DOUBLE_EQ(stats.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(stats.utilization, 0.0);
+  EXPECT_EQ(stats.core_busy.size(), 4u);
+}
+
+TEST(ScheduleStatsTest, KnownSmallSchedule) {
+  const TaskSet ts({{0.0, 10.0, 4.0}, {0.0, 10.0, 2.0}});
+  Schedule s(2);
+  s.add({0, 0, 0.0, 4.0, 1.0});   // 4 busy on core 0
+  s.add({1, 1, 2.0, 6.0, 0.5});   // 4 busy on core 1
+  const ScheduleStats stats = compute_schedule_stats(ts, s);
+  EXPECT_DOUBLE_EQ(stats.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(stats.busy_time, 8.0);
+  EXPECT_DOUBLE_EQ(stats.utilization, 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(stats.core_busy[0], 4.0);
+  EXPECT_DOUBLE_EQ(stats.core_busy[1], 4.0);
+  EXPECT_DOUBLE_EQ(stats.min_frequency, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max_frequency, 1.0);
+  // Work-weighted mean: (1*4 + 0.5*2) / 6.
+  EXPECT_NEAR(stats.mean_frequency, 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(stats.splits, 0u);
+}
+
+TEST(ScheduleStatsTest, CountsSplitsAndMigrations) {
+  const TaskSet ts({{0.0, 20.0, 4.0}});
+  Schedule s(2);
+  s.add({0, 0, 0.0, 1.0, 1.0});
+  s.add({0, 0, 2.0, 3.0, 1.0});  // split, same core
+  s.add({0, 1, 4.0, 6.0, 1.0});  // split + migration
+  const ScheduleStats stats = compute_schedule_stats(ts, s);
+  EXPECT_EQ(stats.splits, 2u);
+  EXPECT_EQ(stats.migrations, 1u);
+}
+
+TEST(ScheduleStatsTest, PipelineScheduleMetricsAreSane) {
+  Rng rng(Rng::seed_of("schedule-stats", 0));
+  WorkloadConfig config;
+  config.task_count = 15;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  const ScheduleStats stats = compute_schedule_stats(tasks, result.der.final_schedule);
+  EXPECT_GT(stats.makespan, 0.0);
+  EXPECT_GT(stats.utilization, 0.0);
+  EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+  EXPECT_GE(stats.min_frequency, power.critical_frequency() - 1e-9);
+  EXPECT_LE(stats.mean_frequency, stats.max_frequency + 1e-12);
+  EXPECT_GE(stats.mean_frequency, stats.min_frequency - 1e-12);
+  double busy_sum = 0.0;
+  for (const double b : stats.core_busy) busy_sum += b;
+  EXPECT_NEAR(busy_sum, stats.busy_time, 1e-9);
+}
+
+TEST(ScheduleStatsTest, BusyTimeMatchesExecutionTimes) {
+  Rng rng(Rng::seed_of("schedule-stats-busy", 1));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PipelineResult result = run_pipeline(tasks, 4, PowerModel(3.0, 0.2));
+  const ScheduleStats stats = compute_schedule_stats(tasks, result.der.final_schedule);
+  double by_task = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    by_task += result.der.final_schedule.execution_time(static_cast<TaskId>(i));
+  }
+  EXPECT_NEAR(stats.busy_time, by_task, 1e-9 * by_task);
+}
+
+}  // namespace
+}  // namespace easched

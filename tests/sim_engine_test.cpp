@@ -1,0 +1,108 @@
+// Discrete-event engine: ordering, re-entrancy, causality.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <vector>
+
+#include "easched/sim/engine.hpp"
+
+namespace easched {
+namespace {
+
+TEST(SimulationEngineTest, DispatchesInTimeOrder) {
+  SimulationEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&](SimulationEngine&) { order.push_back(3); });
+  engine.schedule_at(1.0, [&](SimulationEngine&) { order.push_back(1); });
+  engine.schedule_at(2.0, [&](SimulationEngine&) { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.dispatched(), 3u);
+}
+
+TEST(SimulationEngineTest, TiesRunInSchedulingOrder) {
+  SimulationEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(1.0, [&order, i](SimulationEngine&) { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationEngineTest, NowTracksDispatchedTime) {
+  SimulationEngine engine;
+  double seen = -1.0;
+  engine.schedule_at(4.5, [&](SimulationEngine& e) { seen = e.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.5);
+}
+
+TEST(SimulationEngineTest, CallbacksMayScheduleFurtherEvents) {
+  SimulationEngine engine;
+  std::vector<double> times;
+  engine.schedule_at(1.0, [&](SimulationEngine& e) {
+    times.push_back(e.now());
+    e.schedule_at(2.0, [&](SimulationEngine& e2) { times.push_back(e2.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SimulationEngineTest, ChainedEventsCanInterleaveWithExisting) {
+  SimulationEngine engine;
+  std::vector<std::string> log;
+  engine.schedule_at(1.0, [&](SimulationEngine& e) {
+    log.push_back("a");
+    e.schedule_at(1.5, [&](SimulationEngine&) { log.push_back("inserted"); });
+  });
+  engine.schedule_at(2.0, [&](SimulationEngine&) { log.push_back("b"); });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "inserted", "b"}));
+}
+
+TEST(SimulationEngineTest, RejectsSchedulingInThePast) {
+  SimulationEngine engine;
+  bool threw = false;
+  engine.schedule_at(2.0, [&](SimulationEngine& e) {
+    try {
+      e.schedule_at(1.0, [](SimulationEngine&) {});
+    } catch (const ContractViolation&) {
+      threw = true;
+    }
+  });
+  engine.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SimulationEngineTest, SameTimeFromCallbackIsAllowed) {
+  SimulationEngine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&](SimulationEngine& e) {
+    ++count;
+    if (count < 3) e.schedule_at(e.now(), [&](SimulationEngine&) { ++count; });
+  });
+  engine.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationEngineTest, RejectsNullCallback) {
+  SimulationEngine engine;
+  EXPECT_THROW(engine.schedule_at(0.0, nullptr), ContractViolation);
+}
+
+TEST(SimulationEngineTest, RunIsResumableAfterDrain) {
+  SimulationEngine engine;
+  int hits = 0;
+  engine.schedule_at(1.0, [&](SimulationEngine&) { ++hits; });
+  engine.run();
+  engine.schedule_at(2.0, [&](SimulationEngine&) { ++hits; });
+  engine.run();
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace easched

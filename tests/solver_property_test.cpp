@@ -1,0 +1,118 @@
+// Parameterized cross-solver properties: FISTA and the interior-point method
+// must agree with each other and bound every scheduler, across the power
+// model and platform space.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/interior_point.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+// (alpha, p0, cores, task_count, seed)
+using Params = std::tuple<double, double, int, std::size_t, std::uint64_t>;
+
+class SolverPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const auto [alpha, p0, cores, n, seed] = GetParam();
+    cores_ = cores;
+    power_ = PowerModel(alpha, p0);
+    Rng rng(Rng::seed_of("solver-property", seed, n, static_cast<std::uint64_t>(cores)));
+    WorkloadConfig config;
+    config.task_count = n;
+    tasks_ = generate_workload(config, rng);
+  }
+
+  int cores_ = 0;
+  PowerModel power_{2.0, 0.0};
+  TaskSet tasks_;
+};
+
+TEST_P(SolverPropertyTest, FistaAndInteriorPointAgree) {
+  const double fista = solve_optimal_allocation(tasks_, cores_, power_).energy;
+  const InteriorPointResult ipm = solve_optimal_interior_point(tasks_, cores_, power_);
+  EXPECT_TRUE(ipm.solution.converged);
+  EXPECT_NEAR(ipm.solution.energy, fista, 2e-5 * fista);
+}
+
+TEST_P(SolverPropertyTest, OptimumIsBelowEveryScheduler) {
+  const double opt = solve_optimal_allocation(tasks_, cores_, power_).energy;
+  const PipelineResult pipeline = run_pipeline(tasks_, cores_, power_);
+  const double slack = 1e-6 * opt;
+  EXPECT_LE(opt, pipeline.even.intermediate_energy + slack);
+  EXPECT_LE(opt, pipeline.even.final_energy + slack);
+  EXPECT_LE(opt, pipeline.der.intermediate_energy + slack);
+  EXPECT_LE(opt, pipeline.der.final_energy + slack);
+}
+
+TEST_P(SolverPropertyTest, IdealRelaxationIsBelowOptimum) {
+  const double opt = solve_optimal_allocation(tasks_, cores_, power_).energy;
+  const IdealCase ideal(tasks_, power_);
+  EXPECT_LE(ideal.total_energy(), opt * (1.0 + 1e-6));
+}
+
+TEST_P(SolverPropertyTest, OptimalAllocationMaterializesValidly) {
+  const SubintervalDecomposition subs(tasks_);
+  const SolverResult opt = solve_optimal_allocation(tasks_, subs, cores_, power_);
+  const Schedule schedule = materialize_optimal_schedule(tasks_, subs, cores_, opt);
+  const ValidationReport report = schedule.validate(tasks_, 1e-4);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_NEAR(schedule.energy(power_), opt.energy, 1e-4 * opt.energy);
+}
+
+TEST_P(SolverPropertyTest, OptimalTotalsNeverExceedTheCriticalStretch) {
+  // g_i is increasing past T* = C_i/f*: no optimal T_i goes beyond it.
+  const SolverResult opt = solve_optimal_allocation(tasks_, cores_, power_);
+  const double f_crit = power_.critical_frequency();
+  if (f_crit <= 0.0) return;  // p0 = 0: no interior stretch limit
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const double stretch_cap = tasks_[i].work / f_crit;
+    EXPECT_LE(opt.execution_time[i], stretch_cap * (1.0 + 1e-6) + 1e-9);
+  }
+}
+
+std::string solver_param_name(const ::testing::TestParamInfo<Params>& info) {
+  const auto [alpha, p0, cores, n, seed] = info.param;
+  return "a" + std::to_string(static_cast<int>(alpha * 10)) + "_p" +
+         std::to_string(static_cast<int>(p0 * 100)) + "_m" + std::to_string(cores) + "_n" +
+         std::to_string(n) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverPropertyTest,
+                         ::testing::Values(Params{3.0, 0.0, 4, 12, 1},
+                                           Params{3.0, 0.1, 4, 12, 2},
+                                           Params{3.0, 0.5, 4, 12, 3},
+                                           Params{2.0, 0.05, 2, 10, 4},
+                                           Params{2.5, 0.2, 6, 15, 5},
+                                           Params{3.0, 0.1, 1, 8, 6},
+                                           Params{2.2, 1.0, 3, 14, 7},
+                                           Params{3.0, 0.0, 8, 20, 8}),
+                         solver_param_name);
+
+TEST(SolverCrossCheckTest, UniprocessorTriangleYdsFistaIpm) {
+  // m = 1, p0 = 0: YDS, FISTA and the interior-point method all compute the
+  // same optimum.
+  Rng rng(Rng::seed_of("solver-triangle", 0));
+  WorkloadConfig config;
+  config.task_count = 7;
+  config.intensity = IntensityDistribution::range(0.02, 0.08);
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.0);
+  const double yds = yds_schedule(tasks).schedule.energy(power);
+  const double fista = solve_optimal_allocation(tasks, 1, power).energy;
+  const double ipm = solve_optimal_interior_point(tasks, 1, power).solution.energy;
+  EXPECT_NEAR(yds, fista, 1e-4 * yds);
+  EXPECT_NEAR(yds, ipm, 1e-4 * yds);
+}
+
+}  // namespace
+}  // namespace easched

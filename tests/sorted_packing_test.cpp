@@ -1,0 +1,84 @@
+// Frequency-sorted re-packing of final schedules (the paper's "choose the
+// order to avoid unnecessary preemptions and migrations" remark made
+// concrete).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/transitions.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+struct Built {
+  TaskSet tasks;
+  PowerModel power{3.0, 0.1};
+  MethodResult method;
+  Schedule sorted;
+
+  static Built make(std::uint64_t seed, int cores) {
+    Built b;
+    Rng rng(Rng::seed_of("sorted-packing", seed));
+    WorkloadConfig config;
+    b.tasks = generate_workload(config, rng);
+    const SubintervalDecomposition subs(b.tasks);
+    const IdealCase ideal(b.tasks, b.power);
+    b.method = schedule_with_method(b.tasks, subs, cores, b.power, ideal,
+                                    AllocationMethod::kDer);
+    b.sorted = materialize_final_sorted(b.tasks, subs, cores, b.method);
+    return b;
+  }
+};
+
+TEST(SortedPackingTest, ScheduleStaysValid) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Built b = Built::make(seed, 4);
+    const ValidationReport report = b.sorted.validate(b.tasks, 1e-5);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": "
+                           << (report.violations.empty() ? "" : report.violations.front());
+  }
+}
+
+TEST(SortedPackingTest, EnergyIsUnchanged) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Built b = Built::make(seed, 4);
+    EXPECT_NEAR(b.sorted.energy(b.power), b.method.final_energy,
+                1e-6 * b.method.final_energy)
+        << "seed " << seed;
+    const ExecutionReport run = execute_schedule(b.tasks, b.sorted,
+                                                 power_function(b.power), 1e-5);
+    EXPECT_TRUE(run.anomalies.empty()) << "seed " << seed;
+    EXPECT_TRUE(run.all_deadlines_met()) << "seed " << seed;
+  }
+}
+
+TEST(SortedPackingTest, ReducesFrequencySwitchesOnAverage) {
+  std::size_t default_switches = 0, sorted_switches = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Built b = Built::make(seed, 4);
+    default_switches += count_transitions(b.method.final_schedule).frequency_switches;
+    sorted_switches += count_transitions(b.sorted).frequency_switches;
+  }
+  EXPECT_LT(sorted_switches, default_switches);
+}
+
+TEST(SortedPackingTest, WorksOnUniprocessor) {
+  const Built b = Built::make(3, 1);
+  EXPECT_TRUE(b.sorted.validate(b.tasks, 1e-5).ok);
+  EXPECT_NEAR(b.sorted.energy(b.power), b.method.final_energy,
+              1e-6 * b.method.final_energy);
+}
+
+TEST(SortedPackingTest, RejectsMismatchedResult) {
+  const TaskSet tasks({{0.0, 1.0, 1.0}});
+  const SubintervalDecomposition subs(tasks);
+  MethodResult empty;  // wrong sizes
+  EXPECT_THROW(materialize_final_sorted(tasks, subs, 1, empty), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

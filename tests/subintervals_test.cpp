@@ -1,0 +1,109 @@
+// Subinterval decomposition: boundaries, overlap sets, heavy/light.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include "easched/common/rng.hpp"
+#include "easched/tasksys/subintervals.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(SubintervalsTest, IntroExampleDecomposition) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const SubintervalDecomposition subs(ts);
+  // Boundaries 0,2,4,8,10,12 -> 5 subintervals.
+  ASSERT_EQ(subs.size(), 5u);
+  const std::vector<double> expected{0.0, 2.0, 4.0, 8.0, 10.0, 12.0};
+  EXPECT_EQ(subs.boundaries(), expected);
+  EXPECT_EQ(subs[2].overlapping.size(), 3u);  // [4,8] overlaps all three
+  EXPECT_TRUE(subs[2].heavy(2));
+  EXPECT_FALSE(subs[2].heavy(3));
+}
+
+TEST(SubintervalsTest, SubintervalsTileTheHorizon) {
+  Rng rng(Rng::seed_of("subs-tile", 0));
+  WorkloadConfig config;
+  config.task_count = 25;
+  const TaskSet ts = generate_workload(config, rng);
+  const SubintervalDecomposition subs(ts);
+  EXPECT_DOUBLE_EQ(subs[0].begin, ts.earliest_release());
+  EXPECT_DOUBLE_EQ(subs[subs.size() - 1].end, ts.latest_deadline());
+  for (std::size_t j = 1; j < subs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(subs[j].begin, subs[j - 1].end);
+    EXPECT_GT(subs[j].length(), 0.0);
+  }
+}
+
+TEST(SubintervalsTest, DuplicateBoundariesAreMerged) {
+  const TaskSet ts({{0.0, 4.0, 1.0}, {0.0, 4.0, 2.0}, {2.0, 4.0, 1.0}});
+  const SubintervalDecomposition subs(ts);
+  ASSERT_EQ(subs.size(), 2u);  // boundaries 0, 2, 4
+  EXPECT_EQ(subs[0].overlapping.size(), 2u);
+  EXPECT_EQ(subs[1].overlapping.size(), 3u);
+}
+
+TEST(SubintervalsTest, NearDuplicateBoundariesMergeWithinTolerance) {
+  const TaskSet ts({{0.0, 4.0, 1.0}, {1e-13, 4.0, 1.0}});
+  const SubintervalDecomposition subs(ts, 1e-12);
+  EXPECT_EQ(subs.size(), 1u);
+}
+
+TEST(SubintervalsTest, CoveringReturnsTaskWindowTiles) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const SubintervalDecomposition subs(ts);
+  const auto cover1 = subs.covering(ts[1]);  // [2, 10] -> subintervals 1..3
+  EXPECT_EQ(cover1, (std::vector<std::size_t>{1, 2, 3}));
+  double total = 0.0;
+  for (const std::size_t j : cover1) total += subs[j].length();
+  EXPECT_DOUBLE_EQ(total, ts[1].window());
+}
+
+TEST(SubintervalsTest, OverlapCountsAreConsistentWithCovering) {
+  Rng rng(Rng::seed_of("subs-consistency", 4));
+  WorkloadConfig config;
+  config.task_count = 15;
+  const TaskSet ts = generate_workload(config, rng);
+  const SubintervalDecomposition subs(ts);
+  // Sum over subintervals of |overlapping| equals sum over tasks of
+  // |covering(task)|.
+  std::size_t by_interval = 0;
+  for (std::size_t j = 0; j < subs.size(); ++j) by_interval += subs[j].overlapping.size();
+  std::size_t by_task = 0;
+  for (const Task& t : ts) by_task += subs.covering(t).size();
+  EXPECT_EQ(by_interval, by_task);
+}
+
+TEST(SubintervalsTest, IndexAtLocatesTimes) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const SubintervalDecomposition subs(ts);
+  EXPECT_EQ(subs.index_at(0.0), 0u);
+  EXPECT_EQ(subs.index_at(3.0), 1u);
+  EXPECT_EQ(subs.index_at(4.0), 2u);
+  EXPECT_EQ(subs.index_at(12.0), subs.size() - 1);  // right endpoint
+  EXPECT_THROW(subs.index_at(-1.0), ContractViolation);
+  EXPECT_THROW(subs.index_at(13.0), ContractViolation);
+}
+
+TEST(SubintervalsTest, MaxOverlapMatchesBruteForce) {
+  Rng rng(Rng::seed_of("subs-max-overlap", 9));
+  WorkloadConfig config;
+  config.task_count = 30;
+  const TaskSet ts = generate_workload(config, rng);
+  const SubintervalDecomposition subs(ts);
+  std::size_t brute = 0;
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    brute = std::max(brute, ts.live_during(subs[j].begin, subs[j].end).size());
+  }
+  EXPECT_EQ(subs.max_overlap(), brute);
+}
+
+TEST(SubintervalsTest, RejectsEmptyTaskSet) {
+  const TaskSet empty;
+  EXPECT_THROW(SubintervalDecomposition{empty}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,105 @@
+// ASCII table rendering and the minimal CSV round trip.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include "easched/common/csv.hpp"
+#include "easched/common/table.hpp"
+
+namespace easched {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderRuleAndAlignedRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);  // cells are right-aligned
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("|------"), std::string::npos);
+  // All lines have the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTableTest, NumericRowHelperFormatsWithPrecision) {
+  AsciiTable t({"p0", "NEC"});
+  t.add_row("0.02", {1.23456789});
+  EXPECT_NE(t.to_string().find("1.2346"), std::string::npos);
+}
+
+TEST(AsciiTableTest, RejectsAritySmismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.add_row("label", {1.0, 2.0}), ContractViolation);
+}
+
+TEST(AsciiTableTest, CsvOutputHasNoPadding) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"x", "1"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1\n");
+}
+
+TEST(FormatFixedTest, Rounds) {
+  EXPECT_EQ(format_fixed(1.25, 1), "1.2");  // banker-independent enough: 1.25 -> 1.2 or 1.3
+  EXPECT_EQ(format_fixed(2.0, 3), "2.000");
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  const CsvDocument doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(doc.header.size(), 3u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+  EXPECT_EQ(doc.column("b"), 1u);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  const CsvDocument doc = parse_csv("# comment\n\na,b\n# another\n1,2\n");
+  EXPECT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.rows.size(), 1u);
+}
+
+TEST(CsvTest, TrimsWhitespaceAndCarriageReturns) {
+  const CsvDocument doc = parse_csv("a , b\r\n 1 ,2 \r\n");
+  EXPECT_EQ(doc.header[0], "a");
+  EXPECT_EQ(doc.header[1], "b");
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_THROW(parse_csv(""), std::runtime_error);
+  EXPECT_THROW(parse_csv("# only comments\n"), std::runtime_error);
+}
+
+TEST(CsvTest, MissingColumnThrows) {
+  const CsvDocument doc = parse_csv("a,b\n1,2\n");
+  EXPECT_THROW(doc.column("zzz"), ContractViolation);
+}
+
+TEST(CsvTest, ToCsvRoundTrips) {
+  const std::string text = to_csv({"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  const CsvDocument doc = parse_csv(text);
+  EXPECT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/easched_csv_test.csv";
+  write_file(path, "a,b\n7,8\n");
+  const CsvDocument doc = read_csv_file(path);
+  EXPECT_EQ(doc.rows[0][0], "7");
+  EXPECT_THROW(read_file(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace easched

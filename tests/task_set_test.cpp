@@ -1,0 +1,83 @@
+// Task and TaskSet: validation, aggregates, live-task queries.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+namespace {
+
+TEST(TaskTest, DerivedQuantities) {
+  const Task t{2.0, 10.0, 4.0};
+  EXPECT_DOUBLE_EQ(t.window(), 8.0);
+  EXPECT_DOUBLE_EQ(t.intensity(), 0.5);
+}
+
+TEST(TaskSetTest, AggregatesOverTasks) {
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.earliest_release(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.latest_deadline(), 12.0);
+  EXPECT_DOUBLE_EQ(ts.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max_intensity(), 1.0);  // task 3: 4 / (8-4)
+}
+
+TEST(TaskSetTest, EmptySetIsAllowed) {
+  const TaskSet ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.total_work(), 0.0);
+}
+
+TEST(TaskSetTest, RejectsNonPositiveWork) {
+  EXPECT_THROW(TaskSet({{0.0, 1.0, 0.0}}), ContractViolation);
+  EXPECT_THROW(TaskSet({{0.0, 1.0, -2.0}}), ContractViolation);
+}
+
+TEST(TaskSetTest, RejectsEmptyWindow) {
+  EXPECT_THROW(TaskSet({{5.0, 5.0, 1.0}}), ContractViolation);
+  EXPECT_THROW(TaskSet({{5.0, 4.0, 1.0}}), ContractViolation);
+}
+
+TEST(TaskSetTest, RejectsNonFiniteFields) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TaskSet({{0.0, inf, 1.0}}), ContractViolation);
+  EXPECT_THROW(TaskSet({{0.0, 1.0, std::nan("")}}), ContractViolation);
+}
+
+TEST(TaskSetTest, AtChecksBounds) {
+  const TaskSet ts({{0.0, 1.0, 1.0}});
+  EXPECT_NO_THROW(ts.at(0));
+  EXPECT_THROW(ts.at(1), ContractViolation);
+  EXPECT_THROW(ts.at(-1), ContractViolation);
+}
+
+TEST(TaskSetTest, LiveDuringSelectsCoveringTasks) {
+  // "Overlapping" = release <= t1 AND deadline >= t2 (paper definition).
+  const TaskSet ts({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  EXPECT_EQ(ts.live_during(0.0, 2.0), (std::vector<TaskId>{0}));
+  EXPECT_EQ(ts.live_during(2.0, 4.0), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(ts.live_during(4.0, 8.0), (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(ts.live_during(10.0, 12.0), (std::vector<TaskId>{0}));
+}
+
+TEST(TaskSetTest, LiveDuringExcludesPartialOverlap) {
+  const TaskSet ts({{2.0, 6.0, 1.0}});
+  EXPECT_TRUE(ts.live_during(0.0, 4.0).empty());  // released after t1
+  EXPECT_TRUE(ts.live_during(4.0, 8.0).empty());  // deadline before t2
+  EXPECT_EQ(ts.live_during(2.0, 6.0).size(), 1u);
+}
+
+TEST(TaskSetTest, IterationVisitsAllTasks) {
+  const TaskSet ts({{0.0, 1.0, 1.0}, {1.0, 2.0, 2.0}});
+  double work = 0.0;
+  for (const Task& t : ts) work += t.work;
+  EXPECT_DOUBLE_EQ(work, 3.0);
+}
+
+}  // namespace
+}  // namespace easched

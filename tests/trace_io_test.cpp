@@ -1,0 +1,70 @@
+// Task-trace CSV I/O round trips.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include "easched/common/rng.hpp"
+#include "easched/tasksys/trace_io.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesTasks) {
+  WorkloadConfig config;
+  config.task_count = 25;
+  Rng rng(Rng::seed_of("trace-roundtrip", 0));
+  const TaskSet original = generate_workload(config, rng);
+  const TaskSet parsed = task_set_from_csv(task_set_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(parsed[i].release, original[i].release, 1e-8);
+    EXPECT_NEAR(parsed[i].deadline, original[i].deadline, 1e-8);
+    EXPECT_NEAR(parsed[i].work, original[i].work, 1e-8);
+  }
+}
+
+TEST(TraceIoTest, ColumnsMayAppearInAnyOrder) {
+  const TaskSet ts = task_set_from_csv("work,release,deadline\n4,0,12\n2,2,10\n");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0].work, 4.0);
+  EXPECT_DOUBLE_EQ(ts[0].release, 0.0);
+  EXPECT_DOUBLE_EQ(ts[1].deadline, 10.0);
+}
+
+TEST(TraceIoTest, ExtraColumnsAreIgnored) {
+  const TaskSet ts = task_set_from_csv("release,deadline,work,name\n0,5,1,foo\n");
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TraceIoTest, CommentsAllowedInTraces) {
+  const TaskSet ts =
+      task_set_from_csv("# intro example\nrelease,deadline,work\n0,12,4\n# inline\n2,10,2\n");
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TraceIoTest, RejectsMissingColumn) {
+  EXPECT_THROW(task_set_from_csv("release,deadline\n0,12\n"), ContractViolation);
+}
+
+TEST(TraceIoTest, RejectsNonNumericField) {
+  EXPECT_THROW(task_set_from_csv("release,deadline,work\n0,twelve,4\n"), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsInvalidTask) {
+  // deadline <= release is caught by TaskSet validation.
+  EXPECT_THROW(task_set_from_csv("release,deadline,work\n5,5,4\n"), ContractViolation);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/easched_trace_test.csv";
+  const TaskSet original({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}});
+  write_task_set(path, original);
+  const TaskSet loaded = read_task_set(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_NEAR(loaded[1].work, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,121 @@
+// DVFS transition-overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/transitions.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(TransitionsTest, SingleSegmentIsOneWakeup) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  const TransitionStats stats = count_transitions(s);
+  EXPECT_EQ(stats.wakeups, 1u);
+  EXPECT_EQ(stats.frequency_switches, 0u);
+  EXPECT_EQ(stats.idle_gaps, 0u);
+}
+
+TEST(TransitionsTest, BackToBackFrequencyChangeIsASwitch) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({1, 0, 2.0, 4.0, 2.0});
+  const TransitionStats stats = count_transitions(s);
+  EXPECT_EQ(stats.frequency_switches, 1u);
+  EXPECT_EQ(stats.wakeups, 1u);
+}
+
+TEST(TransitionsTest, SameFrequencyHandoffIsFree) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.5});
+  s.add({1, 0, 2.0, 4.0, 1.5});
+  EXPECT_EQ(count_transitions(s).frequency_switches, 0u);
+}
+
+TEST(TransitionsTest, IdleGapCostsAWakeupNotASwitch) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({1, 0, 5.0, 6.0, 2.0});  // core slept in between
+  const TransitionStats stats = count_transitions(s);
+  EXPECT_EQ(stats.wakeups, 2u);
+  EXPECT_EQ(stats.idle_gaps, 1u);
+  EXPECT_EQ(stats.frequency_switches, 0u);
+}
+
+TEST(TransitionsTest, CoresCountIndependently) {
+  Schedule s(2);
+  s.add({0, 0, 0.0, 2.0, 1.0});
+  s.add({1, 1, 0.0, 2.0, 2.0});
+  s.add({2, 1, 2.0, 3.0, 1.0});
+  const TransitionStats stats = count_transitions(s);
+  EXPECT_EQ(stats.wakeups, 2u);
+  EXPECT_EQ(stats.frequency_switches, 1u);
+}
+
+TEST(TransitionsTest, EnergyWithTransitionsAddsPenalties) {
+  Schedule s(1);
+  s.add({0, 0, 0.0, 1.0, 1.0});
+  s.add({1, 0, 1.0, 2.0, 2.0});
+  const PowerModel power(3.0, 0.0);
+  TransitionModel model;
+  model.switch_energy = 0.5;
+  model.wakeup_energy = 0.25;
+  // Base: 1*1 + 8*1 = 9; plus one switch + one wakeup.
+  EXPECT_NEAR(energy_with_transitions(s, power, model), 9.0 + 0.5 + 0.25, 1e-12);
+}
+
+TEST(TransitionsTest, ZeroOverheadModelMatchesPlainEnergy) {
+  Rng rng(Rng::seed_of("transitions-zero", 0));
+  WorkloadConfig config;
+  config.task_count = 10;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult result = run_pipeline(tasks, 4, power);
+  EXPECT_NEAR(energy_with_transitions(result.der.final_schedule, power, TransitionModel{}),
+              result.der.final_schedule.energy(power), 1e-12);
+}
+
+TEST(TransitionsTest, FinalSchedulesUseOneFrequencyPerTask) {
+  // The per-task guarantee of the final refinement: exactly one operating
+  // point per task, whereas the intermediate scheduling may use several.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(Rng::seed_of("transitions-compare", seed));
+    WorkloadConfig config;
+    const TaskSet tasks = generate_workload(config, rng);
+    const PipelineResult result = run_pipeline(tasks, 4, PowerModel(3.0, 0.1));
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      std::vector<double> distinct;
+      for (const Segment& s : result.der.final_schedule.segments_of_task(static_cast<TaskId>(i))) {
+        bool seen = false;
+        for (const double f : distinct) {
+          if (std::abs(f - s.frequency) < 1e-9) seen = true;
+        }
+        if (!seen) distinct.push_back(s.frequency);
+      }
+      EXPECT_EQ(distinct.size(), 1u) << "seed " << seed << " task " << i;
+    }
+  }
+}
+
+TEST(TransitionsTest, RejectsNegativePenalties) {
+  const Schedule s(1);
+  const PowerModel power(3.0, 0.0);
+  TransitionModel model;
+  model.switch_energy = -1.0;
+  EXPECT_THROW(energy_with_transitions(s, power, model), ContractViolation);
+  EXPECT_THROW(count_transitions(s, -1.0), ContractViolation);
+}
+
+TEST(TransitionsTest, EmptyScheduleHasNoTransitions) {
+  const Schedule s(4);
+  const TransitionStats stats = count_transitions(s);
+  EXPECT_EQ(stats.wakeups, 0u);
+  EXPECT_EQ(stats.frequency_switches, 0u);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,145 @@
+// Full-pipeline invariants across workload families beyond the paper's
+// uniform generator: bursty clusters, periodic expansions, XScale-scaled
+// sets, and adversarial hand-built corner cases.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/tasksys/arrivals.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+void expect_pipeline_invariants(const TaskSet& tasks, int cores, const PowerModel& power,
+                                const char* label) {
+  const PipelineResult result = run_pipeline(tasks, cores, power);
+
+  // Structural validity of all four schedules.
+  for (const MethodResult* m : {&result.even, &result.der}) {
+    const ValidationReport fin = m->final_schedule.validate(tasks, 1e-5);
+    EXPECT_TRUE(fin.ok) << label << "/" << to_string(m->method) << ": "
+                        << (fin.violations.empty() ? "" : fin.violations.front());
+    const ValidationReport inter = m->intermediate_schedule.validate(tasks, 1e-5);
+    EXPECT_TRUE(inter.ok) << label << "/" << to_string(m->method);
+  }
+
+  // Energy orderings.
+  EXPECT_LE(result.even.final_energy, result.even.intermediate_energy * (1.0 + 1e-9)) << label;
+  EXPECT_LE(result.der.final_energy, result.der.intermediate_energy * (1.0 + 1e-9)) << label;
+  EXPECT_GE(result.der.final_energy, result.ideal_energy * (1.0 - 1e-9)) << label;
+
+  // Optimum bounds all of it.
+  const double opt = solve_optimal_allocation(tasks, cores, power).energy;
+  EXPECT_LE(opt, result.der.final_energy * (1.0 + 1e-6)) << label;
+  EXPECT_LE(opt, result.even.final_energy * (1.0 + 1e-6)) << label;
+
+  // Simulated == analytic.
+  const ExecutionReport run =
+      execute_schedule(tasks, result.der.final_schedule, power_function(power), 1e-5);
+  EXPECT_TRUE(run.anomalies.empty()) << label;
+  EXPECT_TRUE(run.all_deadlines_met()) << label;
+  EXPECT_NEAR(run.energy, result.der.final_energy, 1e-5 * result.der.final_energy) << label;
+}
+
+TEST(WorkloadFamilyTest, BurstyClusters) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    BurstyConfig config;
+    config.bursts = 3;
+    config.tasks_per_burst = 6;
+    Rng rng(Rng::seed_of("family-bursty", seed));
+    const TaskSet tasks = generate_bursty_workload(config, rng);
+    expect_pipeline_invariants(tasks, 4, PowerModel(3.0, 0.1), "bursty");
+  }
+}
+
+TEST(WorkloadFamilyTest, BurstyOnFewCoresIsHeavilyContended) {
+  BurstyConfig config;
+  config.bursts = 2;
+  config.tasks_per_burst = 8;
+  Rng rng(Rng::seed_of("family-bursty-heavy", 1));
+  const TaskSet tasks = generate_bursty_workload(config, rng);
+  const WorkloadStats stats = describe_workload(tasks, 2);
+  EXPECT_GT(stats.heavy_time_fraction, 0.0);
+  expect_pipeline_invariants(tasks, 2, PowerModel(3.0, 0.05), "bursty-2core");
+}
+
+TEST(WorkloadFamilyTest, PeriodicExpansions) {
+  const TaskSet jobs = expand_periodic(
+      {{10.0, 3.0}, {15.0, 4.0, 12.0}, {30.0, 6.0, 0.0, 5.0}}, 60.0);
+  expect_pipeline_invariants(jobs, 2, PowerModel(3.0, 0.1), "periodic");
+  expect_pipeline_invariants(jobs, 1, PowerModel(2.5, 0.2), "periodic-uni");
+}
+
+TEST(WorkloadFamilyTest, XscaleScaledUnits) {
+  // Megahertz/megacycle units: everything must be unit-agnostic.
+  Rng rng(Rng::seed_of("family-xscale", 2));
+  const TaskSet tasks = generate_workload(WorkloadConfig::xscale(15), rng);
+  const PowerModel power(2.867, 63.58, 3.855e-6);  // the paper's fitted model
+  expect_pipeline_invariants(tasks, 4, power, "xscale");
+}
+
+TEST(WorkloadFamilyTest, IdenticalSimultaneousTasks) {
+  // Full symmetry: n identical tasks released together.
+  std::vector<Task> tasks(6, Task{0.0, 12.0, 6.0});
+  const TaskSet ts(std::move(tasks));
+  expect_pipeline_invariants(ts, 4, PowerModel(3.0, 0.1), "identical");
+  // Symmetry of the final frequencies.
+  const PipelineResult result = run_pipeline(ts, 4, PowerModel(3.0, 0.1));
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_NEAR(result.der.final_frequency[i], result.der.final_frequency[0], 1e-9);
+  }
+}
+
+TEST(WorkloadFamilyTest, ChainOfDisjointTasks) {
+  // Back-to-back windows, no overlap at all: every subinterval is light and
+  // F2 must equal the ideal case exactly.
+  std::vector<Task> tasks;
+  for (int k = 0; k < 8; ++k) {
+    tasks.push_back({10.0 * k, 10.0 * (k + 1), 4.0 + k});
+  }
+  const TaskSet ts(std::move(tasks));
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult result = run_pipeline(ts, 3, power);
+  EXPECT_NEAR(result.der.final_energy, result.ideal_energy, 1e-9 * result.ideal_energy);
+  EXPECT_NEAR(result.even.final_energy, result.ideal_energy, 1e-9 * result.ideal_energy);
+  const double opt = solve_optimal_allocation(ts, 3, power).energy;
+  EXPECT_NEAR(result.der.final_energy, opt, 1e-5 * opt);
+}
+
+TEST(WorkloadFamilyTest, NestedRussianDollWindows) {
+  // Strictly nested windows stress the DER ordering.
+  const TaskSet ts({{0.0, 40.0, 8.0},
+                    {5.0, 35.0, 8.0},
+                    {10.0, 30.0, 8.0},
+                    {15.0, 25.0, 8.0},
+                    {18.0, 22.0, 3.0}});
+  expect_pipeline_invariants(ts, 2, PowerModel(3.0, 0.1), "nested");
+}
+
+TEST(WorkloadFamilyTest, ExtremeScaleDifferences) {
+  // Mixed magnitudes: microscopic and huge tasks coexisting.
+  const TaskSet ts({{0.0, 1e-3, 1e-4},
+                    {0.0, 1e3, 1e2},
+                    {0.5, 2.0, 0.3},
+                    {100.0, 900.0, 250.0}});
+  expect_pipeline_invariants(ts, 2, PowerModel(3.0, 0.01), "scales");
+}
+
+TEST(WorkloadFamilyTest, SingleTaskDegenerateCase) {
+  const TaskSet ts({{3.0, 9.0, 2.0}});
+  for (const int cores : {1, 4}) {
+    const PowerModel power(3.0, 0.2);
+    const PipelineResult result = run_pipeline(ts, cores, power);
+    const IdealCase ideal(ts, power);
+    EXPECT_NEAR(result.der.final_energy, ideal.total_energy(), 1e-12);
+    EXPECT_NEAR(result.even.final_energy, ideal.total_energy(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace easched

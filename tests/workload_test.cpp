@@ -1,0 +1,135 @@
+// Workload generators reproduce the paper's distributions (Section VI).
+
+#include <gtest/gtest.h>
+
+#include "easched/common/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easched/common/rng.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+TEST(IntensityDistributionTest, PaperGridDrawsOnlyGridValues) {
+  auto dist = IntensityDistribution::paper_grid();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double v = dist.sample(rng);
+    const double scaled = v * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    EXPECT_GE(v, 0.1 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(IntensityDistributionTest, RangeDrawsWithinBounds) {
+  auto dist = IntensityDistribution::range(0.3, 0.8);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double v = dist.sample(rng);
+    EXPECT_GE(v, 0.3);
+    EXPECT_LT(v, 0.8);
+  }
+}
+
+TEST(IntensityDistributionTest, RangeRejectsBadBounds) {
+  EXPECT_THROW(IntensityDistribution::range(0.0), ContractViolation);
+  EXPECT_THROW(IntensityDistribution::range(0.9, 0.5), ContractViolation);
+}
+
+TEST(WorkloadTest, DefaultConfigMatchesPaperSectionVI) {
+  WorkloadConfig config;
+  Rng rng(Rng::seed_of("workload-default", 0));
+  const TaskSet ts = generate_workload(config, rng);
+  ASSERT_EQ(ts.size(), 20u);
+  for (const Task& t : ts) {
+    EXPECT_GE(t.release, 0.0);
+    EXPECT_LT(t.release, 200.0);
+    EXPECT_GE(t.work, 10.0);
+    EXPECT_LT(t.work, 30.0);
+    // D = R + C/intensity with intensity in (0, 1] implies intensity check.
+    const double intensity = t.work / (t.deadline - t.release);
+    EXPECT_GT(intensity, 0.0);
+    EXPECT_LE(intensity, 1.0 + 1e-9);
+  }
+}
+
+TEST(WorkloadTest, IntensityEqualsDrawnValue) {
+  WorkloadConfig config;
+  config.task_count = 50;
+  Rng rng(Rng::seed_of("workload-intensity", 1));
+  const TaskSet ts = generate_workload(config, rng);
+  for (const Task& t : ts) {
+    // intensity = C/(D-R) must be exactly one of the grid values.
+    const double intensity = t.intensity();
+    const double scaled = intensity * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-6);
+  }
+}
+
+TEST(WorkloadTest, SameSeedReproducesTaskSet) {
+  WorkloadConfig config;
+  Rng a(Rng::seed_of("workload-repro", 5));
+  Rng b(Rng::seed_of("workload-repro", 5));
+  const TaskSet ts1 = generate_workload(config, a);
+  const TaskSet ts2 = generate_workload(config, b);
+  ASSERT_EQ(ts1.size(), ts2.size());
+  for (std::size_t i = 0; i < ts1.size(); ++i) EXPECT_EQ(ts1[i], ts2[i]);
+}
+
+TEST(WorkloadTest, DifferentSeedsProduceDifferentTaskSets) {
+  WorkloadConfig config;
+  Rng a(Rng::seed_of("workload-div", 1));
+  Rng b(Rng::seed_of("workload-div", 2));
+  const TaskSet ts1 = generate_workload(config, a);
+  const TaskSet ts2 = generate_workload(config, b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ts1.size(); ++i) {
+    if (!(ts1[i] == ts2[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, XscaleConfigScalesWorkAndDeadlines) {
+  const WorkloadConfig config = WorkloadConfig::xscale(30, 400.0);
+  Rng rng(Rng::seed_of("workload-xscale", 0));
+  const TaskSet ts = generate_workload(config, rng);
+  ASSERT_EQ(ts.size(), 30u);
+  for (const Task& t : ts) {
+    EXPECT_GE(t.work, 4000.0);
+    EXPECT_LT(t.work, 8000.0);
+    // intensity relative to f2 = 400 MHz is in [0.1, 1.0): the minimum
+    // constant frequency C/(D-R) lies in [0.1*400, 1.0*400) MHz.
+    const double required = t.work / (t.deadline - t.release);
+    EXPECT_GE(required, 0.1 * 400.0 - 1e-6);
+    EXPECT_LT(required, 400.0 + 1e-6);
+  }
+}
+
+TEST(WorkloadTest, TaskCountIsRespected) {
+  WorkloadConfig config;
+  for (const std::size_t n : {1u, 5u, 40u}) {
+    config.task_count = n;
+    Rng rng(Rng::seed_of("workload-count", n));
+    EXPECT_EQ(generate_workload(config, rng).size(), n);
+  }
+}
+
+TEST(WorkloadTest, RejectsInvalidConfig) {
+  Rng rng(0);
+  WorkloadConfig config;
+  config.task_count = 0;
+  EXPECT_THROW(generate_workload(config, rng), ContractViolation);
+  config = WorkloadConfig{};
+  config.work_lo = 0.0;
+  EXPECT_THROW(generate_workload(config, rng), ContractViolation);
+  config = WorkloadConfig{};
+  config.release_hi = -1.0;
+  EXPECT_THROW(generate_workload(config, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easched

@@ -1,0 +1,112 @@
+// YDS baseline: reproduces the introductory example (Fig 1 / Fig 2(a)) and
+// agrees with the convex solver on uniprocessors without static power.
+
+#include <gtest/gtest.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/solver/convex_solver.hpp"
+#include "easched/solver/yds.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+// Section I-B: tasks (R, D, C) = (0,12,4), (2,10,2), (4,8,4).
+TaskSet intro_example() {
+  return TaskSet({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+}
+
+TEST(YdsTest, IntroExampleExtractsCriticalIntervalsInPaperOrder) {
+  const YdsResult result = yds_schedule(intro_example());
+  ASSERT_EQ(result.steps.size(), 2u);
+  // First critical interval [4, 8] with intensity 1 (task 3 alone).
+  EXPECT_DOUBLE_EQ(result.steps[0].begin, 4.0);
+  EXPECT_DOUBLE_EQ(result.steps[0].end, 8.0);
+  EXPECT_DOUBLE_EQ(result.steps[0].speed, 1.0);
+  EXPECT_EQ(result.steps[0].tasks, std::vector<TaskId>{2});
+  // Then [0, 12] with remaining free time 8 and intensity 0.75.
+  EXPECT_DOUBLE_EQ(result.steps[1].begin, 0.0);
+  EXPECT_DOUBLE_EQ(result.steps[1].end, 12.0);
+  EXPECT_DOUBLE_EQ(result.steps[1].speed, 0.75);
+  EXPECT_EQ(result.steps[1].tasks.size(), 2u);
+}
+
+TEST(YdsTest, IntroExampleScheduleIsValidAndHasOptimalEnergy) {
+  const TaskSet tasks = intro_example();
+  const YdsResult result = yds_schedule(tasks);
+  const ValidationReport report = result.schedule.validate(tasks);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations.front());
+
+  // E = 4*1^2 + 6*0.75^2 = 7.375 for p(f) = f^3.
+  const PowerModel power(3.0, 0.0);
+  EXPECT_NEAR(result.schedule.energy(power), 7.375, 1e-9);
+}
+
+TEST(YdsTest, SpeedsAreNonIncreasingAcrossSteps) {
+  Rng rng(Rng::seed_of("yds-speeds", 1));
+  WorkloadConfig config;
+  config.task_count = 10;
+  // Low intensities keep the uniprocessor instance schedulable.
+  config.intensity = IntensityDistribution::range(0.02, 0.08);
+  const TaskSet tasks = generate_workload(config, rng);
+  const YdsResult result = yds_schedule(tasks);
+  for (std::size_t k = 1; k < result.steps.size(); ++k) {
+    EXPECT_LE(result.steps[k].speed, result.steps[k - 1].speed + 1e-9);
+  }
+}
+
+TEST(YdsTest, MatchesConvexOptimumOnUniprocessorWithoutStaticPower) {
+  // YDS is provably optimal for m = 1, p0 = 0; our convex solver must agree.
+  for (const double alpha : {2.0, 2.5, 3.0}) {
+    const PowerModel power(alpha, 0.0);
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      Rng rng(Rng::seed_of("yds-vs-solver", seed));
+      WorkloadConfig config;
+      config.task_count = 8;
+      config.intensity = IntensityDistribution::range(0.02, 0.10);
+      const TaskSet tasks = generate_workload(config, rng);
+
+      const YdsResult yds = yds_schedule(tasks);
+      ASSERT_TRUE(yds.schedule.validate(tasks).ok) << "seed " << seed;
+      const double yds_energy = yds.schedule.energy(power);
+      const double opt_energy = solve_optimal_allocation(tasks, 1, power).energy;
+      EXPECT_NEAR(yds_energy, opt_energy, 1e-4 * opt_energy)
+          << "alpha=" << alpha << " seed=" << seed;
+    }
+  }
+}
+
+TEST(YdsTest, ExecutesCleanlyInTheSimulator) {
+  const TaskSet tasks = intro_example();
+  const YdsResult result = yds_schedule(tasks);
+  const PowerModel power(3.0, 0.0);
+  const ExecutionReport run = execute_schedule(tasks, result.schedule, power_function(power));
+  EXPECT_TRUE(run.anomalies.empty());
+  EXPECT_TRUE(run.all_deadlines_met());
+  EXPECT_NEAR(run.energy, 7.375, 1e-9);
+}
+
+TEST(YdsTest, SingleTaskRunsAtItsIntensity) {
+  const TaskSet tasks({{2.0, 10.0, 4.0}});
+  const YdsResult result = yds_schedule(tasks);
+  ASSERT_EQ(result.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.steps[0].speed, 0.5);
+  EXPECT_NEAR(result.schedule.execution_time(0), 8.0, 1e-9);
+}
+
+TEST(YdsTest, NestedTasksPreemptByEdf) {
+  // An inner urgent task must preempt the outer one within the critical
+  // interval machinery.
+  const TaskSet tasks({{0.0, 10.0, 5.0}, {4.0, 6.0, 2.0}});
+  const YdsResult result = yds_schedule(tasks);
+  ASSERT_TRUE(result.schedule.validate(tasks).ok);
+  // Task 1 (inner) must run entirely inside [4, 6].
+  for (const Segment& s : result.schedule.segments_of_task(1)) {
+    EXPECT_GE(s.start, 4.0 - 1e-9);
+    EXPECT_LE(s.end, 6.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace easched
