@@ -5,11 +5,21 @@
 //   ./easched_cli trace.csv --cores 4 --alpha 3 --p0 0.1 --scheduler f2
 //   ./easched_cli trace.csv --ladder xscale --out plan.csv
 //   ./easched_cli --demo --scheduler optimal --gantt
+//   ./easched_cli serve --clients 4 --requests 200 --fmax 1.0
 //
 // Schedulers: f1, f2 (paper heuristics), optimal (convex solver),
 // ipm (interior point), yds (uniprocessor), online (rolling-horizon F2).
+//
+// The `serve` subcommand runs the long-lived SchedulerService against a
+// synthetic arrival stream: concurrent client threads submit admission
+// requests, the service batches them, and the run ends with a metrics dump,
+// an executed-plan check, and (optionally) a snapshot for later resumption.
 
+#include <atomic>
+#include <chrono>
 #include <iostream>
+#include <memory>
+#include <thread>
 
 #include "easched/common/cli.hpp"
 #include "easched/easched.hpp"
@@ -18,7 +28,104 @@ namespace {
 
 using namespace easched;
 
+int run_serve(const CliParser& args) {
+  const int cores = args.get_int("cores");
+  const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
+  const double fmax_arg = args.get_double("fmax");
+
+  ServiceOptions options;
+  options.cores = cores;
+  options.f_max = fmax_arg > 0.0 ? fmax_arg : kInf;
+  options.batch_window = std::chrono::microseconds(args.get_int("window-us"));
+
+  std::unique_ptr<SchedulerService> service;
+  if (const std::string resume = args.get("resume"); !resume.empty()) {
+    const ServiceSnapshot snap = read_snapshot(resume);
+    service = std::make_unique<SchedulerService>(snap, power, options);
+    std::cout << "resumed from " << resume << ": " << snap.committed.size()
+              << " committed task(s), next id " << snap.next_id << "\n";
+  } else {
+    service = std::make_unique<SchedulerService>(power, options);
+  }
+
+  // Synthetic arrival stream (paper Section VI generator).
+  const auto requests = static_cast<std::size_t>(args.get_int("requests"));
+  const auto clients = static_cast<std::size_t>(std::max(1, args.get_int("clients")));
+  Rng rng(Rng::seed_of("easched-serve", static_cast<std::uint64_t>(args.get_int("seed"))));
+  WorkloadConfig config;
+  config.task_count = requests;
+  config.release_hi = args.get_double("horizon");
+  const TaskSet stream = generate_workload(config, rng);
+
+  // Replay the releases through the discrete-event engine to fix the
+  // arrival order, dealing tasks round-robin to the client threads.
+  std::vector<std::vector<Task>> per_client(clients);
+  SimulationEngine arrivals;
+  std::size_t dealt = 0;
+  for (const Task& t : stream) {
+    arrivals.schedule_at(t.release, [&per_client, &dealt, t, clients](SimulationEngine&) {
+      per_client[dealt++ % clients].push_back(t);
+    });
+  }
+  arrivals.run();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> admitted{0};
+  std::atomic<std::size_t> rejected{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::future<ServiceDecision>> futures;
+        futures.reserve(per_client[c].size());
+        for (const Task& t : per_client[c]) futures.push_back(service->submit(t));
+        for (auto& fut : futures) {
+          (fut.get().admission.admitted ? admitted : rejected).fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  service->drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  std::cout << "served " << requests << " request(s) from " << clients << " client(s) in "
+            << format_fixed(wall_s, 3) << " s ("
+            << format_fixed(static_cast<double>(requests) / wall_s, 0)
+            << " req/s): " << admitted.load() << " admitted, " << rejected.load()
+            << " rejected\n";
+
+  // Executed-plan check: the committed set must meet every deadline.
+  const TaskSet committed = service->committed_task_set();
+  if (!committed.empty()) {
+    const Schedule plan = service->current_plan();
+    const ValidationReport report = plan.validate(committed, 1e-5);
+    const ExecutionReport executed = execute_schedule(committed, plan, power_function(power));
+    std::cout << "committed plan: energy " << format_fixed(service->current_energy(), 4)
+              << ", validation " << (report.ok ? "OK" : report.violations.front())
+              << ", deadline misses " << executed.missed_deadline_count() << "\n";
+    // Non-clairvoyance reference: re-planning at every release (online F2).
+    const OnlineResult online = schedule_online(committed, cores, power);
+    std::cout << "rolling-horizon online reference: energy " << format_fixed(online.energy, 4)
+              << " over " << online.replans << " re-plans\n";
+  }
+
+  std::cout << "\n" << service->metrics().dump();
+
+  if (const std::string out = args.get("snapshot-out"); !out.empty()) {
+    write_snapshot(out, service->snapshot());
+    std::cout << "snapshot written to " << out << "\n";
+  }
+  return 0;
+}
+
 int run(const CliParser& args) {
+  if (args.positional("trace") == std::optional<std::string>("serve")) {
+    return run_serve(args);
+  }
+
   // --- Workload -----------------------------------------------------------
   TaskSet tasks;
   if (args.get_switch("demo")) {
@@ -153,7 +260,7 @@ int main(int argc, char** argv) {
   using namespace easched;
   CliParser args("easched_cli",
                  "energy-aware scheduling of aperiodic task traces (ICPP'14 reproduction)");
-  args.add_positional("trace", "CSV with columns release,deadline,work");
+  args.add_positional("trace", "CSV with columns release,deadline,work, or 'serve'");
   args.add_option("scheduler", "f2", "f1 | f2 | optimal | ipm | yds | online");
   args.add_option("cores", "4", "number of DVFS cores");
   args.add_option("alpha", "3.0", "dynamic power exponent (continuous platform)");
@@ -167,6 +274,13 @@ int main(int argc, char** argv) {
   args.add_switch("demo", "generate a demo workload instead of reading a trace");
   args.add_switch("gantt", "print an ASCII Gantt chart");
   args.add_switch("nec", "also compute the exact optimum and report NEC");
+  args.add_option("clients", "4", "serve: concurrent client threads");
+  args.add_option("requests", "200", "serve: synthetic admission requests to submit");
+  args.add_option("fmax", "0", "serve: admission frequency ceiling (0 = unbounded)");
+  args.add_option("window-us", "500", "serve: batch collection window in microseconds");
+  args.add_option("horizon", "200", "serve: release window of the synthetic stream");
+  args.add_option("snapshot-out", "", "serve: write a service snapshot here on exit");
+  args.add_option("resume", "", "serve: restore service state from this snapshot first");
 
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n\n" << args.help();

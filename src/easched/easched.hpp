@@ -44,6 +44,11 @@
 #include "easched/sched/schedule_io.hpp"
 #include "easched/sched/schedule_stats.hpp"
 #include "easched/sched/transitions.hpp"
+#include "easched/service/metrics.hpp"
+#include "easched/service/plan_cache.hpp"
+#include "easched/service/request_queue.hpp"
+#include "easched/service/service.hpp"
+#include "easched/service/snapshot.hpp"
 #include "easched/sim/edf.hpp"
 #include "easched/sim/engine.hpp"
 #include "easched/sim/executor.hpp"

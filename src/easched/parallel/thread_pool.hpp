@@ -20,8 +20,14 @@
 
 namespace easched {
 
-/// A fixed-size thread pool. Jobs are `void()` callables; exceptions thrown
-/// by a job are captured and rethrown from `Future::get()`.
+/// A fixed-size thread pool.
+///
+/// **Exception contract** (load-bearing for `SchedulerService`, which runs
+/// batch admission jobs on this pool): a job that throws never terminates a
+/// worker or the process. The exception is captured into the shared state
+/// of the future returned by `submit()` and rethrown from `future::get()`;
+/// if the caller discards the future, the exception is silently dropped
+/// with the shared state. Workers keep serving subsequent jobs either way.
 class ThreadPool {
  public:
   /// Spawn `threads` workers (defaults to hardware concurrency, at least 1).
@@ -35,7 +41,8 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueue a job; the returned future carries the job's result/exception.
+  /// Enqueue a job; the returned future carries the job's result/exception
+  /// (see the class-level exception contract).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Thread-safe metrics registry for the scheduling service.
+///
+/// The service layer is the first part of the library built for sustained
+/// traffic, so its behavior has to be observable without a debugger:
+/// counters (monotone event totals), gauges (last-written values), and
+/// histograms (latency/size distributions with quantiles). The registry is
+/// name-addressed so benches and tests can assert on a text dump instead of
+/// threading accessor plumbing through every layer.
+///
+/// Histograms keep exact samples up to a fixed capacity and then fall back
+/// to decimated retention (keep every k-th sample), which keeps quantiles
+/// deterministic — no RNG — and memory bounded under soak loads.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easched {
+
+/// Summary statistics of one histogram, computed on demand.
+struct HistogramSummary {
+  std::uint64_t count = 0;  ///< total observations (including decimated-away)
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Name-addressed counters, gauges, and histograms. All operations are
+/// thread-safe; names are created on first use.
+class MetricsRegistry {
+ public:
+  /// Retain at most `histogram_capacity` exact samples per histogram before
+  /// switching to deterministic decimation.
+  explicit MetricsRegistry(std::size_t histogram_capacity = 8192);
+
+  /// \name Writers
+  /// @{
+  void increment(std::string_view name, std::uint64_t by = 1);
+  void set_gauge(std::string_view name, double value);
+  void observe(std::string_view name, double sample);
+  /// @}
+
+  /// \name Readers (zero / empty summary for unknown names)
+  /// @{
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  HistogramSummary histogram(std::string_view name) const;
+  /// @}
+
+  /// Text exposition, one metric per line, sorted by kind then name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> mean=<m> p50=<q> p90=<q> p99=<q> ...
+  std::string dump() const;
+
+  /// Drop every metric (used between bench repetitions).
+  void reset();
+
+ private:
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> samples;  ///< decimated reservoir for quantiles
+    std::uint64_t keep_every = 1;  ///< current decimation stride
+  };
+
+  HistogramSummary summarize(const Histogram& h) const;
+
+  mutable std::mutex mutex_;
+  std::size_t histogram_capacity_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace easched

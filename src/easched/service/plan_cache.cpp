@@ -1,0 +1,61 @@
+#include "easched/service/plan_cache.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+std::string plan_signature(std::span<const std::pair<TaskId, Task>> live, double quantum) {
+  EASCHED_EXPECTS(quantum > 0.0);
+  const auto q = [quantum](double x) { return std::llround(x / quantum); };
+  std::ostringstream out;
+  for (const auto& [id, task] : live) {
+    out << id << ":" << q(task.release) << ":" << q(task.deadline) << ":" << q(task.work)
+        << ";";
+  }
+  return out.str();
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<CachedPlan> PlanCache::lookup(const std::string& signature) {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::insert(const std::string& signature, CachedPlan plan) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(signature);
+  if (it != entries_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{signature, std::move(plan)});
+  entries_.emplace(signature, lru_.begin());
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().signature);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+double PlanCache::hit_rate() const {
+  const std::uint64_t lookups = hits_ + misses_;
+  return lookups == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(lookups);
+}
+
+}  // namespace easched

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// \brief LRU cache of F2 plans keyed by a task-set signature.
+///
+/// Re-planning the committed set is the expensive step of every admission
+/// and quote: one `run_pipeline` call over the live tasks. The committed set
+/// only changes on admit / complete / cancel, so between mutations every
+/// quote and plan request re-derives the exact same schedule. The cache
+/// keys plans by a *signature* of the live set — task ids plus their
+/// remaining work, release, and deadline, quantized to a fixed grain so
+/// float noise from progress accounting cannot fragment the key space —
+/// and serves repeated requests without touching the pipeline.
+///
+/// Invalidation is structural: any mutation changes the signature, so stale
+/// entries can never be returned; an LRU bound keeps dead signatures from
+/// accumulating.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task.hpp"
+
+namespace easched {
+
+/// A cached F2 plan for one committed-set signature.
+struct CachedPlan {
+  double energy = 0.0;
+  Schedule schedule;
+};
+
+/// Build the canonical signature of a live task set: `(id, release,
+/// deadline, remaining work)` per task in id order, each value quantized to
+/// multiples of `quantum`. Two sets within `quantum` of each other share a
+/// plan; `quantum` therefore bounds the energy error a cache hit can carry.
+std::string plan_signature(std::span<const std::pair<TaskId, Task>> live,
+                           double quantum = 1e-6);
+
+/// Thread-compatible (externally synchronized) LRU cache of plans.
+class PlanCache {
+ public:
+  /// Keep at most `capacity` plans; `capacity == 0` disables caching.
+  explicit PlanCache(std::size_t capacity = 128);
+
+  /// Look up a signature; a hit refreshes its LRU position.
+  std::optional<CachedPlan> lookup(const std::string& signature);
+
+  /// Insert (or overwrite) the plan for `signature`, evicting the least
+  /// recently used entry when over capacity.
+  void insert(const std::string& signature, CachedPlan plan);
+
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// \name Lifetime statistics (not reset by `clear`)
+  /// @{
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  /// Hits / lookups, 0 when no lookups have happened.
+  double hit_rate() const;
+  /// @}
+
+ private:
+  struct Entry {
+    std::string signature;
+    CachedPlan plan;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace easched

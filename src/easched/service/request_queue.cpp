@@ -1,0 +1,74 @@
+#include "easched/service/request_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace easched {
+
+std::future<ServiceDecision> RequestQueue::push(const Task& task) {
+  std::future<ServiceDecision> fut;
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) throw std::runtime_error("push() on a closed RequestQueue");
+    PendingRequest req;
+    req.sequence = next_sequence_++;
+    req.task = task;
+    fut = req.promise.get_future();
+    items_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::vector<PendingRequest> RequestQueue::take_locked(std::size_t max_batch) {
+  std::vector<PendingRequest> batch;
+  const std::size_t n = std::min(items_.size(), max_batch);
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<PendingRequest> RequestQueue::pop_batch(std::chrono::microseconds window,
+                                                    std::size_t max_batch) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return {};  // closed and drained
+  const auto deadline = std::chrono::steady_clock::now() + window;
+  while (items_.size() < max_batch && !closed_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
+  return take_locked(max_batch);
+}
+
+std::vector<PendingRequest> RequestQueue::pop_all(std::size_t max_batch) {
+  std::lock_guard lock(mutex_);
+  return take_locked(max_batch);
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return items_.size();
+}
+
+std::uint64_t RequestQueue::pushed() const {
+  std::lock_guard lock(mutex_);
+  return next_sequence_;
+}
+
+}  // namespace easched

@@ -1,0 +1,341 @@
+#include "easched/service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+
+#include "easched/common/contracts.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/sched/feasibility.hpp"
+#include "easched/sched/pipeline.hpp"
+
+namespace easched {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(const PowerModel& power, ServiceOptions options)
+    : power_(power), options_(options), cache_(options.cache_capacity) {
+  EASCHED_EXPECTS(options_.cores > 0);
+  EASCHED_EXPECTS(options_.f_max > 0.0);
+  EASCHED_EXPECTS(options_.max_batch > 0);
+  EASCHED_EXPECTS(options_.signature_quantum > 0.0);
+  if (!options_.manual_dispatch) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+}
+
+SchedulerService::SchedulerService(const ServiceSnapshot& snapshot, const PowerModel& power,
+                                   ServiceOptions options)
+    : SchedulerService(power, [&] {
+        options.cores = snapshot.cores;
+        return options;
+      }()) {
+  std::lock_guard lock(state_mutex_);
+  committed_ = snapshot.committed;
+  std::sort(committed_.begin(), committed_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  next_id_ = snapshot.next_id;
+  for (const auto& [id, task] : committed_) {
+    EASCHED_EXPECTS_MSG(id < next_id_, "snapshot id at or above next_id");
+  }
+  // Pre-seed the cache so the first post-restart request re-plans nothing.
+  if (!committed_.empty() && !snapshot.plan.empty()) {
+    cache_.insert(plan_signature(committed_, options_.signature_quantum),
+                  CachedPlan{snapshot.energy, snapshot.plan});
+  }
+  metrics_.increment("restores_total");
+  refresh_gauges_locked();
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+std::future<ServiceDecision> SchedulerService::submit(const Task& task) {
+  auto fut = queue_.push(task);
+  metrics_.increment("requests_total");
+  return fut;
+}
+
+ServiceDecision SchedulerService::submit_wait(const Task& task) {
+  auto fut = submit(task);
+  if (options_.manual_dispatch) pump();
+  return fut.get();
+}
+
+AdmissionDecision SchedulerService::quote(const Task& task) {
+  std::lock_guard lock(state_mutex_);
+  metrics_.increment("quotes_total");
+  const CachedPlan base = plan_for_committed_locked();
+  return evaluate_locked(task, base.energy, /*commit=*/false, nullptr);
+}
+
+bool SchedulerService::complete(TaskId id) {
+  std::lock_guard lock(state_mutex_);
+  auto it = std::find_if(committed_.begin(), committed_.end(),
+                         [id](const auto& entry) { return entry.first == id; });
+  if (it == committed_.end()) return false;
+  committed_.erase(it);
+  metrics_.increment("completions_total");
+  refresh_gauges_locked();
+  return true;
+}
+
+bool SchedulerService::cancel(TaskId id) {
+  std::lock_guard lock(state_mutex_);
+  auto it = std::find_if(committed_.begin(), committed_.end(),
+                         [id](const auto& entry) { return entry.first == id; });
+  if (it == committed_.end()) return false;
+  committed_.erase(it);
+  metrics_.increment("cancellations_total");
+  refresh_gauges_locked();
+  return true;
+}
+
+std::size_t SchedulerService::committed_count() const {
+  std::lock_guard lock(state_mutex_);
+  return committed_.size();
+}
+
+TaskSet SchedulerService::committed_task_set() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<Task> tasks;
+  tasks.reserve(committed_.size());
+  for (const auto& [id, task] : committed_) tasks.push_back(task);
+  return TaskSet(std::move(tasks));
+}
+
+std::vector<TaskId> SchedulerService::committed_ids() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<TaskId> ids;
+  ids.reserve(committed_.size());
+  for (const auto& [id, task] : committed_) ids.push_back(id);
+  return ids;
+}
+
+Schedule SchedulerService::current_plan() {
+  std::lock_guard lock(state_mutex_);
+  return plan_for_committed_locked().schedule;
+}
+
+double SchedulerService::current_energy() {
+  std::lock_guard lock(state_mutex_);
+  return plan_for_committed_locked().energy;
+}
+
+ServiceSnapshot SchedulerService::snapshot() {
+  std::lock_guard lock(state_mutex_);
+  ServiceSnapshot snap;
+  snap.cores = options_.cores;
+  snap.next_id = next_id_;
+  snap.committed = committed_;
+  const CachedPlan plan = plan_for_committed_locked();
+  snap.plan = plan.schedule;
+  snap.energy = plan.energy;
+  metrics_.increment("snapshots_total");
+  return snap;
+}
+
+std::size_t SchedulerService::pump() {
+  EASCHED_EXPECTS_MSG(options_.manual_dispatch,
+                      "pump() requires ServiceOptions::manual_dispatch");
+  std::size_t processed = 0;
+  for (;;) {
+    auto batch = queue_.pop_all(options_.max_batch);
+    if (batch.empty()) break;
+    processed += batch.size();
+    process_batch(std::move(batch));
+  }
+  return processed;
+}
+
+void SchedulerService::drain() {
+  if (options_.manual_dispatch) {
+    pump();
+    return;
+  }
+  const std::uint64_t target = queue_.pushed();
+  std::unique_lock lock(state_mutex_);
+  drain_cv_.wait(lock, [this, target] { return decided_requests_ >= target; });
+}
+
+void SchedulerService::shutdown() {
+  if (shutdown_.exchange(true)) return;
+  queue_.close();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  } else {
+    // Manual mode: decide whatever is still queued.
+    for (;;) {
+      auto batch = queue_.pop_all(options_.max_batch);
+      if (batch.empty()) break;
+      process_batch(std::move(batch));
+    }
+  }
+}
+
+void SchedulerService::dispatcher_loop() {
+  for (;;) {
+    auto batch = queue_.pop_batch(options_.batch_window, options_.max_batch);
+    if (batch.empty()) return;  // closed and drained
+    process_batch(std::move(batch));
+  }
+}
+
+void SchedulerService::process_batch(std::vector<PendingRequest> batch) {
+  if (!options_.manual_dispatch && options_.use_thread_pool) {
+    // One pool job per batch: planning compute shares the machine-wide
+    // worker budget with everything else built on the pool.
+    auto fut = ThreadPool::global().submit(
+        [this, moved = std::move(batch)]() mutable { run_batch(std::move(moved)); });
+    fut.get();
+  } else {
+    run_batch(std::move(batch));
+  }
+}
+
+void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::pair<std::promise<ServiceDecision>, ServiceDecision>> outcomes;
+  outcomes.reserve(batch.size());
+  {
+    std::lock_guard lock(state_mutex_);
+    const std::uint64_t batch_index = batches_++;
+    metrics_.increment("batches_total");
+    metrics_.observe("batch_size", static_cast<double>(batch.size()));
+
+    // One baseline per batch, chained through the accepted candidates.
+    double energy_before = plan_for_committed_locked().energy;
+    for (PendingRequest& request : batch) {
+      ServiceDecision decision;
+      decision.sequence = request.sequence;
+      decision.batch = batch_index;
+      try {
+        decision.admission =
+            evaluate_locked(request.task, energy_before, /*commit=*/true, &decision.id);
+      } catch (const std::exception& e) {
+        decision.admission.admitted = false;
+        decision.admission.rejection_reason = std::string("admission error: ") + e.what();
+        metrics_.increment("admission_errors_total");
+      }
+      if (decision.admission.admitted) {
+        energy_before = decision.admission.energy_after;
+        metrics_.increment("admitted_total");
+        metrics_.observe("quoted_marginal_energy", decision.admission.marginal_energy);
+      } else {
+        metrics_.increment("rejected_total");
+      }
+      outcomes.emplace_back(std::move(request.promise), std::move(decision));
+    }
+    decided_requests_ += outcomes.size();
+    metrics_.observe("replan_latency_us", elapsed_us(started));
+    refresh_gauges_locked();
+  }
+  // Fulfill promises outside the state lock: a client continuation may call
+  // straight back into the service.
+  for (auto& [promise, decision] : outcomes) promise.set_value(std::move(decision));
+  drain_cv_.notify_all();
+}
+
+CachedPlan SchedulerService::plan_for_committed_locked() {
+  if (committed_.empty()) {
+    CachedPlan empty;
+    empty.schedule = Schedule(options_.cores);
+    return empty;
+  }
+  const std::string signature = plan_signature(committed_, options_.signature_quantum);
+  if (auto hit = cache_.lookup(signature)) {
+    metrics_.increment("plan_cache_hits_total");
+    return *hit;
+  }
+  metrics_.increment("plan_cache_misses_total");
+  std::vector<Task> tasks;
+  tasks.reserve(committed_.size());
+  for (const auto& [id, task] : committed_) tasks.push_back(task);
+  const PipelineResult result = run_pipeline(TaskSet(std::move(tasks)), options_.cores, power_);
+  CachedPlan plan{result.der.final_energy, result.der.final_schedule};
+  cache_.insert(signature, plan);
+  return plan;
+}
+
+AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
+                                                    double energy_before, bool commit,
+                                                    TaskId* out_id) {
+  // Mirrors `admit_task` decision for decision parity with sequential
+  // per-request admission (the batched-determinism contract); the energy
+  // baseline is chained in by the caller instead of recomputed.
+  AdmissionDecision decision;
+  decision.energy_before = energy_before;
+
+  if (!(std::isfinite(candidate.release) && std::isfinite(candidate.deadline) &&
+        std::isfinite(candidate.work)) ||
+      candidate.work <= 0.0 || candidate.deadline <= candidate.release) {
+    decision.rejection_reason = "malformed task (need work > 0 and deadline > release)";
+    return decision;
+  }
+  if (std::isfinite(options_.f_max) && candidate.intensity() > options_.f_max) {
+    decision.rejection_reason = "task needs more than the frequency ceiling even running alone";
+    return decision;
+  }
+
+  std::vector<std::pair<TaskId, Task>> merged = committed_;
+  merged.emplace_back(next_id_, candidate);
+  std::vector<Task> merged_tasks;
+  merged_tasks.reserve(merged.size());
+  for (const auto& [id, task] : merged) merged_tasks.push_back(task);
+  const TaskSet all(std::move(merged_tasks));
+
+  if (std::isfinite(options_.f_max)) {
+    const FeasibilityReport report = check_feasibility(all, options_.cores, options_.f_max);
+    if (!report.feasible) {
+      decision.rejection_reason =
+          report.violated_conditions.empty()
+              ? "no migrating schedule fits at the frequency ceiling (flow test)"
+              : report.violated_conditions.front();
+      return decision;
+    }
+  }
+
+  // Plan the merged set through the cache. A prior quote of the same
+  // candidate against the same committed set left this plan behind, so an
+  // admit after a quote re-plans nothing.
+  const std::string signature = plan_signature(merged, options_.signature_quantum);
+  CachedPlan plan;
+  if (auto hit = cache_.lookup(signature)) {
+    metrics_.increment("plan_cache_hits_total");
+    plan = *hit;
+  } else {
+    metrics_.increment("plan_cache_misses_total");
+    const PipelineResult result = run_pipeline(all, options_.cores, power_);
+    plan = CachedPlan{result.der.final_energy, result.der.final_schedule};
+    cache_.insert(signature, plan);
+  }
+
+  decision.admitted = true;
+  decision.energy_after = plan.energy;
+  decision.marginal_energy = decision.energy_after - decision.energy_before;
+  if (commit) {
+    if (out_id != nullptr) *out_id = next_id_;
+    committed_ = std::move(merged);
+    ++next_id_;
+  }
+  return decision;
+}
+
+void SchedulerService::refresh_gauges_locked() {
+  double work = 0.0;
+  for (const auto& [id, task] : committed_) work += task.work;
+  metrics_.set_gauge("committed_tasks", static_cast<double>(committed_.size()));
+  metrics_.set_gauge("committed_work", work);
+  metrics_.set_gauge("queue_depth", static_cast<double>(queue_.depth()));
+  metrics_.set_gauge("plan_cache_size", static_cast<double>(cache_.size()));
+  metrics_.set_gauge("plan_cache_hit_rate", cache_.hit_rate());
+}
+
+}  // namespace easched

@@ -1,0 +1,195 @@
+#pragma once
+
+/// \file service.hpp
+/// \brief A long-lived scheduling service: batched admission over a
+///        committed task set, with plan caching and metrics.
+///
+/// Every other entry point in this repository is one-shot: build a task
+/// set, plan it, exit. `SchedulerService` is the first component shaped
+/// like a deployment — a daemon that owns the set of admitted tasks and
+/// serves concurrent requests for the paper's runtime-facing questions:
+/// *can this new task join?* (admission + energy quote), *what is the
+/// current plan?*, and *how is the service doing?* (metrics).
+///
+/// Three mechanisms make it serve sustained traffic cheaply:
+///
+///  1. **Batched admission.** Requests arriving within a configurable
+///     window are admitted as one batch: the energy baseline of the
+///     committed set is computed once per batch (usually a cache hit) and
+///     chained through the batch's accepted candidates, instead of being
+///     re-derived per request the way standalone `admit_task` must. The
+///     batch is processed in arrival order, so the accept/reject outcome is
+///     byte-identical to applying the same requests sequentially —
+///     batching buys throughput, never different answers.
+///
+///  2. **Plan caching.** F2 plans are memoized by a quantized signature of
+///     the committed set (see `plan_cache.hpp`). Quotes, plan reads, and
+///     the per-batch baseline all hit the cache while the set is unchanged;
+///     admits/completions/cancellations change the signature and thereby
+///     invalidate structurally.
+///
+///  3. **Shared compute.** Batch planning runs as one job on the existing
+///     `ThreadPool`, so many service instances (or a service plus the
+///     Monte-Carlo harness) share one machine-wide worker budget.
+///
+/// The service also supports graceful drain/shutdown and snapshot/restore
+/// (`snapshot.hpp`), so a restarted daemon resumes its commitments
+/// mid-horizon.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "easched/common/math.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/sched/admission.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/service/metrics.hpp"
+#include "easched/service/plan_cache.hpp"
+#include "easched/service/request_queue.hpp"
+#include "easched/service/snapshot.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Tunables of a `SchedulerService`.
+struct ServiceOptions {
+  int cores = 4;
+  /// Platform frequency ceiling; `kInf` models the ideal continuous
+  /// platform (admission then only rejects malformed requests).
+  double f_max = kInf;
+  /// How long the dispatcher keeps collecting after the first request of a
+  /// batch arrives.
+  std::chrono::microseconds batch_window{200};
+  /// Hard cap on requests admitted as one batch.
+  std::size_t max_batch = 64;
+  /// Plan cache entries (0 disables caching).
+  std::size_t cache_capacity = 128;
+  /// Quantization grain of the plan-cache signature.
+  double signature_quantum = 1e-6;
+  /// When true, no dispatcher thread is started; the owner drives batches
+  /// explicitly via `pump()`. Deterministic mode for tests and replay.
+  bool manual_dispatch = false;
+  /// Run batch planning on `ThreadPool::global()` instead of the
+  /// dispatcher thread (ignored in manual mode).
+  bool use_thread_pool = true;
+};
+
+/// The batched admission daemon. Thread-safe: any number of client threads
+/// may call `submit`, `quote`, `complete`, `cancel`, and the read accessors
+/// concurrently.
+class SchedulerService {
+ public:
+  explicit SchedulerService(const PowerModel& power, ServiceOptions options = {});
+
+  /// Resume from a snapshot: the committed set and id counter are restored
+  /// and the snapshot's plan pre-seeds the cache, so the first request
+  /// after restart does not pay a cold re-plan. `options.cores` is
+  /// overridden by the snapshot's core count.
+  SchedulerService(const ServiceSnapshot& snapshot, const PowerModel& power,
+                   ServiceOptions options = {});
+
+  /// Graceful: drains queued requests, then stops the dispatcher.
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// \name Admission traffic
+  /// @{
+
+  /// Enqueue an admission request. The future resolves after the batch
+  /// containing the request is processed. Throws `std::runtime_error`
+  /// after `shutdown()`.
+  std::future<ServiceDecision> submit(const Task& task);
+
+  /// Submit and block for the decision (drives a `pump()` in manual mode).
+  ServiceDecision submit_wait(const Task& task);
+
+  /// Non-binding admission check with an energy quote: evaluates the
+  /// candidate against the current committed set without committing it.
+  /// Repeated quotes of an unchanged set are cache hits; a quote also
+  /// warms the cache for a subsequent admit of the same candidate.
+  AdmissionDecision quote(const Task& task);
+  /// @}
+
+  /// \name Committed-set lifecycle
+  /// @{
+
+  /// Remove a finished task. Returns false for unknown ids.
+  bool complete(TaskId id);
+  /// Remove a task that will not run after all. Returns false for unknown ids.
+  bool cancel(TaskId id);
+  /// @}
+
+  /// \name State reads
+  /// @{
+  std::size_t committed_count() const;
+  /// Committed tasks in id order. Task indices of `current_plan()` are
+  /// positions in this set.
+  TaskSet committed_task_set() const;
+  std::vector<TaskId> committed_ids() const;
+  /// The F2 plan of the committed set (cached while the set is unchanged).
+  Schedule current_plan();
+  /// F2 energy of the committed set.
+  double current_energy();
+  /// Serialize current state for restart (see `snapshot.hpp`).
+  ServiceSnapshot snapshot();
+  MetricsRegistry& metrics() { return metrics_; }
+  const ServiceOptions& options() const { return options_; }
+  /// @}
+
+  /// \name Lifecycle
+  /// @{
+
+  /// Manual mode only: process everything currently queued (in batches of
+  /// at most `max_batch`). Returns the number of requests processed.
+  std::size_t pump();
+
+  /// Block until every request submitted before this call is decided.
+  void drain();
+
+  /// Stop accepting submissions, decide everything still queued, stop the
+  /// dispatcher. Idempotent; called by the destructor.
+  void shutdown();
+  /// @}
+
+ private:
+  void dispatcher_loop();
+  void process_batch(std::vector<PendingRequest> batch);
+  void run_batch(std::vector<PendingRequest> batch);
+
+  /// Plan (and energy) for the current committed set, via the cache.
+  /// Caller holds `state_mutex_`.
+  CachedPlan plan_for_committed_locked();
+  /// Admission core shared by batches and quotes. Evaluates `candidate`
+  /// against the committed set; when `commit` is set and the candidate is
+  /// feasible, it joins the set under a fresh id (written to `*out_id`).
+  /// Caller holds `state_mutex_`.
+  AdmissionDecision evaluate_locked(const Task& candidate, double energy_before,
+                                    bool commit, TaskId* out_id);
+  void refresh_gauges_locked();
+
+  PowerModel power_;
+  ServiceOptions options_;
+  MetricsRegistry metrics_;
+  RequestQueue queue_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable drain_cv_;
+  std::vector<std::pair<TaskId, Task>> committed_;  ///< id order
+  TaskId next_id_ = 0;
+  PlanCache cache_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t decided_requests_ = 0;
+
+  std::atomic<bool> shutdown_{false};
+  std::thread dispatcher_;  ///< not started in manual mode
+};
+
+}  // namespace easched

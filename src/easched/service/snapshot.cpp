@@ -1,0 +1,120 @@
+#include "easched/service/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "easched/common/csv.hpp"
+#include "easched/sched/schedule_io.hpp"
+#include "easched/tasksys/task_set.hpp"
+#include "easched/tasksys/trace_io.hpp"
+
+namespace easched {
+
+namespace {
+
+constexpr const char* kHeader = "# easched-service-snapshot v1";
+constexpr const char* kTasksMarker = "--- tasks ---";
+constexpr const char* kPlanMarker = "--- plan ---";
+
+std::string trimmed(const std::string& line) {
+  const auto begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string snapshot_to_text(const ServiceSnapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kHeader << "\n";
+  out << "# cores=" << snapshot.cores << "\n";
+  out << "# next_id=" << snapshot.next_id << "\n";
+  out << "# energy=" << snapshot.energy << "\n";
+  out << "# ids=";
+  for (std::size_t i = 0; i < snapshot.committed.size(); ++i) {
+    if (i > 0) out << ",";
+    out << snapshot.committed[i].first;
+  }
+  out << "\n";
+  out << kTasksMarker << "\n";
+  std::vector<Task> tasks;
+  tasks.reserve(snapshot.committed.size());
+  for (const auto& [id, task] : snapshot.committed) tasks.push_back(task);
+  out << task_set_to_csv(TaskSet(std::move(tasks)));
+  out << kPlanMarker << "\n";
+  out << schedule_to_csv(snapshot.plan);
+  return out.str();
+}
+
+ServiceSnapshot snapshot_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || trimmed(line) != kHeader) {
+    throw std::runtime_error("not an easched-service-snapshot v1 document");
+  }
+
+  ServiceSnapshot snapshot;
+  std::vector<TaskId> ids;
+  bool saw_ids = false;
+
+  // Header comments until the tasks marker.
+  while (std::getline(in, line)) {
+    const std::string t = trimmed(line);
+    if (t == kTasksMarker) break;
+    if (t.rfind("# cores=", 0) == 0) {
+      snapshot.cores = std::atoi(t.c_str() + 8);
+    } else if (t.rfind("# next_id=", 0) == 0) {
+      snapshot.next_id = static_cast<TaskId>(std::atoi(t.c_str() + 10));
+    } else if (t.rfind("# energy=", 0) == 0) {
+      snapshot.energy = std::atof(t.c_str() + 9);
+    } else if (t.rfind("# ids=", 0) == 0) {
+      saw_ids = true;
+      std::istringstream id_stream(t.substr(6));
+      std::string token;
+      while (std::getline(id_stream, token, ',')) {
+        if (!token.empty()) ids.push_back(static_cast<TaskId>(std::atoi(token.c_str())));
+      }
+    }
+  }
+  if (!saw_ids) throw std::runtime_error("snapshot missing the '# ids=' header line");
+
+  // Tasks section until the plan marker; plan section until EOF.
+  std::ostringstream tasks_csv;
+  bool in_plan = false;
+  std::ostringstream plan_csv;
+  while (std::getline(in, line)) {
+    if (trimmed(line) == kPlanMarker) {
+      in_plan = true;
+      continue;
+    }
+    (in_plan ? plan_csv : tasks_csv) << line << "\n";
+  }
+  if (!in_plan) throw std::runtime_error("snapshot missing the plan section");
+
+  const TaskSet tasks = task_set_from_csv(tasks_csv.str());
+  if (tasks.size() != ids.size()) {
+    throw std::runtime_error("snapshot id count does not match task count");
+  }
+  snapshot.committed.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (ids[i] >= snapshot.next_id) {
+      throw std::runtime_error("snapshot contains an id at or above next_id");
+    }
+    snapshot.committed.emplace_back(ids[i], tasks[i]);
+  }
+  snapshot.plan = schedule_from_csv(plan_csv.str());
+  return snapshot;
+}
+
+void write_snapshot(const std::string& path, const ServiceSnapshot& snapshot) {
+  write_file(path, snapshot_to_text(snapshot));
+}
+
+ServiceSnapshot read_snapshot(const std::string& path) {
+  return snapshot_from_text(read_file(path));
+}
+
+}  // namespace easched

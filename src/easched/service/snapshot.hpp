@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// \brief Durable service state: committed set + current plan, round-trippable.
+///
+/// A restarted service must resume mid-horizon: the tasks it already
+/// admitted are commitments, and re-deriving their plan must not wait for
+/// the next request. The snapshot is a single text document embedding the
+/// two existing CSV formats — the task trace (`trace_io`) and the schedule
+/// (`schedule_io`) — plus the service-id mapping and the id counter, so ids
+/// handed to clients stay valid across the restart.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task.hpp"
+
+namespace easched {
+
+/// Everything a `SchedulerService` needs to resume.
+struct ServiceSnapshot {
+  int cores = 1;
+  /// Next id the service will assign (ids already handed out stay unique).
+  TaskId next_id = 0;
+  /// Committed tasks with their service ids, in id order.
+  std::vector<std::pair<TaskId, Task>> committed;
+  /// The current plan for `committed` (task indices are positions in
+  /// `committed`, not service ids).
+  Schedule plan;
+  /// F2 energy of `plan`.
+  double energy = 0.0;
+};
+
+/// Serialize to the `easched-service-snapshot v1` text format.
+std::string snapshot_to_text(const ServiceSnapshot& snapshot);
+
+/// Parse a snapshot document. Throws `std::runtime_error` on malformed
+/// input (bad header, id/task count mismatch, malformed embedded CSV).
+ServiceSnapshot snapshot_from_text(const std::string& text);
+
+/// File-based convenience wrappers.
+void write_snapshot(const std::string& path, const ServiceSnapshot& snapshot);
+ServiceSnapshot read_snapshot(const std::string& path);
+
+}  // namespace easched

@@ -1,13 +1,20 @@
 #include "easched/sim/engine.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "easched/common/contracts.hpp"
 
 namespace easched {
 
 void SimulationEngine::schedule_at(double time, Callback callback) {
   EASCHED_EXPECTS(callback != nullptr);
+  EASCHED_EXPECTS_MSG(std::isfinite(time),
+                      "event time must be finite, got " + std::to_string(time));
   if (started_) {
-    EASCHED_EXPECTS_MSG(time >= now_, "cannot schedule an event in the past");
+    EASCHED_EXPECTS_MSG(time >= now_, "causality violation: event at t=" +
+                                          std::to_string(time) +
+                                          " precedes the clock at t=" + std::to_string(now_));
   }
   queue_.push(Entry{time, sequence_++, std::move(callback)});
 }

@@ -21,8 +21,12 @@ class SimulationEngine {
  public:
   using Callback = std::function<void(SimulationEngine&)>;
 
-  /// Schedule `callback` at absolute time `time`. Once `run()` has started,
-  /// `time` must not precede the current clock (no causality violations).
+  /// Schedule `callback` at absolute time `time`.
+  ///
+  /// Contract (enforced, throws `ContractViolation` with the offending
+  /// times): `time` must be finite, and once `run()` has started it must
+  /// not precede the current clock — causality violations are programming
+  /// errors, never silently reordered.
   void schedule_at(double time, Callback callback);
 
   /// Process events until the queue drains. Re-entrant scheduling from

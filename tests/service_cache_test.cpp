@@ -1,0 +1,104 @@
+// PlanCache: signature stability under quantization, LRU eviction, hit/miss
+// accounting, structural invalidation via signature change.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "easched/common/contracts.hpp"
+#include "easched/service/plan_cache.hpp"
+
+namespace easched {
+namespace {
+
+std::vector<std::pair<TaskId, Task>> live_set() {
+  return {{0, Task{0.0, 10.0, 8.0}}, {2, Task{2.0, 18.0, 14.0}}};
+}
+
+TEST(PlanSignatureTest, IdenticalSetsShareASignature) {
+  const auto a = live_set();
+  const auto b = live_set();
+  EXPECT_EQ(plan_signature(a), plan_signature(b));
+}
+
+TEST(PlanSignatureTest, QuantizationAbsorbsFloatNoise) {
+  auto a = live_set();
+  auto b = live_set();
+  b[0].second.work += 1e-9;  // below the default 1e-6 quantum
+  EXPECT_EQ(plan_signature(a), plan_signature(b));
+  b[0].second.work += 1e-3;  // above it
+  EXPECT_NE(plan_signature(a), plan_signature(b));
+}
+
+TEST(PlanSignatureTest, IdsAndFieldsAllMatter) {
+  auto base = live_set();
+  auto other_id = live_set();
+  other_id[1].first = 3;
+  EXPECT_NE(plan_signature(base), plan_signature(other_id));
+  auto other_deadline = live_set();
+  other_deadline[1].second.deadline += 1.0;
+  EXPECT_NE(plan_signature(base), plan_signature(other_deadline));
+}
+
+TEST(PlanSignatureTest, RejectsNonPositiveQuantum) {
+  const auto set = live_set();
+  EXPECT_THROW(plan_signature(set, 0.0), ContractViolation);
+}
+
+TEST(PlanCacheTest, MissThenHit) {
+  PlanCache cache(4);
+  EXPECT_FALSE(cache.lookup("sig"));
+  CachedPlan plan;
+  plan.energy = 42.0;
+  cache.insert("sig", plan);
+  const auto hit = cache.lookup("sig");
+  ASSERT_TRUE(hit);
+  EXPECT_DOUBLE_EQ(hit->energy, 42.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(PlanCacheTest, LruEvictsTheColdestEntry) {
+  PlanCache cache(2);
+  cache.insert("a", CachedPlan{1.0, {}});
+  cache.insert("b", CachedPlan{2.0, {}});
+  ASSERT_TRUE(cache.lookup("a"));  // refresh "a"; "b" is now coldest
+  cache.insert("c", CachedPlan{3.0, {}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.lookup("a"));
+  EXPECT_FALSE(cache.lookup("b"));
+  EXPECT_TRUE(cache.lookup("c"));
+}
+
+TEST(PlanCacheTest, InsertOverwritesInPlace) {
+  PlanCache cache(2);
+  cache.insert("a", CachedPlan{1.0, {}});
+  cache.insert("a", CachedPlan{9.0, {}});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.lookup("a")->energy, 9.0);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.insert("a", CachedPlan{1.0, {}});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("a"));
+}
+
+TEST(PlanCacheTest, ClearKeepsLifetimeStats) {
+  PlanCache cache(4);
+  cache.insert("a", CachedPlan{1.0, {}});
+  ASSERT_TRUE(cache.lookup("a"));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("a"));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace easched

@@ -4,6 +4,8 @@
 
 #include "easched/common/contracts.hpp"
 
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "easched/sim/engine.hpp"
@@ -87,6 +89,42 @@ TEST(SimulationEngineTest, SameTimeFromCallbackIsAllowed) {
   });
   engine.run();
   EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationEngineTest, CausalityViolationMessageNamesBothTimes) {
+  SimulationEngine engine;
+  std::string message;
+  engine.schedule_at(2.0, [&](SimulationEngine& e) {
+    try {
+      e.schedule_at(1.0, [](SimulationEngine&) {});
+    } catch (const ContractViolation& violation) {
+      message = violation.what();
+    }
+  });
+  engine.run();
+  EXPECT_NE(message.find("causality violation"), std::string::npos) << message;
+  EXPECT_NE(message.find("1.0"), std::string::npos) << message;
+  EXPECT_NE(message.find("2.0"), std::string::npos) << message;
+}
+
+TEST(SimulationEngineTest, RejectsSchedulingInThePastAfterDrain) {
+  // Regression: the clock persists across run() calls, so an event behind
+  // the drained clock is still a causality violation, not a fresh start.
+  SimulationEngine engine;
+  engine.schedule_at(5.0, [](SimulationEngine&) {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [](SimulationEngine&) {}), ContractViolation);
+}
+
+TEST(SimulationEngineTest, RejectsNonFiniteEventTimes) {
+  SimulationEngine engine;
+  const auto noop = [](SimulationEngine&) {};
+  EXPECT_THROW(engine.schedule_at(std::numeric_limits<double>::quiet_NaN(), noop),
+               ContractViolation);
+  EXPECT_THROW(engine.schedule_at(std::numeric_limits<double>::infinity(), noop),
+               ContractViolation);
+  EXPECT_THROW(engine.schedule_at(-std::numeric_limits<double>::infinity(), noop),
+               ContractViolation);
 }
 
 TEST(SimulationEngineTest, RejectsNullCallback) {

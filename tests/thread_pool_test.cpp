@@ -37,6 +37,32 @@ TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, WorkersSurviveThrowingJobs) {
+  // The contract the service layer depends on: a throwing job is surfaced
+  // through its future and never takes down a worker, so the pool keeps
+  // serving afterwards — even on a single-worker pool, where a dead worker
+  // would hang everything.
+  ThreadPool pool(1);
+  auto bad = pool.submit([] { throw std::runtime_error("job failure"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, DiscardedFutureOfThrowingJobDoesNotTerminate) {
+  ThreadPool pool(2);
+  // Fire-and-forget a throwing job: the exception dies with the discarded
+  // shared state instead of reaching std::terminate.
+  { auto dropped = pool.submit([] { throw std::runtime_error("ignored"); }); }
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> after;
+  for (int i = 0; i < 16; ++i) {
+    after.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : after) f.get();
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
