@@ -3,6 +3,10 @@
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
 
 #include "easched/common/csv.hpp"
 
@@ -38,6 +42,48 @@ void print_experiment(const std::string& title, const std::string& detail,
     }
   }
   std::cout << "\n";
+}
+
+std::vector<std::size_t> parse_thread_list(const std::string& csv) {
+  std::vector<std::size_t> threads;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const long parsed = std::strtol(item.c_str(), nullptr, 10);
+    if (parsed >= 1) threads.push_back(static_cast<std::size_t>(parsed));
+  }
+  return threads;
+}
+
+std::vector<std::size_t> thread_sweep(int* argc, char** argv) {
+  std::vector<std::size_t> threads;
+  const std::string prefix = "--threads=";
+  int out = 1;
+  for (int in = 1; in < *argc; ++in) {
+    const std::string arg = argv[in];
+    if (arg.rfind(prefix, 0) == 0) {
+      threads = parse_thread_list(arg.substr(prefix.size()));
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  *argc = out;
+  if (threads.empty()) {
+    if (const char* env = std::getenv("EASCHED_BENCH_THREADS")) {
+      threads = parse_thread_list(env);
+    }
+  }
+  if (threads.empty()) threads = {1, 2, 4, 8};
+  return threads;
+}
+
+ThreadPool& pool_for(std::size_t threads) {
+  static std::mutex registry_mutex;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard lock(registry_mutex);
+  auto& slot = pools[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
 }
 
 }  // namespace easched::bench

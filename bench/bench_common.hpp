@@ -8,12 +8,14 @@
 /// argument-free; the Monte-Carlo run count follows `REPRO_RUNS` (default:
 /// the paper's 100).
 
+#include <cstddef>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "easched/common/table.hpp"
 #include "easched/exp/experiment.hpp"
+#include "easched/parallel/thread_pool.hpp"
 
 namespace easched::bench {
 
@@ -36,5 +38,22 @@ std::string artifact_slug(const std::string& title);
 /// into that directory (file name derived from the title).
 void print_experiment(const std::string& title, const std::string& detail,
                       const AsciiTable& table);
+
+/// \name Thread-sweep support for the perf binaries
+/// @{
+
+/// Parse a comma-separated thread-count list ("1,2,4"); invalid or
+/// non-positive entries are dropped.
+std::vector<std::size_t> parse_thread_list(const std::string& csv);
+
+/// Resolve the thread counts a perf binary should sweep: a `--threads=...`
+/// argument (stripped from argv so google-benchmark never sees it), else
+/// the `EASCHED_BENCH_THREADS` environment variable, else {1, 2, 4, 8}.
+std::vector<std::size_t> thread_sweep(int* argc, char** argv);
+
+/// Process-wide pool registry keyed by worker count, so a sweep reuses one
+/// pool per size instead of re-spawning workers every benchmark iteration.
+ThreadPool& pool_for(std::size_t threads);
+/// @}
 
 }  // namespace easched::bench

@@ -1,0 +1,112 @@
+// Performance bench P5: serial vs parallel scheduling kernel.
+// Measures `run_pipeline` (both allocation methods end to end) serially and
+// fanned out over thread pools of several sizes, plus the interior-point
+// solver with and without a pool. The parallel results are bit-identical to
+// serial by construction (see parallel/exec.hpp), so this binary measures
+// pure speedup, not a different computation.
+//
+//   perf_pipeline --threads=1,2,4,8 --benchmark_out=BENCH_pipeline.json \
+//                 --benchmark_out_format=json
+//
+// The emitted JSON embeds google-benchmark's host context (num_cpus!) —
+// speedups are only meaningful when the host actually has the cores.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/parallel/exec.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/interior_point.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace {
+
+using namespace easched;
+
+TaskSet make_tasks(std::size_t n) {
+  Rng rng(Rng::seed_of("perf-pipeline", n));
+  WorkloadConfig config;
+  config.task_count = n;
+  return generate_workload(config, rng);
+}
+
+constexpr int kCores = 4;
+
+void run_pipeline_serial(benchmark::State& state, std::size_t n) {
+  const TaskSet tasks = make_tasks(n);
+  const PowerModel power(3.0, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(tasks, kCores, power));
+  }
+  state.counters["threads"] = 1.0;
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
+void run_pipeline_parallel(benchmark::State& state, std::size_t n, std::size_t threads) {
+  const TaskSet tasks = make_tasks(n);
+  const PowerModel power(3.0, 0.1);
+  ThreadPool& pool = bench::pool_for(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(tasks, kCores, power, Exec::on(pool)));
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
+void run_interior_point(benchmark::State& state, std::size_t n, std::size_t threads) {
+  const TaskSet tasks = make_tasks(n);
+  const PowerModel power(3.0, 0.1);
+  InteriorPointOptions options;
+  if (threads > 0) options.pool = &bench::pool_for(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_optimal_interior_point(tasks, kCores, power, options));
+  }
+  state.counters["threads"] = static_cast<double>(threads == 0 ? 1 : threads);
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sweep = easched::bench::thread_sweep(&argc, argv);
+
+  for (const std::size_t n : {std::size_t{50}, std::size_t{200}, std::size_t{1000}}) {
+    const std::string serial_name = "BM_PipelineSerial/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(serial_name.c_str(),
+                                 [n](benchmark::State& s) { run_pipeline_serial(s, n); });
+    for (const std::size_t threads : sweep) {
+      const std::string name = "BM_PipelineParallel/n:" + std::to_string(n) +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(), [n, threads](benchmark::State& s) {
+        run_pipeline_parallel(s, n, threads);
+      });
+    }
+  }
+
+  // The solver scales worse than the pipeline (dense core factorization),
+  // so its sweep stops at n = 120 to keep the binary runnable everywhere.
+  for (const std::size_t n : {std::size_t{40}, std::size_t{120}}) {
+    const std::string serial_name = "BM_InteriorPointSerial/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(serial_name.c_str(),
+                                 [n](benchmark::State& s) { run_interior_point(s, n, 0); });
+    for (const std::size_t threads : sweep) {
+      if (threads <= 1) continue;
+      const std::string name = "BM_InteriorPointParallel/n:" + std::to_string(n) +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(), [n, threads](benchmark::State& s) {
+        run_interior_point(s, n, threads);
+      });
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "easched/common/rng.hpp"
+#include "easched/parallel/exec.hpp"
 #include "easched/sched/core_selection.hpp"
 #include "easched/sched/pipeline.hpp"
 #include "easched/solver/convex_solver.hpp"
@@ -88,6 +93,36 @@ void BM_CoreCountSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreCountSelection)->Arg(2)->Arg(4)->Arg(8);
 
+void BM_PipelineBothMethodsParallel(benchmark::State& state, std::size_t n,
+                                    std::size_t threads) {
+  const TaskSet tasks = make_tasks(n, 1);
+  const PowerModel power(3.0, 0.1);
+  ThreadPool& pool = bench::pool_for(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(tasks, 4, power, Exec::on(pool)));
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): a `--threads=1,2,4` sweep flag
+// (or EASCHED_BENCH_THREADS) adds parallel-pipeline variants next to the
+// statically registered serial benchmarks above.
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sweep = easched::bench::thread_sweep(&argc, argv);
+  for (const std::size_t n : {std::size_t{40}, std::size_t{160}}) {
+    for (const std::size_t threads : sweep) {
+      const std::string name = "BM_PipelineBothMethodsParallel/n:" + std::to_string(n) +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(), [n, threads](benchmark::State& s) {
+        BM_PipelineBothMethodsParallel(s, n, threads);
+      });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "easched/common/contracts.hpp"
+#include "easched/parallel/exec.hpp"
 
 namespace easched {
 
@@ -48,6 +49,10 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol) {
+  return cholesky(a, pivot_tol, Exec::serial());
+}
+
+std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol, const Exec& exec) {
   EASCHED_EXPECTS(a.rows() == a.cols());
   const std::size_t n = a.rows();
   Matrix l(n, n);
@@ -57,10 +62,22 @@ std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol) {
     if (!(diag > pivot_tol)) return std::nullopt;  // catches NaN too
     const double root = std::sqrt(diag);
     l(j, j) = root;
-    for (std::size_t i = j + 1; i < n; ++i) {
+    // Row updates in this column are independent: row i writes only
+    // l(i, j), and each dot over k < j runs serially in k order, so the
+    // factor matches the serial sweep bit for bit. Fan out only when the
+    // column's flop count covers the fork cost.
+    const std::size_t rows_below = n - j - 1;
+    const bool wide = rows_below * j >= 65536;
+    const auto update_row = [&](std::size_t r) {
+      const std::size_t i = j + 1 + r;
       double sum = a(i, j);
       for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
       l(i, j) = sum / root;
+    };
+    if (wide) {
+      exec.loop(rows_below, update_row);
+    } else {
+      for (std::size_t r = 0; r < rows_below; ++r) update_row(r);
     }
   }
   return l;

@@ -15,6 +15,8 @@
 
 namespace easched {
 
+struct Exec;
+
 /// Dense row-major matrix of doubles.
 class Matrix {
  public:
@@ -45,6 +47,12 @@ class Matrix {
 /// Only the lower triangle of `a` is read. Returns `nullopt` when a pivot
 /// falls below `pivot_tol` (matrix not numerically SPD).
 std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol = 1e-300);
+
+/// Parallel Cholesky: within each column, the row updates below the pivot
+/// fan out over `exec` (each row's dot product stays serial in k order, so
+/// the factor is bit-identical to the serial overload at any pool size).
+/// Small columns run serial to avoid fork overhead.
+std::optional<Matrix> cholesky(const Matrix& a, double pivot_tol, const Exec& exec);
 
 /// Solve L·Lᵀ·x = b given the Cholesky factor L (forward + back substitution).
 std::vector<double> cholesky_solve(const Matrix& l, std::vector<double> b);

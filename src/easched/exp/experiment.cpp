@@ -5,7 +5,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/rng.hpp"
-#include "easched/parallel/parallel_for.hpp"
+#include "easched/exp/sharding.hpp"
 #include "easched/sched/discrete_adapter.hpp"
 #include "easched/sched/pipeline.hpp"
 
@@ -36,8 +36,8 @@ NecAccumulators monte_carlo_nec(std::string_view label, const WorkloadConfig& co
                                 const SolverOptions& solver, ThreadPool& pool) {
   EASCHED_EXPECTS(runs > 0);
 
-  const auto per_run = parallel_map(
-      runs,
+  const auto per_run = run_sharded(
+      ShardPlan::for_runs(runs),
       [&](std::size_t run) {
         Rng rng(Rng::seed_of(label, run));
         const TaskSet tasks = generate_workload(config, rng);
@@ -72,8 +72,8 @@ DiscreteAccumulators monte_carlo_discrete(std::string_view label, const Workload
     DiscreteRunReport ideal, i1, f1, i2, f2;
   };
 
-  const auto per_run = parallel_map(
-      runs,
+  const auto per_run = run_sharded(
+      ShardPlan::for_runs(runs),
       [&](std::size_t run) {
         Rng rng(Rng::seed_of(label, run));
         const TaskSet tasks = generate_workload(config, rng);

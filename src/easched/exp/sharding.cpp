@@ -1,0 +1,17 @@
+#include "easched/exp/sharding.hpp"
+
+#include <cstdlib>
+
+namespace easched {
+
+ShardPlan ShardPlan::for_runs(std::size_t total) {
+  ShardPlan plan;
+  plan.total = total;
+  if (const char* env = std::getenv("EASCHED_SHARD_SIZE")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) plan.shard_size = static_cast<std::size_t>(parsed);
+  }
+  return plan;
+}
+
+}  // namespace easched

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file sharding.hpp
+/// \brief Deterministic sharded fan-out for Monte-Carlo experiment drivers.
+///
+/// The bench drivers (fig*/table*, perf_schedulers) repeat independent runs
+/// with per-run seeds `Rng::seed_of(label, run)`. Sharding groups runs into
+/// fixed contiguous blocks so each pool job amortizes its dispatch overhead
+/// over several runs, while results land in run-order slots — the fold over
+/// them is the same serial fold as before, so accumulated statistics are
+/// bit-identical to the unsharded (and fully serial) harness at any pool
+/// size. The shard layout is a pure function of (total, shard_size), never
+/// of the pool or of timing.
+
+#include <cstddef>
+#include <vector>
+
+#include "easched/common/contracts.hpp"
+#include "easched/parallel/parallel_for.hpp"
+#include "easched/parallel/thread_pool.hpp"
+
+namespace easched {
+
+/// Fixed-size partition of `total` runs into contiguous shards.
+struct ShardPlan {
+  std::size_t total = 0;
+  std::size_t shard_size = 8;
+
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  std::size_t shard_count() const {
+    return total == 0 ? 0 : (total + shard_size - 1) / shard_size;
+  }
+
+  Range shard_range(std::size_t shard) const {
+    EASCHED_EXPECTS(shard < shard_count());
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end = begin + shard_size < total ? begin + shard_size : total;
+    return {begin, end};
+  }
+
+  /// Plan for `total` runs: `EASCHED_SHARD_SIZE` env override, else 8
+  /// runs per shard (clamped to ≥ 1).
+  static ShardPlan for_runs(std::size_t total);
+};
+
+/// Evaluate `body(run)` for every run in `[0, plan.total)`, sharded over
+/// `pool`; returns the results in run order. Runs inside one shard execute
+/// serially in ascending order; shards fill disjoint slots. Each run must
+/// derive all randomness from its own index (e.g. `Rng::seed_of(label,
+/// run)`) — then the output vector is identical however the shards land on
+/// threads.
+template <typename Body>
+auto run_sharded(const ShardPlan& plan, Body&& body, ThreadPool& pool = ThreadPool::global())
+    -> std::vector<decltype(body(std::size_t{0}))> {
+  using Result = decltype(body(std::size_t{0}));
+  std::vector<Result> out(plan.total);
+  parallel_for(
+      0, plan.shard_count(),
+      [&](std::size_t shard) {
+        const ShardPlan::Range range = plan.shard_range(shard);
+        for (std::size_t run = range.begin; run < range.end; ++run) out[run] = body(run);
+      },
+      pool);
+  return out;
+}
+
+}  // namespace easched

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file exec.hpp
+/// \brief Execution context threaded through the scheduling kernel.
+///
+/// `Exec` is how callers opt compute-heavy kernels (the subinterval
+/// pipeline, the interior-point solver, per-subinterval packing) into
+/// parallel execution: attach a `ThreadPool` and loops fan out over it, or
+/// leave it empty and everything runs inline on the caller. It is a plain
+/// pointer wrapper — copy it freely, it owns nothing.
+///
+/// **Determinism contract.** Every function accepting an `Exec` must return
+/// bit-identical results for *any* context — serial, or a pool of any size.
+/// The discipline that guarantees it (enforced by
+/// `tests/parallel_determinism_test.cpp`):
+///
+///  * loop bodies write only pre-sized, index-disjoint output slots;
+///  * all reductions (energy sums, piece concatenation, matrix assembly)
+///    happen serially, in index order, after the parallel loop;
+///  * no atomics-into-shared-accumulator shortcuts, ever — the reduction
+///    order must not depend on scheduling.
+///
+/// Because `parallel_for` is caller-participating (see parallel_for.hpp),
+/// an `Exec` pointing at the global pool is safe to use from code that is
+/// itself running on a pool worker — nested loops degrade to inline
+/// execution instead of deadlocking, and the process never runs more
+/// compute lanes than one shared budget allows.
+
+#include <cstddef>
+
+#include "easched/parallel/parallel_for.hpp"
+
+namespace easched {
+
+/// Optional parallel execution context; default = serial.
+struct Exec {
+  ThreadPool* pool = nullptr;
+
+  /// True when loops of `n` iterations would actually fan out.
+  bool parallel(std::size_t n = 2) const {
+    return pool != nullptr && pool->thread_count() > 1 && n >= 2;
+  }
+
+  static Exec serial() { return {}; }
+  static Exec on(ThreadPool& p) { return Exec{&p}; }
+  /// The process-wide shared worker budget.
+  static Exec global() { return Exec{&ThreadPool::global()}; }
+
+  /// Run `body(i)` for `i` in `[0, n)` under this context.
+  template <typename Body>
+  void loop(std::size_t n, Body&& body) const {
+    if (!parallel(n)) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    } else {
+      parallel_for(0, n, body, *pool);
+    }
+  }
+};
+
+}  // namespace easched

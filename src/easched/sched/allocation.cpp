@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "easched/common/contracts.hpp"
+#include "easched/parallel/exec.hpp"
 
 namespace easched {
 
@@ -94,20 +95,27 @@ std::vector<double> der_ration(const std::vector<double>& ders, int cores, doubl
 AllocationMatrix allocate_available_time(const TaskSet& tasks,
                                          const SubintervalDecomposition& subintervals, int cores,
                                          const IdealCase& ideal, AllocationMethod method) {
+  return allocate_available_time(tasks, subintervals, cores, ideal, method, Exec::serial());
+}
+
+AllocationMatrix allocate_available_time(const TaskSet& tasks,
+                                         const SubintervalDecomposition& subintervals, int cores,
+                                         const IdealCase& ideal, AllocationMethod method,
+                                         const Exec& exec) {
   EASCHED_EXPECTS(cores > 0);
   EASCHED_EXPECTS(ideal.size() == tasks.size());
 
   AllocationMatrix avail(tasks.size(), subintervals.size());
-  for (std::size_t j = 0; j < subintervals.size(); ++j) {
+  exec.loop(subintervals.size(), [&](std::size_t j) {
     const Subinterval& si = subintervals[j];
-    if (si.overlapping.empty()) continue;
+    if (si.overlapping.empty()) return;
 
     if (!si.heavy(cores)) {
       // Observation 2: each overlapping task may occupy a whole core.
       for (const TaskId i : si.overlapping) {
         avail.set(static_cast<std::size_t>(i), j, si.length());
       }
-      continue;
+      return;
     }
 
     std::vector<double> ration;
@@ -126,7 +134,7 @@ AllocationMatrix allocate_available_time(const TaskSet& tasks,
     for (std::size_t k = 0; k < si.overlapping.size(); ++k) {
       avail.set(static_cast<std::size_t>(si.overlapping[k]), j, ration[k]);
     }
-  }
+  });
   return avail;
 }
 

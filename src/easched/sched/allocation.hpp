@@ -18,6 +18,8 @@
 
 namespace easched {
 
+struct Exec;
+
 /// Which heavy-subinterval rationing rule to use.
 enum class AllocationMethod {
   kEven,  ///< `m·len/n_j` per overlapping task (schedulers I1/F1).
@@ -63,6 +65,14 @@ class AllocationMatrix {
 AllocationMatrix allocate_available_time(const TaskSet& tasks,
                                          const SubintervalDecomposition& subintervals, int cores,
                                          const IdealCase& ideal, AllocationMethod method);
+
+/// Same allocation with the per-subinterval rationing fanned out over
+/// `exec`: subinterval `j` writes only column `j` of the matrix, so the
+/// result is bit-identical to the serial overload at any pool size.
+AllocationMatrix allocate_available_time(const TaskSet& tasks,
+                                         const SubintervalDecomposition& subintervals, int cores,
+                                         const IdealCase& ideal, AllocationMethod method,
+                                         const Exec& exec);
 
 /// The heavy-subinterval DER rationing in isolation (Algorithm 2): given each
 /// task's DER and the capacity `cores·length`, return per-task allocations

@@ -4,6 +4,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
+#include "easched/parallel/exec.hpp"
 
 namespace easched {
 
@@ -65,6 +66,23 @@ void pack_subinterval(double begin, double end, int cores, const std::vector<Pac
       }
     }
   }
+}
+
+Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
+                           const std::vector<std::vector<PackItem>>& items, const Exec& exec) {
+  EASCHED_EXPECTS(items.size() == subs.size());
+  std::vector<Schedule> fragments(subs.size());
+  exec.loop(subs.size(), [&](std::size_t j) {
+    if (items[j].empty()) return;
+    fragments[j].set_core_count(cores);
+    pack_subinterval(subs[j].begin, subs[j].end, cores, items[j], fragments[j]);
+  });
+
+  Schedule schedule(cores);
+  for (const Schedule& fragment : fragments) {
+    for (const Segment& segment : fragment.segments()) schedule.add(segment);
+  }
+  return schedule;
 }
 
 }  // namespace easched

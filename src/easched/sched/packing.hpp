@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "easched/sched/schedule.hpp"
+#include "easched/tasksys/subintervals.hpp"
 #include "easched/tasksys/task.hpp"
 
 namespace easched {
+
+struct Exec;
 
 /// One packing request: run `task` for `time` inside the subinterval at
 /// frequency `frequency`.
@@ -34,5 +37,16 @@ struct PackItem {
 /// Appends the produced segments to `schedule`.
 void pack_subinterval(double begin, double end, int cores, const std::vector<PackItem>& items,
                       Schedule& schedule);
+
+/// Pack every subinterval independently (`items[j]` into `subs[j]`) and
+/// concatenate the per-subinterval segment runs in subinterval order.
+///
+/// Subintervals are disjoint in time, so their wrap-around packings never
+/// interact; under a parallel `exec` each subinterval packs into its own
+/// fragment and the ordered concatenation reproduces the exact segment
+/// sequence the serial per-`j` loop emits — bit-identical at any pool size.
+/// Empty item lists produce no segments. The result is not coalesced.
+Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
+                           const std::vector<std::vector<PackItem>>& items, const Exec& exec);
 
 }  // namespace easched

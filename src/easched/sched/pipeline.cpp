@@ -4,6 +4,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
+#include "easched/parallel/exec.hpp"
 #include "easched/sched/packing.hpp"
 
 namespace easched {
@@ -13,11 +14,15 @@ namespace {
 /// Build the intermediate pieces: per (task, subinterval), the ideal work is
 /// preserved; if the ration is shorter than the ideal execution time the
 /// frequency rises to `o·f^O / avail` (Sections V-B1 / V-C1).
+///
+/// Subintervals are independent: each fills its own slot of `per_sub`, and
+/// the ordered concatenation reproduces the serial (subinterval-major)
+/// piece order exactly.
 std::vector<IntermediatePiece> make_intermediate_pieces(
     const SubintervalDecomposition& subs, int cores, const IdealCase& ideal,
-    const AllocationMatrix& avail) {
-  std::vector<IntermediatePiece> pieces;
-  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const AllocationMatrix& avail, const Exec& exec) {
+  std::vector<std::vector<IntermediatePiece>> per_sub(subs.size());
+  exec.loop(subs.size(), [&](std::size_t j) {
     const Subinterval& si = subs[j];
     const bool heavy = si.heavy(cores);
     for (const TaskId id : si.overlapping) {
@@ -41,8 +46,16 @@ std::vector<IntermediatePiece> make_intermediate_pieces(
         piece.time = o;
         piece.frequency = ideal.frequency(id);
       }
-      pieces.push_back(piece);
+      per_sub[j].push_back(piece);
     }
+  });
+
+  std::size_t total = 0;
+  for (const auto& chunk : per_sub) total += chunk.size();
+  std::vector<IntermediatePiece> pieces;
+  pieces.reserve(total);
+  for (const auto& chunk : per_sub) {
+    pieces.insert(pieces.end(), chunk.begin(), chunk.end());
   }
   return pieces;
 }
@@ -50,27 +63,28 @@ std::vector<IntermediatePiece> make_intermediate_pieces(
 /// Materialize pieces (or budgets) into a collision-free Schedule by packing
 /// each subinterval with Algorithm 1.
 Schedule materialize(const SubintervalDecomposition& subs, int cores,
-                     const std::vector<IntermediatePiece>& pieces) {
-  Schedule schedule(cores);
+                     const std::vector<IntermediatePiece>& pieces, const Exec& exec) {
   std::vector<std::vector<PackItem>> per_subinterval(subs.size());
   for (const IntermediatePiece& p : pieces) {
     if (p.time <= 0.0) continue;
     per_subinterval[p.subinterval].push_back({p.task, p.time, p.frequency});
   }
-  for (std::size_t j = 0; j < subs.size(); ++j) {
-    if (per_subinterval[j].empty()) continue;
-    pack_subinterval(subs[j].begin, subs[j].end, cores, per_subinterval[j], schedule);
-  }
+  Schedule schedule = pack_subintervals(subs, cores, per_subinterval, exec);
   schedule.coalesce();
   return schedule;
 }
 
-double pieces_energy(const std::vector<IntermediatePiece>& pieces, const PowerModel& power) {
+double pieces_energy(const std::vector<IntermediatePiece>& pieces, const PowerModel& power,
+                     const Exec& exec) {
+  // Per-piece energies into disjoint slots (the pow-heavy part), then one
+  // serial reduction in piece order; skipped pieces contribute an exact 0.
+  std::vector<double> energy(pieces.size());
+  exec.loop(pieces.size(), [&](std::size_t k) {
+    const IntermediatePiece& p = pieces[k];
+    energy[k] = p.time <= 0.0 ? 0.0 : power.energy_for_duration(p.time, p.frequency);
+  });
   double total = 0.0;
-  for (const IntermediatePiece& p : pieces) {
-    if (p.time <= 0.0) continue;
-    total += power.energy_for_duration(p.time, p.frequency);
-  }
+  for (const double e : energy) total += e;
   return total;
 }
 
@@ -79,30 +93,41 @@ double pieces_energy(const std::vector<IntermediatePiece>& pieces, const PowerMo
 MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecomposition& subs,
                                   int cores, const PowerModel& power, const IdealCase& ideal,
                                   AllocationMethod method) {
+  return schedule_with_method(tasks, subs, cores, power, ideal, method, Exec::serial());
+}
+
+MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const PowerModel& power, const IdealCase& ideal,
+                                  AllocationMethod method, const Exec& exec) {
   EASCHED_EXPECTS(!tasks.empty());
   EASCHED_EXPECTS(cores > 0);
 
   MethodResult result;
   result.method = method;
-  result.availability = allocate_available_time(tasks, subs, cores, ideal, method);
+  result.availability = allocate_available_time(tasks, subs, cores, ideal, method, exec);
 
   // Intermediate scheduling.
   result.intermediate_pieces =
-      make_intermediate_pieces(subs, cores, ideal, result.availability);
-  result.intermediate_energy = pieces_energy(result.intermediate_pieces, power);
-  result.intermediate_schedule = materialize(subs, cores, result.intermediate_pieces);
+      make_intermediate_pieces(subs, cores, ideal, result.availability, exec);
+  result.intermediate_energy = pieces_energy(result.intermediate_pieces, power, exec);
+  result.intermediate_schedule = materialize(subs, cores, result.intermediate_pieces, exec);
 
-  // Final frequency refinement (equations (22)-(23)).
-  result.total_available.resize(tasks.size());
-  result.final_frequency.resize(tasks.size());
-  std::vector<IntermediatePiece> final_pieces;
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
+  // Final frequency refinement (equations (22)-(23)). Each task's total
+  // availability, frequency, energy, and pieces land in per-task slots; the
+  // energy sum and the piece concatenation then reduce serially in task
+  // order, matching the serial loop bit for bit.
+  const std::size_t n = tasks.size();
+  result.total_available.resize(n);
+  result.final_frequency.resize(n);
+  std::vector<double> task_energy(n);
+  std::vector<std::vector<IntermediatePiece>> task_pieces(n);
+  exec.loop(n, [&](std::size_t i) {
     const double a_total = result.availability.row_sum(i);
     EASCHED_ASSERT(a_total > 0.0);  // every task covers at least one subinterval
     result.total_available[i] = a_total;
     const double f = power.optimal_frequency(tasks[i].work, a_total);
     result.final_frequency[i] = f;
-    result.final_energy += power.energy_for_work(tasks[i].work, f);
+    task_energy[i] = power.energy_for_work(tasks[i].work, f);
 
     // Distribute the used time T_i = C_i/f over the task's availability,
     // proportionally, so per-subinterval budgets and capacity stay respected.
@@ -117,21 +142,34 @@ MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecompo
       piece.subinterval = j;
       piece.time = std::min(budget * scale, subs[j].length());
       piece.frequency = f;
-      if (piece.time > 0.0) final_pieces.push_back(piece);
+      if (piece.time > 0.0) task_pieces[i].push_back(piece);
     }
+  });
+  for (std::size_t i = 0; i < n; ++i) result.final_energy += task_energy[i];
+  std::vector<IntermediatePiece> final_pieces;
+  std::size_t total_pieces = 0;
+  for (const auto& chunk : task_pieces) total_pieces += chunk.size();
+  final_pieces.reserve(total_pieces);
+  for (const auto& chunk : task_pieces) {
+    final_pieces.insert(final_pieces.end(), chunk.begin(), chunk.end());
   }
-  result.final_schedule = materialize(subs, cores, final_pieces);
+  result.final_schedule = materialize(subs, cores, final_pieces, exec);
   return result;
 }
 
 Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecomposition& subs,
                                   int cores, const MethodResult& result) {
+  return materialize_final_sorted(tasks, subs, cores, result, Exec::serial());
+}
+
+Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const MethodResult& result, const Exec& exec) {
   EASCHED_EXPECTS(result.final_frequency.size() == tasks.size());
   EASCHED_EXPECTS(result.total_available.size() == tasks.size());
 
-  Schedule schedule(cores);
-  for (std::size_t j = 0; j < subs.size(); ++j) {
-    std::vector<PackItem> items;
+  std::vector<std::vector<PackItem>> per_subinterval(subs.size());
+  exec.loop(subs.size(), [&](std::size_t j) {
+    std::vector<PackItem>& items = per_subinterval[j];
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const double budget = result.availability(i, j);
       if (budget <= 0.0) continue;
@@ -141,7 +179,6 @@ Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecompo
       if (time <= 1e-12) continue;
       items.push_back({static_cast<TaskId>(i), time, result.final_frequency[i]});
     }
-    if (items.empty()) continue;
     // Stable frequency grouping: equal-frequency neighbors merge into one
     // segment after coalescing; descending order keeps the hottest tasks at
     // consistent positions across adjacent subintervals.
@@ -149,21 +186,28 @@ Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecompo
       if (a.frequency != b.frequency) return a.frequency > b.frequency;
       return a.task < b.task;
     });
-    pack_subinterval(subs[j].begin, subs[j].end, cores, items, schedule);
-  }
+  });
+  Schedule schedule = pack_subintervals(subs, cores, per_subinterval, exec);
   schedule.coalesce();
   return schedule;
 }
 
 PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power) {
+  return run_pipeline(tasks, cores, power, Exec::serial());
+}
+
+PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power,
+                            const Exec& exec) {
   EASCHED_EXPECTS(!tasks.empty());
-  const SubintervalDecomposition subs(tasks);
+  const SubintervalDecomposition subs(tasks, 1e-12, exec);
   const IdealCase ideal(tasks, power);
 
   PipelineResult result;
   result.ideal_energy = ideal.total_energy();
-  result.even = schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kEven);
-  result.der = schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kDer);
+  result.even =
+      schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kEven, exec);
+  result.der =
+      schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kDer, exec);
   return result;
 }
 

@@ -24,6 +24,8 @@
 
 namespace easched {
 
+struct Exec;
+
 /// One constant-frequency chunk of an intermediate schedule: task `task`
 /// executes `time` seconds at `frequency` inside subinterval `subinterval`.
 /// Kept explicitly so the discrete-frequency adapter can re-quantize chunks.
@@ -68,8 +70,21 @@ MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecompo
                                   int cores, const PowerModel& power, const IdealCase& ideal,
                                   AllocationMethod method);
 
+/// Same pipeline with the per-subinterval stages (allocation, intermediate
+/// pieces, packing) and the per-task F2 re-optimization fanned out over
+/// `exec`. Bit-identical to the serial overload at any pool size (the
+/// determinism contract of `parallel/exec.hpp`).
+MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const PowerModel& power, const IdealCase& ideal,
+                                  AllocationMethod method, const Exec& exec);
+
 /// Run both methods, sharing the decomposition and ideal case.
 PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power);
+
+/// Parallel overload: decomposition overlap scans and both methods run
+/// under `exec`; output is bit-identical to the serial overload.
+PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power,
+                            const Exec& exec);
 
 /// Rebuild `result`'s final schedule with each subinterval's pieces ordered
 /// by frequency (stable, ties by task id) before Algorithm-1 packing.
@@ -82,5 +97,9 @@ PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& p
 /// the layout differs.
 Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecomposition& subs,
                                   int cores, const MethodResult& result);
+
+/// Parallel overload of `materialize_final_sorted` (same output, any pool).
+Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecomposition& subs,
+                                  int cores, const MethodResult& result, const Exec& exec);
 
 }  // namespace easched

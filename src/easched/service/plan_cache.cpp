@@ -1,6 +1,7 @@
 #include "easched/service/plan_cache.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "easched/common/contracts.hpp"
@@ -9,11 +10,31 @@ namespace easched {
 
 std::string plan_signature(std::span<const std::pair<TaskId, Task>> live, double quantum) {
   EASCHED_EXPECTS(quantum > 0.0);
-  const auto q = [quantum](double x) { return std::llround(x / quantum); };
   std::ostringstream out;
+  const auto q = [quantum, &out](double x) {
+    const double scaled = x / quantum;
+    if (std::abs(scaled) < 9.0e18) {
+      out << std::llround(scaled);
+    } else {
+      // Beyond the exact llround range the rounding would saturate (every
+      // huge coordinate collapsing onto one key), so distinct task sets
+      // could share a signature and the cache would serve the wrong plan.
+      // Key such coordinates by their exact value instead — hexfloat
+      // round-trips doubles losslessly, and at these magnitudes one ulp
+      // already exceeds any practical quantum, so quantizing is moot.
+      char exact[40];
+      std::snprintf(exact, sizeof(exact), "%a", x);
+      out << exact;
+    }
+  };
   for (const auto& [id, task] : live) {
-    out << id << ":" << q(task.release) << ":" << q(task.deadline) << ":" << q(task.work)
-        << ";";
+    out << id << ":";
+    q(task.release);
+    out << ":";
+    q(task.deadline);
+    out << ":";
+    q(task.work);
+    out << ";";
   }
   return out.str();
 }

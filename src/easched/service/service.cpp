@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "easched/common/contracts.hpp"
+#include "easched/parallel/exec.hpp"
 #include "easched/parallel/thread_pool.hpp"
 #include "easched/sched/feasibility.hpp"
 #include "easched/sched/pipeline.hpp"
@@ -258,10 +259,15 @@ CachedPlan SchedulerService::plan_for_committed_locked() {
   std::vector<Task> tasks;
   tasks.reserve(committed_.size());
   for (const auto& [id, task] : committed_) tasks.push_back(task);
-  const PipelineResult result = run_pipeline(TaskSet(std::move(tasks)), options_.cores, power_);
+  const PipelineResult result =
+      run_pipeline(TaskSet(std::move(tasks)), options_.cores, power_, kernel_exec());
   CachedPlan plan{result.der.final_energy, result.der.final_schedule};
   cache_.insert(signature, plan);
   return plan;
+}
+
+Exec SchedulerService::kernel_exec() const {
+  return options_.use_thread_pool ? Exec::global() : Exec::serial();
 }
 
 AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
@@ -312,7 +318,7 @@ AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
     plan = *hit;
   } else {
     metrics_.increment("plan_cache_misses_total");
-    const PipelineResult result = run_pipeline(all, options_.cores, power_);
+    const PipelineResult result = run_pipeline(all, options_.cores, power_, kernel_exec());
     plan = CachedPlan{result.der.final_energy, result.der.final_schedule};
     cache_.insert(signature, plan);
   }

@@ -76,9 +76,14 @@ struct ServiceOptions {
   /// explicitly via `pump()`. Deterministic mode for tests and replay.
   bool manual_dispatch = false;
   /// Run batch planning on `ThreadPool::global()` instead of the
-  /// dispatcher thread (ignored in manual mode).
+  /// dispatcher thread (ignored in manual mode), and fan the planning
+  /// kernel itself out over the same pool. The kernel shares that one
+  /// worker budget — a planning pass never spawns threads of its own — and
+  /// its plans are bit-identical to serial planning at any pool size.
   bool use_thread_pool = true;
 };
+
+struct Exec;
 
 /// The batched admission daemon. Thread-safe: any number of client threads
 /// may call `submit`, `quote`, `complete`, `cancel`, and the read accessors
@@ -173,6 +178,10 @@ class SchedulerService {
   /// Caller holds `state_mutex_`.
   AdmissionDecision evaluate_locked(const Task& candidate, double energy_before,
                                     bool commit, TaskId* out_id);
+  /// Execution context for planning kernels: the global pool when
+  /// `use_thread_pool` is set, serial otherwise — one shared thread budget,
+  /// never a private one.
+  Exec kernel_exec() const;
   void refresh_gauges_locked();
 
   PowerModel power_;

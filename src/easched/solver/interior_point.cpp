@@ -6,6 +6,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/linalg.hpp"
+#include "easched/parallel/exec.hpp"
 #include "easched/solver/problem.hpp"
 
 namespace easched {
@@ -33,30 +34,39 @@ std::vector<VariableInfo> collect_variables(const SolverLayout& layout) {
   return vars;
 }
 
-/// Capacity slacks s_j = B_j − Σ_{v∈j} x_v.
-std::vector<double> block_slacks(const SolverLayout& layout, const std::vector<double>& x) {
+/// Capacity slacks s_j = B_j − Σ_{v∈j} x_v. Each block sums its own
+/// contiguous variable range in flat order — bit-identical at any pool size.
+std::vector<double> block_slacks(const SolverLayout& layout, const std::vector<double>& x,
+                                 const Exec& exec) {
   std::vector<double> s(layout.blocks.size());
-  for (std::size_t b = 0; b < layout.blocks.size(); ++b) {
+  exec.loop(layout.blocks.size(), [&](std::size_t b) {
     const auto& block = layout.blocks[b];
     double used = 0.0;
     for (std::size_t k = 0; k < block.tasks.size(); ++k) used += x[block.offset + k];
     s[b] = block.budget - used;
-  }
+  });
   return s;
 }
 
-/// Barrier value Φ_μ(x); +inf outside the strict interior.
+/// Barrier value Φ_μ(x); +inf outside the strict interior. The log terms
+/// land in per-variable slots and reduce serially in flat order, matching
+/// the serial interleaved check-and-add loop bit for bit whenever the point
+/// is interior (and agreeing on +inf whenever it is not).
 double barrier_value(const SeparableObjective& objective, const SolverLayout& layout,
                      const std::vector<VariableInfo>& vars, const std::vector<double>& x,
-                     double mu) {
-  const double f = objective.value(x);
+                     double mu, const Exec& exec) {
+  const double f = objective.value_from_totals(objective.totals(x, exec), exec);
   if (!std::isfinite(f)) return std::numeric_limits<double>::infinity();
-  double barrier = 0.0;
   for (std::size_t v = 0; v < x.size(); ++v) {
     if (x[v] <= 0.0 || x[v] >= vars[v].cap) return std::numeric_limits<double>::infinity();
-    barrier += std::log(x[v]) + std::log(vars[v].cap - x[v]);
   }
-  for (const double s : block_slacks(layout, x)) {
+  std::vector<double> term(x.size());
+  exec.loop(x.size(), [&](std::size_t v) {
+    term[v] = std::log(x[v]) + std::log(vars[v].cap - x[v]);
+  });
+  double barrier = 0.0;
+  for (const double t : term) barrier += t;
+  for (const double s : block_slacks(layout, x, exec)) {
     if (s <= 0.0) return std::numeric_limits<double>::infinity();
     barrier += std::log(s);
   }
@@ -83,6 +93,7 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
   const SolverLayout layout = SolverLayout::build(subs, cores);
   const SeparableObjective objective(tasks, power, layout);
   const std::vector<VariableInfo> vars = collect_variables(layout);
+  const Exec exec = options.pool != nullptr ? Exec::on(*options.pool) : Exec::serial();
 
   const std::size_t n_vars = layout.variable_count;
   const std::size_t n_tasks = tasks.size();
@@ -100,41 +111,67 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
 
     // Damped Newton on Φ_μ.
     for (std::size_t step = 0; step < options.max_newton_steps; ++step) {
-      const std::vector<double> totals = objective.totals(x);
-      const std::vector<double> gprime = objective.task_gradient(totals);
-      const std::vector<double> gsecond = objective.task_hessian(totals);
-      const std::vector<double> slack = block_slacks(layout, x);
+      const std::vector<double> totals = objective.totals(x, exec);
+      const std::vector<double> gprime = objective.task_gradient(totals, exec);
+      const std::vector<double> gsecond = objective.task_hessian(totals, exec);
+      const std::vector<double> slack = block_slacks(layout, x, exec);
 
-      // Gradient of Φ and the diagonal part D of its Hessian.
-      std::vector<double> grad(n_vars), diag(n_vars);
-      for (std::size_t v = 0; v < n_vars; ++v) {
+      // Gradient of Φ and the diagonal part D of its Hessian (element-wise,
+      // each v writes its own slots).
+      std::vector<double> grad(n_vars), diag(n_vars), dinv_grad(n_vars);
+      exec.loop(n_vars, [&](std::size_t v) {
         const double lo = x[v];
         const double hi = vars[v].cap - x[v];
         EASCHED_ASSERT(lo > 0.0 && hi > 0.0);
         grad[v] = gprime[vars[v].task] - mu / lo + mu / hi + mu / slack[vars[v].block];
         diag[v] = mu / (lo * lo) + mu / (hi * hi);
         EASCHED_ASSERT(diag[v] > 0.0);
-      }
+        dinv_grad[v] = grad[v] / diag[v];
+      });
 
       // Woodbury: H = D + U·W·Uᵀ with task indicators (weight g''_i) and
       // block indicators (weight μ/s_j²). Solve H·d = −grad through the
       // (n_tasks + n_blocks) core system M = W⁻¹ + Uᵀ D⁻¹ U.
+      //
+      // The serial sweep over v updates each core entry independently, so it
+      // splits into two owner-computes passes that reproduce every entry's
+      // accumulation order exactly: task ti owns row ti plus the (bj, ti)
+      // column entries (a task meets each block at most once, so those are
+      // single writes), and block bj owns its diagonal and rhs slot. Both
+      // passes visit their variables in ascending flat order — the serial
+      // order.
       const std::size_t core_dim = n_tasks + n_blocks;
       Matrix core(core_dim, core_dim);
       std::vector<double> rhs_core(core_dim, 0.0);
-      std::vector<double> dinv_grad(n_vars);
-      for (std::size_t v = 0; v < n_vars; ++v) {
-        dinv_grad[v] = grad[v] / diag[v];
-        const std::size_t ti = vars[v].task;
-        const std::size_t bj = n_tasks + vars[v].block;
-        const double dinv = 1.0 / diag[v];
-        core(ti, ti) += dinv;
-        core(bj, bj) += dinv;
-        core(ti, bj) += dinv;
-        core(bj, ti) += dinv;
-        rhs_core[ti] += dinv_grad[v];
-        rhs_core[bj] += dinv_grad[v];
-      }
+      const std::vector<std::size_t>& tvo = objective.task_var_offsets();
+      const std::vector<std::size_t>& tvi = objective.task_vars();
+      exec.loop(n_tasks, [&](std::size_t ti) {
+        double diag_sum = 0.0;
+        double rhs_sum = 0.0;
+        for (std::size_t k = tvo[ti]; k < tvo[ti + 1]; ++k) {
+          const std::size_t v = tvi[k];
+          const std::size_t bj = n_tasks + vars[v].block;
+          const double dinv = 1.0 / diag[v];
+          diag_sum += dinv;
+          core(ti, bj) += dinv;
+          core(bj, ti) += dinv;
+          rhs_sum += dinv_grad[v];
+        }
+        core(ti, ti) = diag_sum;
+        rhs_core[ti] = rhs_sum;
+      });
+      exec.loop(n_blocks, [&](std::size_t b) {
+        const auto& block = layout.blocks[b];
+        double diag_sum = 0.0;
+        double rhs_sum = 0.0;
+        for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+          const std::size_t v = block.offset + k;
+          diag_sum += 1.0 / diag[v];
+          rhs_sum += dinv_grad[v];
+        }
+        core(n_tasks + b, n_tasks + b) = diag_sum;
+        rhs_core[n_tasks + b] = rhs_sum;
+      });
       for (std::size_t i = 0; i < n_tasks; ++i) {
         EASCHED_ASSERT(gsecond[i] > 0.0);
         core(i, i) += 1.0 / gsecond[i];
@@ -144,16 +181,16 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
       }
 
       ++result.factorizations;
-      const auto factor = cholesky(core);
+      const auto factor = cholesky(core, 1e-300, exec);
       EASCHED_ASSERT(factor.has_value());
       const std::vector<double> y = cholesky_solve(*factor, rhs_core);
 
       // d = −D⁻¹ grad + D⁻¹ U y.
       std::vector<double> direction(n_vars);
-      for (std::size_t v = 0; v < n_vars; ++v) {
+      exec.loop(n_vars, [&](std::size_t v) {
         const double uy = y[vars[v].task] + y[n_tasks + vars[v].block];
         direction[v] = (-grad[v] + uy) / diag[v];
-      }
+      });
 
       // Newton decrement λ² = −gradᵀd; stop the inner phase when tiny.
       const double decrement = -dot(grad, direction);
@@ -176,11 +213,11 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
       double alpha = 0.99 * alpha_max;
 
       // Armijo backtracking on Φ_μ.
-      const double phi0 = barrier_value(objective, layout, vars, x, mu);
+      const double phi0 = barrier_value(objective, layout, vars, x, mu, exec);
       std::vector<double> trial(n_vars);
       for (int backtrack = 0; backtrack < 60; ++backtrack) {
-        for (std::size_t v = 0; v < n_vars; ++v) trial[v] = x[v] + alpha * direction[v];
-        const double phi = barrier_value(objective, layout, vars, trial, mu);
+        exec.loop(n_vars, [&](std::size_t v) { trial[v] = x[v] + alpha * direction[v]; });
+        const double phi = barrier_value(objective, layout, vars, trial, mu, exec);
         if (phi <= phi0 - 0.25 * alpha * decrement) break;
         alpha *= 0.5;
       }

@@ -20,6 +20,8 @@
 
 namespace easched {
 
+class ThreadPool;
+
 /// Interior-point knobs.
 struct InteriorPointOptions {
   /// Barrier reduction factor per outer iteration.
@@ -33,6 +35,11 @@ struct InteriorPointOptions {
   double newton_tol = 1e-10;
   /// Hard cap on outer iterations.
   std::size_t max_outer_iterations = 100;
+  /// Optional worker pool for the dominant linear algebra (residual /
+  /// Hessian-apply loops and the core Cholesky). Null runs serial. Iterates
+  /// are bit-identical to the serial solver at any pool size (the
+  /// determinism contract of `parallel/exec.hpp`).
+  ThreadPool* pool = nullptr;
 };
 
 /// Statistics of an interior-point run (returned alongside the solution).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "easched/common/contracts.hpp"
+#include "easched/parallel/exec.hpp"
 
 namespace easched::detail {
 
@@ -44,6 +45,22 @@ SeparableObjective::SeparableObjective(const TaskSet& tasks, const PowerModel& p
     : power_(&power), layout_(&layout) {
   work_pow_.reserve(tasks.size());
   for (const Task& t : tasks) work_pow_.push_back(std::pow(t.work, power.alpha()));
+
+  // CSR task → variable index. Visiting blocks in order enumerates the flat
+  // indices ascending, so each task's variable list is already in the exact
+  // order the serial block sweeps touch it.
+  var_offsets_.assign(tasks.size() + 1, 0);
+  for (const auto& block : layout.blocks) {
+    for (const TaskId id : block.tasks) ++var_offsets_[static_cast<std::size_t>(id) + 1];
+  }
+  for (std::size_t i = 1; i < var_offsets_.size(); ++i) var_offsets_[i] += var_offsets_[i - 1];
+  var_ids_.resize(layout.variable_count);
+  std::vector<std::size_t> cursor(var_offsets_.begin(), var_offsets_.end() - 1);
+  for (const auto& block : layout.blocks) {
+    for (std::size_t k = 0; k < block.tasks.size(); ++k) {
+      var_ids_[cursor[static_cast<std::size_t>(block.tasks[k])]++] = block.offset + k;
+    }
+  }
 }
 
 std::vector<double> SeparableObjective::totals(const std::vector<double>& x) const {
@@ -53,6 +70,19 @@ std::vector<double> SeparableObjective::totals(const std::vector<double>& x) con
       total[static_cast<std::size_t>(block.tasks[k])] += x[block.offset + k];
     }
   }
+  return total;
+}
+
+std::vector<double> SeparableObjective::totals(const std::vector<double>& x,
+                                               const Exec& exec) const {
+  std::vector<double> total(work_pow_.size(), 0.0);
+  exec.loop(work_pow_.size(), [&](std::size_t i) {
+    // var_ids_ lists task i's variables in ascending flat order — the same
+    // order the serial block sweep adds them, so the sum is bit-identical.
+    double t = 0.0;
+    for (std::size_t k = var_offsets_[i]; k < var_offsets_[i + 1]; ++k) t += x[var_ids_[k]];
+    total[i] = t;
+  });
   return total;
 }
 
@@ -70,6 +100,23 @@ double SeparableObjective::value_from_totals(const std::vector<double>& total) c
   return sum;
 }
 
+double SeparableObjective::value_from_totals(const std::vector<double>& total,
+                                             const Exec& exec) const {
+  for (const double t : total) {
+    if (t <= 0.0) return std::numeric_limits<double>::infinity();
+  }
+  const double alpha = power_->alpha();
+  const double gamma = power_->gamma();
+  const double p0 = power_->static_power();
+  std::vector<double> term(total.size());
+  exec.loop(total.size(), [&](std::size_t i) {
+    term[i] = gamma * work_pow_[i] * std::pow(total[i], 1.0 - alpha) + p0 * total[i];
+  });
+  double sum = 0.0;
+  for (const double t : term) sum += t;
+  return sum;
+}
+
 std::vector<double> SeparableObjective::task_gradient(const std::vector<double>& total) const {
   const double alpha = power_->alpha();
   const double gamma = power_->gamma();
@@ -82,6 +129,19 @@ std::vector<double> SeparableObjective::task_gradient(const std::vector<double>&
   return gprime;
 }
 
+std::vector<double> SeparableObjective::task_gradient(const std::vector<double>& total,
+                                                      const Exec& exec) const {
+  const double alpha = power_->alpha();
+  const double gamma = power_->gamma();
+  const double p0 = power_->static_power();
+  std::vector<double> gprime(total.size());
+  exec.loop(total.size(), [&](std::size_t i) {
+    EASCHED_ASSERT(total[i] > 0.0);
+    gprime[i] = -(alpha - 1.0) * gamma * work_pow_[i] * std::pow(total[i], -alpha) + p0;
+  });
+  return gprime;
+}
+
 std::vector<double> SeparableObjective::task_hessian(const std::vector<double>& total) const {
   const double alpha = power_->alpha();
   const double gamma = power_->gamma();
@@ -91,6 +151,19 @@ std::vector<double> SeparableObjective::task_hessian(const std::vector<double>& 
     gsecond[i] =
         alpha * (alpha - 1.0) * gamma * work_pow_[i] * std::pow(total[i], -alpha - 1.0);
   }
+  return gsecond;
+}
+
+std::vector<double> SeparableObjective::task_hessian(const std::vector<double>& total,
+                                                     const Exec& exec) const {
+  const double alpha = power_->alpha();
+  const double gamma = power_->gamma();
+  std::vector<double> gsecond(total.size());
+  exec.loop(total.size(), [&](std::size_t i) {
+    EASCHED_ASSERT(total[i] > 0.0);
+    gsecond[i] =
+        alpha * (alpha - 1.0) * gamma * work_pow_[i] * std::pow(total[i], -alpha - 1.0);
+  });
   return gsecond;
 }
 

@@ -17,6 +17,10 @@
 #include "easched/tasksys/subintervals.hpp"
 #include "easched/tasksys/task_set.hpp"
 
+namespace easched {
+struct Exec;
+}
+
 namespace easched::detail {
 
 /// Flattened variable layout: one contiguous block per subinterval holding
@@ -48,19 +52,37 @@ class SeparableObjective {
 
   std::size_t task_count() const { return work_pow_.size(); }
 
+  /// \name Task → variable index (CSR)
+  /// The flat variables of task `i`, in ascending flat order, are
+  /// `task_vars()[k]` for `k` in `[task_var_offsets()[i],
+  /// task_var_offsets()[i+1])`. Ascending flat order equals the order the
+  /// serial block sweep visits them, which is what keeps the per-task
+  /// parallel reductions below bit-identical to the serial ones.
+  /// @{
+  const std::vector<std::size_t>& task_var_offsets() const { return var_offsets_; }
+  const std::vector<std::size_t>& task_vars() const { return var_ids_; }
+  /// @}
+
   /// Per-task totals T_i at the point x.
   std::vector<double> totals(const std::vector<double>& x) const;
+  /// Parallel totals: each task sums its own variables in flat order
+  /// (bit-identical to the serial sweep at any pool size).
+  std::vector<double> totals(const std::vector<double>& x, const Exec& exec) const;
 
   /// F from precomputed totals; +inf if any total is non-positive.
   double value_from_totals(const std::vector<double>& total) const;
+  /// Parallel per-task terms, serial sum in task order.
+  double value_from_totals(const std::vector<double>& total, const Exec& exec) const;
 
   double value(const std::vector<double>& x) const { return value_from_totals(totals(x)); }
 
   /// Per-task first derivative g_i'(T_i); totals must be positive.
   std::vector<double> task_gradient(const std::vector<double>& total) const;
+  std::vector<double> task_gradient(const std::vector<double>& total, const Exec& exec) const;
 
   /// Per-task second derivative g_i''(T_i) (always > 0 for α > 1, γ > 0).
   std::vector<double> task_hessian(const std::vector<double>& total) const;
+  std::vector<double> task_hessian(const std::vector<double>& total, const Exec& exec) const;
 
   /// Scatter per-task gradient onto the flat variable vector.
   void gradient(const std::vector<double>& x, std::vector<double>& grad,
@@ -70,6 +92,8 @@ class SeparableObjective {
   const PowerModel* power_;
   const SolverLayout* layout_;
   std::vector<double> work_pow_;  ///< C_i^α
+  std::vector<std::size_t> var_offsets_;  ///< CSR offsets, size task_count + 1
+  std::vector<std::size_t> var_ids_;      ///< CSR flat variable indices
 };
 
 /// Strictly feasible interior starting point: the even split scaled by

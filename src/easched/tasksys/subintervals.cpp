@@ -4,10 +4,15 @@
 #include <cmath>
 
 #include "easched/common/contracts.hpp"
+#include "easched/parallel/exec.hpp"
 
 namespace easched {
 
-SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double merge_tol) {
+SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double merge_tol)
+    : SubintervalDecomposition(tasks, merge_tol, Exec::serial()) {}
+
+SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double merge_tol,
+                                                   const Exec& exec) {
   EASCHED_EXPECTS_MSG(!tasks.empty(), "subinterval decomposition needs at least one task");
   EASCHED_EXPECTS(merge_tol >= 0.0);
 
@@ -26,14 +31,15 @@ SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double 
   boundaries_ = std::move(merged);
   EASCHED_ASSERT(boundaries_.size() >= 2);
 
-  intervals_.reserve(boundaries_.size() - 1);
-  for (std::size_t j = 0; j + 1 < boundaries_.size(); ++j) {
-    Subinterval si;
+  // The O(n) overlap scan per subinterval is the O(n²) part of the
+  // construction; each subinterval fills only its own slot.
+  intervals_.resize(boundaries_.size() - 1);
+  exec.loop(intervals_.size(), [&](std::size_t j) {
+    Subinterval& si = intervals_[j];
     si.begin = boundaries_[j];
     si.end = boundaries_[j + 1];
     si.overlapping = tasks.live_during(si.begin, si.end);
-    intervals_.push_back(std::move(si));
-  }
+  });
 }
 
 std::vector<std::size_t> SubintervalDecomposition::covering(const Task& task) const {

@@ -15,6 +15,8 @@
 
 namespace easched {
 
+struct Exec;
+
 /// One subinterval `[t_j, t_{j+1}]` together with its overlapping tasks.
 struct Subinterval {
   double begin = 0.0;
@@ -35,6 +37,10 @@ class SubintervalDecomposition {
   /// `merge_tol`) are merged so that floating-point release/deadline noise
   /// does not create degenerate slivers.
   explicit SubintervalDecomposition(const TaskSet& tasks, double merge_tol = 1e-12);
+
+  /// Same construction with the per-subinterval overlap scans fanned out
+  /// over `exec` (bit-identical to the serial constructor at any pool size).
+  SubintervalDecomposition(const TaskSet& tasks, double merge_tol, const Exec& exec);
 
   std::size_t size() const { return intervals_.size(); }
   const Subinterval& operator[](std::size_t j) const { return intervals_[j]; }

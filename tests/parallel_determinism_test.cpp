@@ -1,0 +1,155 @@
+// The determinism contract of the parallel kernel: every parallel overload
+// (pipeline, packing, interior point, sharded harness) must be BIT-identical
+// to its serial counterpart at any pool size. No tolerance anywhere in this
+// file — all comparisons are exact (==), on 20 seeded workloads and pools of
+// 1, 2, and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "easched/common/rng.hpp"
+#include "easched/exp/sharding.hpp"
+#include "easched/parallel/exec.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/solver/interior_point.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+constexpr std::size_t kWorkloads = 20;
+constexpr int kCores = 4;
+
+TaskSet workload(std::size_t index) {
+  Rng rng(Rng::seed_of("parallel-determinism", index));
+  WorkloadConfig config;
+  // Cycle through sizes so chunking kicks in at several granularities.
+  const std::size_t sizes[] = {3, 8, 15, 40};
+  config.task_count = sizes[index % 4];
+  return generate_workload(config, rng);
+}
+
+void expect_same_allocation(const AllocationMatrix& a, const AllocationMatrix& b) {
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.subinterval_count(), b.subinterval_count());
+  for (std::size_t i = 0; i < a.task_count(); ++i) {
+    for (std::size_t j = 0; j < a.subinterval_count(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j)) << "avail(" << i << ", " << j << ")";
+    }
+  }
+}
+
+void expect_same_pieces(const std::vector<IntermediatePiece>& a,
+                        const std::vector<IntermediatePiece>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a[k].task, b[k].task) << "piece " << k;
+    ASSERT_EQ(a[k].subinterval, b[k].subinterval) << "piece " << k;
+    ASSERT_EQ(a[k].time, b[k].time) << "piece " << k;
+    ASSERT_EQ(a[k].frequency, b[k].frequency) << "piece " << k;
+  }
+}
+
+void expect_same_method(const MethodResult& a, const MethodResult& b) {
+  expect_same_allocation(a.availability, b.availability);
+  ASSERT_EQ(a.total_available, b.total_available);
+  expect_same_pieces(a.intermediate_pieces, b.intermediate_pieces);
+  ASSERT_EQ(a.intermediate_energy, b.intermediate_energy);
+  ASSERT_EQ(a.intermediate_schedule.segments(), b.intermediate_schedule.segments());
+  ASSERT_EQ(a.final_frequency, b.final_frequency);
+  ASSERT_EQ(a.final_energy, b.final_energy);
+  ASSERT_EQ(a.final_schedule.segments(), b.final_schedule.segments());
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelDeterminismTest, PipelineIsBitIdenticalAcrossPoolSizes) {
+  const TaskSet tasks = workload(GetParam());
+  const PowerModel power(3.0, 0.1);
+  const PipelineResult serial = run_pipeline(tasks, kCores, power);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const PipelineResult parallel = run_pipeline(tasks, kCores, power, Exec::on(pool));
+    ASSERT_EQ(serial.ideal_energy, parallel.ideal_energy) << threads << " threads";
+    expect_same_method(serial.even, parallel.even);
+    expect_same_method(serial.der, parallel.der);
+  }
+}
+
+TEST_P(ParallelDeterminismTest, SortedMaterializationIsBitIdentical) {
+  const TaskSet tasks = workload(GetParam());
+  const PowerModel power(3.0, 0.1);
+  const SubintervalDecomposition subs(tasks);
+  const PipelineResult serial = run_pipeline(tasks, kCores, power);
+  const Schedule sorted_serial = materialize_final_sorted(tasks, subs, kCores, serial.der);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const Schedule sorted_parallel =
+        materialize_final_sorted(tasks, subs, kCores, serial.der, Exec::on(pool));
+    ASSERT_EQ(sorted_serial.segments(), sorted_parallel.segments()) << threads << " threads";
+  }
+}
+
+TEST_P(ParallelDeterminismTest, InteriorPointIteratesAreBitIdentical) {
+  // Only a subset — the solver is the slow path.
+  if (GetParam() % 4 != 1) GTEST_SKIP() << "solver subset";
+  const TaskSet tasks = workload(GetParam());
+  const PowerModel power(3.0, 0.1);
+  const InteriorPointResult serial = solve_optimal_interior_point(tasks, kCores, power);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    InteriorPointOptions options;
+    options.pool = &pool;
+    const InteriorPointResult parallel =
+        solve_optimal_interior_point(tasks, kCores, power, options);
+    ASSERT_EQ(serial.solution.energy, parallel.solution.energy) << threads << " threads";
+    ASSERT_EQ(serial.solution.execution_time, parallel.solution.execution_time);
+    ASSERT_EQ(serial.outer_iterations, parallel.outer_iterations);
+    ASSERT_EQ(serial.newton_steps, parallel.newton_steps);
+    ASSERT_EQ(serial.factorizations, parallel.factorizations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ParallelDeterminismTest,
+                         ::testing::Range(std::size_t{0}, kWorkloads));
+
+TEST(ShardedHarnessTest, RunShardedMatchesTheSerialLoop) {
+  const ShardPlan plan{103, 8};
+  std::vector<double> serial(plan.total);
+  for (std::size_t run = 0; run < plan.total; ++run) {
+    Rng rng(Rng::seed_of("sharded", run));
+    serial[run] = rng.uniform(0.0, 1.0);
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const auto sharded = run_sharded(
+        plan,
+        [](std::size_t run) {
+          Rng rng(Rng::seed_of("sharded", run));
+          return rng.uniform(0.0, 1.0);
+        },
+        pool);
+    ASSERT_EQ(serial, sharded) << threads << " threads";
+  }
+}
+
+TEST(ShardedHarnessTest, ShardLayoutCoversEveryRunOnce) {
+  const ShardPlan plan{21, 4};
+  ASSERT_EQ(plan.shard_count(), 6u);
+  std::vector<int> seen(plan.total, 0);
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const ShardPlan::Range range = plan.shard_range(s);
+    ASSERT_LT(range.begin, range.end);
+    for (std::size_t run = range.begin; run < range.end; ++run) ++seen[run];
+  }
+  for (const int count : seen) ASSERT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace easched

@@ -89,6 +89,34 @@ TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_FALSE(cache.lookup("a"));
 }
 
+TEST(PlanSignatureTest, HugeCoordinatesDoNotCollide) {
+  // Regression: `llround(x / quantum)` saturates once |x / quantum| leaves
+  // the exact long-long range, so every huge coordinate used to collapse
+  // onto the same quantized key. With work 1e13 and the default 1e-6
+  // quantum, these two distinct sets collided — and the cache would then
+  // serve set A's plan for set B.
+  const std::vector<std::pair<TaskId, Task>> a = {{0, Task{0.0, 1.0, 1e13}}};
+  const std::vector<std::pair<TaskId, Task>> b = {{0, Task{0.0, 1.0, 2e13}}};
+  EXPECT_NE(plan_signature(a, 1e-6), plan_signature(b, 1e-6));
+}
+
+TEST(PlanSignatureTest, HugeCoordinateSignaturesAreStillDeterministic) {
+  const std::vector<std::pair<TaskId, Task>> a = {{0, Task{0.0, 1.0, 1e13}}};
+  const std::vector<std::pair<TaskId, Task>> same = {{0, Task{0.0, 1.0, 1e13}}};
+  EXPECT_EQ(plan_signature(a, 1e-6), plan_signature(same, 1e-6));
+}
+
+TEST(PlanCacheTest, DistinctSetsBeyondTheQuantRangeNeverShareAPlan) {
+  const std::vector<std::pair<TaskId, Task>> a = {{0, Task{0.0, 1.0, 1e13}}};
+  const std::vector<std::pair<TaskId, Task>> b = {{0, Task{0.0, 1.0, 2e13}}};
+  const std::string sig_a = plan_signature(a, 1e-6);
+  const std::string sig_b = plan_signature(b, 1e-6);
+  ASSERT_NE(sig_a, sig_b);
+  PlanCache cache(4);
+  cache.insert(sig_a, CachedPlan{1.0, {}});
+  EXPECT_FALSE(cache.lookup(sig_b)) << "set B must not be served set A's plan";
+}
+
 TEST(PlanCacheTest, ClearKeepsLifetimeStats) {
   PlanCache cache(4);
   cache.insert("a", CachedPlan{1.0, {}});
