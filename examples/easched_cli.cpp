@@ -6,19 +6,26 @@
 //   ./easched_cli trace.csv --ladder xscale --out plan.csv
 //   ./easched_cli --demo --scheduler optimal --gantt
 //   ./easched_cli serve --clients 4 --requests 200 --fmax 1.0
+//   ./easched_cli serve --planner exact --plan-budget-ms 5 --queue-depth 32
+//       --journal service.wal --faults "seed=7;solver_stall:p=1"
 //
 // Schedulers: f1, f2 (paper heuristics), optimal (convex solver),
 // ipm (interior point), yds (uniprocessor), online (rolling-horizon F2).
 //
 // The `serve` subcommand runs the long-lived SchedulerService against a
 // synthetic arrival stream: concurrent client threads submit admission
-// requests, the service batches them, and the run ends with a metrics dump,
-// an executed-plan check, and (optionally) a snapshot for later resumption.
+// requests (retrying overload/dropped decisions with jittered backoff), the
+// service batches them, and the run ends with a metrics dump, an
+// executed-plan check, and (optionally) a snapshot for later resumption.
+// With --journal, admits are write-ahead logged; if an injected kill crashes
+// the dispatcher mid-stream, serve restarts the service over the journal and
+// reports what recovery restored.
 
 #include <atomic>
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "easched/common/cli.hpp"
@@ -37,6 +44,15 @@ int run_serve(const CliParser& args) {
   options.cores = cores;
   options.f_max = fmax_arg > 0.0 ? fmax_arg : kInf;
   options.batch_window = std::chrono::microseconds(args.get_int("window-us"));
+  const std::string planner = args.get("planner");
+  if (planner != "f2" && planner != "exact") {
+    std::cerr << "unknown --planner (use: f2, exact)\n";
+    return 1;
+  }
+  options.exact_first = planner == "exact";
+  options.plan_budget = std::chrono::milliseconds(std::max(0, args.get_int("plan-budget-ms")));
+  options.queue_capacity = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth")));
+  options.journal_path = args.get("journal");
 
   std::unique_ptr<SchedulerService> service;
   if (const std::string resume = args.get("resume"); !resume.empty()) {
@@ -46,6 +62,10 @@ int run_serve(const CliParser& args) {
               << " committed task(s), next id " << snap.next_id << "\n";
   } else {
     service = std::make_unique<SchedulerService>(power, options);
+    if (!options.journal_path.empty() && service->committed_count() > 0) {
+      std::cout << "journal " << options.journal_path << " replayed: "
+                << service->committed_count() << " committed task(s) recovered\n";
+    }
   }
 
   // Synthetic arrival stream (paper Section VI generator).
@@ -69,25 +89,78 @@ int run_serve(const CliParser& args) {
   }
   arrivals.run();
 
+  const int retries = std::max(0, args.get_int("retries"));
+  const auto backoff_base = std::chrono::microseconds(std::max(1, args.get_int("retry-backoff-us")));
+  const auto client_timeout = std::chrono::milliseconds(std::max(1, args.get_int("client-timeout-ms")));
+
   const auto wall_start = std::chrono::steady_clock::now();
   std::atomic<std::size_t> admitted{0};
   std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> retried{0};
+  std::atomic<std::size_t> gave_up{0};
+  std::atomic<std::size_t> lost{0};
   {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        std::vector<std::future<ServiceDecision>> futures;
-        futures.reserve(per_client[c].size());
-        for (const Task& t : per_client[c]) futures.push_back(service->submit(t));
-        for (auto& fut : futures) {
-          (fut.get().admission.admitted ? admitted : rejected).fetch_add(1);
+        // Overload and injected-drop decisions are retried with jittered
+        // exponential backoff — the client-side half of the overload
+        // contract. A request whose future never resolves (the service
+        // crashed mid-decision) is counted lost, and the client stops
+        // resubmitting into a dead server.
+        Rng backoff_rng(Rng::seed_of("easched-serve-backoff", c,
+                                     static_cast<std::uint64_t>(args.get_int("seed"))));
+        std::vector<Task> pending = per_client[c];
+        bool server_gone = false;
+        for (int attempt = 0; attempt <= retries && !pending.empty() && !server_gone; ++attempt) {
+          if (attempt > 0) {
+            const auto base = backoff_base * (1 << (attempt - 1));
+            const auto jitter =
+                std::chrono::microseconds(static_cast<std::int64_t>(
+                    backoff_rng.uniform() * static_cast<double>(base.count())));
+            std::this_thread::sleep_for(base + jitter);
+            retried.fetch_add(pending.size());
+          }
+          std::vector<std::future<ServiceDecision>> futures;
+          futures.reserve(pending.size());
+          for (const Task& t : pending) futures.push_back(service->submit(t));
+          const auto deadline = std::chrono::steady_clock::now() + client_timeout;
+          std::vector<Task> next;
+          for (std::size_t i = 0; i < futures.size(); ++i) {
+            if (futures[i].wait_until(deadline) != std::future_status::ready) {
+              lost.fetch_add(1);
+              server_gone = true;
+              continue;
+            }
+            ServiceDecision decision;
+            try {
+              decision = futures[i].get();
+            } catch (const std::future_error&) {
+              // Broken promise: the batch died mid-decision (injected
+              // crash). The decision was never acknowledged.
+              lost.fetch_add(1);
+              server_gone = true;
+              continue;
+            }
+            if (decision.error_kind == AdmissionErrorKind::kOverload ||
+                decision.error_kind == AdmissionErrorKind::kDropped) {
+              next.push_back(pending[i]);
+            } else if (decision.admission.admitted) {
+              admitted.fetch_add(1);
+            } else {
+              rejected.fetch_add(1);
+            }
+          }
+          pending = std::move(next);
         }
+        gave_up.fetch_add(pending.size());
       });
     }
     for (auto& th : threads) th.join();
   }
-  service->drain();
+  const bool crashed = service->metrics().counter("injected_crashes_total") > 0;
+  if (!crashed) service->drain();
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
@@ -95,7 +168,22 @@ int run_serve(const CliParser& args) {
             << format_fixed(wall_s, 3) << " s ("
             << format_fixed(static_cast<double>(requests) / wall_s, 0)
             << " req/s): " << admitted.load() << " admitted, " << rejected.load()
-            << " rejected\n";
+            << " rejected, " << retried.load() << " retried, " << gave_up.load()
+            << " gave up, " << lost.load() << " lost\n";
+
+  if (crashed) {
+    std::cout << "dispatcher crashed (injected kill)";
+    if (!options.journal_path.empty()) {
+      // Restart over the same journal: construction replays the WAL, so
+      // every acknowledged admit survives the crash.
+      service.reset();
+      service = std::make_unique<SchedulerService>(power, options);
+      std::cout << "; recovery replayed the journal: " << service->committed_count()
+                << " committed task(s) restored\n";
+    } else {
+      std::cout << "; no --journal, committed state is gone\n";
+    }
+  }
 
   // Executed-plan check: the committed set must meet every deadline.
   const TaskSet committed = service->committed_task_set();
@@ -122,8 +210,28 @@ int run_serve(const CliParser& args) {
 }
 
 int run(const CliParser& args) {
+  // Deterministic fault injection: armed for the whole command, idle (one
+  // atomic load per hook) when --faults is not given.
+  std::optional<FaultInjector> injector;
+  std::optional<faults::FaultScope> fault_scope;
+  if (const std::string spec = args.get("faults"); !spec.empty()) {
+    injector.emplace(FaultPlan::parse(spec));
+    fault_scope.emplace(*injector);
+    std::cout << "fault plan: " << injector->plan().to_string() << "\n";
+  }
+
   if (args.positional("trace") == std::optional<std::string>("serve")) {
-    return run_serve(args);
+    const int rc = run_serve(args);
+    if (injector) {
+      std::cout << "faults fired:";
+      for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+        const auto site = static_cast<FaultSite>(s);
+        std::cout << " " << site_name(site) << "=" << injector->fired(site) << "/"
+                  << injector->occurrences(site);
+      }
+      std::cout << "\n";
+    }
+    return rc;
   }
 
   // --- Workload -----------------------------------------------------------
@@ -184,11 +292,26 @@ int run(const CliParser& args) {
     }
   } else if (scheduler == "optimal" || scheduler == "ipm") {
     const SubintervalDecomposition subs(tasks);
+    PlanBudget budget;
+    if (const int budget_ms = args.get_int("plan-budget-ms"); budget_ms > 0) {
+      budget = PlanBudget::within(std::chrono::milliseconds(budget_ms));
+    }
     SolverResult solution;
     if (scheduler == "optimal") {
-      solution = solve_optimal_allocation(tasks, subs, cores, power);
+      SolverOptions solver_options;
+      solver_options.budget = budget;
+      solution = solve_optimal_allocation(tasks, subs, cores, power, solver_options);
     } else {
-      solution = solve_optimal_interior_point(tasks, subs, cores, power).solution;
+      InteriorPointOptions ipm_options;
+      ipm_options.budget = budget;
+      solution = solve_optimal_interior_point(tasks, subs, cores, power, ipm_options).solution;
+    }
+    if (!solution.converged) {
+      // The iterate is the solver's best-so-far; materialize and validate
+      // it honestly rather than pretending it is optimal.
+      std::cout << "WARNING: " << scheduler << " solver did not converge ("
+                << solver_status_name(solution.status) << " after " << solution.iterations
+                << " iteration(s)); schedule below is best-effort\n";
     }
     plan = materialize_optimal_schedule(tasks, subs, cores, solution);
     energy = solution.energy;
@@ -281,6 +404,19 @@ int main(int argc, char** argv) {
   args.add_option("horizon", "200", "serve: release window of the synthetic stream");
   args.add_option("snapshot-out", "", "serve: write a service snapshot here on exit");
   args.add_option("resume", "", "serve: restore service state from this snapshot first");
+  args.add_option("plan-budget-ms", "0",
+                  "wall-clock budget per planning pass / exact solve (0 = unlimited)");
+  args.add_option("planner", "f2", "serve: top planning rung: f2 | exact (budgeted, falls back)");
+  args.add_option("queue-depth", "0",
+                  "serve: bound on queued requests; sheds lowest laxity (0 = unbounded)");
+  args.add_option("journal", "", "serve: crash-safe admission journal (WAL) path");
+  args.add_option("faults", "",
+                  "deterministic fault plan, e.g. seed=7;solver_stall:p=1;kill:journal.admit.post@3");
+  args.add_option("retries", "2", "serve: client retries of overload/dropped decisions");
+  args.add_option("retry-backoff-us", "200",
+                  "serve: base client backoff before a retry (jittered, doubled per attempt)");
+  args.add_option("client-timeout-ms", "2000",
+                  "serve: client wait before declaring a request lost");
 
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n\n" << args.help();

@@ -21,6 +21,8 @@
 #include "easched/common/stats.hpp"
 #include "easched/common/table.hpp"
 #include "easched/exp/experiment.hpp"
+#include "easched/faults/fault_injection.hpp"
+#include "easched/faults/fault_plan.hpp"
 #include "easched/exp/plot.hpp"
 #include "easched/parallel/parallel_for.hpp"
 #include "easched/parallel/thread_pool.hpp"
@@ -33,6 +35,7 @@
 #include "easched/sched/core_selection.hpp"
 #include "easched/sched/discrete_adapter.hpp"
 #include "easched/sched/discrete_plan.hpp"
+#include "easched/sched/fallback.hpp"
 #include "easched/sched/feasibility.hpp"
 #include "easched/sched/ideal.hpp"
 #include "easched/sched/packing.hpp"
@@ -44,6 +47,7 @@
 #include "easched/sched/schedule_io.hpp"
 #include "easched/sched/schedule_stats.hpp"
 #include "easched/sched/transitions.hpp"
+#include "easched/service/journal.hpp"
 #include "easched/service/metrics.hpp"
 #include "easched/service/plan_cache.hpp"
 #include "easched/service/request_queue.hpp"
@@ -55,6 +59,7 @@
 #include "easched/sim/power_trace.hpp"
 #include "easched/sim/robustness.hpp"
 #include "easched/solver/convex_solver.hpp"
+#include "easched/solver/plan_budget.hpp"
 #include "easched/solver/interior_point.hpp"
 #include "easched/solver/maxflow.hpp"
 #include "easched/solver/projection.hpp"

@@ -1,0 +1,106 @@
+#include "easched/faults/fault_injection.hpp"
+
+#include <thread>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/rng.hpp"
+
+namespace easched {
+
+namespace {
+
+std::atomic<FaultInjector*> g_current{nullptr};
+
+/// Pure decision: does occurrence `n` of `site` fire at probability `p`
+/// under `seed`? Hash-seeded SplitMix draw — no shared RNG state, so the
+/// verdict for occurrence `n` is independent of who else is drawing.
+bool decide(std::uint64_t seed, FaultSite site, std::uint64_t n, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  Rng rng(Rng::seed_of("easched-fault", static_cast<std::uint64_t>(site), n, seed));
+  return rng.uniform() < p;
+}
+
+}  // namespace
+
+std::string_view site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSolverStall: return "solver_stall";
+    case FaultSite::kSolverNan: return "solver_nan";
+    case FaultSite::kJobDelay: return "job_delay";
+    case FaultSite::kJobFail: return "job_fail";
+    case FaultSite::kRequestDrop: return "request_drop";
+    case FaultSite::kRequestDup: return "request_dup";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), kills_(plan_.kills.size()) {
+  for (std::size_t k = 0; k < plan_.kills.size(); ++k) kills_[k].spec = plan_.kills[k];
+}
+
+double FaultInjector::probability(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kSolverStall: return plan_.solver_stall_p;
+    case FaultSite::kSolverNan: return plan_.solver_nan_p;
+    case FaultSite::kJobDelay: return plan_.job_delay_p;
+    case FaultSite::kJobFail: return plan_.job_fail_p;
+    case FaultSite::kRequestDrop: return plan_.request_drop_p;
+    case FaultSite::kRequestDup: return plan_.request_dup_p;
+  }
+  return 0.0;
+}
+
+bool FaultInjector::fire(FaultSite site) {
+  const auto index = static_cast<std::size_t>(site);
+  EASCHED_ASSERT(index < kFaultSiteCount);
+  const std::uint64_t n = occurrences_[index].fetch_add(1, std::memory_order_relaxed);
+  if (!decide(plan_.seed, site, n, probability(site))) return false;
+  fired_[index].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::kill_point(std::string_view name) {
+  for (KillState& kill : kills_) {
+    if (kill.spec.point != name) continue;
+    const std::uint64_t visit = kill.visits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (visit == kill.spec.at_visit) throw InjectedCrash(std::string(name));
+  }
+}
+
+void FaultInjector::on_job() {
+  if (plan_.job_delay_p > 0.0 && fire(FaultSite::kJobDelay)) {
+    std::this_thread::sleep_for(plan_.job_delay);
+  }
+  if (plan_.job_fail_p > 0.0 && fire(FaultSite::kJobFail)) {
+    throw InjectedFault("injected thread-pool job failure");
+  }
+}
+
+std::uint64_t FaultInjector::occurrences(FaultSite site) const {
+  return occurrences_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site) const {
+  return fired_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::kill_visits(std::string_view name) const {
+  for (const KillState& kill : kills_) {
+    if (kill.spec.point == name) return kill.visits.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+namespace faults {
+
+FaultInjector* current() noexcept { return g_current.load(std::memory_order_acquire); }
+
+FaultScope::FaultScope(FaultInjector& injector)
+    : previous_(g_current.exchange(&injector, std::memory_order_acq_rel)) {}
+
+FaultScope::~FaultScope() { g_current.store(previous_, std::memory_order_release); }
+
+}  // namespace faults
+
+}  // namespace easched

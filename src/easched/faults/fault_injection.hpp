@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file fault_injection.hpp
+/// \brief Deterministic execution of a `FaultPlan`: the process-wide
+///        injector and the hook points the rest of the library calls.
+///
+/// The injector is *compiled in always* and *zero-cost when empty*: every
+/// hook first loads one atomic pointer, and when no injector is installed
+/// (the default, and the only state production code ever sees) it returns
+/// immediately. Installing a `FaultScope` arms the hooks for the dynamic
+/// extent of the scope; tests, the `faults` CI job, and `easched_cli
+/// --faults=...` are the only installers.
+///
+/// **Determinism.** Every decision is a pure function of `(plan seed, fault
+/// site, per-site occurrence counter)` — no wall clock, no global RNG. Two
+/// runs that visit a site in the same order draw the same verdicts. Sites on
+/// sequential paths (solver invocations under the service's state lock,
+/// submissions from a single client) are therefore exactly reproducible;
+/// sites on concurrent paths (pool jobs) get a reproducible *set* of
+/// verdicts but racy assignment — which is safe, because job delays and job
+/// failures never change kernel results (failed claimer jobs degrade to
+/// caller-executed chunks; see `parallel_for.hpp`).
+///
+/// Kill points model crashes: `kill_point("name")` throws `InjectedCrash`
+/// on the visit the plan arms (`kill:name@k`). Service code calls them
+/// around journal appends so recovery can be tested at every write boundary.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "easched/faults/fault_plan.hpp"
+
+namespace easched {
+
+/// Thrown by an injected thread-pool job failure (site `job_fail`).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by an armed kill point: models a crash at that program point.
+/// Deliberately NOT derived from `std::exception`'s common service-handled
+/// categories semantics: service code must never swallow it — a crash
+/// propagates all the way out so recovery tests observe the aborted state.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& point)
+      : std::runtime_error("injected crash at kill point '" + point + "'"), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// The sites the library consults. Extend here + in `site_name`.
+enum class FaultSite {
+  kSolverStall = 0,
+  kSolverNan,
+  kJobDelay,
+  kJobFail,
+  kRequestDrop,
+  kRequestDup,
+};
+inline constexpr std::size_t kFaultSiteCount = 6;
+
+/// Stable display name of a site ("solver_stall", ...).
+std::string_view site_name(FaultSite site);
+
+/// Executes one `FaultPlan` deterministically. Thread-safe: counters are
+/// atomics; decisions depend only on the occurrence index a caller draws.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Consult `site`: advances its occurrence counter and returns whether
+  /// this occurrence fires under the plan's probability for the site.
+  bool fire(FaultSite site);
+
+  /// Crash hook: counts the visit and throws `InjectedCrash` when the plan
+  /// arms `name` at this visit index.
+  void kill_point(std::string_view name);
+
+  /// Apply the job-site faults (delay, then failure) for one pool job.
+  void on_job();
+
+  /// \name Observability (for tests and the CLI's fault report)
+  /// @{
+  std::uint64_t occurrences(FaultSite site) const;
+  std::uint64_t fired(FaultSite site) const;
+  /// Visits of an armed kill point (0 for unarmed names).
+  std::uint64_t kill_visits(std::string_view name) const;
+  /// @}
+
+ private:
+  double probability(FaultSite site) const;
+
+  struct KillState {
+    KillSpec spec;
+    std::atomic<std::uint64_t> visits{0};
+  };
+
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> occurrences_{};
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> fired_{};
+  std::vector<KillState> kills_;  ///< one per plan.kills entry, fixed at ctor
+};
+
+namespace faults {
+
+/// The installed injector, or nullptr (the common, zero-cost case).
+FaultInjector* current() noexcept;
+
+/// RAII installation of an injector as the process-wide current one.
+/// Scopes restore the previous injector on destruction; installation is a
+/// test/CLI-level act — do not overlap scopes from concurrent threads.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// \name Inline hooks (fast path: one relaxed atomic load when idle)
+/// @{
+inline bool fire(FaultSite site) {
+  FaultInjector* injector = current();
+  return injector != nullptr && injector->fire(site);
+}
+
+inline void on_job() {
+  if (FaultInjector* injector = current()) injector->on_job();
+}
+
+inline void kill_point(std::string_view name) {
+  if (FaultInjector* injector = current()) injector->kill_point(name);
+}
+/// @}
+
+}  // namespace faults
+
+}  // namespace easched

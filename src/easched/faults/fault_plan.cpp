@@ -1,0 +1,143 @@
+#include "easched/faults/fault_plan.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace easched {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, sep)) {
+    if (!token.empty()) parts.push_back(token);
+  }
+  return parts;
+}
+
+[[noreturn]] void bad_spec(const std::string& item, const std::string& why) {
+  throw std::runtime_error("bad fault spec item '" + item + "': " + why);
+}
+
+double parse_probability(const std::string& item, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !(p >= 0.0 && p <= 1.0)) {
+    bad_spec(item, "probability must be in [0, 1]");
+  }
+  return p;
+}
+
+std::uint64_t parse_count(const std::string& item, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') bad_spec(item, "expected an integer");
+  return static_cast<std::uint64_t>(n);
+}
+
+/// Parse "key=value,key=value" into ordered pairs.
+std::vector<std::pair<std::string, std::string>> parse_fields(const std::string& item,
+                                                              const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (const std::string& field : split(text, ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) bad_spec(item, "field '" + field + "' is not key=value");
+    fields.emplace_back(field.substr(0, eq), field.substr(eq + 1));
+  }
+  return fields;
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return solver_stall_p == 0.0 && solver_nan_p == 0.0 && job_delay_p == 0.0 &&
+         job_fail_p == 0.0 && request_drop_p == 0.0 && request_dup_p == 0.0 && kills.empty();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& item : split(spec, ';')) {
+    if (item.rfind("seed=", 0) == 0) {
+      plan.seed = parse_count(item, item.substr(5));
+      continue;
+    }
+    if (item.rfind("kill:", 0) == 0) {
+      KillSpec kill;
+      const std::string rest = item.substr(5);
+      const auto at = rest.find('@');
+      if (at == std::string::npos) {
+        kill.point = rest;
+      } else {
+        kill.point = rest.substr(0, at);
+        kill.at_visit = parse_count(item, rest.substr(at + 1));
+        if (kill.at_visit == 0) bad_spec(item, "visit index is 1-based");
+      }
+      if (kill.point.empty()) bad_spec(item, "missing kill-point name");
+      plan.kills.push_back(std::move(kill));
+      continue;
+    }
+
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) bad_spec(item, "expected 'site:fields' or 'seed=N'");
+    const std::string site = item.substr(0, colon);
+    const auto fields = parse_fields(item, item.substr(colon + 1));
+
+    double p = -1.0;
+    std::uint64_t us = 0;
+    bool saw_us = false;
+    for (const auto& [key, value] : fields) {
+      if (key == "p") {
+        p = parse_probability(item, value);
+      } else if (key == "us") {
+        us = parse_count(item, value);
+        saw_us = true;
+      } else {
+        bad_spec(item, "unknown field '" + key + "'");
+      }
+    }
+    if (p < 0.0) bad_spec(item, "missing p=");
+
+    if (site == "solver_stall") {
+      plan.solver_stall_p = p;
+    } else if (site == "solver_nan") {
+      plan.solver_nan_p = p;
+    } else if (site == "job_delay") {
+      plan.job_delay_p = p;
+      plan.job_delay = std::chrono::microseconds(us);
+    } else if (site == "job_fail") {
+      plan.job_fail_p = p;
+    } else if (site == "request_drop") {
+      plan.request_drop_p = p;
+    } else if (site == "request_dup") {
+      plan.request_dup_p = p;
+    } else {
+      bad_spec(item, "unknown fault site '" + site + "'");
+    }
+    if (saw_us && site != "job_delay") bad_spec(item, "only job_delay takes us=");
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "seed=" << seed;
+  if (solver_stall_p > 0.0) out << ";solver_stall:p=" << solver_stall_p;
+  if (solver_nan_p > 0.0) out << ";solver_nan:p=" << solver_nan_p;
+  if (job_delay_p > 0.0) {
+    out << ";job_delay:p=" << job_delay_p << ",us=" << job_delay.count();
+  }
+  if (job_fail_p > 0.0) out << ";job_fail:p=" << job_fail_p;
+  if (request_drop_p > 0.0) out << ";request_drop:p=" << request_drop_p;
+  if (request_dup_p > 0.0) out << ";request_dup:p=" << request_dup_p;
+  for (const KillSpec& kill : kills) {
+    out << ";kill:" << kill.point;
+    if (kill.at_visit != 1) out << "@" << kill.at_visit;
+  }
+  return out.str();
+}
+
+}  // namespace easched

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// \brief Declarative, seeded specification of faults to inject.
+///
+/// Fault tolerance that is only exercised by real failures is fault
+/// tolerance that has never been tested. A `FaultPlan` describes — as plain
+/// data — which failure modes the process should *manufacture* and how
+/// often: solver stalls and poisoned iterates (the planning path), delayed
+/// or failing thread-pool jobs (the compute path), dropped or duplicated
+/// service requests (the traffic path), and named kill points (the
+/// crash-recovery path). The plan is seeded, and every injection decision is
+/// a pure function of `(seed, site, per-site occurrence counter)`, so a
+/// given plan reproduces the same failure sequence on every run — CI can
+/// walk each degradation path deterministically.
+///
+/// Plans round-trip through a compact text spec (the CLI's `--faults=`):
+///
+///   seed=42;solver_stall:p=1;solver_nan:p=0.25;job_delay:p=0.1,us=200;
+///   job_fail:p=0.05;request_drop:p=0.01;request_dup:p=0.01;kill:journal.admit@3
+///
+/// Probabilities are in [0, 1]. A `kill:` entry names a kill point (see
+/// `fault_injection.hpp`) and the 1-based visit at which to crash
+/// (`@k`, default 1). The empty plan injects nothing.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace easched {
+
+/// One named crash site: throw `InjectedCrash` on the `at_visit`-th visit.
+struct KillSpec {
+  std::string point;
+  std::uint64_t at_visit = 1;  ///< 1-based
+
+  friend bool operator==(const KillSpec&, const KillSpec&) = default;
+};
+
+/// What to inject, how often. Plain data; execution lives in
+/// `FaultInjector`.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Per solver invocation: force a non-converging early exit (the solver
+  /// reports an iteration-cap stall without making progress).
+  double solver_stall_p = 0.0;
+  /// Per solver invocation: poison the first iterate with a quiet NaN so the
+  /// numerical-breakdown detection path runs.
+  double solver_nan_p = 0.0;
+
+  /// Per thread-pool job: sleep `job_delay` before running the job.
+  double job_delay_p = 0.0;
+  std::chrono::microseconds job_delay{0};
+  /// Per thread-pool job: throw `InjectedFault` instead of running the job.
+  double job_fail_p = 0.0;
+
+  /// Per service submission: drop the request (the client sees an immediate
+  /// reasoned rejection, as if the message were lost and negatively acked).
+  double request_drop_p = 0.0;
+  /// Per service submission: enqueue the request twice (at-least-once
+  /// delivery misbehavior; the service must stay consistent anyway).
+  double request_dup_p = 0.0;
+
+  /// Crash sites, by name and visit index.
+  std::vector<KillSpec> kills;
+
+  /// True when the plan injects nothing at all.
+  bool empty() const;
+
+  /// Parse the `--faults=` spec grammar documented above. Throws
+  /// `std::runtime_error` on malformed input (unknown site, bad probability,
+  /// missing field).
+  static FaultPlan parse(const std::string& spec);
+
+  /// Canonical spec string; `parse(to_string())` round-trips.
+  std::string to_string() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace easched

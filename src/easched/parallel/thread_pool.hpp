@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "easched/faults/fault_injection.hpp"
+
 namespace easched {
 
 /// A fixed-size thread pool.
@@ -43,10 +45,19 @@ class ThreadPool {
 
   /// Enqueue a job; the returned future carries the job's result/exception
   /// (see the class-level exception contract).
+  ///
+  /// The fault hook runs *inside* the packaged task, so an injected delay
+  /// or `InjectedFault` flows through the normal exception contract (into
+  /// the job's future) and can never escape a worker. With no injector
+  /// installed the hook is one atomic load.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f)]() mutable -> R {
+          faults::on_job();
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);

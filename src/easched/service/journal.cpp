@@ -1,0 +1,146 @@
+#include "easched/service/journal.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "easched/faults/fault_injection.hpp"
+
+namespace easched {
+
+namespace {
+
+constexpr const char* kHeader = "# easched-admission-journal v1";
+
+/// FNV-1a over the payload bytes; hex-encoded it prefixes every record so
+/// replay can detect a line torn by a mid-append crash.
+std::uint64_t fnv1a(const std::string& payload) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string checksum_hex(const std::string& payload) {
+  std::ostringstream out;
+  out << std::hex << fnv1a(payload);
+  return out.str();
+}
+
+}  // namespace
+
+AdmissionJournal::AdmissionJournal(std::string path) : path_(std::move(path)) {
+  // Peek at the current size so the header is written exactly once.
+  bool needs_header = true;
+  {
+    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+    if (probe.is_open() && probe.tellg() > 0) needs_header = false;
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_.is_open()) {
+    throw std::runtime_error("cannot open admission journal: " + path_);
+  }
+  out_.precision(17);
+  if (needs_header) {
+    out_ << kHeader << "\n";
+    out_.flush();
+  }
+}
+
+void AdmissionJournal::append_line(const std::string& payload, const char* pre_point,
+                                   const char* post_point) {
+  std::lock_guard lock(mutex_);
+  faults::kill_point(pre_point);
+  out_ << checksum_hex(payload) << " " << payload << "\n";
+  out_.flush();
+  if (!out_) throw std::runtime_error("admission journal write failed: " + path_);
+  ++appended_;
+  faults::kill_point(post_point);
+}
+
+void AdmissionJournal::append_admit(TaskId id, const Task& task) {
+  std::ostringstream payload;
+  payload.precision(17);
+  payload << "admit " << id << " " << task.release << " " << task.deadline << " " << task.work;
+  append_line(payload.str(), "journal.admit.pre", "journal.admit.post");
+}
+
+void AdmissionJournal::append_complete(TaskId id) {
+  std::ostringstream payload;
+  payload << "complete " << id;
+  append_line(payload.str(), "journal.complete.pre", "journal.complete.post");
+}
+
+std::uint64_t AdmissionJournal::appended() const {
+  std::lock_guard lock(mutex_);
+  return appended_;
+}
+
+JournalRecovery AdmissionJournal::recover(const std::string& path) {
+  JournalRecovery recovery;
+  std::ifstream in(path);
+  if (!in.is_open()) return recovery;  // no journal yet: empty state
+
+  std::string line;
+  if (!std::getline(in, line)) return recovery;  // empty file
+  if (line != kHeader) {
+    throw std::runtime_error("not an easched-admission-journal v1 file: " + path);
+  }
+
+  std::map<TaskId, Task> live;
+  std::set<TaskId> removed;
+  bool torn = false;
+  while (std::getline(in, line)) {
+    if (torn) {
+      ++recovery.dropped_lines;
+      continue;
+    }
+    // Split off the checksum, verify, then parse the payload. Any failure
+    // marks the torn tail: this line and everything after it is dropped.
+    const auto space = line.find(' ');
+    if (space == std::string::npos || line.substr(0, space) != checksum_hex(line.substr(space + 1))) {
+      torn = true;
+      ++recovery.dropped_lines;
+      continue;
+    }
+    std::istringstream fields(line.substr(space + 1));
+    std::string kind;
+    TaskId id = 0;
+    fields >> kind >> id;
+    if (kind == "admit") {
+      Task task;
+      fields >> task.release >> task.deadline >> task.work;
+      if (!fields) {
+        torn = true;
+        ++recovery.dropped_lines;
+        continue;
+      }
+      live[id] = task;
+      recovery.next_id = std::max(recovery.next_id, id + 1);
+    } else if (kind == "complete") {
+      if (!fields) {
+        torn = true;
+        ++recovery.dropped_lines;
+        continue;
+      }
+      live.erase(id);
+      removed.insert(id);
+    } else {
+      torn = true;
+      ++recovery.dropped_lines;
+      continue;
+    }
+    ++recovery.records;
+  }
+
+  recovery.committed.assign(live.begin(), live.end());
+  recovery.removed_ids.assign(removed.begin(), removed.end());
+  return recovery;
+}
+
+}  // namespace easched

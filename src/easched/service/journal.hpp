@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file journal.hpp
+/// \brief Crash-safe write-ahead log of admission decisions.
+///
+/// Snapshots (`snapshot.hpp`) capture the service's state at one instant; a
+/// crash between snapshots loses every admit since the last one. The journal
+/// closes that gap: before a batch's decisions are acknowledged to clients,
+/// each admitted task is appended (and flushed) here, and completions and
+/// cancellations append removal records. On restart, `recover()` replays the
+/// log and hands the service back exactly the committed set it had promised.
+///
+/// **Durability contract** (enforced by `SchedulerService`): the admit record
+/// is flushed *before* the decision promise is fulfilled, so every admit a
+/// client ever observed as acknowledged is recoverable. A crash between
+/// flush and acknowledgement may recover an admit the client never heard
+/// about — that is the safe side of the race (the service honors a
+/// commitment nobody collected, rather than dropping one somebody did).
+///
+/// **Format.** Plain text, one record per line, self-checking:
+///
+///     # easched-admission-journal v1
+///     <fnv64-hex> admit <id> <release> <deadline> <work>
+///     <fnv64-hex> complete <id>
+///
+/// The leading checksum covers the rest of the line, so replay detects a
+/// torn tail (a crash mid-append): the first line that fails its checksum —
+/// or fails to parse — ends replay, and everything from it on is counted in
+/// `JournalRecovery::dropped_lines` instead of corrupting the state.
+///
+/// Crash points: `append_admit` / `append_complete` visit the fault
+/// injector's kill points `journal.admit.pre` / `journal.admit.post` (and
+/// `.complete.` twins) immediately before the write and after the flush, so
+/// tests can kill the service at every boundary of the durability window.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "easched/tasksys/task.hpp"
+
+namespace easched {
+
+/// What `AdmissionJournal::recover` rebuilds from a log.
+struct JournalRecovery {
+  /// Tasks admitted and not yet completed/cancelled, in id order.
+  std::vector<std::pair<TaskId, Task>> committed;
+  /// One past the highest id ever admitted (0 for an empty log) — the
+  /// restart value for the service's id counter.
+  TaskId next_id = 0;
+  /// Ids that have a removal record (deduplicated, ascending). Lets a
+  /// caller replaying the journal over a snapshot base also apply the
+  /// removals, not just the surviving admits.
+  std::vector<TaskId> removed_ids;
+  /// Valid records replayed.
+  std::size_t records = 0;
+  /// Trailing lines discarded as torn/corrupt.
+  std::size_t dropped_lines = 0;
+};
+
+/// Append-only admission WAL. Thread-safe; every append flushes before
+/// returning.
+class AdmissionJournal {
+ public:
+  /// Open `path` for appending, writing the header if the file is new or
+  /// empty. Throws `std::runtime_error` when the file cannot be opened.
+  explicit AdmissionJournal(std::string path);
+
+  /// Append (and flush) one admit record.
+  void append_admit(TaskId id, const Task& task);
+
+  /// Append (and flush) one removal record (used for both `complete` and
+  /// `cancel` — recovery only needs to know the task is gone).
+  void append_complete(TaskId id);
+
+  const std::string& path() const { return path_; }
+
+  /// Records appended through this handle (excludes pre-existing ones).
+  std::uint64_t appended() const;
+
+  /// Replay the log at `path`. A missing file recovers to the empty state;
+  /// a present file with a bad header throws (that is not a journal).
+  static JournalRecovery recover(const std::string& path);
+
+ private:
+  void append_line(const std::string& payload, const char* pre_point,
+                   const char* post_point);
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace easched

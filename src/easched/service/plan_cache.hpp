@@ -24,15 +24,19 @@
 #include <unordered_map>
 #include <utility>
 
+#include "easched/sched/fallback.hpp"
 #include "easched/sched/schedule.hpp"
 #include "easched/tasksys/task.hpp"
 
 namespace easched {
 
-/// A cached F2 plan for one committed-set signature.
+/// A cached plan for one committed-set signature. `rung` records which rung
+/// of the fallback chain produced it (F2/DER on the happy path), so cache
+/// hits report the same degradation status as the plan's original solve.
 struct CachedPlan {
   double energy = 0.0;
   Schedule schedule;
+  PlanRung rung = PlanRung::kDer;
 };
 
 /// Build the canonical signature of a live task set: `(id, release,

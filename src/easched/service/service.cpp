@@ -6,10 +6,10 @@
 #include <stdexcept>
 
 #include "easched/common/contracts.hpp"
+#include "easched/faults/fault_injection.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/parallel/thread_pool.hpp"
 #include "easched/sched/feasibility.hpp"
-#include "easched/sched/pipeline.hpp"
 
 namespace easched {
 
@@ -23,11 +23,22 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
 }  // namespace
 
 SchedulerService::SchedulerService(const PowerModel& power, ServiceOptions options)
-    : power_(power), options_(options), cache_(options.cache_capacity) {
+    : power_(power),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      cache_(options_.cache_capacity) {
   EASCHED_EXPECTS(options_.cores > 0);
   EASCHED_EXPECTS(options_.f_max > 0.0);
   EASCHED_EXPECTS(options_.max_batch > 0);
   EASCHED_EXPECTS(options_.signature_quantum > 0.0);
+  if (!options_.journal_path.empty()) {
+    {
+      std::lock_guard lock(state_mutex_);
+      replay_journal_locked();
+      refresh_gauges_locked();
+    }
+    journal_.emplace(options_.journal_path);
+  }
   if (!options_.manual_dispatch) {
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
   }
@@ -47,6 +58,11 @@ SchedulerService::SchedulerService(const ServiceSnapshot& snapshot, const PowerM
   for (const auto& [id, task] : committed_) {
     EASCHED_EXPECTS_MSG(id < next_id_, "snapshot id at or above next_id");
   }
+  // The journal is the log of everything that happened since it was
+  // opened, so it replays *over* the snapshot: removals first, surviving
+  // admits second (the delegated constructor already replayed it into the
+  // empty set; re-applying over the snapshot base is idempotent).
+  replay_journal_locked();
   // Pre-seed the cache so the first post-restart request re-plans nothing.
   if (!committed_.empty() && !snapshot.plan.empty()) {
     cache_.insert(plan_signature(committed_, options_.signature_quantum),
@@ -83,6 +99,7 @@ bool SchedulerService::complete(TaskId id) {
                          [id](const auto& entry) { return entry.first == id; });
   if (it == committed_.end()) return false;
   committed_.erase(it);
+  if (journal_) journal_->append_complete(id);
   metrics_.increment("completions_total");
   refresh_gauges_locked();
   return true;
@@ -94,6 +111,7 @@ bool SchedulerService::cancel(TaskId id) {
                          [id](const auto& entry) { return entry.first == id; });
   if (it == committed_.end()) return false;
   committed_.erase(it);
+  if (journal_) journal_->append_complete(id);
   metrics_.increment("cancellations_total");
   refresh_gauges_locked();
   return true;
@@ -163,7 +181,12 @@ void SchedulerService::drain() {
   }
   const std::uint64_t target = queue_.pushed();
   std::unique_lock lock(state_mutex_);
-  drain_cv_.wait(lock, [this, target] { return decided_requests_ >= target; });
+  // Requests decided at the queue (sheds, overload rejects, injected
+  // drops) never reach a batch, so they count against the drain target via
+  // `rejected_early()`. Both terms are monotone.
+  drain_cv_.wait(lock, [this, target] {
+    return decided_requests_ + queue_.rejected_early() >= target;
+  });
 }
 
 void SchedulerService::shutdown() {
@@ -185,17 +208,35 @@ void SchedulerService::dispatcher_loop() {
   for (;;) {
     auto batch = queue_.pop_batch(options_.batch_window, options_.max_batch);
     if (batch.empty()) return;  // closed and drained
-    process_batch(std::move(batch));
+    try {
+      process_batch(std::move(batch));
+    } catch (const InjectedCrash&) {
+      // Simulated process death: the dispatcher stops cold, in-flight
+      // promises stay broken, and only journaled state survives — exactly
+      // what a real crash leaves behind. Recovery is a new service over
+      // the same journal.
+      metrics_.increment("injected_crashes_total");
+      return;
+    }
   }
 }
 
 void SchedulerService::process_batch(std::vector<PendingRequest> batch) {
   if (!options_.manual_dispatch && options_.use_thread_pool) {
     // One pool job per batch: planning compute shares the machine-wide
-    // worker budget with everything else built on the pool.
+    // worker budget with everything else built on the pool. The batch
+    // stays reachable through `shared` so an injected job failure (which
+    // fires *before* the job body runs) can be retried inline instead of
+    // breaking every promise in the batch.
+    auto shared = std::make_shared<std::vector<PendingRequest>>(std::move(batch));
     auto fut = ThreadPool::global().submit(
-        [this, moved = std::move(batch)]() mutable { run_batch(std::move(moved)); });
-    fut.get();
+        [this, shared]() mutable { run_batch(std::move(*shared)); });
+    try {
+      fut.get();
+    } catch (const InjectedFault&) {
+      metrics_.increment("batch_job_faults_total");
+      run_batch(std::move(*shared));
+    }
   } else {
     run_batch(std::move(batch));
   }
@@ -211,21 +252,53 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
     metrics_.increment("batches_total");
     metrics_.observe("batch_size", static_cast<double>(batch.size()));
 
-    // One baseline per batch, chained through the accepted candidates.
-    double energy_before = plan_for_committed_locked().energy;
+    // One baseline per batch, chained through the accepted candidates. A
+    // baseline planning failure fails the whole batch with a reasoned
+    // per-request rejection (never a hang, never an invalid plan).
+    double energy_before = 0.0;
+    bool baseline_failed = false;
+    std::string baseline_reason;
+    try {
+      energy_before = plan_for_committed_locked().energy;
+    } catch (const PlanningError& e) {
+      baseline_failed = true;
+      baseline_reason = e.what();
+    }
+
     for (PendingRequest& request : batch) {
       ServiceDecision decision;
       decision.sequence = request.sequence;
       decision.batch = batch_index;
       try {
-        decision.admission =
-            evaluate_locked(request.task, energy_before, /*commit=*/true, &decision.id);
+        if (baseline_failed) throw PlanningError(baseline_reason);
+        decision.admission = evaluate_locked(request.task, energy_before, /*commit=*/true,
+                                             &decision.id, &decision.plan_rung);
+      } catch (const InjectedCrash&) {
+        // Crash simulation must observe real durability: rethrow so the
+        // "process" dies here with this decision unacknowledged.
+        throw;
+      } catch (const PlanningError& e) {
+        decision.admission.admitted = false;
+        decision.admission.rejection_reason = std::string("planning failed: ") + e.what();
+        decision.error_kind = AdmissionErrorKind::kPlanning;
+      } catch (const ContractViolation& e) {
+        decision.admission.admitted = false;
+        decision.admission.rejection_reason = std::string("admission error: ") + e.what();
+        decision.error_kind = AdmissionErrorKind::kContract;
       } catch (const std::exception& e) {
         decision.admission.admitted = false;
         decision.admission.rejection_reason = std::string("admission error: ") + e.what();
+        decision.error_kind = AdmissionErrorKind::kInternal;
+      }
+      if (decision.error_kind != AdmissionErrorKind::kNone) {
         metrics_.increment("admission_errors_total");
+        metrics_.increment(std::string("admission_errors_by_kind_") +
+                           std::string(admission_error_kind_name(decision.error_kind)));
       }
       if (decision.admission.admitted) {
+        // Write-ahead: the admit is durable before its promise is
+        // fulfilled below, so every acknowledged admit survives a crash.
+        if (journal_) journal_->append_admit(decision.id, request.task);
         energy_before = decision.admission.energy_after;
         metrics_.increment("admitted_total");
         metrics_.observe("quoted_marginal_energy", decision.admission.marginal_energy);
@@ -244,26 +317,81 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
   drain_cv_.notify_all();
 }
 
-CachedPlan SchedulerService::plan_for_committed_locked() {
-  if (committed_.empty()) {
+FallbackOptions SchedulerService::fallback_options() const {
+  FallbackOptions fo;
+  fo.try_exact = options_.exact_first;
+  if (options_.plan_budget.count() > 0) {
+    fo.budget.deadline = PlanBudget::Clock::now() + options_.plan_budget;
+  }
+  fo.budget.max_solver_iterations = options_.plan_max_iterations;
+  return fo;
+}
+
+CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live) {
+  if (live.empty()) {
     CachedPlan empty;
     empty.schedule = Schedule(options_.cores);
+    empty.rung = PlanRung::kNone;
     return empty;
   }
-  const std::string signature = plan_signature(committed_, options_.signature_quantum);
+  const std::string signature = plan_signature(live, options_.signature_quantum);
   if (auto hit = cache_.lookup(signature)) {
     metrics_.increment("plan_cache_hits_total");
     return *hit;
   }
   metrics_.increment("plan_cache_misses_total");
   std::vector<Task> tasks;
-  tasks.reserve(committed_.size());
-  for (const auto& [id, task] : committed_) tasks.push_back(task);
-  const PipelineResult result =
-      run_pipeline(TaskSet(std::move(tasks)), options_.cores, power_, kernel_exec());
-  CachedPlan plan{result.der.final_energy, result.der.final_schedule};
+  tasks.reserve(live.size());
+  for (const auto& [id, task] : live) tasks.push_back(task);
+  const FallbackPlan planned = plan_with_fallback(TaskSet(std::move(tasks)), options_.cores,
+                                                  power_, fallback_options(), kernel_exec());
+  for (const RungAttempt& attempt : planned.outcome.attempts) {
+    if (!attempt.served) {
+      metrics_.increment(std::string("fallback_rung_failures_") +
+                         std::string(plan_rung_name(attempt.rung)));
+    }
+  }
+  if (planned.outcome.rejected()) {
+    metrics_.increment("planning_failures_total");
+    throw PlanningError(planned.outcome.reason());
+  }
+  metrics_.increment(std::string("plans_by_rung_") +
+                     std::string(plan_rung_name(planned.outcome.served)));
+  if (planned.outcome.degraded()) metrics_.increment("fallback_degraded_total");
+  CachedPlan plan{planned.energy, planned.schedule, planned.outcome.served};
   cache_.insert(signature, plan);
   return plan;
+}
+
+CachedPlan SchedulerService::plan_for_committed_locked() { return plan_set_locked(committed_); }
+
+void SchedulerService::replay_journal_locked() {
+  if (options_.journal_path.empty()) return;
+  const JournalRecovery recovery = AdmissionJournal::recover(options_.journal_path);
+  if (recovery.records == 0 && recovery.dropped_lines == 0) return;
+  // Removals first (a task the journal saw completed must not survive from
+  // a snapshot base), then the surviving admits, id order kept.
+  for (const TaskId id : recovery.removed_ids) {
+    auto it = std::find_if(committed_.begin(), committed_.end(),
+                           [id](const auto& entry) { return entry.first == id; });
+    if (it != committed_.end()) committed_.erase(it);
+  }
+  for (const auto& [id, task] : recovery.committed) {
+    auto it = std::lower_bound(committed_.begin(), committed_.end(), id,
+                               [](const auto& entry, TaskId key) { return entry.first < key; });
+    if (it != committed_.end() && it->first == id) {
+      it->second = task;
+    } else {
+      committed_.insert(it, {id, task});
+    }
+  }
+  next_id_ = std::max(next_id_, recovery.next_id);
+  metrics_.increment("journal_replays_total");
+  metrics_.increment("journal_records_replayed_total", recovery.records);
+  if (recovery.dropped_lines > 0) {
+    metrics_.increment("journal_torn_lines_total", recovery.dropped_lines);
+  }
+  metrics_.set_gauge("journal_recovered_tasks", static_cast<double>(recovery.committed.size()));
 }
 
 Exec SchedulerService::kernel_exec() const {
@@ -272,7 +400,7 @@ Exec SchedulerService::kernel_exec() const {
 
 AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
                                                     double energy_before, bool commit,
-                                                    TaskId* out_id) {
+                                                    TaskId* out_id, PlanRung* out_rung) {
   // Mirrors `admit_task` decision for decision parity with sequential
   // per-request admission (the batched-determinism contract); the energy
   // baseline is chained in by the caller instead of recomputed.
@@ -308,24 +436,17 @@ AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
     }
   }
 
-  // Plan the merged set through the cache. A prior quote of the same
-  // candidate against the same committed set left this plan behind, so an
-  // admit after a quote re-plans nothing.
-  const std::string signature = plan_signature(merged, options_.signature_quantum);
-  CachedPlan plan;
-  if (auto hit = cache_.lookup(signature)) {
-    metrics_.increment("plan_cache_hits_total");
-    plan = *hit;
-  } else {
-    metrics_.increment("plan_cache_misses_total");
-    const PipelineResult result = run_pipeline(all, options_.cores, power_, kernel_exec());
-    plan = CachedPlan{result.der.final_energy, result.der.final_schedule};
-    cache_.insert(signature, plan);
-  }
+  // Plan the merged set through the cache and the fallback chain. A prior
+  // quote of the same candidate against the same committed set left this
+  // plan behind, so an admit after a quote re-plans nothing. Throws
+  // `PlanningError` when every rung fails — the caller converts that into
+  // a reasoned rejection.
+  const CachedPlan plan = plan_set_locked(merged);
 
   decision.admitted = true;
   decision.energy_after = plan.energy;
   decision.marginal_energy = decision.energy_after - decision.energy_before;
+  if (out_rung != nullptr) *out_rung = plan.rung;
   if (commit) {
     if (out_id != nullptr) *out_id = next_id_;
     committed_ = std::move(merged);
@@ -342,6 +463,12 @@ void SchedulerService::refresh_gauges_locked() {
   metrics_.set_gauge("queue_depth", static_cast<double>(queue_.depth()));
   metrics_.set_gauge("plan_cache_size", static_cast<double>(cache_.size()));
   metrics_.set_gauge("plan_cache_hit_rate", cache_.hit_rate());
+  metrics_.set_gauge("queue_shed_total", static_cast<double>(queue_.shed()));
+  metrics_.set_gauge("queue_overload_rejected_total",
+                     static_cast<double>(queue_.overload_rejected()));
+  metrics_.set_gauge("queue_fault_dropped_total", static_cast<double>(queue_.fault_dropped()));
+  metrics_.set_gauge("queue_fault_duplicated_total",
+                     static_cast<double>(queue_.fault_duplicated()));
 }
 
 }  // namespace easched

@@ -35,11 +35,27 @@
 /// The service also supports graceful drain/shutdown and snapshot/restore
 /// (`snapshot.hpp`), so a restarted daemon resumes its commitments
 /// mid-horizon.
+///
+/// **Failure model.** Planning runs through the fallback chain of
+/// `sched/fallback.hpp` (optionally exact-first under a `PlanBudget`), so a
+/// misbehaving solver degrades a plan instead of stalling the service; the
+/// chain's validator guarantee means an invalid plan is never served. With
+/// a `journal_path`, every admit is written ahead (and flushed) to a WAL
+/// before its decision is acknowledged, and construction replays the
+/// journal so a crashed service restarts with every acknowledged admit
+/// intact (`journal.hpp`). A bounded queue (`queue_capacity`) sheds the
+/// lowest-laxity requests under overload instead of growing without bound.
+/// Injected faults (`faults/fault_injection.hpp`) surface as structured
+/// error kinds on decisions — except `InjectedCrash`, which is *never*
+/// swallowed: it propagates (simulating the process dying) so crash tests
+/// observe exactly what durability survived.
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -48,14 +64,27 @@
 #include "easched/common/math.hpp"
 #include "easched/power/power_model.hpp"
 #include "easched/sched/admission.hpp"
+#include "easched/sched/fallback.hpp"
 #include "easched/sched/schedule.hpp"
+#include "easched/service/journal.hpp"
 #include "easched/service/metrics.hpp"
 #include "easched/service/plan_cache.hpp"
 #include "easched/service/request_queue.hpp"
 #include "easched/service/snapshot.hpp"
+#include "easched/solver/plan_budget.hpp"
 #include "easched/tasksys/task_set.hpp"
 
 namespace easched {
+
+/// Thrown when every rung of the fallback chain fails for a set that must
+/// be planned (the committed baseline or a merged candidate set). Batch
+/// processing converts it into a reasoned rejection with
+/// `AdmissionErrorKind::kPlanning`; direct readers (`current_plan`,
+/// `quote`, `snapshot`) let it propagate.
+class PlanningError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Tunables of a `SchedulerService`.
 struct ServiceOptions {
@@ -81,6 +110,23 @@ struct ServiceOptions {
   /// worker budget — a planning pass never spawns threads of its own — and
   /// its plans are bit-identical to serial planning at any pool size.
   bool use_thread_pool = true;
+  /// Try the exact convex solve as the top rung of every planning pass,
+  /// falling back to F2 → F1 when it fails or runs out of budget. Off by
+  /// default: the heuristic-only chain reproduces the pre-fallback plans
+  /// bit-for-bit.
+  bool exact_first = false;
+  /// Wall-clock budget per planning pass (only the exact rung consumes it
+  /// cooperatively; the heuristic rescue rungs always run). 0 = unlimited.
+  std::chrono::microseconds plan_budget{0};
+  /// Iteration ceiling for the exact rung's solver. 0 = the solver default.
+  std::size_t plan_max_iterations = 0;
+  /// Bound on requests waiting in the queue; overflow sheds the
+  /// lowest-laxity request (see `request_queue.hpp`). 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// Path of the crash-safe admission journal (WAL). Empty disables
+  /// journaling. On construction the journal is replayed — on top of the
+  /// snapshot, when resuming from one — before any request is served.
+  std::string journal_path;
 };
 
 struct Exec;
@@ -169,15 +215,29 @@ class SchedulerService {
   void process_batch(std::vector<PendingRequest> batch);
   void run_batch(std::vector<PendingRequest> batch);
 
+  /// Fallback-chain configuration derived from the options; the budget
+  /// deadline starts ticking at the call.
+  FallbackOptions fallback_options() const;
+  /// Plan `live` through the cache and the fallback chain; records rung
+  /// metrics. Throws `PlanningError` when every rung fails. Caller holds
+  /// `state_mutex_`.
+  CachedPlan plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live);
   /// Plan (and energy) for the current committed set, via the cache.
   /// Caller holds `state_mutex_`.
   CachedPlan plan_for_committed_locked();
+  /// Replay the journal at `options_.journal_path` over the current
+  /// committed set (removals first, surviving admits second). Caller holds
+  /// `state_mutex_` (or is the constructor).
+  void replay_journal_locked();
   /// Admission core shared by batches and quotes. Evaluates `candidate`
   /// against the committed set; when `commit` is set and the candidate is
-  /// feasible, it joins the set under a fresh id (written to `*out_id`).
-  /// Caller holds `state_mutex_`.
+  /// feasible, it joins the set under a fresh id (written to `*out_id`);
+  /// `*out_rung` (if given) receives the fallback rung whose plan backed an
+  /// admit. Throws `PlanningError` when every rung fails. Caller holds
+  /// `state_mutex_`.
   AdmissionDecision evaluate_locked(const Task& candidate, double energy_before,
-                                    bool commit, TaskId* out_id);
+                                    bool commit, TaskId* out_id,
+                                    PlanRung* out_rung = nullptr);
   /// Execution context for planning kernels: the global pool when
   /// `use_thread_pool` is set, serial otherwise — one shared thread budget,
   /// never a private one.
@@ -188,6 +248,7 @@ class SchedulerService {
   ServiceOptions options_;
   MetricsRegistry metrics_;
   RequestQueue queue_;
+  std::optional<AdmissionJournal> journal_;  ///< open iff `journal_path` set
 
   mutable std::mutex state_mutex_;
   std::condition_variable drain_cv_;

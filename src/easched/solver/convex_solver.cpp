@@ -7,11 +7,23 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
+#include "easched/faults/fault_injection.hpp"
 #include "easched/sched/packing.hpp"
 #include "easched/solver/problem.hpp"
 #include "easched/solver/projection.hpp"
 
 namespace easched {
+
+std::string_view solver_status_name(SolverStatus status) {
+  switch (status) {
+    case SolverStatus::kConverged: return "converged";
+    case SolverStatus::kIterationCap: return "iteration_cap";
+    case SolverStatus::kBudgetExhausted: return "budget_exhausted";
+    case SolverStatus::kNumericalBreakdown: return "numerical_breakdown";
+    case SolverStatus::kStallInjected: return "stall_injected";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -66,6 +78,13 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
   double f_x = objective.value(x);
   std::size_t iterations = 0;
   bool converged = false;
+  SolverStatus status = SolverStatus::kIterationCap;
+
+  // Fault-injection verdicts for this invocation (always false outside
+  // fault-injected tests/CI): a forced stall exits before the first
+  // iteration; a poisoned iterate exercises the breakdown detection below.
+  const bool stall_injected = faults::fire(FaultSite::kSolverStall);
+  const bool poison_injected = faults::fire(FaultSite::kSolverNan);
 
   // One backtracked projected-gradient step from `base` (with value f_base
   // and gradient g_base): returns the candidate and its value, growing
@@ -82,6 +101,9 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
       const double quad =
           f_base + dot(g_base, diff) + 0.5 * lipschitz * squared_distance(out, base);
       const double f_out = objective.value(out);
+      // A NaN objective can never satisfy the descent test; surface it to
+      // the caller's breakdown detection instead of backtracking forever.
+      if (std::isnan(f_out)) return f_out;
       if (f_out <= quad + 1e-12 * std::abs(quad)) return f_out;
       lipschitz *= 2.0;
       EASCHED_ASSERT(lipschitz < 1e30);
@@ -103,15 +125,39 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
   std::size_t checks_without_progress = 0;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (stall_injected) {
+      status = SolverStatus::kStallInjected;
+      break;
+    }
+    if (options.budget.expired() || options.budget.iterations_exhausted(iter)) {
+      status = SolverStatus::kBudgetExhausted;
+      break;
+    }
     iterations = iter + 1;
     // Let the step size recover; backtracking grows it back when needed.
     lipschitz = std::max(0.5 * lipschitz, 1e-12);
 
-    // Momentum point may have a non-positive task total (the objective is
-    // undefined there); fall back to the last feasible iterate.
+    if (poison_injected && iter == 0) {
+      y[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // Momentum point may have a non-finite or non-positive task total (the
+    // objective is undefined there): a NaN/Inf total is a numerical
+    // breakdown (x keeps the last good iterate); a vanishing one falls back
+    // to the last feasible iterate.
     {
       const std::vector<double> ty = objective.totals(y);
-      if (*std::min_element(ty.begin(), ty.end()) <= 1e-300) {
+      bool broken = false;
+      bool restart = false;
+      for (const double t : ty) {
+        if (!std::isfinite(t)) broken = true;
+        if (t <= 1e-300) restart = true;
+      }
+      if (broken) {
+        status = SolverStatus::kNumericalBreakdown;
+        break;
+      }
+      if (restart) {
         y = x;
         momentum_t = 1.0;
       }
@@ -121,12 +167,20 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
     const double f_y = objective.value_from_totals(totals);
     double f_candidate = backtracked_step(y, f_y, grad, candidate);
 
+    if (std::isnan(f_candidate)) {
+      status = SolverStatus::kNumericalBreakdown;
+      break;
+    }
     if (f_candidate > f_x) {
       // Momentum overshoot: restart and take a plain (monotone) projected
       // gradient step from x — backtracking guarantees descent from x.
       momentum_t = 1.0;
       objective.gradient(x, grad, totals);
       f_candidate = backtracked_step(x, f_x, grad, candidate);
+      if (std::isnan(f_candidate)) {
+        status = SolverStatus::kNumericalBreakdown;
+        break;
+      }
     }
 
     const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * momentum_t * momentum_t));
@@ -145,6 +199,7 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
       const double gm = gradient_mapping();
       if (gm <= options.objective_tol * initial_residual) {
         converged = true;
+        status = SolverStatus::kConverged;
         break;
       }
       if (gm < 0.5 * best_residual) {
@@ -153,6 +208,7 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
       } else if (++checks_without_progress >= 50) {
         // Numerically stationary: accept if within a relaxed band.
         converged = gm <= 1e-4 * initial_residual;
+        if (converged) status = SolverStatus::kConverged;
         break;
       }
     }
@@ -167,6 +223,7 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
   result.iterations = iterations;
   result.kkt_residual = residual;
   result.converged = converged;
+  result.status = status;
   return result;
 }
 

@@ -19,15 +19,33 @@
 /// and `kkt_residual` certifies optimality (projected-gradient norm).
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "easched/power/power_model.hpp"
 #include "easched/sched/allocation.hpp"
 #include "easched/sched/schedule.hpp"
+#include "easched/solver/plan_budget.hpp"
 #include "easched/tasksys/subintervals.hpp"
 #include "easched/tasksys/task_set.hpp"
 
 namespace easched {
+
+/// How a solver run ended. Structured so callers can distinguish "the
+/// answer is optimal" from the three distinct ways a solve degrades —
+/// ran out of iterations, ran out of wall clock, or broke down numerically
+/// (NaN/Inf iterates, failed factorization). The fallback chain keys its
+/// escalation decisions off this.
+enum class SolverStatus {
+  kConverged,           ///< met the stationarity / duality-gap criterion
+  kIterationCap,        ///< exhausted iterations before converging
+  kBudgetExhausted,     ///< `PlanBudget` wall-clock deadline passed
+  kNumericalBreakdown,  ///< non-finite iterate or failed factorization
+  kStallInjected,       ///< fault injection forced a stall (tests/CI only)
+};
+
+/// Stable display name ("converged", "iteration_cap", ...).
+std::string_view solver_status_name(SolverStatus status);
 
 /// Solver knobs. Defaults solve the paper's instances (n ≤ 40, N ≤ 80) to
 /// well below figure resolution in a few milliseconds.
@@ -39,6 +57,10 @@ struct SolverOptions {
   double objective_tol = 1e-6;
   /// Initial inverse step size (backtracking adapts it in both directions).
   double initial_lipschitz = 1.0;
+  /// Cooperative deadline/iteration budget (default: unlimited). Checked
+  /// between iterations; on expiry the solver returns its best-so-far
+  /// iterate with `SolverStatus::kBudgetExhausted`.
+  PlanBudget budget{};
 };
 
 /// Solution of the convex program.
@@ -53,8 +75,10 @@ struct SolverResult {
   std::size_t iterations = 0;
   /// Projected-gradient norm at the solution (KKT stationarity residual).
   double kkt_residual = 0.0;
-  /// False when max_iterations was hit before the stall criterion.
+  /// False when the solve ended for any reason other than convergence.
   bool converged = false;
+  /// Structured ending (refines `converged`).
+  SolverStatus status = SolverStatus::kIterationCap;
 };
 
 /// Solve for the optimal energy. `cores ≥ 1`.

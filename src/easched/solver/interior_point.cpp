@@ -6,6 +6,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/linalg.hpp"
+#include "easched/faults/fault_injection.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/solver/problem.hpp"
 
@@ -106,12 +107,45 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
   InteriorPointResult result;
   double mu = (std::abs(objective.value(x)) + 1.0) / constraint_count;
 
-  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+  SolverStatus status = SolverStatus::kIterationCap;
+  bool aborted = false;
+  // Last iterate whose totals were verified finite; restored on numerical
+  // breakdown so the caller always receives a usable point.
+  std::vector<double> checkpoint = x;
+
+  // Fault-injection verdicts for this invocation (always false outside
+  // fault-injected tests/CI).
+  if (faults::fire(FaultSite::kSolverStall)) {
+    status = SolverStatus::kStallInjected;
+    aborted = true;
+  }
+  if (!aborted && faults::fire(FaultSite::kSolverNan)) {
+    x[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  for (std::size_t outer = 0; !aborted && outer < options.max_outer_iterations; ++outer) {
     ++result.outer_iterations;
 
     // Damped Newton on Φ_μ.
     for (std::size_t step = 0; step < options.max_newton_steps; ++step) {
+      if (options.budget.expired() ||
+          options.budget.iterations_exhausted(result.newton_steps)) {
+        status = SolverStatus::kBudgetExhausted;
+        aborted = true;
+        break;
+      }
       const std::vector<double> totals = objective.totals(x, exec);
+      bool finite = true;
+      for (const double t : totals) {
+        if (!std::isfinite(t)) finite = false;
+      }
+      if (!finite) {
+        status = SolverStatus::kNumericalBreakdown;
+        aborted = true;
+        x = checkpoint;
+        break;
+      }
+      checkpoint = x;
       const std::vector<double> gprime = objective.task_gradient(totals, exec);
       const std::vector<double> gsecond = objective.task_hessian(totals, exec);
       const std::vector<double> slack = block_slacks(layout, x, exec);
@@ -182,7 +216,13 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
 
       ++result.factorizations;
       const auto factor = cholesky(core, 1e-300, exec);
-      EASCHED_ASSERT(factor.has_value());
+      if (!factor.has_value()) {
+        // The core matrix lost positive definiteness — a genuine numerical
+        // breakdown, reported structurally instead of asserted away.
+        status = SolverStatus::kNumericalBreakdown;
+        aborted = true;
+        break;
+      }
       const std::vector<double> y = cholesky_solve(*factor, rhs_core);
 
       // d = −D⁻¹ grad + D⁻¹ U y.
@@ -194,6 +234,11 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
 
       // Newton decrement λ² = −gradᵀd; stop the inner phase when tiny.
       const double decrement = -dot(grad, direction);
+      if (!std::isfinite(decrement)) {
+        status = SolverStatus::kNumericalBreakdown;
+        aborted = true;
+        break;
+      }
       if (decrement <= 2.0 * options.newton_tol) break;
 
       // Fraction-to-boundary rule keeps the iterate strictly interior.
@@ -224,6 +269,7 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
       x = trial;
       ++result.newton_steps;
     }
+    if (aborted) break;
 
     // Duality-gap proxy: for the standard log barrier the gap is exactly
     // (number of constraints)·μ at the central point.
@@ -239,7 +285,12 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
   result.solution.iterations = result.newton_steps;
   result.solution.kkt_residual = constraint_count * mu;
   result.solution.converged =
+      !aborted &&
       constraint_count * mu < options.gap_tol * (std::abs(result.solution.energy) + 1.0);
+  if (result.solution.converged) {
+    status = SolverStatus::kConverged;
+  }
+  result.solution.status = status;
   return result;
 }
 

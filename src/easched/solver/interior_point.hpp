@@ -40,9 +40,15 @@ struct InteriorPointOptions {
   /// are bit-identical to the serial solver at any pool size (the
   /// determinism contract of `parallel/exec.hpp`).
   ThreadPool* pool = nullptr;
+  /// Cooperative deadline/iteration budget (default: unlimited). Checked
+  /// between Newton steps; `max_solver_iterations` caps Newton steps.
+  PlanBudget budget{};
 };
 
 /// Statistics of an interior-point run (returned alongside the solution).
+/// `solution.status` is the structured ending: converged, iteration cap,
+/// budget exhaustion, or numerical breakdown (a failed Cholesky or a
+/// non-finite iterate — the solution then carries the last good iterate).
 struct InteriorPointResult {
   /// Shared result shape with the first-order solver.
   SolverResult solution;

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file plan_budget.hpp
+/// \brief Deadline budget for one planning attempt.
+///
+/// Planning is on the serving path of `SchedulerService`, so it must answer
+/// within a latency budget even when the exact solver misbehaves. A
+/// `PlanBudget` carries the two caps a cooperative solver checks between
+/// iterations: a wall-clock deadline and an iteration ceiling. Solvers never
+/// block past a check — on an expired budget they return their best-so-far
+/// iterate with `SolverStatus::kBudgetExhausted`, and the fallback chain
+/// (see `sched/fallback.hpp`) escalates to a cheaper rung.
+///
+/// The default-constructed budget is unlimited, which keeps every existing
+/// one-shot entry point (benches, figures, CLI batch mode) unchanged.
+
+#include <chrono>
+#include <cstddef>
+
+namespace easched {
+
+/// Cooperative caps on one planning attempt. Copyable plain data.
+struct PlanBudget {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute wall-clock deadline; `Clock::time_point::max()` = none.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Extra solver-iteration ceiling on top of the solver's own
+  /// `max_iterations`; 0 = none.
+  std::size_t max_solver_iterations = 0;
+
+  /// No caps at all (the default).
+  static PlanBudget unlimited() { return {}; }
+
+  /// Budget expiring `wall` from now, optionally iteration-capped.
+  static PlanBudget within(std::chrono::microseconds wall, std::size_t iterations = 0) {
+    PlanBudget budget;
+    budget.deadline = Clock::now() + wall;
+    budget.max_solver_iterations = iterations;
+    return budget;
+  }
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  /// True once the wall-clock deadline has passed. One `steady_clock::now()`
+  /// call; solvers check this between iterations, never inside inner loops.
+  bool expired() const { return has_deadline() && Clock::now() >= deadline; }
+
+  /// True when `done` iterations exhaust the iteration ceiling.
+  bool iterations_exhausted(std::size_t done) const {
+    return max_solver_iterations != 0 && done >= max_solver_iterations;
+  }
+};
+
+}  // namespace easched

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+
 #include "easched/common/rng.hpp"
+#include "easched/faults/fault_injection.hpp"
 #include "easched/sched/pipeline.hpp"
 #include "easched/sim/executor.hpp"
 #include "easched/solver/convex_solver.hpp"
@@ -124,6 +128,77 @@ TEST(ConvexSolverTest, MoreCoresNeverIncreaseOptimalEnergy) {
       EXPECT_LE(energy, previous + 1e-6 * previous) << "cores=" << cores;
     }
     previous = energy;
+  }
+}
+
+TEST(ConvexSolverTest, ConvergedRunsCarryStructuredStatus) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {4.0, 8.0, 4.0}});
+  const PowerModel power(3.0, 0.01);
+  const SolverResult result = solve_optimal_allocation(tasks, 2, power);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.status, SolverStatus::kConverged);
+  EXPECT_EQ(solver_status_name(result.status), "converged");
+}
+
+TEST(ConvexSolverTest, ExpiredBudgetReportsBudgetExhaustedWithUsableIterate) {
+  Rng rng(Rng::seed_of("solver-budget", 2));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  SolverOptions options;
+  options.budget = PlanBudget::within(std::chrono::microseconds(0));
+  const SolverResult result = solve_optimal_allocation(tasks, 4, power, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.status, SolverStatus::kBudgetExhausted);
+  // Best-so-far iterate, not garbage: a finite energy over a feasible point.
+  EXPECT_TRUE(std::isfinite(result.energy));
+  EXPECT_EQ(result.execution_time.size(), tasks.size());
+}
+
+TEST(ConvexSolverTest, IterationBudgetReportsBudgetExhausted) {
+  Rng rng(Rng::seed_of("solver-iteration-budget", 2));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  SolverOptions options;
+  options.budget.max_solver_iterations = 1;
+  const SolverResult result = solve_optimal_allocation(tasks, 4, power, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.status, SolverStatus::kBudgetExhausted);
+  EXPECT_LE(result.iterations, 1u);
+}
+
+TEST(ConvexSolverTest, IterationCapReportsStructuredStatus) {
+  Rng rng(Rng::seed_of("solver-itercap", 2));
+  WorkloadConfig config;
+  config.task_count = 12;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  SolverOptions options;
+  options.max_iterations = 1;
+  const SolverResult result = solve_optimal_allocation(tasks, 4, power, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.status, SolverStatus::kIterationCap);
+}
+
+TEST(ConvexSolverTest, InjectedFaultsSurfaceAsStatuses) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}});
+  const PowerModel power(3.0, 0.01);
+  {
+    FaultInjector injector(FaultPlan::parse("solver_stall:p=1"));
+    faults::FaultScope scope(injector);
+    const SolverResult result = solve_optimal_allocation(tasks, 2, power);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.status, SolverStatus::kStallInjected);
+  }
+  {
+    FaultInjector injector(FaultPlan::parse("solver_nan:p=1"));
+    faults::FaultScope scope(injector);
+    const SolverResult result = solve_optimal_allocation(tasks, 2, power);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.status, SolverStatus::kNumericalBreakdown);
   }
 }
 

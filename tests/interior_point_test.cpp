@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+
 #include "easched/common/contracts.hpp"
+#include "easched/faults/fault_injection.hpp"
 #include "easched/common/rng.hpp"
 #include "easched/sched/pipeline.hpp"
 #include "easched/solver/interior_point.hpp"
@@ -129,6 +133,65 @@ TEST(InteriorPointTest, RejectsBadArguments) {
   InteriorPointOptions bad;
   bad.barrier_decrease = 1.5;
   EXPECT_THROW(solve_optimal_interior_point(tasks, 1, power, bad), ContractViolation);
+}
+
+TEST(InteriorPointTest, ConvergedRunsCarryStructuredStatus) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}});
+  const PowerModel power(3.0, 0.01);
+  const InteriorPointResult r = solve_optimal_interior_point(tasks, 2, power);
+  EXPECT_TRUE(r.solution.converged);
+  EXPECT_EQ(r.solution.status, SolverStatus::kConverged);
+}
+
+TEST(InteriorPointTest, ExpiredBudgetReportsBudgetExhausted) {
+  Rng rng(Rng::seed_of("ipm-budget", 1));
+  WorkloadConfig config;
+  config.task_count = 8;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  InteriorPointOptions options;
+  options.budget = PlanBudget::within(std::chrono::microseconds(0));
+  const InteriorPointResult r = solve_optimal_interior_point(tasks, 4, power, options);
+  EXPECT_FALSE(r.solution.converged);
+  EXPECT_EQ(r.solution.status, SolverStatus::kBudgetExhausted);
+  // Best-effort iterate: usable, finite energy.
+  EXPECT_TRUE(std::isfinite(r.solution.energy));
+}
+
+TEST(InteriorPointTest, NewtonStepBudgetReportsBudgetExhausted) {
+  Rng rng(Rng::seed_of("ipm-newton-budget", 1));
+  WorkloadConfig config;
+  config.task_count = 8;
+  const TaskSet tasks = generate_workload(config, rng);
+  const PowerModel power(3.0, 0.1);
+  InteriorPointOptions options;
+  options.budget.max_solver_iterations = 2;
+  const InteriorPointResult r = solve_optimal_interior_point(tasks, 4, power, options);
+  EXPECT_FALSE(r.solution.converged);
+  EXPECT_EQ(r.solution.status, SolverStatus::kBudgetExhausted);
+  EXPECT_LE(r.newton_steps, 2u);
+}
+
+TEST(InteriorPointTest, InjectedFaultsSurfaceAsStatuses) {
+  const TaskSet tasks({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}});
+  const PowerModel power(3.0, 0.01);
+  {
+    FaultInjector injector(FaultPlan::parse("solver_stall:p=1"));
+    faults::FaultScope scope(injector);
+    const InteriorPointResult r = solve_optimal_interior_point(tasks, 2, power);
+    EXPECT_FALSE(r.solution.converged);
+    EXPECT_EQ(r.solution.status, SolverStatus::kStallInjected);
+  }
+  {
+    // A poisoned first iterate must trip the breakdown detection and hand
+    // back the last finite checkpoint, never a NaN solution.
+    FaultInjector injector(FaultPlan::parse("solver_nan:p=1"));
+    faults::FaultScope scope(injector);
+    const InteriorPointResult r = solve_optimal_interior_point(tasks, 2, power);
+    EXPECT_FALSE(r.solution.converged);
+    EXPECT_EQ(r.solution.status, SolverStatus::kNumericalBreakdown);
+    for (const double t : r.solution.execution_time) EXPECT_TRUE(std::isfinite(t));
+  }
 }
 
 }  // namespace
