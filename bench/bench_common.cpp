@@ -77,6 +77,40 @@ std::vector<std::size_t> thread_sweep(int* argc, char** argv) {
   return threads;
 }
 
+std::string trace_arg(int* argc, char** argv) {
+  std::string path;
+  const std::string prefix = "--trace=";
+  int out = 1;
+  for (int in = 1; in < *argc; ++in) {
+    const std::string arg = argv[in];
+    if (arg.rfind(prefix, 0) == 0) {
+      path = arg.substr(prefix.size());
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  tracer_.emplace();
+  scope_.emplace(*tracer_);
+}
+
+TraceSession::~TraceSession() {
+  if (!tracer_) return;
+  scope_.reset();  // disarm before export: recording has quiesced
+  try {
+    write_file(path_, tracer_->chrome_trace_json());
+    std::cerr << "[trace artifact: " << path_ << ", " << tracer_->records().size()
+              << " span(s), " << tracer_->dropped() << " dropped]\n";
+  } catch (const std::exception& e) {
+    std::cerr << "warning: could not write " << path_ << ": " << e.what() << "\n";
+  }
+}
+
 ThreadPool& pool_for(std::size_t threads) {
   static std::mutex registry_mutex;
   static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;

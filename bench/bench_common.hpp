@@ -10,11 +10,13 @@
 
 #include <cstddef>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "easched/common/table.hpp"
 #include "easched/exp/experiment.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/thread_pool.hpp"
 
 namespace easched::bench {
@@ -54,6 +56,27 @@ std::vector<std::size_t> thread_sweep(int* argc, char** argv);
 /// Process-wide pool registry keyed by worker count, so a sweep reuses one
 /// pool per size instead of re-spawning workers every benchmark iteration.
 ThreadPool& pool_for(std::size_t threads);
+
+/// Strip a `--trace=<path>` argument from argv (google-benchmark must not
+/// see it). Returns the path, or "" when absent.
+std::string trace_arg(int* argc, char** argv);
+
+/// Arms tracing for its lifetime and writes the Chrome trace to `path` on
+/// destruction. An empty path disables it entirely — the benchmarked code
+/// then pays only the disabled-span atomic load, which is exactly the
+/// overhead `perf_obs` measures.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+  std::optional<obs::Tracer> tracer_;
+  std::optional<obs::TraceScope> scope_;
+};
 /// @}
 
 }  // namespace easched::bench

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "easched/common/rng.hpp"
 #include "easched/faults/fault_injection.hpp"
 #include "easched/sched/fallback.hpp"
@@ -145,4 +146,13 @@ BENCHMARK(BM_ServiceAdmissionJournaled)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --trace=<path> arms span recording for the whole run (the degraded
+  // streams then show their rung fallbacks in Perfetto).
+  const easched::bench::TraceSession trace(easched::bench::trace_arg(&argc, argv));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

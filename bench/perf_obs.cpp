@@ -1,0 +1,112 @@
+// Performance bench P7: what observability costs.
+// (1) The acceptance criterion: `run_pipeline` at n = 1000 with tracing
+//     DISABLED must stay within 2% of the same run before the obs layer
+//     existed. Disabled spans cost one relaxed atomic load each, so the two
+//     BM_PipelineTracing rows should be statistically indistinguishable from
+//     BM_PipelineNoTracing.
+// (2) The armed path, for context: same pipeline with a live Tracer. This is
+//     allowed to be slower (it records), but bounds the opt-in price.
+// (3) Microbenches for the primitives themselves: disabled vs armed span
+//     construction and one histogram observation under the registry mutex.
+// Counters feed `BENCH_obs.json`; the perf gate compares the NoTracing rows
+// against BENCH_pipeline.json's serial baseline host-for-host.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "bench_common.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/obs/trace.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/service/metrics.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace {
+
+using namespace easched;
+
+TaskSet make_tasks(std::size_t n) {
+  Rng rng(Rng::seed_of("perf-pipeline", n));  // same seed as perf_pipeline:
+  WorkloadConfig config;                      // identical work, comparable rows
+  config.task_count = n;
+  return generate_workload(config, rng);
+}
+
+constexpr int kCores = 4;
+
+// Tracing disabled (no Tracer installed): every span in the kernel resolves
+// to one relaxed atomic load. Must match BENCH_pipeline's serial rows.
+void BM_PipelineNoTracing(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)));
+  const PowerModel power(3.0, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(tasks, kCores, power));
+  }
+  state.counters["tasks"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineNoTracing)->Arg(200)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+// Tracing armed: spans record into per-thread rings. The tracer is rebuilt
+// each iteration so the ring never saturates into the drop path.
+void BM_PipelineTracing(benchmark::State& state) {
+  const TaskSet tasks = make_tasks(static_cast<std::size_t>(state.range(0)));
+  const PowerModel power(3.0, 0.1);
+  for (auto _ : state) {
+    obs::Tracer tracer;
+    const obs::TraceScope scope(tracer);
+    benchmark::DoNotOptimize(run_pipeline(tasks, kCores, power));
+  }
+  state.counters["tasks"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineTracing)->Arg(200)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+// The primitive itself, disabled: construct + destroy a span with no tracer
+// installed. This is the per-callsite tax the whole library pays when idle.
+void BM_SpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span("bench.disabled");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+// The primitive armed: full record into the thread-local ring.
+void BM_SpanArmed(benchmark::State& state) {
+  obs::Tracer tracer;
+  const obs::TraceScope scope(tracer);
+  for (auto _ : state) {
+    obs::Span span("bench.armed");
+    span.arg("i", 1);
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanArmed);
+
+// One bucketed observation through the registry (mutex + lower_bound).
+void BM_HistogramObserve(benchmark::State& state) {
+  MetricsRegistry metrics;
+  metrics.declare_buckets("bench_latency_us", obs::default_latency_buckets_us());
+  double v = 1.0;
+  for (auto _ : state) {
+    metrics.observe_bucketed("bench_latency_us", v);
+    v = v < 1.0e6 ? v * 1.7 : 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const easched::bench::TraceSession trace(easched::bench::trace_arg(&argc, argv));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -73,6 +73,7 @@ void run_interior_point(benchmark::State& state, std::size_t n, std::size_t thre
 }  // namespace
 
 int main(int argc, char** argv) {
+  const easched::bench::TraceSession trace(easched::bench::trace_arg(&argc, argv));
   const std::vector<std::size_t> sweep = easched::bench::thread_sweep(&argc, argv);
 
   for (const std::size_t n : {std::size_t{50}, std::size_t{200}, std::size_t{1000}}) {

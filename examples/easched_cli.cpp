@@ -40,6 +40,22 @@ int run_serve(const CliParser& args) {
   const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
   const double fmax_arg = args.get_double("fmax");
 
+  const std::string metrics_format = args.get("metrics-format");
+  if (metrics_format != "text" && metrics_format != "prometheus") {
+    std::cerr << "unknown --metrics-format (use: text, prometheus)\n";
+    return 1;
+  }
+
+  // Tracing spans the whole serve run. Declared before the service so the
+  // scope outlives every span the service's threads record.
+  const std::string trace_path = args.get("trace");
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::TraceScope> trace_scope;
+  if (!trace_path.empty()) {
+    tracer.emplace();
+    trace_scope.emplace(*tracer);
+  }
+
   ServiceOptions options;
   options.cores = cores;
   options.f_max = fmax_arg > 0.0 ? fmax_arg : kInf;
@@ -200,11 +216,23 @@ int run_serve(const CliParser& args) {
               << " over " << online.replans << " re-plans\n";
   }
 
-  std::cout << "\n" << service->metrics().dump();
+  if (metrics_format == "prometheus") {
+    std::cout << "\n" << obs::to_prometheus(service->metrics().snapshot());
+  } else {
+    std::cout << "\n" << service->metrics().dump();
+  }
 
   if (const std::string out = args.get("snapshot-out"); !out.empty()) {
     write_snapshot(out, service->snapshot());
     std::cout << "snapshot written to " << out << "\n";
+  }
+
+  if (tracer) {
+    // Quiesce (dispatcher joined, batches finished) before reading rings.
+    service->shutdown();
+    write_file(trace_path, tracer->chrome_trace_json());
+    std::cout << "trace written to " << trace_path << " (" << tracer->records().size()
+              << " span(s), " << tracer->dropped() << " dropped)\n";
   }
   return 0;
 }
@@ -415,6 +443,9 @@ int main(int argc, char** argv) {
   args.add_option("retries", "2", "serve: client retries of overload/dropped decisions");
   args.add_option("retry-backoff-us", "200",
                   "serve: base client backoff before a retry (jittered, doubled per attempt)");
+  args.add_option("trace", "", "serve: write a Chrome trace_event JSON of the run here");
+  args.add_option("metrics-format", "text",
+                  "serve: metrics exposition at exit: text | prometheus");
   args.add_option("client-timeout-ms", "2000",
                   "serve: client wait before declaring a request lost");
 

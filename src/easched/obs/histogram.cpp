@@ -1,0 +1,110 @@
+#include "easched/obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace easched::obs {
+
+const std::vector<double>& default_latency_buckets_us() {
+  static const std::vector<double> kBuckets = {
+      1,    2,    5,    10,   20,    50,    100,   200,     500,
+      1e3,  2e3,  5e3,  1e4,  2e4,   5e4,   1e5,   2e5,     5e5,
+      1e6,  2e6,  5e6,  1e7,
+  };
+  return kBuckets;
+}
+
+std::vector<double> pow2_buckets(std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double v = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(v);
+    v *= 2.0;
+  }
+  return bounds;
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("BucketHistogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("BucketHistogram: bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void BucketHistogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void BucketHistogram::merge(const BucketHistogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("BucketHistogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double BucketHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double BucketHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil so q=1 is the last one).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cumulative + counts_[i] < rank) {
+      cumulative += counts_[i];
+      continue;
+    }
+    if (i == counts_.size() - 1) return max_;  // overflow bucket: best bound is the max
+    const double upper = std::min(bounds_[i], max_);
+    const double lower = std::max(i == 0 ? min_ : bounds_[i - 1], min_);
+    if (upper <= lower) return upper;
+    const double within =
+        static_cast<double>(rank - cumulative) / static_cast<double>(counts_[i]);
+    return lower + within * (upper - lower);
+  }
+  return max_;
+}
+
+void BucketHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace easched::obs

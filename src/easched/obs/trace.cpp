@@ -1,0 +1,256 @@
+#include "easched/obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace easched::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_current{nullptr};
+std::atomic<std::uint64_t> g_next_epoch_id{1};
+
+/// Per-thread recording slot. Caching the owning tracer's epoch id (not its
+/// address) makes a freed-and-reallocated tracer impossible to confuse with
+/// the one that registered the buffer.
+struct ThreadSlot {
+  std::uint64_t tracer_epoch = 0;
+  void* buffer = nullptr;
+};
+
+thread_local ThreadSlot t_slot;
+thread_local std::uint64_t t_current_request = 0;
+thread_local std::uint64_t t_current_parent = 0;
+
+/// JSON string escaping for the few dynamic strings in the export.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0020";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(15);
+  tmp << v;
+  out += tmp.str();
+}
+
+}  // namespace
+
+Tracer::Tracer(TracerOptions options)
+    : epoch_id_(g_next_epoch_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
+      options_(options) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  if (t_slot.tracer_epoch == epoch_id_) {
+    return *static_cast<ThreadBuffer*>(t_slot.buffer);
+  }
+  std::lock_guard lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  // Rings grow geometrically (std::vector) up to `capacity`; eager
+  // allocation of the full ring would cost ~25 MiB per recording thread.
+  buffer->capacity = options_.ring_capacity;
+  buffer->ring.reserve(std::min<std::size_t>(options_.ring_capacity, 1024));
+  buffer->index = static_cast<std::uint32_t>(buffers_.size());
+  ThreadBuffer& out = *buffer;
+  buffers_.push_back(std::move(buffer));
+  t_slot.tracer_epoch = epoch_id_;
+  t_slot.buffer = &out;
+  return out;
+}
+
+void Tracer::push(ThreadBuffer& buffer, const SpanRecord& record) {
+  if (buffer.ring.size() >= buffer.capacity) {
+    ++buffer.dropped;  // ring full: newest spans are the ones sacrificed
+    return;
+  }
+  buffer.ring.push_back(record);
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->ring.size();
+  out.reserve(total);
+  for (const auto& buffer : buffers_) {
+    out.insert(out.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  return total;
+}
+
+std::size_t Tracer::thread_count() const {
+  std::lock_guard lock(mutex_);
+  return buffers_.size();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = records();
+  std::uint32_t max_thread = 0;
+  for (const SpanRecord& s : spans) max_thread = std::max(max_thread, s.thread);
+
+  std::string out;
+  out.reserve(160 * spans.size() + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"easched\"}}";
+  for (std::uint32_t t = 0; t <= max_thread; ++t) {
+    out += ",{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(t);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"trace-thread-";
+    out += std::to_string(t);
+    out += "\"}}";
+  }
+  for (const SpanRecord& s : spans) {
+    out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.thread);
+    out += ",\"name\":\"";
+    append_escaped(out, s.name);
+    // Timestamps in fractional microseconds (trace_event's native unit).
+    out += "\",\"ts\":";
+    append_double(out, static_cast<double>(s.start_ns) / 1e3);
+    out += ",\"dur\":";
+    append_double(out, static_cast<double>(s.dur_ns) / 1e3);
+    out += ",\"args\":{\"span\":";
+    out += std::to_string(s.id);
+    out += ",\"parent\":";
+    out += std::to_string(s.parent);
+    if (s.request != 0) {
+      out += ",\"request\":";
+      out += std::to_string(s.request);
+    }
+    if (s.arg0_name != nullptr) {
+      out += ",\"";
+      append_escaped(out, s.arg0_name);
+      out += "\":";
+      append_double(out, s.arg0);
+    }
+    if (s.arg1_name != nullptr) {
+      out += ",\"";
+      append_escaped(out, s.arg1_name);
+      out += "\":";
+      append_double(out, s.arg1);
+    }
+    if (s.status != nullptr) {
+      out += ",\"status\":\"";
+      append_escaped(out, s.status);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const { out << chrome_trace_json(); }
+
+Tracer* current() noexcept { return g_current.load(std::memory_order_acquire); }
+
+TraceScope::TraceScope(Tracer& tracer)
+    : previous_(g_current.exchange(&tracer, std::memory_order_acq_rel)) {}
+
+TraceScope::~TraceScope() { g_current.store(previous_, std::memory_order_release); }
+
+std::uint64_t current_request() noexcept { return t_current_request; }
+
+std::uint64_t current_parent_span() noexcept { return t_current_parent; }
+
+RequestScope::RequestScope(std::uint64_t request_id) : previous_(t_current_request) {
+  t_current_request = request_id;
+}
+
+RequestScope::~RequestScope() { t_current_request = previous_; }
+
+ParentScope::ParentScope(std::uint64_t parent_span) : previous_(t_current_parent) {
+  t_current_parent = parent_span;
+}
+
+ParentScope::~ParentScope() { t_current_parent = previous_; }
+
+Span::Span(const char* name) noexcept : tracer_(current()) {
+  if (tracer_ == nullptr) return;
+  Tracer::ThreadBuffer& buffer = tracer_->local_buffer();
+  record_.name = name;
+  record_.thread = buffer.index;
+  // Span ids pack (thread index + 1, per-thread sequence): unique within
+  // the tracer without any cross-thread coordination.
+  record_.id = (static_cast<std::uint64_t>(buffer.index + 1) << 40) | ++buffer.next_seq;
+  record_.parent = t_current_parent;
+  record_.request = t_current_request;
+  saved_parent_ = t_current_parent;
+  t_current_parent = record_.id;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  t_current_parent = saved_parent_;
+  record_.start_ns =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, (start_ - tracer_->epoch()).count()));
+  record_.dur_ns = static_cast<std::uint64_t>(std::max<std::int64_t>(0, (end - start_).count()));
+  Tracer::push(tracer_->local_buffer(), record_);
+}
+
+void Span::arg(const char* name, double value) noexcept {
+  if (tracer_ == nullptr) return;
+  if (record_.arg0_name == nullptr) {
+    record_.arg0_name = name;
+    record_.arg0 = value;
+  } else if (record_.arg1_name == nullptr) {
+    record_.arg1_name = name;
+    record_.arg1 = value;
+  }
+}
+
+void Span::set_status(const char* status) noexcept {
+  if (tracer_ == nullptr) return;
+  record_.status = status;
+}
+
+void emit(const char* name, std::chrono::steady_clock::time_point start,
+          std::chrono::steady_clock::time_point end, std::uint64_t request) {
+  Tracer* tracer = current();
+  if (tracer == nullptr) return;
+  Tracer::ThreadBuffer& buffer = tracer->local_buffer();
+  SpanRecord record;
+  record.name = name;
+  record.thread = buffer.index;
+  record.id = (static_cast<std::uint64_t>(buffer.index + 1) << 40) | ++buffer.next_seq;
+  record.parent = t_current_parent;
+  record.request = request != 0 ? request : t_current_request;
+  record.start_ns = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, (start - tracer->epoch()).count()));
+  record.dur_ns =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, (end - start).count()));
+  Tracer::push(buffer, record);
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,235 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Structured tracing: RAII spans into per-thread ring buffers,
+///        exportable as Chrome `trace_event` JSON.
+///
+/// The tracer answers "where did this request's milliseconds go" the way
+/// per-phase cost attribution does in the reclamation literature: every
+/// pipeline stage, solver iteration, fallback rung, and service lifecycle
+/// step opens a `Span`, and the resulting tree (spans carry parent ids and
+/// a request id that survives thread-pool hops) loads directly into
+/// `chrome://tracing` / Perfetto.
+///
+/// **Zero cost when idle.** Like `faults/fault_injection.hpp`, the tracer
+/// is compiled in always and armed via a process-wide atomic pointer: a
+/// disabled `Span` constructor is one relaxed atomic load and a branch, and
+/// nothing else — no clock read, no allocation. Production code never pays
+/// more than that unless a `TraceScope` is installed (CLI `--trace`, bench
+/// `--trace=`, tests).
+///
+/// **Determinism.** Spans *record*, they never reorder or gate work: no
+/// instrumented function branches on the tracer beyond "record or don't".
+/// The parallel kernels therefore keep their bit-identical-at-any-pool-size
+/// contract with tracing enabled (asserted by
+/// `tests/parallel_determinism_test.cpp`), and the *set* of spans a
+/// traced computation emits is the same at any pool size — only the thread
+/// attribution and timestamps differ.
+///
+/// **Memory.** Each recording thread owns a fixed-capacity ring buffer.
+/// When a ring fills, the newest spans are dropped and counted
+/// (`dropped()`), so a runaway trace degrades to a truncated one instead of
+/// an allocation storm; no span is lost below ring capacity.
+///
+/// **Lifetime.** Installation mirrors `FaultScope`: a `TraceScope` arms the
+/// tracer for its dynamic extent and must outlive every span recorded under
+/// it (including pool jobs — drain them before the scope ends). Export
+/// (`chrome_trace_json`) is safe once the traced work has quiesced.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace easched::obs {
+
+/// One closed span. Names/arg names/status must point at static storage
+/// (string literals or the library's *_name() tables): records never own
+/// their strings, which keeps recording allocation-free after ring setup.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t id = 0;        ///< unique within one tracer
+  std::uint64_t parent = 0;    ///< 0 = root
+  std::uint64_t request = 0;   ///< 0 = not request-scoped
+  std::uint64_t start_ns = 0;  ///< steady-clock ns since the tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t thread = 0;  ///< tracer-assigned thread index
+  const char* arg0_name = nullptr;
+  double arg0 = 0.0;
+  const char* arg1_name = nullptr;
+  double arg1 = 0.0;
+  const char* status = nullptr;  ///< optional outcome label ("converged", ...)
+};
+
+/// Tracer tunables.
+struct TracerOptions {
+  /// Spans retained per recording thread before newest-span dropping kicks
+  /// in. 2^18 records ≈ 24 MiB/thread — sized for a full `serve` stream
+  /// with per-iteration solver spans.
+  std::size_t ring_capacity = std::size_t{1} << 18;
+};
+
+/// Collects spans from any number of threads. Threads register lazily on
+/// first record; each ring is single-writer, so recording is lock-free
+/// after registration.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-unique id of this tracer (guards against stale thread-local
+  /// buffer pointers when tracers come and go at the same address).
+  std::uint64_t epoch_id() const { return epoch_id_; }
+
+  /// The tracer's time origin on the steady clock.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// All spans recorded so far, in (thread, record) order. Call only after
+  /// the traced work has quiesced.
+  std::vector<SpanRecord> records() const;
+
+  /// Spans dropped because a ring was full.
+  std::uint64_t dropped() const;
+
+  /// Number of threads that recorded at least one span.
+  std::size_t thread_count() const;
+
+  /// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` envelope):
+  /// complete ("X") events in microseconds plus thread-name metadata.
+  /// Loads in chrome://tracing and Perfetto.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  friend class Span;
+  friend void emit(const char* name, std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end, std::uint64_t request);
+
+  struct ThreadBuffer {
+    std::vector<SpanRecord> ring;     ///< grows geometrically up to `capacity`
+    std::size_t capacity = 0;         ///< hard record cap for this thread
+    std::uint64_t next_seq = 0;       ///< per-thread span sequence
+    std::uint64_t dropped = 0;        ///< records rejected after the ring filled
+    std::uint32_t index = 0;          ///< tracer-assigned thread index
+  };
+
+  /// The calling thread's buffer under this tracer (registering it first if
+  /// needed).
+  ThreadBuffer& local_buffer();
+
+  /// Append `record` (id/thread filled by the caller) to `buffer`.
+  static void push(ThreadBuffer& buffer, const SpanRecord& record);
+
+  std::uint64_t epoch_id_;
+  std::chrono::steady_clock::time_point epoch_;
+  TracerOptions options_;
+
+  mutable std::mutex mutex_;  ///< guards `buffers_` growth (not ring writes)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// The installed tracer, or nullptr (the common, zero-cost case).
+Tracer* current() noexcept;
+
+/// RAII installation of a tracer as the process-wide current one. Same
+/// discipline as `faults::FaultScope`: installation is a CLI/bench/test
+/// level act; do not overlap scopes from concurrent threads.
+class TraceScope {
+ public:
+  explicit TraceScope(Tracer& tracer);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// \name Request-id context
+/// The id set here tags every span the thread opens and rides across
+/// `ThreadPool::submit` (the pool captures the submitter's context into the
+/// job). Ids are caller-chosen; 0 means "no request".
+/// @{
+std::uint64_t current_request() noexcept;
+std::uint64_t current_parent_span() noexcept;
+
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t request_id);
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// Re-parents spans opened in its extent under `parent_span` — the
+/// cross-thread half of span nesting (a pool job's spans hang under the
+/// span that submitted it).
+class ParentScope {
+ public:
+  explicit ParentScope(std::uint64_t parent_span);
+  ~ParentScope();
+  ParentScope(const ParentScope&) = delete;
+  ParentScope& operator=(const ParentScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+/// @}
+
+/// RAII span. Construction with no tracer installed is one relaxed atomic
+/// load; with a tracer it stamps the start time and becomes the thread's
+/// current parent until destruction records it.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when a tracer is recording this span (use to skip arg
+  /// computation that only feeds the trace).
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+  /// Attach up to two named numeric args (first two calls win; extra calls
+  /// are ignored). `name` must be a string literal.
+  void arg(const char* name, double value) noexcept;
+
+  /// Attach an outcome label (static storage — `*_name()` tables qualify).
+  void set_status(const char* status) noexcept;
+
+  /// This span's id (0 when inactive) — pass to `ParentScope` on another
+  /// thread to nest remote work under it.
+  std::uint64_t id() const noexcept { return record_.id; }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t saved_parent_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  SpanRecord record_{};
+};
+
+/// Record an already-elapsed interval as a span on the calling thread (used
+/// for queue-wait time, whose start happened on the submitting thread).
+/// No-op when no tracer is installed.
+void emit(const char* name, std::chrono::steady_clock::time_point start,
+          std::chrono::steady_clock::time_point end, std::uint64_t request);
+
+/// Steady-clock now, as a time_point (helper for `emit` callers that stamp
+/// timestamps whether or not tracing is on).
+inline std::chrono::steady_clock::time_point now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace easched::obs

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "easched/faults/fault_injection.hpp"
+#include "easched/obs/trace.hpp"
 
 namespace easched {
 
@@ -50,11 +51,20 @@ class ThreadPool {
   /// or `InjectedFault` flows through the normal exception contract (into
   /// the job's future) and can never escape a worker. With no injector
   /// installed the hook is one atomic load.
+  ///
+  /// The submitter's tracing context (request id, current span) is captured
+  /// here and re-installed on the worker for the job's duration, so spans a
+  /// job opens carry the request id and nest under the submitting span even
+  /// across the thread hop. Capture is two thread-local reads — free when
+  /// tracing is off.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(
-        [fn = std::forward<F>(f)]() mutable -> R {
+        [fn = std::forward<F>(f), request = obs::current_request(),
+         parent = obs::current_parent_span()]() mutable -> R {
+          obs::RequestScope request_scope(request);
+          obs::ParentScope parent_scope(parent);
           faults::on_job();
           return fn();
         });

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "easched/common/contracts.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/sched/ideal.hpp"
 #include "easched/sched/pipeline.hpp"
@@ -157,6 +158,27 @@ bool attempt_heuristic(const TaskSet& tasks, const SubintervalDecomposition& sub
   }
 }
 
+/// Trace status for a finished rung attempt: "served" or the failure name
+/// (both static storage, as SpanRecord requires).
+const char* attempt_status(const RungAttempt& attempt) {
+  return attempt.served ? "served" : rung_failure_name(attempt.failure).data();
+}
+
+/// Span name for a rung (static storage).
+const char* rung_span_name(PlanRung rung) {
+  switch (rung) {
+    case PlanRung::kExact:
+      return "rung.exact";
+    case PlanRung::kDer:
+      return "rung.der";
+    case PlanRung::kEven:
+      return "rung.even";
+    case PlanRung::kNone:
+      break;
+  }
+  return "rung.none";
+}
+
 }  // namespace
 
 FallbackPlan plan_with_fallback(const TaskSet& tasks, int cores, const PowerModel& power,
@@ -168,6 +190,9 @@ FallbackPlan plan_with_fallback(const TaskSet& tasks, int cores, const PowerMode
                                 const FallbackOptions& options, const Exec& exec) {
   EASCHED_EXPECTS(!tasks.empty());
   EASCHED_EXPECTS(cores > 0);
+
+  obs::Span chain_span("fallback.plan");
+  chain_span.arg("tasks", static_cast<double>(tasks.size()));
 
   FallbackPlan plan;
   auto& attempts = plan.outcome.attempts;
@@ -186,9 +211,11 @@ FallbackPlan plan_with_fallback(const TaskSet& tasks, int cores, const PowerMode
   }
 
   if (options.try_exact) {
-    if (attempt_exact(tasks, *subs, cores, power, options, attempts.emplace_back(), plan)) {
-      return plan;
-    }
+    obs::Span rung_span("rung.exact");
+    RungAttempt& attempt = attempts.emplace_back();
+    const bool served = attempt_exact(tasks, *subs, cores, power, options, attempt, plan);
+    rung_span.set_status(attempt_status(attempt));
+    if (served) return plan;
   }
 
   // The heuristic rungs share the ideal case. A failure here fails both
@@ -204,13 +231,14 @@ FallbackPlan plan_with_fallback(const TaskSet& tasks, int cores, const PowerMode
     return plan;
   }
 
-  if (attempt_heuristic(tasks, *subs, cores, power, *ideal, AllocationMethod::kDer, options, exec,
-                        attempts.emplace_back(), plan)) {
-    return plan;
-  }
-  if (attempt_heuristic(tasks, *subs, cores, power, *ideal, AllocationMethod::kEven, options, exec,
-                        attempts.emplace_back(), plan)) {
-    return plan;
+  for (const AllocationMethod method : {AllocationMethod::kDer, AllocationMethod::kEven}) {
+    obs::Span rung_span(
+        rung_span_name(method == AllocationMethod::kDer ? PlanRung::kDer : PlanRung::kEven));
+    RungAttempt& attempt = attempts.emplace_back();
+    const bool served = attempt_heuristic(tasks, *subs, cores, power, *ideal, method, options,
+                                          exec, attempt, plan);
+    rung_span.set_status(attempt_status(attempt));
+    if (served) return plan;
   }
   return plan;  // all rungs recorded their failures; outcome stays rejected
 }

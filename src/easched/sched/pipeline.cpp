@@ -4,6 +4,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/sched/packing.hpp"
 
@@ -64,6 +65,8 @@ std::vector<IntermediatePiece> make_intermediate_pieces(
 /// each subinterval with Algorithm 1.
 Schedule materialize(const SubintervalDecomposition& subs, int cores,
                      const std::vector<IntermediatePiece>& pieces, const Exec& exec) {
+  obs::Span span("kernel.pack");
+  span.arg("pieces", static_cast<double>(pieces.size()));
   std::vector<std::vector<PackItem>> per_subinterval(subs.size());
   for (const IntermediatePiece& p : pieces) {
     if (p.time <= 0.0) continue;
@@ -102,15 +105,29 @@ MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecompo
   EASCHED_EXPECTS(!tasks.empty());
   EASCHED_EXPECTS(cores > 0);
 
+  obs::Span method_span(method == AllocationMethod::kDer ? "kernel.method.der"
+                                                         : "kernel.method.even");
+  method_span.arg("tasks", static_cast<double>(tasks.size()));
+  method_span.arg("subintervals", static_cast<double>(subs.size()));
+
   MethodResult result;
   result.method = method;
-  result.availability = allocate_available_time(tasks, subs, cores, ideal, method, exec);
+  {
+    obs::Span span("kernel.allocation");
+    result.availability = allocate_available_time(tasks, subs, cores, ideal, method, exec);
+  }
 
   // Intermediate scheduling.
-  result.intermediate_pieces =
-      make_intermediate_pieces(subs, cores, ideal, result.availability, exec);
+  {
+    obs::Span span("kernel.intermediate_pieces");
+    result.intermediate_pieces =
+        make_intermediate_pieces(subs, cores, ideal, result.availability, exec);
+    span.arg("pieces", static_cast<double>(result.intermediate_pieces.size()));
+  }
   result.intermediate_energy = pieces_energy(result.intermediate_pieces, power, exec);
   result.intermediate_schedule = materialize(subs, cores, result.intermediate_pieces, exec);
+
+  obs::Span reopt_span("kernel.f2_reopt");
 
   // Final frequency refinement (equations (22)-(23)). Each task's total
   // availability, frequency, energy, and pieces land in per-task slots; the
@@ -199,6 +216,9 @@ PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& p
 PipelineResult run_pipeline(const TaskSet& tasks, int cores, const PowerModel& power,
                             const Exec& exec) {
   EASCHED_EXPECTS(!tasks.empty());
+  obs::Span span("kernel.pipeline");
+  span.arg("tasks", static_cast<double>(tasks.size()));
+  span.arg("cores", static_cast<double>(cores));
   const SubintervalDecomposition subs(tasks, 1e-12, exec);
   const IdealCase ideal(tasks, power);
 

@@ -19,6 +19,16 @@ void MetricsRegistry::increment(std::string_view name, std::uint64_t by) {
   }
 }
 
+void MetricsRegistry::set_counter(std::string_view name, std::uint64_t value) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
   std::lock_guard lock(mutex_);
   auto it = gauges_.find(name);
@@ -57,6 +67,21 @@ void MetricsRegistry::observe(std::string_view name, double sample) {
     if (h.count % h.keep_every == 0) h.samples.push_back(sample);
   }
   ++h.count;
+}
+
+void MetricsRegistry::observe_bucketed(std::string_view name, double sample) {
+  std::lock_guard lock(mutex_);
+  auto it = bucketed_.find(name);
+  if (it == bucketed_.end()) {
+    it = bucketed_.emplace(std::string(name), obs::BucketHistogram{}).first;
+  }
+  it->second.observe(sample);
+}
+
+void MetricsRegistry::declare_buckets(std::string_view name, std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  if (bucketed_.find(name) != bucketed_.end()) return;
+  bucketed_.emplace(std::string(name), obs::BucketHistogram(std::move(upper_bounds)));
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
@@ -101,20 +126,43 @@ HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
   return it == histograms_.end() ? HistogramSummary{} : summarize(it->second);
 }
 
-std::string MetricsRegistry::dump() const {
+obs::BucketHistogram MetricsRegistry::bucket_histogram(std::string_view name) const {
   std::lock_guard lock(mutex_);
+  auto it = bucketed_.find(name);
+  return it == bucketed_.end() ? obs::BucketHistogram{} : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mutex_);
+  out.counters.insert(counters_.begin(), counters_.end());
+  out.gauges.insert(gauges_.begin(), gauges_.end());
+  for (const auto& [name, h] : histograms_) out.histograms.emplace(name, summarize(h));
+  out.bucketed.insert(bucketed_.begin(), bucketed_.end());
+  return out;
+}
+
+std::string MetricsRegistry::dump() const {
+  // Snapshot first, format unlocked: the only work done under the registry
+  // mutex is the map copies, so concurrent admissions never stall behind
+  // stream formatting.
+  const MetricsSnapshot snap = snapshot();
   std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     out << "counter " << name << " " << value << "\n";
   }
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     out << "gauge " << name << " " << value << "\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    const HistogramSummary s = summarize(h);
+  for (const auto& [name, s] : snap.histograms) {
     out << "histogram " << name << " count=" << s.count << " mean=" << s.mean
         << " p50=" << s.p50 << " p90=" << s.p90 << " p99=" << s.p99 << " min=" << s.min
         << " max=" << s.max << "\n";
+  }
+  for (const auto& [name, h] : snap.bucketed) {
+    out << "bucket_histogram " << name << " count=" << h.count() << " mean=" << h.mean()
+        << " p50=" << h.quantile(0.50) << " p90=" << h.quantile(0.90)
+        << " p99=" << h.quantile(0.99) << " min=" << h.min() << " max=" << h.max() << "\n";
   }
   return out.str();
 }
@@ -124,6 +172,7 @@ void MetricsRegistry::reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  bucketed_.clear();
 }
 
 }  // namespace easched

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "easched/obs/histogram.hpp"
+
 namespace easched {
 
 /// Summary statistics of one histogram, computed on demand.
@@ -36,6 +38,19 @@ struct HistogramSummary {
   double p99 = 0.0;
 };
 
+/// A point-in-time copy of every metric, taken under the registry mutex in
+/// one short critical section. Formatting (text dump, Prometheus
+/// exposition) and persistence (service snapshots) work from this copy so
+/// they never hold the registry lock while doing string work — a dump
+/// during a hot admission burst costs the writers one map copy, not a
+/// formatting pass.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+  std::map<std::string, obs::BucketHistogram> bucketed;
+};
+
 /// Name-addressed counters, gauges, and histograms. All operations are
 /// thread-safe; names are created on first use.
 class MetricsRegistry {
@@ -47,8 +62,20 @@ class MetricsRegistry {
   /// \name Writers
   /// @{
   void increment(std::string_view name, std::uint64_t by = 1);
+  /// Overwrite a counter (restore path: re-seeding totals from a service
+  /// snapshot after recovery). Normal accounting should use `increment`.
+  void set_counter(std::string_view name, std::uint64_t value);
   void set_gauge(std::string_view name, double value);
   void observe(std::string_view name, double sample);
+  /// Record into a fixed-bucket histogram (created on first use with
+  /// `default_latency_buckets_us` unless `declare_buckets` ran first).
+  /// Unlike `observe`, quantiles from these are exact functions of the
+  /// bucket counts — reproducible from any dump — and export directly as
+  /// Prometheus `_bucket{le=...}` series.
+  void observe_bucketed(std::string_view name, double sample);
+  /// Pre-register a bucketed histogram with explicit bounds (strictly
+  /// increasing). No-op if the name already exists.
+  void declare_buckets(std::string_view name, std::vector<double> upper_bounds);
   /// @}
 
   /// \name Readers (zero / empty summary for unknown names)
@@ -56,12 +83,18 @@ class MetricsRegistry {
   std::uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
   HistogramSummary histogram(std::string_view name) const;
+  obs::BucketHistogram bucket_histogram(std::string_view name) const;
   /// @}
+
+  /// Copy every metric in one short critical section.
+  MetricsSnapshot snapshot() const;
 
   /// Text exposition, one metric per line, sorted by kind then name:
   ///   counter <name> <value>
   ///   gauge <name> <value>
   ///   histogram <name> count=<n> mean=<m> p50=<q> p90=<q> p99=<q> ...
+  ///   bucket_histogram <name> count=<n> mean=<m> p50=<q> p90=<q> p99=<q> ...
+  /// Formats from a `snapshot()`, so writers are blocked only for the copy.
   std::string dump() const;
 
   /// Drop every metric (used between bench repetitions).
@@ -84,6 +117,7 @@ class MetricsRegistry {
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, obs::BucketHistogram, std::less<>> bucketed_;
 };
 
 }  // namespace easched

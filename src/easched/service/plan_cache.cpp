@@ -41,26 +41,31 @@ std::string plan_signature(std::span<const std::pair<TaskId, Task>> live, double
 
 PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
-std::optional<CachedPlan> PlanCache::lookup(const std::string& signature) {
+std::optional<CachedPlan> PlanCache::lookup(const std::string& signature,
+                                            std::uint64_t* hit_age) {
+  ++ops_;
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
+  if (hit_age != nullptr) *hit_age = ops_ - it->second->written_op;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->plan;
 }
 
 void PlanCache::insert(const std::string& signature, CachedPlan plan) {
   if (capacity_ == 0) return;
+  ++ops_;
   auto it = entries_.find(signature);
   if (it != entries_.end()) {
     it->second->plan = std::move(plan);
+    it->second->written_op = ops_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{signature, std::move(plan)});
+  lru_.push_front(Entry{signature, std::move(plan), ops_});
   entries_.emplace(signature, lru_.begin());
   if (entries_.size() > capacity_) {
     entries_.erase(lru_.back().signature);

@@ -52,8 +52,12 @@ class PlanCache {
   /// Keep at most `capacity` plans; `capacity == 0` disables caching.
   explicit PlanCache(std::size_t capacity = 128);
 
-  /// Look up a signature; a hit refreshes its LRU position.
-  std::optional<CachedPlan> lookup(const std::string& signature);
+  /// Look up a signature; a hit refreshes its LRU position. When
+  /// `hit_age != nullptr` and the lookup hits, it receives the entry's age
+  /// in cache operations (lookups + inserts since the entry was written) —
+  /// the service's `plan_cache_hit_age` histogram feeds from it.
+  std::optional<CachedPlan> lookup(const std::string& signature,
+                                   std::uint64_t* hit_age = nullptr);
 
   /// Insert (or overwrite) the plan for `signature`, evicting the least
   /// recently used entry when over capacity.
@@ -77,6 +81,7 @@ class PlanCache {
   struct Entry {
     std::string signature;
     CachedPlan plan;
+    std::uint64_t written_op = 0;  ///< operation count when the plan was written
   };
 
   std::size_t capacity_;
@@ -85,6 +90,7 @@ class PlanCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t ops_ = 0;  ///< lookups + inserts, the cache's logical clock
 };
 
 }  // namespace easched

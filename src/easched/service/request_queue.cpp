@@ -56,6 +56,7 @@ std::future<ServiceDecision> RequestQueue::push(const Task& task) {
     PendingRequest req;
     req.sequence = next_sequence_++;
     req.task = task;
+    req.enqueued_at = std::chrono::steady_clock::now();
     fut = req.promise.get_future();
 
     // Injected message loss: the request is decided right here (the client
@@ -97,6 +98,7 @@ std::future<ServiceDecision> RequestQueue::push(const Task& task) {
       PendingRequest dup;
       dup.sequence = next_sequence_++;
       dup.task = task;
+      dup.enqueued_at = std::chrono::steady_clock::now();
       ++fault_duplicated_;
       items_.push_back(std::move(dup));
     }

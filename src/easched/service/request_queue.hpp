@@ -91,6 +91,9 @@ struct PendingRequest {
   std::uint64_t sequence = 0;
   Task task;
   std::promise<ServiceDecision> promise;
+  /// Push time, stamped under the queue lock; the dispatcher turns it into
+  /// the request's queue-wait span and latency observation.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 /// FIFO queue of `PendingRequest` with windowed batch extraction, an

@@ -7,6 +7,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/faults/fault_injection.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/parallel/thread_pool.hpp"
 #include "easched/sched/feasibility.hpp"
@@ -20,6 +21,31 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+double between_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Request ids in trace spans are `sequence + 1` (0 means "no request"), so
+/// the first request of a stream is still visible in the trace.
+std::uint64_t trace_request_id(std::uint64_t sequence) { return sequence + 1; }
+
+/// Bucketed plan-latency metric per serving rung (static names, also used
+/// as histogram keys in the registry).
+const char* plan_latency_metric(PlanRung rung) {
+  switch (rung) {
+    case PlanRung::kExact:
+      return "plan_latency_us_exact";
+    case PlanRung::kDer:
+      return "plan_latency_us_der";
+    case PlanRung::kEven:
+      return "plan_latency_us_even";
+    case PlanRung::kNone:
+      break;
+  }
+  return "plan_latency_us_none";
+}
+
 }  // namespace
 
 SchedulerService::SchedulerService(const PowerModel& power, ServiceOptions options)
@@ -31,6 +57,15 @@ SchedulerService::SchedulerService(const PowerModel& power, ServiceOptions optio
   EASCHED_EXPECTS(options_.f_max > 0.0);
   EASCHED_EXPECTS(options_.max_batch > 0);
   EASCHED_EXPECTS(options_.signature_quantum > 0.0);
+  // Fixed-bucket latency/size histograms, declared up front so they appear
+  // in dumps and Prometheus exposition before the first observation.
+  metrics_.declare_buckets("admission_latency_us", obs::default_latency_buckets_us());
+  metrics_.declare_buckets("queue_wait_us", obs::default_latency_buckets_us());
+  for (const PlanRung rung : {PlanRung::kExact, PlanRung::kDer, PlanRung::kEven}) {
+    metrics_.declare_buckets(plan_latency_metric(rung), obs::default_latency_buckets_us());
+  }
+  metrics_.declare_buckets("queue_depth_seen", obs::pow2_buckets(16));
+  metrics_.declare_buckets("plan_cache_hit_age", obs::pow2_buckets(24));
   if (!options_.journal_path.empty()) {
     {
       std::lock_guard lock(state_mutex_);
@@ -57,6 +92,12 @@ SchedulerService::SchedulerService(const ServiceSnapshot& snapshot, const PowerM
   next_id_ = snapshot.next_id;
   for (const auto& [id, task] : committed_) {
     EASCHED_EXPECTS_MSG(id < next_id_, "snapshot id at or above next_id");
+  }
+  // Re-seed monotone counters from the snapshot *before* replay, so replay
+  // increments (and the restore marker below) land on top of the totals the
+  // previous incarnation had already accumulated.
+  for (const auto& [name, value] : snapshot.counters) {
+    metrics_.set_counter(name, value);
   }
   // The journal is the log of everything that happened since it was
   // opened, so it replays *over* the snapshot: removals first, surviving
@@ -158,6 +199,7 @@ ServiceSnapshot SchedulerService::snapshot() {
   snap.plan = plan.schedule;
   snap.energy = plan.energy;
   metrics_.increment("snapshots_total");
+  snap.counters = metrics_.snapshot().counters;
   return snap;
 }
 
@@ -244,6 +286,8 @@ void SchedulerService::process_batch(std::vector<PendingRequest> batch) {
 
 void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
   const auto started = std::chrono::steady_clock::now();
+  obs::Span batch_span("service.batch");
+  batch_span.arg("requests", static_cast<double>(batch.size()));
   std::vector<std::pair<std::promise<ServiceDecision>, ServiceDecision>> outcomes;
   outcomes.reserve(batch.size());
   {
@@ -251,6 +295,9 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
     const std::uint64_t batch_index = batches_++;
     metrics_.increment("batches_total");
     metrics_.observe("batch_size", static_cast<double>(batch.size()));
+    // Depth at pop time: this batch plus whatever is still waiting behind it.
+    metrics_.observe_bucketed("queue_depth_seen",
+                              static_cast<double>(batch.size() + queue_.depth()));
 
     // One baseline per batch, chained through the accepted candidates. A
     // baseline planning failure fails the whole batch with a reasoned
@@ -266,6 +313,18 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
     }
 
     for (PendingRequest& request : batch) {
+      // Everything this request does — planning spans included — is tagged
+      // with its id and nests under its lifecycle span.
+      obs::RequestScope request_scope(trace_request_id(request.sequence));
+      obs::Span request_span("service.request");
+      request_span.arg("sequence", static_cast<double>(request.sequence));
+      const auto request_started = std::chrono::steady_clock::now();
+      if (request.enqueued_at.time_since_epoch().count() != 0) {
+        obs::emit("service.queue_wait", request.enqueued_at, request_started,
+                  trace_request_id(request.sequence));
+        metrics_.observe_bucketed("queue_wait_us",
+                                  between_us(request.enqueued_at, request_started));
+      }
       ServiceDecision decision;
       decision.sequence = request.sequence;
       decision.batch = batch_index;
@@ -298,12 +357,22 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
       if (decision.admission.admitted) {
         // Write-ahead: the admit is durable before its promise is
         // fulfilled below, so every acknowledged admit survives a crash.
-        if (journal_) journal_->append_admit(decision.id, request.task);
+        if (journal_) {
+          obs::Span journal_span("service.journal_append");
+          journal_->append_admit(decision.id, request.task);
+        }
         energy_before = decision.admission.energy_after;
         metrics_.increment("admitted_total");
         metrics_.observe("quoted_marginal_energy", decision.admission.marginal_energy);
+        request_span.set_status("admitted");
       } else {
         metrics_.increment("rejected_total");
+        request_span.set_status("rejected");
+      }
+      // Admission latency covers the full client-visible wait so far:
+      // queue time plus evaluation (the reply fires right after the lock).
+      if (request.enqueued_at.time_since_epoch().count() != 0) {
+        metrics_.observe_bucketed("admission_latency_us", elapsed_us(request.enqueued_at));
       }
       outcomes.emplace_back(std::move(request.promise), std::move(decision));
     }
@@ -313,7 +382,11 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
   }
   // Fulfill promises outside the state lock: a client continuation may call
   // straight back into the service.
-  for (auto& [promise, decision] : outcomes) promise.set_value(std::move(decision));
+  for (auto& [promise, decision] : outcomes) {
+    obs::RequestScope request_scope(trace_request_id(decision.sequence));
+    obs::Span reply_span("service.reply");
+    promise.set_value(std::move(decision));
+  }
   drain_cv_.notify_all();
 }
 
@@ -335,16 +408,24 @@ CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId,
     return empty;
   }
   const std::string signature = plan_signature(live, options_.signature_quantum);
-  if (auto hit = cache_.lookup(signature)) {
+  std::uint64_t hit_age = 0;
+  if (auto hit = cache_.lookup(signature, &hit_age)) {
     metrics_.increment("plan_cache_hits_total");
+    metrics_.observe_bucketed("plan_cache_hit_age", static_cast<double>(hit_age));
     return *hit;
   }
   metrics_.increment("plan_cache_misses_total");
+  obs::Span plan_span("service.plan");
+  plan_span.arg("tasks", static_cast<double>(live.size()));
+  const auto plan_started = std::chrono::steady_clock::now();
   std::vector<Task> tasks;
   tasks.reserve(live.size());
   for (const auto& [id, task] : live) tasks.push_back(task);
   const FallbackPlan planned = plan_with_fallback(TaskSet(std::move(tasks)), options_.cores,
                                                   power_, fallback_options(), kernel_exec());
+  metrics_.observe_bucketed(plan_latency_metric(planned.outcome.served),
+                            elapsed_us(plan_started));
+  plan_span.set_status(plan_rung_name(planned.outcome.served).data());
   for (const RungAttempt& attempt : planned.outcome.attempts) {
     if (!attempt.served) {
       metrics_.increment(std::string("fallback_rung_failures_") +

@@ -1,5 +1,6 @@
 #include "easched/service/snapshot.hpp"
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -39,6 +40,11 @@ std::string snapshot_to_text(const ServiceSnapshot& snapshot) {
     out << snapshot.committed[i].first;
   }
   out << "\n";
+  // Counters ride in header comments so the v1 parser shape is unchanged;
+  // readers that predate them skip unknown '# ' lines.
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "# counter=" << name << " " << value << "\n";
+  }
   out << kTasksMarker << "\n";
   std::vector<Task> tasks;
   tasks.reserve(snapshot.committed.size());
@@ -70,6 +76,14 @@ ServiceSnapshot snapshot_from_text(const std::string& text) {
       snapshot.next_id = static_cast<TaskId>(std::atoi(t.c_str() + 10));
     } else if (t.rfind("# energy=", 0) == 0) {
       snapshot.energy = std::atof(t.c_str() + 9);
+    } else if (t.rfind("# counter=", 0) == 0) {
+      const std::string body = t.substr(10);
+      const auto space = body.find(' ');
+      if (space == std::string::npos || space == 0) {
+        throw std::runtime_error("malformed '# counter=' line in snapshot");
+      }
+      snapshot.counters[body.substr(0, space)] =
+          static_cast<std::uint64_t>(std::strtoull(body.c_str() + space + 1, nullptr, 10));
     } else if (t.rfind("# ids=", 0) == 0) {
       saw_ids = true;
       std::istringstream id_stream(t.substr(6));

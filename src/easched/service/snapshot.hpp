@@ -11,6 +11,7 @@
 /// handed to clients stay valid across the restart.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,12 @@ struct ServiceSnapshot {
   Schedule plan;
   /// F2 energy of `plan`.
   double energy = 0.0;
+  /// Metric counters at snapshot time. A service restored from the snapshot
+  /// re-seeds its registry with them, so monotone totals (admits,
+  /// rejections, journal replays, ...) survive recovery instead of
+  /// restarting from zero. Optional in the text format — documents written
+  /// before counters existed parse to an empty map.
+  std::map<std::string, std::uint64_t> counters;
 };
 
 /// Serialize to the `easched-service-snapshot v1` text format.

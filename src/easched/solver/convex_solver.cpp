@@ -8,6 +8,7 @@
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
 #include "easched/faults/fault_injection.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/sched/packing.hpp"
 #include "easched/solver/problem.hpp"
 #include "easched/solver/projection.hpp"
@@ -65,6 +66,9 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
 
   const detail::SolverLayout layout = detail::SolverLayout::build(subs, cores);
   const detail::SeparableObjective objective(tasks, power, layout);
+
+  obs::Span solve_span("solver.fista");
+  solve_span.arg("tasks", static_cast<double>(tasks.size()));
 
   // Monotone FISTA (accelerated projected gradient): backtracking line
   // search, function-value restart with a guaranteed-descent fallback step,
@@ -134,6 +138,7 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
       break;
     }
     iterations = iter + 1;
+    obs::Span iter_span("solver.fista.iter");
     // Let the step size recover; backtracking grows it back when needed.
     lipschitz = std::max(0.5 * lipschitz, 1e-12);
 
@@ -191,12 +196,14 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
     x_prev = x;
     x = candidate;
     f_x = std::min(f_x, f_candidate);
+    iter_span.arg("lipschitz", lipschitz);
 
     // Stationarity check (cheap relative to a step); scale-free: relative
     // to the residual at the starting point. The projection's bisection puts
     // a noise floor under the residual, so a long plateau also terminates.
     if (iter % 4 == 3 || iter + 1 == options.max_iterations) {
       const double gm = gradient_mapping();
+      iter_span.arg("residual", gm);
       if (gm <= options.objective_tol * initial_residual) {
         converged = true;
         status = SolverStatus::kConverged;
@@ -215,6 +222,8 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
   }
 
   const double residual = gradient_mapping();
+  solve_span.arg("iterations", static_cast<double>(iterations));
+  solve_span.set_status(solver_status_name(status).data());
 
   SolverResult result;
   result.allocation = layout.to_allocation(x, tasks.size(), subs.size());

@@ -7,6 +7,7 @@
 #include "easched/common/contracts.hpp"
 #include "easched/common/linalg.hpp"
 #include "easched/faults/fault_injection.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/solver/problem.hpp"
 
@@ -96,6 +97,9 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
   const std::vector<VariableInfo> vars = collect_variables(layout);
   const Exec exec = options.pool != nullptr ? Exec::on(*options.pool) : Exec::serial();
 
+  obs::Span solve_span("solver.ipm");
+  solve_span.arg("tasks", static_cast<double>(tasks.size()));
+
   const std::size_t n_vars = layout.variable_count;
   const std::size_t n_tasks = tasks.size();
   const std::size_t n_blocks = layout.blocks.size();
@@ -125,9 +129,12 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
 
   for (std::size_t outer = 0; !aborted && outer < options.max_outer_iterations; ++outer) {
     ++result.outer_iterations;
+    obs::Span outer_span("solver.ipm.outer");
+    outer_span.arg("mu", mu);
 
     // Damped Newton on Φ_μ.
     for (std::size_t step = 0; step < options.max_newton_steps; ++step) {
+      obs::Span newton_span("solver.ipm.newton");
       if (options.budget.expired() ||
           options.budget.iterations_exhausted(result.newton_steps)) {
         status = SolverStatus::kBudgetExhausted;
@@ -234,6 +241,7 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
 
       // Newton decrement λ² = −gradᵀd; stop the inner phase when tiny.
       const double decrement = -dot(grad, direction);
+      newton_span.arg("decrement", decrement);
       if (!std::isfinite(decrement)) {
         status = SolverStatus::kNumericalBreakdown;
         aborted = true;
@@ -266,6 +274,7 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
         if (phi <= phi0 - 0.25 * alpha * decrement) break;
         alpha *= 0.5;
       }
+      newton_span.arg("alpha", alpha);
       x = trial;
       ++result.newton_steps;
     }
@@ -290,6 +299,8 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
   if (result.solution.converged) {
     status = SolverStatus::kConverged;
   }
+  solve_span.arg("newton_steps", static_cast<double>(result.newton_steps));
+  solve_span.set_status(solver_status_name(status).data());
   result.solution.status = status;
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "easched/common/contracts.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 
 namespace easched {
@@ -16,23 +17,30 @@ SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double 
   EASCHED_EXPECTS_MSG(!tasks.empty(), "subinterval decomposition needs at least one task");
   EASCHED_EXPECTS(merge_tol >= 0.0);
 
-  boundaries_.reserve(tasks.size() * 2);
-  for (const Task& t : tasks) {
-    boundaries_.push_back(t.release);
-    boundaries_.push_back(t.deadline);
+  {
+    obs::Span cut_span("kernel.subinterval_cut");
+    cut_span.arg("tasks", static_cast<double>(tasks.size()));
+    boundaries_.reserve(tasks.size() * 2);
+    for (const Task& t : tasks) {
+      boundaries_.push_back(t.release);
+      boundaries_.push_back(t.deadline);
+    }
+    std::sort(boundaries_.begin(), boundaries_.end());
+    // Merge boundaries closer than merge_tol: keep the first representative.
+    std::vector<double> merged;
+    merged.reserve(boundaries_.size());
+    for (const double b : boundaries_) {
+      if (merged.empty() || b - merged.back() > merge_tol) merged.push_back(b);
+    }
+    boundaries_ = std::move(merged);
+    EASCHED_ASSERT(boundaries_.size() >= 2);
+    cut_span.arg("subintervals", static_cast<double>(boundaries_.size() - 1));
   }
-  std::sort(boundaries_.begin(), boundaries_.end());
-  // Merge boundaries closer than merge_tol: keep the first representative.
-  std::vector<double> merged;
-  merged.reserve(boundaries_.size());
-  for (const double b : boundaries_) {
-    if (merged.empty() || b - merged.back() > merge_tol) merged.push_back(b);
-  }
-  boundaries_ = std::move(merged);
-  EASCHED_ASSERT(boundaries_.size() >= 2);
 
   // The O(n) overlap scan per subinterval is the O(n²) part of the
   // construction; each subinterval fills only its own slot.
+  obs::Span overlap_span("kernel.overlap_scan");
+  overlap_span.arg("subintervals", static_cast<double>(boundaries_.size() - 1));
   intervals_.resize(boundaries_.size() - 1);
   exec.loop(intervals_.size(), [&](std::size_t j) {
     Subinterval& si = intervals_[j];

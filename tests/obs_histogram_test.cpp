@@ -1,0 +1,149 @@
+// Fixed-bucket histogram contracts: inclusive upper-bound bucketing
+// (Prometheus `le` semantics), the overflow bucket, interpolated quantiles
+// clamped to the observed range, and shard merging by count addition.
+
+#include "easched/obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace easched::obs {
+namespace {
+
+TEST(BucketHistogram, DefaultBucketsAreStrictlyIncreasing) {
+  const std::vector<double>& bounds = default_latency_buckets_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 1.0);
+  EXPECT_EQ(bounds.back(), 1.0e7);  // 10 s in µs
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+}
+
+TEST(BucketHistogram, Pow2Buckets) {
+  const std::vector<double> bounds = pow2_buckets(4);
+  EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+}
+
+TEST(BucketHistogram, CountsHaveOverflowSlot) {
+  const BucketHistogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.counts().size(), h.upper_bounds().size() + 1);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(BucketHistogram, BoundaryValuesLandInTheirBucket) {
+  BucketHistogram h({1.0, 10.0, 100.0});
+  // Inclusive upper edges: a value exactly on a bound belongs to that bucket.
+  h.observe(1.0);    // bucket 0 (le=1)
+  h.observe(10.0);   // bucket 1 (le=10)
+  h.observe(100.0);  // bucket 2 (le=100)
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 0u);  // overflow untouched
+
+  // Just past a bound spills into the next bucket.
+  h.observe(1.0000001);
+  EXPECT_EQ(h.counts()[1], 2u);
+  // Below the first bound (including negatives) is still bucket 0: the first
+  // bucket spans (-inf, bound0].
+  h.observe(-5.0);
+  EXPECT_EQ(h.counts()[0], 2u);
+}
+
+TEST(BucketHistogram, OverflowBucketCatchesEverythingAboveTheLastBound) {
+  BucketHistogram h({1.0, 10.0});
+  h.observe(10.0001);
+  h.observe(1.0e12);
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.count(), 2u);
+  // Quantiles from the overflow bucket report the observed max, not +inf.
+  EXPECT_EQ(h.quantile(0.5), 1.0e12);
+  EXPECT_EQ(h.quantile(0.99), 1.0e12);
+}
+
+TEST(BucketHistogram, SummaryStatistics) {
+  BucketHistogram h({10.0, 20.0, 40.0});
+  for (const double v : {2.0, 12.0, 18.0, 35.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 67.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 35.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 67.0 / 4.0);
+}
+
+TEST(BucketHistogram, QuantilesInterpolateAndClampToObservedRange) {
+  BucketHistogram h({10.0, 20.0, 40.0});
+  // 10 observations in (10, 20]: every quantile must stay inside the
+  // bucket's intersection with the observed range [11, 19].
+  for (int i = 0; i < 10; ++i) h.observe(11.0 + i * 8.0 / 9.0);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, 11.0) << "q=" << q;
+    EXPECT_LE(est, 19.0) << "q=" << q;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(BucketHistogram, QuantileOfSingleValueIsThatValue) {
+  BucketHistogram h({10.0, 20.0});
+  h.observe(15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);   // clamped to [min, max] = {15}
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 15.0);
+}
+
+TEST(BucketHistogram, EmptyHistogramQuantileIsZero) {
+  const BucketHistogram h({1.0, 2.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(BucketHistogram, MergeAddsCountsAcrossShards) {
+  BucketHistogram a({1.0, 10.0, 100.0});
+  BucketHistogram b({1.0, 10.0, 100.0});
+  a.observe(0.5);
+  a.observe(50.0);
+  b.observe(5.0);
+  b.observe(500.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.counts()[2], 1u);
+  EXPECT_EQ(a.counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 555.5);
+}
+
+TEST(BucketHistogram, MergeIntoEmptyAdoptsOtherRange) {
+  BucketHistogram a({1.0, 10.0});
+  BucketHistogram b({1.0, 10.0});
+  b.observe(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(BucketHistogram, MergeRejectsMismatchedBounds) {
+  BucketHistogram a({1.0, 10.0});
+  const BucketHistogram b({1.0, 20.0});
+  EXPECT_THROW(a.merge(b), std::exception);
+}
+
+TEST(BucketHistogram, ResetClearsEverything) {
+  BucketHistogram h({1.0, 10.0});
+  h.observe(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.counts()[1], 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace easched::obs

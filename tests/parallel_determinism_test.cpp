@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "easched/common/rng.hpp"
 #include "easched/exp/sharding.hpp"
+#include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/parallel/thread_pool.hpp"
 #include "easched/sched/pipeline.hpp"
@@ -19,6 +21,29 @@
 
 namespace easched {
 namespace {
+
+// The whole suite runs with a tracer ARMED: determinism must hold not just
+// with instrumentation compiled in (always true) but while spans are being
+// recorded. Spans record, they never reorder work — this environment is
+// the enforcement.
+class TracingEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    tracer_ = std::make_unique<obs::Tracer>();
+    scope_ = std::make_unique<obs::TraceScope>(*tracer_);
+  }
+  void TearDown() override {
+    scope_.reset();
+    tracer_.reset();
+  }
+
+ private:
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::TraceScope> scope_;
+};
+
+const ::testing::Environment* const kTracingEnv =
+    ::testing::AddGlobalTestEnvironment(new TracingEnvironment);
 
 constexpr std::size_t kWorkloads = 20;
 constexpr int kCores = 4;

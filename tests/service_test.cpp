@@ -193,10 +193,14 @@ TEST(SchedulerServiceTest, RestoredServiceResumesWithIdsAndPlanIntact) {
   SchedulerService restored(snap, test_power(), manual_options());
   EXPECT_EQ(restored.committed_count(), 2u);
   EXPECT_EQ(restored.committed_ids(), (std::vector<TaskId>{0, 1}));
-  // The snapshot pre-seeds the cache: reading the plan is not a re-plan.
-  EXPECT_EQ(restored.metrics().counter("plan_cache_misses_total"), 0u);
+  // The snapshot pre-seeds the cache AND re-seeds counter totals, so the
+  // cache assertions are deltas over the restored values: reading the plan
+  // is a hit, never a re-plan.
+  const std::uint64_t misses_restored = snap.counters.at("plan_cache_misses_total");
+  const std::uint64_t hits_restored = snap.counters.at("plan_cache_hits_total");
+  EXPECT_EQ(restored.metrics().counter("plan_cache_misses_total"), misses_restored);
   EXPECT_NEAR(restored.current_energy(), snap.energy, 1e-6);
-  EXPECT_EQ(restored.metrics().counter("plan_cache_hits_total"), 1u);
+  EXPECT_EQ(restored.metrics().counter("plan_cache_hits_total"), hits_restored + 1);
 
   // New admissions continue the id sequence rather than reusing ids.
   const ServiceDecision next = restored.submit_wait(Task{1.0, 30.0, 5.0});
