@@ -21,7 +21,7 @@ using namespace easched;
 
 /// F-style final energy for an arbitrary availability matrix.
 double final_energy_for(const TaskSet& tasks, const PowerModel& power,
-                        const AllocationMatrix& avail) {
+                        const Availability& avail) {
   double total = 0.0;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const double budget = avail.row_sum(i);
@@ -33,11 +33,11 @@ double final_energy_for(const TaskSet& tasks, const PowerModel& power,
 
 /// The "capped" Algorithm-2 variant: a task never receives more heavy-
 /// subinterval time than its DER-implied ideal execution time.
-AllocationMatrix capped_der_allocation(const TaskSet& tasks,
-                                       const SubintervalDecomposition& subs, int cores,
-                                       const IdealCase& ideal) {
-  AllocationMatrix avail = allocate_available_time(tasks, subs, cores, ideal,
-                                                   AllocationMethod::kDer);
+Availability capped_der_allocation(const TaskSet& tasks,
+                                   const SubintervalDecomposition& subs, int cores,
+                                   const IdealCase& ideal) {
+  Availability avail = allocate_available_time(tasks, subs, cores, ideal,
+                                               AllocationMethod::kDer);
   for (std::size_t j = 0; j < subs.size(); ++j) {
     if (!subs[j].heavy(cores)) continue;
     for (const TaskId id : subs[j].overlapping) {
@@ -73,7 +73,7 @@ int main() {
           schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kEven);
       const MethodResult der =
           schedule_with_method(tasks, subs, cores, power, ideal, AllocationMethod::kDer);
-      const AllocationMatrix capped = capped_der_allocation(tasks, subs, cores, ideal);
+      const Availability capped = capped_der_allocation(tasks, subs, cores, ideal);
       const double optimal = solve_optimal_allocation(tasks, subs, cores, power).energy;
       return Outcome{even.final_energy / optimal, der.final_energy / optimal,
                      final_energy_for(tasks, power, capped) / optimal};

@@ -77,6 +77,29 @@ std::vector<std::size_t> thread_sweep(int* argc, char** argv) {
   return threads;
 }
 
+std::size_t max_tasks_arg(int* argc, char** argv, std::size_t fallback) {
+  std::string value;
+  const std::string prefix = "--n=";
+  int out = 1;
+  for (int in = 1; in < *argc; ++in) {
+    const std::string arg = argv[in];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  *argc = out;
+  if (value.empty()) {
+    if (const char* env = std::getenv("EASCHED_BENCH_N")) value = env;
+  }
+  if (!value.empty()) {
+    const long parsed = std::strtol(value.c_str(), nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
 std::string trace_arg(int* argc, char** argv) {
   std::string path;
   const std::string prefix = "--trace=";

@@ -53,6 +53,13 @@ std::vector<std::size_t> parse_thread_list(const std::string& csv);
 /// the `EASCHED_BENCH_THREADS` environment variable, else {1, 2, 4, 8}.
 std::vector<std::size_t> thread_sweep(int* argc, char** argv);
 
+/// Resolve the largest workload size a perf binary should register: a
+/// `--n=<max>` argument (stripped from argv), else the `EASCHED_BENCH_N`
+/// environment variable, else `fallback`. Sizes above the cap are skipped at
+/// registration, so quick local runs can drop the multi-second scaling rows
+/// (`--n=1000`) while CI and baseline refreshes keep them (`--n=10000`).
+std::size_t max_tasks_arg(int* argc, char** argv, std::size_t fallback);
+
 /// Process-wide pool registry keyed by worker count, so a sweep reuses one
 /// pool per size instead of re-spawning workers every benchmark iteration.
 ThreadPool& pool_for(std::size_t threads);

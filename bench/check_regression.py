@@ -74,6 +74,10 @@ def main(argv=None):
                         help="fractional slowdown that fails the gate (default 0.25)")
     parser.add_argument("--strict-context", action="store_true",
                         help="fail (not warn) when the host context mismatches")
+    parser.add_argument("--require", action="append", default=[], metavar="PREFIX",
+                        help="benchmark name (or prefix) that must be present in both "
+                             "runs; missing coverage fails the gate even on a "
+                             "mismatched host (repeatable)")
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -91,6 +95,20 @@ def main(argv=None):
 
     base_entries = representative_entries(baseline)
     cand_entries = representative_entries(candidate)
+
+    # Required coverage: a rename or a silently skipped scaling row must not
+    # slip through as a mere warning. Prefix matching lets one --require
+    # cover a size sweep ("BM_PlanDerSerial" matches every /n: variant).
+    missing_required = []
+    for prefix in args.require:
+        for label, entries in (("baseline", base_entries), ("candidate", cand_entries)):
+            if not any(name.startswith(prefix) for name in entries):
+                missing_required.append(f"{label} has no benchmark matching {prefix!r}")
+    if missing_required:
+        for m in missing_required:
+            print(f"missing required benchmark: {m}")
+        print("FAIL: required benchmark coverage is absent")
+        return 1
 
     regressions, improvements, warnings = [], [], []
 

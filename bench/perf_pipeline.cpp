@@ -58,6 +58,33 @@ void run_pipeline_parallel(benchmark::State& state, std::size_t n, std::size_t t
   state.counters["tasks"] = static_cast<double>(n);
 }
 
+// Scaling rows for the sparse kernel: decomposition construction alone, and
+// the full planning path (decomposition + ideal case + DER method) that a
+// service plan pays. At n = 10000 the pre-sweep dense kernel needed ~0.9 s to
+// construct and ~56 s to plan on the baseline host; the CSR arena and the
+// row-compressed availability bring the plan under a handful of seconds —
+// the checked-in BENCH_pipeline.json records the sparse numbers and the CI
+// gate holds them.
+void run_construction(benchmark::State& state, std::size_t n) {
+  const TaskSet tasks = make_tasks(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubintervalDecomposition(tasks));
+  }
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
+void run_plan_der(benchmark::State& state, std::size_t n) {
+  const TaskSet tasks = make_tasks(n);
+  const PowerModel power(3.0, 0.1);
+  for (auto _ : state) {
+    const SubintervalDecomposition subs(tasks);
+    const IdealCase ideal(tasks, power);
+    benchmark::DoNotOptimize(
+        schedule_with_method(tasks, subs, kCores, power, ideal, AllocationMethod::kDer));
+  }
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
 void run_interior_point(benchmark::State& state, std::size_t n, std::size_t threads) {
   const TaskSet tasks = make_tasks(n);
   const PowerModel power(3.0, 0.1);
@@ -75,6 +102,17 @@ void run_interior_point(benchmark::State& state, std::size_t n, std::size_t thre
 int main(int argc, char** argv) {
   const easched::bench::TraceSession trace(easched::bench::trace_arg(&argc, argv));
   const std::vector<std::size_t> sweep = easched::bench::thread_sweep(&argc, argv);
+  const std::size_t max_n = easched::bench::max_tasks_arg(&argc, argv, 10000);
+
+  for (const std::size_t n : {std::size_t{5000}, std::size_t{10000}}) {
+    if (n > max_n) continue;
+    const std::string construct_name = "BM_SubintervalConstruct/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(construct_name.c_str(),
+                                 [n](benchmark::State& s) { run_construction(s, n); });
+    const std::string plan_name = "BM_PlanDerSerial/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(plan_name.c_str(),
+                                 [n](benchmark::State& s) { run_plan_der(s, n); });
+  }
 
   for (const std::size_t n : {std::size_t{50}, std::size_t{200}, std::size_t{1000}}) {
     const std::string serial_name = "BM_PipelineSerial/n:" + std::to_string(n);

@@ -1,6 +1,8 @@
 #include "easched/sched/allocation.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 
 #include "easched/common/contracts.hpp"
@@ -18,31 +20,42 @@ const char* to_string(AllocationMethod method) {
   return "?";
 }
 
-AllocationMatrix::AllocationMatrix(std::size_t tasks, std::size_t subintervals)
-    : tasks_(tasks), subintervals_(subintervals), data_(tasks * subintervals, 0.0) {}
-
-double AllocationMatrix::operator()(std::size_t task, std::size_t subinterval) const {
-  EASCHED_EXPECTS(task < tasks_ && subinterval < subintervals_);
-  return data_[task * subintervals_ + subinterval];
+Availability::Availability(const TaskSet& tasks, const SubintervalDecomposition& subs)
+    : subintervals_(subs.size()) {
+  EASCHED_EXPECTS(subs.size() > 0);
+  spans_.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    spans_.push_back(subs.range_of(static_cast<TaskId>(i)));
+  }
+  offsets_.reserve(spans_.size() + 1);
+  offsets_.push_back(0);
+  for (const SubRange& r : spans_) offsets_.push_back(offsets_.back() + r.count);
+  values_.assign(offsets_.back(), 0.0);
+  row_sum_.assign(spans_.size(), 0.0);
+  col_sum_.assign(subintervals_, 0.0);
 }
 
-void AllocationMatrix::set(std::size_t task, std::size_t subinterval, double value) {
-  EASCHED_EXPECTS(task < tasks_ && subinterval < subintervals_);
-  EASCHED_EXPECTS(value >= 0.0);
-  data_[task * subintervals_ + subinterval] = value;
+Availability::Availability(std::vector<SubRange> spans, std::size_t subintervals)
+    : spans_(std::move(spans)), subintervals_(subintervals) {
+  offsets_.reserve(spans_.size() + 1);
+  offsets_.push_back(0);
+  for (const SubRange& r : spans_) {
+    EASCHED_EXPECTS(r.first + r.count <= subintervals_);
+    offsets_.push_back(offsets_.back() + r.count);
+  }
+  values_.assign(offsets_.back(), 0.0);
+  row_sum_.assign(spans_.size(), 0.0);
+  col_sum_.assign(subintervals_, 0.0);
 }
 
-double AllocationMatrix::row_sum(std::size_t task) const {
-  EASCHED_EXPECTS(task < tasks_);
-  const double* row = data_.data() + task * subintervals_;
-  return std::accumulate(row, row + subintervals_, 0.0);
-}
-
-double AllocationMatrix::column_sum(std::size_t subinterval) const {
-  EASCHED_EXPECTS(subinterval < subintervals_);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < tasks_; ++i) sum += data_[i * subintervals_ + subinterval];
-  return sum;
+void Availability::finalize_row_sums(const Exec& exec) {
+  exec.loop(spans_.size(), [&](std::size_t i) {
+    // Ascending-subinterval order — the same order a dense accumulate over
+    // the full row visits the nonzeros, so the sum is bit-identical to it.
+    double sum = 0.0;
+    for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) sum += values_[k];
+    row_sum_[i] = sum;
+  });
 }
 
 std::vector<double> even_ration(std::size_t task_count, int cores, double length) {
@@ -54,8 +67,48 @@ std::vector<double> even_ration(std::size_t task_count, int cores, double length
   return std::vector<double>(task_count, share);
 }
 
-std::vector<double> der_ration(const std::vector<double>& ders, int cores, double length) {
+namespace {
+
+/// Reusable per-call storage for the rationing loop: the allocator runs it
+/// once per heavy subinterval (tens of thousands of times per plan), so the
+/// vectors live in thread-local scratch instead of reallocating each call.
+struct RationScratch {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;  ///< (key, index), sorted
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> swap;   ///< radix ping-pong buffer
+  std::vector<double> ration;
+};
+
+/// Stable LSD radix sort of (key, index) pairs by ascending key. Stability
+/// keeps equal keys in their original (ascending-index) order; a byte pass
+/// whose histogram lands everything in one bucket is the identity and is
+/// skipped, which prunes most high-byte passes — DERs within one
+/// subinterval usually share an exponent.
+void radix_sort_keys(std::vector<std::pair<std::uint64_t, std::uint32_t>>& a,
+                     std::vector<std::pair<std::uint64_t, std::uint32_t>>& b) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  b.resize(n);
+  std::size_t pos[256];
+  for (int shift = 0; shift < 64; shift += 8) {
+    std::size_t count[256] = {};
+    for (const auto& e : a) ++count[(e.first >> shift) & 0xff];
+    if (count[(a[0].first >> shift) & 0xff] == n) continue;
+    std::size_t run = 0;
+    for (std::size_t bucket = 0; bucket < 256; ++bucket) {
+      pos[bucket] = run;
+      run += count[bucket];
+    }
+    for (const auto& e : a) b[pos[(e.first >> shift) & 0xff]++] = e;
+    a.swap(b);
+  }
+}
+
+/// `der_ration` into caller-provided storage; `scratch.ration` holds the
+/// result on return.
+void der_ration_into(const std::vector<double>& ders, int cores, double length,
+                     RationScratch& scratch) {
   EASCHED_EXPECTS(!ders.empty());
+  EASCHED_EXPECTS(ders.size() <= std::size_t{UINT32_MAX});  // index fits the radix key pair
   EASCHED_EXPECTS(cores > 0);
   EASCHED_EXPECTS(length > 0.0);
 
@@ -68,44 +121,69 @@ std::vector<double> der_ration(const std::vector<double>& ders, int cores, doubl
     // Every overlapping task finished before this subinterval in the ideal
     // schedule (large static power shrinks U^O). The paper leaves this case
     // open; the even split keeps every task schedulable.
-    return even_ration(ders.size(), cores, length);
+    const double share =
+        std::min(length, static_cast<double>(cores) * length / static_cast<double>(ders.size()));
+    scratch.ration.assign(ders.size(), share);
+    return;
   }
 
   // Algorithm 2: greatest DER first; each task requests its proportional
   // share of the *remaining* capacity, capped at the subinterval length.
-  std::vector<std::size_t> order(ders.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) { return ders[a] > ders[b]; });
+  // Descending-DER order with ascending index as tie-break, via a stable
+  // radix sort on the bit-flipped IEEE key: positive doubles order like
+  // their bit patterns, so ascending `~bits` is descending value, and two
+  // positive doubles are equal iff their bits are — the order matches a
+  // stable descending-value sort of the indices exactly. Zero-DER tasks are
+  // left out entirely: they would sort last, receive
+  // `min(length, capacity·0/der) = 0`, and change neither remainder — their
+  // rations are already the zeros `assign` wrote. At n = 10000 roughly a
+  // quarter of all overlap pairs carry zero DER (the task's ideal stretch
+  // ended before the subinterval), so the sort shrinks accordingly.
+  scratch.order.clear();
+  for (std::size_t i = 0; i < ders.size(); ++i) {
+    if (ders[i] > 0.0) {
+      scratch.order.push_back(
+          {~std::bit_cast<std::uint64_t>(ders[i]), static_cast<std::uint32_t>(i)});
+    }
+  }
+  radix_sort_keys(scratch.order, scratch.swap);
 
-  std::vector<double> alloc(ders.size(), 0.0);
+  scratch.ration.assign(ders.size(), 0.0);
   double remaining_capacity = static_cast<double>(cores) * length;
   double remaining_der = total_der;
-  for (const std::size_t i : order) {
+  for (const auto& [key, i] : scratch.order) {
     if (remaining_der <= 0.0 || remaining_capacity <= 0.0) break;
-    const double share = remaining_capacity * ders[i] / remaining_der;
+    const double der = std::bit_cast<double>(~key);  // exact round-trip
+    const double share = remaining_capacity * der / remaining_der;
     const double granted = std::min(length, share);
-    alloc[i] = granted;
+    scratch.ration[i] = granted;
     remaining_capacity -= granted;
-    remaining_der -= ders[i];
+    remaining_der -= der;
   }
-  return alloc;
 }
 
-AllocationMatrix allocate_available_time(const TaskSet& tasks,
-                                         const SubintervalDecomposition& subintervals, int cores,
-                                         const IdealCase& ideal, AllocationMethod method) {
+}  // namespace
+
+std::vector<double> der_ration(const std::vector<double>& ders, int cores, double length) {
+  RationScratch scratch;
+  der_ration_into(ders, cores, length, scratch);
+  return std::move(scratch.ration);
+}
+
+Availability allocate_available_time(const TaskSet& tasks,
+                                     const SubintervalDecomposition& subintervals, int cores,
+                                     const IdealCase& ideal, AllocationMethod method) {
   return allocate_available_time(tasks, subintervals, cores, ideal, method, Exec::serial());
 }
 
-AllocationMatrix allocate_available_time(const TaskSet& tasks,
-                                         const SubintervalDecomposition& subintervals, int cores,
-                                         const IdealCase& ideal, AllocationMethod method,
-                                         const Exec& exec) {
+Availability allocate_available_time(const TaskSet& tasks,
+                                     const SubintervalDecomposition& subintervals, int cores,
+                                     const IdealCase& ideal, AllocationMethod method,
+                                     const Exec& exec) {
   EASCHED_EXPECTS(cores > 0);
   EASCHED_EXPECTS(ideal.size() == tasks.size());
 
-  AllocationMatrix avail(tasks.size(), subintervals.size());
+  Availability avail(tasks, subintervals);
   exec.loop(subintervals.size(), [&](std::size_t j) {
     const Subinterval& si = subintervals[j];
     if (si.overlapping.empty()) return;
@@ -113,28 +191,36 @@ AllocationMatrix allocate_available_time(const TaskSet& tasks,
     if (!si.heavy(cores)) {
       // Observation 2: each overlapping task may occupy a whole core.
       for (const TaskId i : si.overlapping) {
-        avail.set(static_cast<std::size_t>(i), j, si.length());
+        avail.set_in_column(static_cast<std::size_t>(i), j, si.length());
       }
       return;
     }
 
-    std::vector<double> ration;
+    // Thread-local scratch: each worker reuses one set of rationing buffers
+    // across its subintervals instead of allocating fresh vectors per heavy
+    // subinterval. The computed values are independent of the buffers'
+    // history, so the result stays bit-identical at any pool size.
+    thread_local RationScratch scratch;
+    thread_local std::vector<double> ders;
     if (method == AllocationMethod::kEven) {
-      ration = even_ration(si.overlapping.size(), cores, si.length());
+      const double share =
+          std::min(si.length(), static_cast<double>(cores) * si.length() /
+                                    static_cast<double>(si.overlapping.size()));
+      scratch.ration.assign(si.overlapping.size(), share);
     } else {
-      std::vector<double> ders;
-      ders.reserve(si.overlapping.size());
+      ders.clear();
       for (const TaskId i : si.overlapping) {
         // DER (equation (24)): ideal execution time in this subinterval,
         // scaled by the ideal frequency.
         ders.push_back(ideal.execution_time_in(i, si.begin, si.end) * ideal.frequency(i));
       }
-      ration = der_ration(ders, cores, si.length());
+      der_ration_into(ders, cores, si.length(), scratch);
     }
     for (std::size_t k = 0; k < si.overlapping.size(); ++k) {
-      avail.set(static_cast<std::size_t>(si.overlapping[k]), j, ration[k]);
+      avail.set_in_column(static_cast<std::size_t>(si.overlapping[k]), j, scratch.ration[k]);
     }
   });
+  avail.finalize_row_sums(exec);
   return avail;
 }
 

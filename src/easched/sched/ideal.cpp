@@ -1,29 +1,24 @@
 #include "easched/sched/ideal.hpp"
 
 #include "easched/common/contracts.hpp"
-#include "easched/common/math.hpp"
 
 namespace easched {
 
-IdealCase::IdealCase(const TaskSet& tasks, const PowerModel& power) : tasks_(&tasks) {
+IdealCase::IdealCase(const TaskSet& tasks, const PowerModel& power) {
+  release_.reserve(tasks.size());
   frequency_.reserve(tasks.size());
   exec_end_.reserve(tasks.size());
   energy_.reserve(tasks.size());
   for (const Task& t : tasks) {
     const double f = power.optimal_frequency(t.work, t.window());
     EASCHED_ENSURES(f > 0.0);
+    release_.push_back(t.release);
     frequency_.push_back(f);
     exec_end_.push_back(t.release + t.work / f);
     const double e = power.energy_for_work(t.work, f);
     energy_.push_back(e);
     total_energy_ += e;
   }
-}
-
-double IdealCase::execution_time_in(TaskId i, double t1, double t2) const {
-  EASCHED_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < frequency_.size());
-  const Task& t = tasks_->at(i);
-  return overlap_length(t.release, exec_end_[static_cast<std::size_t>(i)], t1, t2);
 }
 
 }  // namespace easched

@@ -11,8 +11,11 @@
 /// lower curve in the paper's figures (it ignores the core count, so it can
 /// lie below the achievable optimum).
 
+#include <span>
 #include <vector>
 
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
 #include "easched/power/power_model.hpp"
 #include "easched/tasksys/task_set.hpp"
 
@@ -30,7 +33,20 @@ class IdealCase {
   double execution_end(TaskId i) const { return exec_end_[static_cast<std::size_t>(i)]; }
 
   /// Execution time of task `i` inside `[t1, t2]`: `|U_i^O ∩ [t1, t2]|`.
-  double execution_time_in(TaskId i, double t1, double t2) const;
+  /// Inline over the cached stretch endpoints — this is the DER allocator's
+  /// innermost call, evaluated once per (task, subinterval) overlap (O(P)
+  /// total), so it must not re-touch the task array.
+  double execution_time_in(TaskId i, double t1, double t2) const {
+    const auto idx = static_cast<std::size_t>(i);
+    EASCHED_EXPECTS(idx < release_.size());
+    return overlap_length(release_[idx], exec_end_[idx], t1, t2);
+  }
+
+  /// \name Flat per-task views (ascending TaskId)
+  /// @{
+  std::span<const double> frequencies() const { return frequency_; }
+  std::span<const double> execution_ends() const { return exec_end_; }
+  /// @}
 
   /// Per-task optimal energy `E_i^O` (equation (20)).
   double task_energy(TaskId i) const { return energy_[static_cast<std::size_t>(i)]; }
@@ -41,7 +57,7 @@ class IdealCase {
   std::size_t size() const { return frequency_.size(); }
 
  private:
-  const TaskSet* tasks_;
+  std::vector<double> release_;  ///< R_i, cached so the hot path stays flat
   std::vector<double> frequency_;
   std::vector<double> exec_end_;
   std::vector<double> energy_;

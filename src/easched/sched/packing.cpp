@@ -1,22 +1,32 @@
 #include "easched/sched/packing.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
 #include "easched/parallel/exec.hpp"
+#include "easched/sched/pipeline.hpp"
 
 namespace easched {
 
-void pack_subinterval(double begin, double end, int cores, const std::vector<PackItem>& items,
-                      Schedule& schedule) {
+namespace {
+
+/// Algorithm 1 core: validate the items and hand each produced segment to
+/// `emit` in order. Every entry point shares this body, so the segment
+/// sequence is identical whether it lands in a `Schedule`, an arena slice,
+/// or a counting pass. `Item` is any type with `task` / `time` / `frequency`
+/// members (`PackItem`, `IntermediatePiece`) — the kernel packs its piece
+/// lists without a conversion copy.
+template <typename Item, typename Emit>
+void pack_items(double begin, double end, int cores, std::span<const Item> items, Emit&& emit) {
   EASCHED_EXPECTS(end > begin);
   EASCHED_EXPECTS(cores > 0);
   const double length = end - begin;
   const double tol = 1e-9 * std::max(1.0, length);
 
   double total = 0.0;
-  for (const PackItem& item : items) {
+  for (const Item& item : items) {
     EASCHED_EXPECTS(item.time >= 0.0);
     EASCHED_EXPECTS_MSG(leq_tol(item.time, length, tol),
                         "pack item exceeds subinterval length");
@@ -28,7 +38,7 @@ void pack_subinterval(double begin, double end, int cores, const std::vector<Pac
 
   CoreId core = 0;
   double cursor = begin;  // earliest free time on `core`
-  for (const PackItem& item : items) {
+  for (const Item& item : items) {
     double remaining = std::min(item.time, length);
     if (remaining <= tol) continue;
     EASCHED_EXPECTS(item.frequency > 0.0);
@@ -46,19 +56,19 @@ void pack_subinterval(double begin, double end, int cores, const std::vector<Pac
       // exactly disjoint.
       const double head_end = std::min(begin + head, cursor);
       if (tail > tol) {
-        schedule.add({item.task, core, cursor, end, item.frequency});
+        emit(Segment{item.task, core, cursor, end, item.frequency});
       }
       ++core;
       EASCHED_ASSERT(core < cores || head <= tol);
       if (head > tol) {
-        schedule.add({item.task, core, begin, head_end, item.frequency});
+        emit(Segment{item.task, core, begin, head_end, item.frequency});
         cursor = head_end;
       } else {
         cursor = begin;
       }
     } else {
       const double stop = std::min(end, cursor + remaining);
-      schedule.add({item.task, core, cursor, stop, item.frequency});
+      emit(Segment{item.task, core, cursor, stop, item.frequency});
       cursor = stop;
       if (end - cursor <= tol) {
         ++core;
@@ -68,6 +78,278 @@ void pack_subinterval(double begin, double end, int cores, const std::vector<Pac
   }
 }
 
+/// Run `pack_items` over every non-empty CSR slice in subinterval order,
+/// serially. Deterministic: two invocations with the same inputs emit the
+/// same segment sequence, which is what lets the serial fused path count on
+/// one pass and place on the next.
+template <typename Item, typename Emit>
+void pack_slices_serial(const SubintervalDecomposition& subs, int cores,
+                        std::span<const Item> items, const std::vector<std::size_t>& offsets,
+                        Emit&& emit) {
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const std::size_t count = offsets[j + 1] - offsets[j];
+    if (count == 0) continue;
+    pack_items(subs[j].begin, subs[j].end, cores, items.subspan(offsets[j], count), emit);
+  }
+}
+
+/// Pack every subinterval's CSR slice into one exactly-bounded arena.
+/// Segment capacity per subinterval: one segment per item, plus one head
+/// piece per wrap-around, and there are at most `cores` core advances. Each
+/// subinterval packs into its own slice, so a parallel exec stays
+/// write-disjoint and slice-order iteration reproduces the serial
+/// concatenation exactly. Fills `slice` (arena offsets) and `emitted`
+/// (segments produced per subinterval).
+template <typename Item>
+std::vector<Segment> pack_into_arena(const SubintervalDecomposition& subs, int cores,
+                                     std::span<const Item> items,
+                                     const std::vector<std::size_t>& offsets, const Exec& exec,
+                                     std::vector<std::size_t>& slice,
+                                     std::vector<std::size_t>& emitted) {
+  slice.assign(subs.size() + 1, 0);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const std::size_t count = offsets[j + 1] - offsets[j];
+    slice[j + 1] = slice[j] + (count == 0 ? 0 : count + static_cast<std::size_t>(cores));
+  }
+  std::vector<Segment> arena(slice.back());
+  emitted.assign(subs.size(), 0);
+  exec.loop(subs.size(), [&](std::size_t j) {
+    const std::size_t count = offsets[j + 1] - offsets[j];
+    if (count == 0) return;
+    Segment* out = arena.data() + slice[j];
+    const std::size_t budget = slice[j + 1] - slice[j];
+    std::size_t produced = 0;
+    pack_items(subs[j].begin, subs[j].end, cores, items.subspan(offsets[j], count),
+               [&](const Segment& s) {
+                 EASCHED_ASSERT(produced < budget);
+                 out[produced++] = s;
+               });
+    emitted[j] = produced;
+  });
+  return arena;
+}
+
+template <typename Item>
+Schedule pack_subintervals_uncoalesced(const SubintervalDecomposition& subs, int cores,
+                                       std::span<const Item> items,
+                                       const std::vector<std::size_t>& offsets,
+                                       const Exec& exec);
+
+/// Shared tail of both fused strategies: derive the group bounds from the
+/// per-key offsets, sort/merge each group in place, adopt the buffer.
+Schedule adopt_grouped(int cores, std::vector<Segment>&& grouped,
+                       const std::vector<std::size_t>& key_offsets, double time_tol,
+                       double freq_tol) {
+  std::vector<std::pair<std::size_t, std::size_t>> group_bounds;
+  for (std::size_t k = 0; k + 1 < key_offsets.size(); ++k) {
+    if (key_offsets[k + 1] > key_offsets[k]) {
+      group_bounds.emplace_back(key_offsets[k], key_offsets[k + 1]);
+    }
+  }
+  detail::merge_grouped_segments(grouped, group_bounds, time_tol, freq_tol);
+  return Schedule(cores, std::move(grouped));
+}
+
+/// Serial fused strategy: run Algorithm 1 twice. The first pass only counts
+/// segments per (task, core) key; the second places each segment straight
+/// into its group slot of the one output buffer. No staging arena at all: at
+/// n = 10000 a plan's packs emit ~32 million segments each, and skipping the
+/// ~1.3 GB arena (whose pages the host has to fault in) costs less than
+/// re-running the packing arithmetic. `pack_all(emit)` must emit the same
+/// segment sequence both times it is called.
+template <typename PackAll, typename KeyOf>
+Schedule serial_two_pass(int cores, PackAll&& pack_all, std::size_t key_count, KeyOf&& key_of,
+                         double time_tol, double freq_tol) {
+  std::vector<std::size_t> key_offsets(key_count + 1, 0);
+  std::size_t total = 0;
+  pack_all([&](const Segment& s) {
+    ++key_offsets[key_of(s) + 1];
+    ++total;
+  });
+  if (total == 0) return Schedule(cores);
+  for (std::size_t k = 0; k < key_count; ++k) key_offsets[k + 1] += key_offsets[k];
+
+  std::vector<Segment> grouped(total);
+  std::vector<std::size_t> cursor(key_offsets.begin(), key_offsets.end() - 1);
+  pack_all([&](const Segment& s) { grouped[cursor[key_of(s)]++] = s; });
+  return adopt_grouped(cores, std::move(grouped), key_offsets, time_tol, freq_tol);
+}
+
+/// Parallel fused tail: stable-scatter a packed arena's live slices to
+/// (task, core) groups in subinterval order, then merge. Visits segments in
+/// the exact order the unfused packer concatenates them.
+template <typename KeyOf>
+Schedule scatter_arena(int cores, std::vector<Segment>&& arena,
+                       const std::vector<std::size_t>& slice,
+                       const std::vector<std::size_t>& emitted, std::size_t key_count,
+                       KeyOf&& key_of, double time_tol, double freq_tol) {
+  std::size_t total = 0;
+  for (const std::size_t count : emitted) total += count;
+  if (total == 0) return Schedule(cores);
+
+  std::vector<std::size_t> key_offsets(key_count + 1, 0);
+  for (std::size_t j = 0; j < emitted.size(); ++j) {
+    for (std::size_t k = 0; k < emitted[j]; ++k) ++key_offsets[key_of(arena[slice[j] + k]) + 1];
+  }
+  for (std::size_t k = 0; k < key_count; ++k) key_offsets[k + 1] += key_offsets[k];
+
+  std::vector<Segment> grouped(total);
+  std::vector<std::size_t> cursor(key_offsets.begin(), key_offsets.end() - 1);
+  for (std::size_t j = 0; j < emitted.size(); ++j) {
+    for (std::size_t k = 0; k < emitted[j]; ++k) {
+      const Segment& s = arena[slice[j] + k];
+      grouped[cursor[key_of(s)]++] = s;
+    }
+  }
+  arena.clear();
+  arena.shrink_to_fit();
+  return adopt_grouped(cores, std::move(grouped), key_offsets, time_tol, freq_tol);
+}
+
+/// The fused pack + coalesce body shared by the span-based public overloads:
+/// returns exactly `pack_subintervals` + `Schedule::coalesce`, but the
+/// ungrouped concatenated segment list never exists. Serial execs take the
+/// no-arena two-pass strategy; parallel execs pack into a write-disjoint
+/// arena first (counting twice under a pool would not be cheaper: the second
+/// pass could not fan out without per-(subinterval, key) cursors) and
+/// scatter it. Both visit segments in the exact order the unfused packer
+/// concatenates them and the scatter is stable, so the groups match
+/// `Schedule::coalesce` on that concatenation segment for segment — the
+/// determinism suite checks the two strategies against each other bit for
+/// bit.
+template <typename Item>
+Schedule pack_coalesced(const SubintervalDecomposition& subs, int cores,
+                        std::span<const Item> items, const std::vector<std::size_t>& offsets,
+                        const Exec& exec, double time_tol, double freq_tol) {
+  EASCHED_EXPECTS(offsets.size() == subs.size() + 1);
+  EASCHED_EXPECTS(offsets.front() == 0);
+  EASCHED_EXPECTS(offsets.back() == items.size());
+
+  // Key space: tasks come from the items; Algorithm 1 emits cores in
+  // [0, cores] (the upper value only through float-tolerance wrap edges), so
+  // `cores + 1` strides every possible (task, core) pair. Group order is
+  // ascending (task, core) regardless of the stride's exact value.
+  TaskId max_task = 0;
+  for (const Item& item : items) max_task = std::max(max_task, item.task);
+  const std::size_t stride = static_cast<std::size_t>(cores) + 1;
+  const std::size_t key_count = (static_cast<std::size_t>(max_task) + 1) * stride;
+  const auto key_of = [stride](const Segment& s) {
+    return static_cast<std::size_t>(s.task) * stride + static_cast<std::size_t>(s.core);
+  };
+
+  if (key_count > 2 * items.size() + static_cast<std::size_t>(cores) + 1024) {
+    // Degenerate id range (a key table far larger than the segment count):
+    // fall back to the unfused path rather than allocating it.
+    Schedule schedule = pack_subintervals_uncoalesced(subs, cores, items, offsets, exec);
+    schedule.coalesce(time_tol, freq_tol);
+    return schedule;
+  }
+
+  if (!exec.parallel(subs.size())) {
+    return serial_two_pass(
+        cores,
+        [&](auto&& emit) {
+          pack_slices_serial(subs, cores, items, offsets, std::forward<decltype(emit)>(emit));
+        },
+        key_count, key_of, time_tol, freq_tol);
+  }
+
+  std::vector<std::size_t> slice;
+  std::vector<std::size_t> emitted;
+  std::vector<Segment> arena = pack_into_arena(subs, cores, items, offsets, exec, slice, emitted);
+  return scatter_arena(cores, std::move(arena), slice, emitted, key_count, key_of, time_tol,
+                       freq_tol);
+}
+
+/// Generator-fed fused body. Mirrors `pack_coalesced` exactly, with
+/// `source(j)` standing in for the CSR slice of subinterval `j`: the serial
+/// strategy regenerates each slice once per pass, the parallel one
+/// regenerates it once to size the arena (serially, from the calling thread)
+/// and once to pack (concurrently, on the pool). `source` is required to be
+/// a pure function of `j`, so every regeneration yields the same items and
+/// both strategies emit the segment sequence the span path would. The
+/// degenerate-id fallback is absent by contract — `max_task` promises a
+/// dense id range.
+Schedule pack_coalesced_source(const SubintervalDecomposition& subs, int cores,
+                               const std::function<std::span<const PackItem>(std::size_t)>& source,
+                               TaskId max_task, const Exec& exec, double time_tol,
+                               double freq_tol) {
+  EASCHED_EXPECTS(max_task >= 0);
+  const std::size_t stride = static_cast<std::size_t>(cores) + 1;
+  const std::size_t key_count = (static_cast<std::size_t>(max_task) + 1) * stride;
+  const auto key_of = [stride](const Segment& s) {
+    return static_cast<std::size_t>(s.task) * stride + static_cast<std::size_t>(s.core);
+  };
+
+  if (!exec.parallel(subs.size())) {
+    return serial_two_pass(
+        cores,
+        [&](auto&& emit) {
+          for (std::size_t j = 0; j < subs.size(); ++j) {
+            const std::span<const PackItem> items = source(j);
+            if (items.empty()) continue;
+            pack_items(subs[j].begin, subs[j].end, cores, items, emit);
+          }
+        },
+        key_count, key_of, time_tol, freq_tol);
+  }
+
+  std::vector<std::size_t> slice(subs.size() + 1, 0);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    const std::size_t count = source(j).size();
+    slice[j + 1] = slice[j] + (count == 0 ? 0 : count + static_cast<std::size_t>(cores));
+  }
+  std::vector<Segment> arena(slice.back());
+  std::vector<std::size_t> emitted(subs.size(), 0);
+  exec.loop(subs.size(), [&](std::size_t j) {
+    const std::span<const PackItem> items = source(j);
+    if (items.empty()) return;
+    Segment* out = arena.data() + slice[j];
+    const std::size_t budget = slice[j + 1] - slice[j];
+    std::size_t produced = 0;
+    pack_items(subs[j].begin, subs[j].end, cores, items, [&](const Segment& s) {
+      EASCHED_ASSERT(produced < budget);
+      out[produced++] = s;
+    });
+    emitted[j] = produced;
+  });
+  return scatter_arena(cores, std::move(arena), slice, emitted, key_count, key_of, time_tol,
+                       freq_tol);
+}
+
+/// The unfused CSR packer body (also the fused path's degenerate-id
+/// fallback): arena, then ordered gather into a `Schedule`.
+template <typename Item>
+Schedule pack_subintervals_uncoalesced(const SubintervalDecomposition& subs, int cores,
+                                       std::span<const Item> items,
+                                       const std::vector<std::size_t>& offsets,
+                                       const Exec& exec) {
+  EASCHED_EXPECTS(offsets.size() == subs.size() + 1);
+  EASCHED_EXPECTS(offsets.front() == 0);
+  EASCHED_EXPECTS(offsets.back() == items.size());
+
+  std::vector<std::size_t> slice;
+  std::vector<std::size_t> emitted;
+  const std::vector<Segment> arena =
+      pack_into_arena(subs, cores, items, offsets, exec, slice, emitted);
+
+  std::size_t total = 0;
+  for (const std::size_t count : emitted) total += count;
+  Schedule schedule(cores);
+  schedule.reserve(total);
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    for (std::size_t k = 0; k < emitted[j]; ++k) schedule.add(arena[slice[j] + k]);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+void pack_subinterval(double begin, double end, int cores, std::span<const PackItem> items,
+                      Schedule& schedule) {
+  pack_items(begin, end, cores, items, [&](const Segment& s) { schedule.add(s); });
+}
+
 Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
                            const std::vector<std::vector<PackItem>>& items, const Exec& exec) {
   EASCHED_EXPECTS(items.size() == subs.size());
@@ -75,14 +357,46 @@ Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
   exec.loop(subs.size(), [&](std::size_t j) {
     if (items[j].empty()) return;
     fragments[j].set_core_count(cores);
+    fragments[j].reserve(items[j].size() + static_cast<std::size_t>(cores));
     pack_subinterval(subs[j].begin, subs[j].end, cores, items[j], fragments[j]);
   });
 
+  std::size_t total = 0;
+  for (const Schedule& fragment : fragments) total += fragment.segments().size();
   Schedule schedule(cores);
+  schedule.reserve(total);
   for (const Schedule& fragment : fragments) {
     for (const Segment& segment : fragment.segments()) schedule.add(segment);
   }
   return schedule;
+}
+
+Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
+                           const std::vector<PackItem>& items,
+                           const std::vector<std::size_t>& offsets, const Exec& exec) {
+  return pack_subintervals_uncoalesced(subs, cores, std::span<const PackItem>(items), offsets,
+                                       exec);
+}
+
+Schedule pack_subintervals_coalesced(const SubintervalDecomposition& subs, int cores,
+                                     std::span<const PackItem> items,
+                                     const std::vector<std::size_t>& offsets, const Exec& exec,
+                                     double time_tol, double freq_tol) {
+  return pack_coalesced(subs, cores, items, offsets, exec, time_tol, freq_tol);
+}
+
+Schedule pack_subintervals_coalesced(const SubintervalDecomposition& subs, int cores,
+                                     std::span<const IntermediatePiece> pieces,
+                                     const std::vector<std::size_t>& offsets, const Exec& exec,
+                                     double time_tol, double freq_tol) {
+  return pack_coalesced(subs, cores, pieces, offsets, exec, time_tol, freq_tol);
+}
+
+Schedule pack_subintervals_coalesced(
+    const SubintervalDecomposition& subs, int cores,
+    const std::function<std::span<const PackItem>(std::size_t)>& source, TaskId max_task,
+    const Exec& exec, double time_tol, double freq_tol) {
+  return pack_coalesced_source(subs, cores, source, max_task, exec, time_tol, freq_tol);
 }
 
 }  // namespace easched

@@ -10,6 +10,9 @@
 /// pieces of a wrapped task never overlap in time because its total time is
 /// at most the subinterval length.
 
+#include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "easched/sched/schedule.hpp"
@@ -19,6 +22,7 @@
 namespace easched {
 
 struct Exec;
+struct IntermediatePiece;
 
 /// One packing request: run `task` for `time` inside the subinterval at
 /// frequency `frequency`.
@@ -35,7 +39,7 @@ struct PackItem {
 /// tolerance to absorb float noise from upstream allocators; violations
 /// within tolerance are clamped. Items with zero time produce no segments.
 /// Appends the produced segments to `schedule`.
-void pack_subinterval(double begin, double end, int cores, const std::vector<PackItem>& items,
+void pack_subinterval(double begin, double end, int cores, std::span<const PackItem> items,
                       Schedule& schedule);
 
 /// Pack every subinterval independently (`items[j]` into `subs[j]`) and
@@ -48,5 +52,55 @@ void pack_subinterval(double begin, double end, int cores, const std::vector<Pac
 /// Empty item lists produce no segments. The result is not coalesced.
 Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
                            const std::vector<std::vector<PackItem>>& items, const Exec& exec);
+
+/// CSR overload: subinterval `j`'s items are `items[offsets[j], offsets[j+1])`
+/// in one flat buffer (`offsets.size() == subs.size() + 1`,
+/// `offsets.back() == items.size()`). Emits the same segment sequence as the
+/// vector-of-vectors overload but packs into one exactly-bounded segment
+/// arena — no per-subinterval vector growth and a single ordered gather at
+/// the end. This is the path the kernel's O(P)-piece materialization takes.
+Schedule pack_subintervals(const SubintervalDecomposition& subs, int cores,
+                           const std::vector<PackItem>& items,
+                           const std::vector<std::size_t>& offsets, const Exec& exec);
+
+/// Fused pack + coalesce over the CSR layout: returns exactly what
+/// `pack_subintervals(subs, cores, items, offsets, exec)` followed by
+/// `Schedule::coalesce(time_tol, freq_tol)` would, but never materializes
+/// the ungrouped concatenated segment list. Segments go straight from the
+/// packing arena into (task, core) groups by a stable counting scatter that
+/// visits them in concatenation order, then merge in place — one segment
+/// buffer end to end instead of three. At n = 10000 the intermediate lists
+/// run to tens of millions of segments, so skipping two gigabyte-scale
+/// buffers is the difference between an allocation-bound and a compute-bound
+/// kernel.
+Schedule pack_subintervals_coalesced(const SubintervalDecomposition& subs, int cores,
+                                     std::span<const PackItem> items,
+                                     const std::vector<std::size_t>& offsets, const Exec& exec,
+                                     double time_tol = 1e-9, double freq_tol = 1e-9);
+
+/// Same, fed by the kernel's intermediate pieces directly — no conversion
+/// copy to `PackItem`. Pieces with non-positive time emit no segments,
+/// matching the filtered conversion this replaces; the per-subinterval
+/// slices of `pieces` must already be subinterval-major (`offsets[j]` ..
+/// `offsets[j+1]` all carry `subinterval == j`).
+Schedule pack_subintervals_coalesced(const SubintervalDecomposition& subs, int cores,
+                                     std::span<const IntermediatePiece> pieces,
+                                     const std::vector<std::size_t>& offsets, const Exec& exec,
+                                     double time_tol = 1e-9, double freq_tol = 1e-9);
+
+/// Generator-fed fused pack + coalesce: `source(j)` yields subinterval `j`'s
+/// items on demand, so a caller that derives items from an existing
+/// structure (the F2 refinement reads them straight off the availability
+/// matrix) never materializes the O(P) flat item list at all. `source` may
+/// be called more than once per `j` (the serial strategy packs in two
+/// passes; the parallel one sizes its arena first) and must return the same
+/// content each time; under a parallel exec it is called concurrently for
+/// different `j`, so return thread-local or otherwise per-caller storage.
+/// `max_task` must bound every yielded task id — the (task, core) group
+/// table is allocated from it eagerly, so ids must be dense.
+Schedule pack_subintervals_coalesced(
+    const SubintervalDecomposition& subs, int cores,
+    const std::function<std::span<const PackItem>(std::size_t)>& source, TaskId max_task,
+    const Exec& exec, double time_tol = 1e-9, double freq_tol = 1e-9);
 
 }  // namespace easched

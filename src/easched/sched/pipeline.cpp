@@ -21,15 +21,31 @@ namespace {
 /// piece order exactly.
 std::vector<IntermediatePiece> make_intermediate_pieces(
     const SubintervalDecomposition& subs, int cores, const IdealCase& ideal,
-    const AllocationMatrix& avail, const Exec& exec) {
-  std::vector<std::vector<IntermediatePiece>> per_sub(subs.size());
+    const Availability& avail, const Exec& exec) {
+  // Pass 1: exact surviving-piece count per subinterval (only o > 0 yields a
+  // piece), so the flat subinterval-major list is allocated once and filled
+  // in place — no per-subinterval growth, no concatenation copy. Both passes
+  // write disjoint slots, so a parallel exec keeps the serial order exactly.
+  std::vector<std::size_t> offsets(subs.size() + 1, 0);
+  exec.loop(subs.size(), [&](std::size_t j) {
+    const Subinterval& si = subs[j];
+    std::size_t count = 0;
+    for (const TaskId id : si.overlapping) {
+      if (ideal.execution_time_in(id, si.begin, si.end) > 0.0) ++count;
+    }
+    offsets[j + 1] = count;
+  });
+  for (std::size_t j = 0; j < subs.size(); ++j) offsets[j + 1] += offsets[j];
+
+  std::vector<IntermediatePiece> pieces(offsets.back());
   exec.loop(subs.size(), [&](std::size_t j) {
     const Subinterval& si = subs[j];
     const bool heavy = si.heavy(cores);
+    std::size_t slot = offsets[j];
     for (const TaskId id : si.overlapping) {
       const auto i = static_cast<std::size_t>(id);
       const double o = ideal.execution_time_in(id, si.begin, si.end);
-      if (o <= 0.0) continue;
+      if (!(o > 0.0)) continue;  // exact complement of the counting pass
       IntermediatePiece piece;
       piece.task = id;
       piece.subinterval = j;
@@ -47,47 +63,52 @@ std::vector<IntermediatePiece> make_intermediate_pieces(
         piece.time = o;
         piece.frequency = ideal.frequency(id);
       }
-      per_sub[j].push_back(piece);
+      pieces[slot++] = piece;
     }
+    EASCHED_ASSERT(slot == offsets[j + 1]);
   });
-
-  std::size_t total = 0;
-  for (const auto& chunk : per_sub) total += chunk.size();
-  std::vector<IntermediatePiece> pieces;
-  pieces.reserve(total);
-  for (const auto& chunk : per_sub) {
-    pieces.insert(pieces.end(), chunk.begin(), chunk.end());
-  }
   return pieces;
 }
 
-/// Materialize pieces (or budgets) into a collision-free Schedule by packing
-/// each subinterval with Algorithm 1.
+/// Materialize pieces into a collision-free Schedule by packing each
+/// subinterval with Algorithm 1 and coalescing in one fused pass.
 Schedule materialize(const SubintervalDecomposition& subs, int cores,
                      const std::vector<IntermediatePiece>& pieces, const Exec& exec) {
   obs::Span span("kernel.pack");
   span.arg("pieces", static_cast<double>(pieces.size()));
-  std::vector<std::vector<PackItem>> per_subinterval(subs.size());
+  // The piece list is already subinterval-major, so the CSR offsets come
+  // from one counting pass and the pieces feed the packer in place — no
+  // conversion copy to `PackItem`, no ungrouped segment list.
+  std::vector<std::size_t> offsets(subs.size() + 1, 0);
+  std::size_t last = 0;
   for (const IntermediatePiece& p : pieces) {
-    if (p.time <= 0.0) continue;
-    per_subinterval[p.subinterval].push_back({p.task, p.time, p.frequency});
+    EASCHED_ASSERT(p.subinterval >= last && p.subinterval < subs.size());
+    last = p.subinterval;
+    ++offsets[p.subinterval + 1];
   }
-  Schedule schedule = pack_subintervals(subs, cores, per_subinterval, exec);
-  schedule.coalesce();
-  return schedule;
+  for (std::size_t j = 0; j < subs.size(); ++j) offsets[j + 1] += offsets[j];
+  return pack_subintervals_coalesced(subs, cores, std::span<const IntermediatePiece>(pieces),
+                                     offsets, exec);
 }
 
 double pieces_energy(const std::vector<IntermediatePiece>& pieces, const PowerModel& power,
                      const Exec& exec) {
   // Per-piece energies into disjoint slots (the pow-heavy part), then one
   // serial reduction in piece order; skipped pieces contribute an exact 0.
-  std::vector<double> energy(pieces.size());
-  exec.loop(pieces.size(), [&](std::size_t k) {
-    const IntermediatePiece& p = pieces[k];
-    energy[k] = p.time <= 0.0 ? 0.0 : power.energy_for_duration(p.time, p.frequency);
-  });
+  // Blocked so the scratch stays cache-sized instead of mirroring the whole
+  // O(P) piece list; block boundaries don't move any term of the serial
+  // ascending-index sum, so the total is bit-identical at any block size.
+  constexpr std::size_t kBlock = std::size_t{1} << 20;
+  std::vector<double> energy(std::min(pieces.size(), kBlock));
   double total = 0.0;
-  for (const double e : energy) total += e;
+  for (std::size_t base = 0; base < pieces.size(); base += kBlock) {
+    const std::size_t count = std::min(kBlock, pieces.size() - base);
+    exec.loop(count, [&](std::size_t k) {
+      const IntermediatePiece& p = pieces[base + k];
+      energy[k] = p.time <= 0.0 ? 0.0 : power.energy_for_duration(p.time, p.frequency);
+    });
+    for (std::size_t k = 0; k < count; ++k) total += energy[k];
+  }
   return total;
 }
 
@@ -130,14 +151,16 @@ MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecompo
   obs::Span reopt_span("kernel.f2_reopt");
 
   // Final frequency refinement (equations (22)-(23)). Each task's total
-  // availability, frequency, energy, and pieces land in per-task slots; the
-  // energy sum and the piece concatenation then reduce serially in task
-  // order, matching the serial loop bit for bit.
+  // availability, frequency, and energy land in per-task slots; the energy
+  // sum then reduces serially in task order, matching the serial loop bit
+  // for bit. The used time T_i = C_i/f distributes over the task's
+  // availability proportionally (`scale`), so per-subinterval budgets and
+  // capacity stay respected.
   const std::size_t n = tasks.size();
   result.total_available.resize(n);
   result.final_frequency.resize(n);
   std::vector<double> task_energy(n);
-  std::vector<std::vector<IntermediatePiece>> task_pieces(n);
+  std::vector<double> task_scale(n);
   exec.loop(n, [&](std::size_t i) {
     const double a_total = result.availability.row_sum(i);
     EASCHED_ASSERT(a_total > 0.0);  // every task covers at least one subinterval
@@ -145,32 +168,43 @@ MethodResult schedule_with_method(const TaskSet& tasks, const SubintervalDecompo
     const double f = power.optimal_frequency(tasks[i].work, a_total);
     result.final_frequency[i] = f;
     task_energy[i] = power.energy_for_work(tasks[i].work, f);
-
-    // Distribute the used time T_i = C_i/f over the task's availability,
-    // proportionally, so per-subinterval budgets and capacity stay respected.
     const double used = tasks[i].work / f;
     EASCHED_ASSERT(leq_tol(used, a_total, 1e-9 * a_total));
-    const double scale = std::min(1.0, used / a_total);
-    for (std::size_t j = 0; j < subs.size(); ++j) {
-      const double budget = result.availability(i, j);
-      if (budget <= 0.0) continue;
-      IntermediatePiece piece;
-      piece.task = static_cast<TaskId>(i);
-      piece.subinterval = j;
-      piece.time = std::min(budget * scale, subs[j].length());
-      piece.frequency = f;
-      if (piece.time > 0.0) task_pieces[i].push_back(piece);
-    }
+    task_scale[i] = std::min(1.0, used / a_total);
   });
   for (std::size_t i = 0; i < n; ++i) result.final_energy += task_energy[i];
-  std::vector<IntermediatePiece> final_pieces;
-  std::size_t total_pieces = 0;
-  for (const auto& chunk : task_pieces) total_pieces += chunk.size();
-  final_pieces.reserve(total_pieces);
-  for (const auto& chunk : task_pieces) {
-    final_pieces.insert(final_pieces.end(), chunk.begin(), chunk.end());
+
+  // Final pieces, generated on demand per subinterval: task i's budget in
+  // subinterval j becomes min(budget·scale_i, |s_j|) at frequency f_i.
+  // Walking each subinterval's overlap row visits the same
+  // (task, subinterval) cells as a task-major piece loop would, and the
+  // ascending-TaskId rows yield each slice's items in exactly the order that
+  // loop's stable subinterval bucketing produced — the packed schedule is
+  // identical, without a task-major piece list *or* the flat CSR item buffer
+  // (~0.8 GB at n = 10000; regenerating a slice is a few row reads). The
+  // generator is a pure function of the refinement arrays, so the packer may
+  // re-invoke it per pass; the thread_local buffer keeps concurrent
+  // invocations (one per pool worker) disjoint.
+  const auto final_items_of = [&](std::size_t j) -> std::span<const PackItem> {
+    thread_local std::vector<PackItem> items;
+    items.clear();
+    const Subinterval& si = subs[j];
+    for (const TaskId id : si.overlapping) {
+      const auto i = static_cast<std::size_t>(id);
+      const double budget = result.availability(i, j);
+      if (budget <= 0.0) continue;
+      const double time = std::min(budget * task_scale[i], si.length());
+      if (!(time > 0.0)) continue;
+      items.push_back({id, time, result.final_frequency[i]});
+    }
+    return items;
+  };
+  {
+    obs::Span span("kernel.pack");
+    result.final_schedule = pack_subintervals_coalesced(
+        subs, cores, final_items_of, static_cast<TaskId>(n) - 1, exec);
+    span.arg("segments", static_cast<double>(result.final_schedule.segments().size()));
   }
-  result.final_schedule = materialize(subs, cores, final_pieces, exec);
   return result;
 }
 
@@ -187,14 +221,17 @@ Schedule materialize_final_sorted(const TaskSet& tasks, const SubintervalDecompo
   std::vector<std::vector<PackItem>> per_subinterval(subs.size());
   exec.loop(subs.size(), [&](std::size_t j) {
     std::vector<PackItem>& items = per_subinterval[j];
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
+    // Only overlapping tasks can hold budget in subinterval j; the CSR row
+    // is ascending TaskId, matching the dense all-tasks sweep order.
+    for (const TaskId id : subs[j].overlapping) {
+      const auto i = static_cast<std::size_t>(id);
       const double budget = result.availability(i, j);
       if (budget <= 0.0) continue;
       const double used = tasks[i].work / result.final_frequency[i];
       const double scale = std::min(1.0, used / result.total_available[i]);
       const double time = std::min(budget * scale, subs[j].length());
       if (time <= 1e-12) continue;
-      items.push_back({static_cast<TaskId>(i), time, result.final_frequency[i]});
+      items.push_back({id, time, result.final_frequency[i]});
     }
     // Stable frequency grouping: equal-frequency neighbors merge into one
     // segment after coalescing; descending order keeps the hottest tasks at

@@ -42,8 +42,9 @@ struct IntermediatePiece {
 struct MethodResult {
   AllocationMethod method = AllocationMethod::kEven;
 
-  /// Available execution time per (task, subinterval).
-  AllocationMatrix availability{0, 0};
+  /// Available execution time per (task, subinterval), row-compressed to
+  /// each task's live subinterval range.
+  Availability availability;
   /// `A_i = Σ_j avail(i, j)`.
   std::vector<double> total_available;
 

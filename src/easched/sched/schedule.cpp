@@ -1,8 +1,10 @@
 #include "easched/sched/schedule.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstddef>
+#include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
@@ -28,13 +30,22 @@ void check_overlaps(const std::vector<Segment>& sorted, double tol, Fn&& on_over
   }
 }
 
-}  // namespace
-
-void Schedule::add(Segment segment) {
+void check_segment(const Segment& segment) {
   EASCHED_EXPECTS(segment.end > segment.start);
   EASCHED_EXPECTS(segment.frequency > 0.0);
   EASCHED_EXPECTS(segment.task >= 0);
   EASCHED_EXPECTS(segment.core >= 0);
+}
+
+}  // namespace
+
+Schedule::Schedule(int core_count, std::vector<Segment> segments)
+    : core_count_(core_count), segments_(std::move(segments)) {
+  for (const Segment& s : segments_) check_segment(s);
+}
+
+void Schedule::add(Segment segment) {
+  check_segment(segment);
   segments_.push_back(segment);
 }
 
@@ -132,19 +143,26 @@ ValidationReport Schedule::validate(const TaskSet& tasks, double work_tol,
   return report;
 }
 
-std::size_t Schedule::coalesce(double time_tol, double freq_tol) {
-  std::map<std::pair<TaskId, CoreId>, std::vector<Segment>> groups;
-  for (const Segment& s : segments_) groups[{s.task, s.core}].push_back(s);
-
+std::size_t detail::merge_grouped_segments(
+    std::vector<Segment>& grouped,
+    const std::vector<std::pair<std::size_t, std::size_t>>& bounds, double time_tol,
+    double freq_tol) {
+  // The groups tile `grouped` in ascending order, so survivors compact into
+  // a prefix with one in-place write cursor — no second buffer the size of
+  // the segment list. (The write cursor never overtakes the read index, and
+  // sorting group g touches only [g.first, g.second), which lies at or past
+  // the cursor.)
   std::size_t merges = 0;
-  std::vector<Segment> merged;
-  merged.reserve(segments_.size());
-  for (auto& [key, group] : groups) {
-    std::sort(group.begin(), group.end(),
+  std::size_t w = 0;
+  for (const auto& [group_begin, group_end] : bounds) {
+    std::sort(grouped.begin() + static_cast<std::ptrdiff_t>(group_begin),
+              grouped.begin() + static_cast<std::ptrdiff_t>(group_end),
               [](const Segment& a, const Segment& b) { return a.start < b.start; });
-    for (const Segment& s : group) {
-      if (!merged.empty()) {
-        Segment& last = merged.back();
+    const std::size_t group_w = w;
+    for (std::size_t i = group_begin; i < group_end; ++i) {
+      const Segment s = grouped[i];
+      if (w > group_w) {
+        Segment& last = grouped[w - 1];
         if (last.task == s.task && last.core == s.core &&
             almost_equal(last.end, s.start, time_tol, 0.0) &&
             almost_equal(last.frequency, s.frequency, freq_tol, freq_tol)) {
@@ -153,10 +171,67 @@ std::size_t Schedule::coalesce(double time_tol, double freq_tol) {
           continue;
         }
       }
-      merged.push_back(s);
+      grouped[w++] = s;
     }
   }
-  segments_ = std::move(merged);
+  grouped.resize(w);
+  return merges;
+}
+
+std::size_t Schedule::coalesce(double time_tol, double freq_tol) {
+  if (segments_.empty()) return 0;
+
+  // Group by (task, core) with keys ascending and the original segment order
+  // preserved inside each group. A stable counting sort does this in two
+  // linear passes over a dense key space; schedules with huge sparse task
+  // ids fall back to a stable comparison sort. Both orders match the
+  // (task, core)-keyed map this function historically used, so the merged
+  // output is unchanged segment for segment.
+  TaskId max_task = 0;
+  CoreId max_core = 0;
+  for (const Segment& s : segments_) {
+    max_task = std::max(max_task, s.task);
+    max_core = std::max(max_core, s.core);
+  }
+  const std::size_t stride = static_cast<std::size_t>(max_core) + 1;
+  const std::size_t key_count = (static_cast<std::size_t>(max_task) + 1) * stride;
+  const auto key_of = [stride](const Segment& s) {
+    return static_cast<std::size_t>(s.task) * stride + static_cast<std::size_t>(s.core);
+  };
+
+  std::vector<Segment> grouped;
+  std::vector<std::pair<std::size_t, std::size_t>> group_bounds;
+  if (key_count <= 2 * segments_.size() + 1024) {
+    std::vector<std::size_t> offsets(key_count + 1, 0);
+    for (const Segment& s : segments_) ++offsets[key_of(s) + 1];
+    for (std::size_t k = 0; k < key_count; ++k) offsets[k + 1] += offsets[k];
+    grouped.resize(segments_.size());
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Segment& s : segments_) grouped[cursor[key_of(s)]++] = s;
+    group_bounds.reserve(key_count);
+    for (std::size_t k = 0; k < key_count; ++k) {
+      if (offsets[k + 1] > offsets[k]) group_bounds.emplace_back(offsets[k], offsets[k + 1]);
+    }
+  } else {
+    std::vector<std::size_t> index(segments_.size());
+    std::iota(index.begin(), index.end(), std::size_t{0});
+    std::stable_sort(index.begin(), index.end(), [&](std::size_t a, std::size_t b) {
+      return key_of(segments_[a]) < key_of(segments_[b]);
+    });
+    grouped.reserve(segments_.size());
+    for (const std::size_t i : index) grouped.push_back(segments_[i]);
+    std::size_t begin = 0;
+    for (std::size_t i = 1; i <= grouped.size(); ++i) {
+      if (i == grouped.size() || key_of(grouped[i]) != key_of(grouped[begin])) {
+        group_bounds.emplace_back(begin, i);
+        begin = i;
+      }
+    }
+  }
+
+  const std::size_t merges =
+      detail::merge_grouped_segments(grouped, group_bounds, time_tol, freq_tol);
+  segments_ = std::move(grouped);
   return merges;
 }
 

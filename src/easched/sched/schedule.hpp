@@ -10,7 +10,9 @@
 /// `[R_i, D_i]`, no core runs two tasks at once, no task runs on two cores at
 /// once, and every task completes its execution requirement.
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "easched/power/power_model.hpp"
@@ -52,10 +54,19 @@ class Schedule {
   Schedule() = default;
   explicit Schedule(int core_count) : core_count_(core_count) {}
 
+  /// Bulk-adopt a prebuilt segment list (the packer's fused pack+coalesce
+  /// path). Every segment passes the same checks `add` applies, but the
+  /// vector moves in whole — no per-segment append.
+  Schedule(int core_count, std::vector<Segment> segments);
+
   int core_count() const { return core_count_; }
   void set_core_count(int m) { core_count_ = m; }
 
   void add(Segment segment);
+
+  /// Pre-size segment storage for `additional` more `add` calls, so bulk
+  /// producers (the packer) never pay vector-doubling reallocation.
+  void reserve(std::size_t additional) { segments_.reserve(segments_.size() + additional); }
 
   const std::vector<Segment>& segments() const { return segments_; }
   bool empty() const { return segments_.empty(); }
@@ -89,5 +100,19 @@ class Schedule {
   int core_count_ = 0;
   std::vector<Segment> segments_;
 };
+
+namespace detail {
+
+/// Shared tail of `Schedule::coalesce` and the packer's fused
+/// pack+coalesce: `grouped` holds segments grouped by (task, core), group
+/// `g` occupying `[bounds[g].first, bounds[g].second)`. Sorts each group by
+/// start time, merges adjacent segments whose boundary times and frequencies
+/// agree within the tolerances, compacts the survivors in place (truncating
+/// `grouped` to the merged prefix), and returns the number of merges.
+std::size_t merge_grouped_segments(std::vector<Segment>& grouped,
+                                   const std::vector<std::pair<std::size_t, std::size_t>>& bounds,
+                                   double time_tol, double freq_tol);
+
+}  // namespace detail
 
 }  // namespace easched

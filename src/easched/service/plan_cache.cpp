@@ -2,41 +2,52 @@
 
 #include <cmath>
 #include <cstdio>
-#include <sstream>
 
 #include "easched/common/contracts.hpp"
 
 namespace easched {
 
+namespace {
+
+void append_quantized(std::string& out, double x, double quantum) {
+  const double scaled = x / quantum;
+  if (std::abs(scaled) < 9.0e18) {
+    out += std::to_string(std::llround(scaled));
+  } else {
+    // Beyond the exact llround range the rounding would saturate (every
+    // huge coordinate collapsing onto one key), so distinct task sets
+    // could share a signature and the cache would serve the wrong plan.
+    // Key such coordinates by their exact value instead — hexfloat
+    // round-trips doubles losslessly, and at these magnitudes one ulp
+    // already exceeds any practical quantum, so quantizing is moot.
+    char exact[40];
+    std::snprintf(exact, sizeof(exact), "%a", x);
+    out += exact;
+  }
+}
+
+}  // namespace
+
+void append_plan_signature(std::string& out, TaskId id, const Task& task, double quantum) {
+  EASCHED_EXPECTS(quantum > 0.0);
+  out += std::to_string(id);
+  out += ':';
+  append_quantized(out, task.release, quantum);
+  out += ':';
+  append_quantized(out, task.deadline, quantum);
+  out += ':';
+  append_quantized(out, task.work, quantum);
+  out += ';';
+}
+
 std::string plan_signature(std::span<const std::pair<TaskId, Task>> live, double quantum) {
   EASCHED_EXPECTS(quantum > 0.0);
-  std::ostringstream out;
-  const auto q = [quantum, &out](double x) {
-    const double scaled = x / quantum;
-    if (std::abs(scaled) < 9.0e18) {
-      out << std::llround(scaled);
-    } else {
-      // Beyond the exact llround range the rounding would saturate (every
-      // huge coordinate collapsing onto one key), so distinct task sets
-      // could share a signature and the cache would serve the wrong plan.
-      // Key such coordinates by their exact value instead — hexfloat
-      // round-trips doubles losslessly, and at these magnitudes one ulp
-      // already exceeds any practical quantum, so quantizing is moot.
-      char exact[40];
-      std::snprintf(exact, sizeof(exact), "%a", x);
-      out << exact;
-    }
-  };
-  for (const auto& [id, task] : live) {
-    out << id << ":";
-    q(task.release);
-    out << ":";
-    q(task.deadline);
-    out << ":";
-    q(task.work);
-    out << ";";
-  }
-  return out.str();
+  std::string out;
+  // ~2 digits per quantized coordinate magnitude decade; 24 per fragment is
+  // a comfortable steady-state reserve for typical workloads.
+  out.reserve(live.size() * 24);
+  for (const auto& [id, task] : live) append_plan_signature(out, id, task, quantum);
+  return out;
 }
 
 PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}

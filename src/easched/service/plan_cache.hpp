@@ -39,6 +39,14 @@ struct CachedPlan {
   PlanRung rung = PlanRung::kDer;
 };
 
+/// Append one task's signature fragment (`id:release:deadline:work;`, values
+/// quantized to multiples of `quantum`) to `out`. The full-set signature is
+/// the concatenation of the fragments in id order, so a caller holding the
+/// signature of a set can extend it to `set ∪ {candidate}` in O(1) when the
+/// candidate's id is the largest — the service's quote/admit path relies on
+/// this instead of rebuilding the whole signature per request.
+void append_plan_signature(std::string& out, TaskId id, const Task& task, double quantum);
+
 /// Build the canonical signature of a live task set: `(id, release,
 /// deadline, remaining work)` per task in id order, each value quantized to
 /// multiples of `quantum`. Two sets within `quantum` of each other share a

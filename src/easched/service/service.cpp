@@ -106,8 +106,7 @@ SchedulerService::SchedulerService(const ServiceSnapshot& snapshot, const PowerM
   replay_journal_locked();
   // Pre-seed the cache so the first post-restart request re-plans nothing.
   if (!committed_.empty() && !snapshot.plan.empty()) {
-    cache_.insert(plan_signature(committed_, options_.signature_quantum),
-                  CachedPlan{snapshot.energy, snapshot.plan});
+    cache_.insert(committed_signature_locked(), CachedPlan{snapshot.energy, snapshot.plan});
   }
   metrics_.increment("restores_total");
   refresh_gauges_locked();
@@ -140,6 +139,7 @@ bool SchedulerService::complete(TaskId id) {
                          [id](const auto& entry) { return entry.first == id; });
   if (it == committed_.end()) return false;
   committed_.erase(it);
+  committed_signature_valid_ = false;
   if (journal_) journal_->append_complete(id);
   metrics_.increment("completions_total");
   refresh_gauges_locked();
@@ -152,6 +152,7 @@ bool SchedulerService::cancel(TaskId id) {
                          [id](const auto& entry) { return entry.first == id; });
   if (it == committed_.end()) return false;
   committed_.erase(it);
+  committed_signature_valid_ = false;
   if (journal_) journal_->append_complete(id);
   metrics_.increment("cancellations_total");
   refresh_gauges_locked();
@@ -400,14 +401,14 @@ FallbackOptions SchedulerService::fallback_options() const {
   return fo;
 }
 
-CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live) {
+CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live,
+                                             const std::string& signature) {
   if (live.empty()) {
     CachedPlan empty;
     empty.schedule = Schedule(options_.cores);
     empty.rung = PlanRung::kNone;
     return empty;
   }
-  const std::string signature = plan_signature(live, options_.signature_quantum);
   std::uint64_t hit_age = 0;
   if (auto hit = cache_.lookup(signature, &hit_age)) {
     metrics_.increment("plan_cache_hits_total");
@@ -444,7 +445,17 @@ CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId,
   return plan;
 }
 
-CachedPlan SchedulerService::plan_for_committed_locked() { return plan_set_locked(committed_); }
+CachedPlan SchedulerService::plan_for_committed_locked() {
+  return plan_set_locked(committed_, committed_signature_locked());
+}
+
+const std::string& SchedulerService::committed_signature_locked() {
+  if (!committed_signature_valid_) {
+    committed_signature_ = plan_signature(committed_, options_.signature_quantum);
+    committed_signature_valid_ = true;
+  }
+  return committed_signature_;
+}
 
 void SchedulerService::replay_journal_locked() {
   if (options_.journal_path.empty()) return;
@@ -467,6 +478,7 @@ void SchedulerService::replay_journal_locked() {
     }
   }
   next_id_ = std::max(next_id_, recovery.next_id);
+  committed_signature_valid_ = false;
   metrics_.increment("journal_replays_total");
   metrics_.increment("journal_records_replayed_total", recovery.records);
   if (recovery.dropped_lines > 0) {
@@ -517,12 +529,18 @@ AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
     }
   }
 
+  // The candidate's id is the largest in `merged`, so the merged signature
+  // is the committed one plus a single appended fragment — O(1) on top of
+  // the memoized committed signature instead of an O(n) rebuild per request.
+  std::string merged_signature = committed_signature_locked();
+  append_plan_signature(merged_signature, next_id_, candidate, options_.signature_quantum);
+
   // Plan the merged set through the cache and the fallback chain. A prior
   // quote of the same candidate against the same committed set left this
   // plan behind, so an admit after a quote re-plans nothing. Throws
   // `PlanningError` when every rung fails — the caller converts that into
   // a reasoned rejection.
-  const CachedPlan plan = plan_set_locked(merged);
+  const CachedPlan plan = plan_set_locked(merged, merged_signature);
 
   decision.admitted = true;
   decision.energy_after = plan.energy;
@@ -531,6 +549,9 @@ AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
   if (commit) {
     if (out_id != nullptr) *out_id = next_id_;
     committed_ = std::move(merged);
+    // The merged signature *is* the new committed signature.
+    committed_signature_ = std::move(merged_signature);
+    committed_signature_valid_ = true;
     ++next_id_;
   }
   return decision;

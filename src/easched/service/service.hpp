@@ -218,13 +218,18 @@ class SchedulerService {
   /// Fallback-chain configuration derived from the options; the budget
   /// deadline starts ticking at the call.
   FallbackOptions fallback_options() const;
-  /// Plan `live` through the cache and the fallback chain; records rung
-  /// metrics. Throws `PlanningError` when every rung fails. Caller holds
-  /// `state_mutex_`.
-  CachedPlan plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live);
+  /// Plan `live` (whose cache key is `signature`) through the cache and the
+  /// fallback chain; records rung metrics. Throws `PlanningError` when every
+  /// rung fails. Caller holds `state_mutex_`.
+  CachedPlan plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live,
+                             const std::string& signature);
   /// Plan (and energy) for the current committed set, via the cache.
   /// Caller holds `state_mutex_`.
   CachedPlan plan_for_committed_locked();
+  /// Memoized signature of the committed set: rebuilt only after a mutation
+  /// invalidated it, so steady-state quotes/baselines skip the O(n) rebuild.
+  /// Caller holds `state_mutex_`.
+  const std::string& committed_signature_locked();
   /// Replay the journal at `options_.journal_path` over the current
   /// committed set (removals first, surviving admits second). Caller holds
   /// `state_mutex_` (or is the constructor).
@@ -253,6 +258,11 @@ class SchedulerService {
   mutable std::mutex state_mutex_;
   std::condition_variable drain_cv_;
   std::vector<std::pair<TaskId, Task>> committed_;  ///< id order
+  /// Cached `plan_signature(committed_)`; valid iff
+  /// `committed_signature_valid_`. A committed admit extends it in place
+  /// (the new id is the largest); removals and replays invalidate it.
+  std::string committed_signature_;
+  bool committed_signature_valid_ = false;
   TaskId next_id_ = 0;
   PlanCache cache_;
   std::uint64_t batches_ = 0;

@@ -226,7 +226,7 @@ SolverResult solve_optimal_allocation(const TaskSet& tasks,
   solve_span.set_status(solver_status_name(status).data());
 
   SolverResult result;
-  result.allocation = layout.to_allocation(x, tasks.size(), subs.size());
+  result.allocation = layout.to_availability(x, tasks, subs);
   result.execution_time = objective.totals(x);
   result.energy = objective.value(x);
   result.iterations = iterations;
@@ -242,13 +242,15 @@ Schedule materialize_optimal_schedule(const TaskSet& tasks, const SubintervalDec
   Schedule schedule(cores);
   for (std::size_t j = 0; j < subs.size(); ++j) {
     std::vector<PackItem> items;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
+    // The CSR overlap row is ascending TaskId and carries every possibly
+    // nonzero cell of column j — same items, same order as the dense sweep.
+    for (const TaskId id : subs[j].overlapping) {
+      const auto i = static_cast<std::size_t>(id);
       const double time = result.allocation(i, j);
       if (time <= 1e-12) continue;
       const double total = result.execution_time[i];
       EASCHED_ASSERT(total > 0.0);
-      items.push_back({static_cast<TaskId>(i), std::min(time, subs[j].length()),
-                       tasks[i].work / total});
+      items.push_back({id, std::min(time, subs[j].length()), tasks[i].work / total});
     }
     if (!items.empty()) pack_subinterval(subs[j].begin, subs[j].end, cores, items, schedule);
   }

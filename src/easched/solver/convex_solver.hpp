@@ -65,8 +65,8 @@ struct SolverOptions {
 
 /// Solution of the convex program.
 struct SolverResult {
-  /// Optimal available-time matrix (x_{i,j}).
-  AllocationMatrix allocation{0, 0};
+  /// Optimal available-time matrix (x_{i,j}), row-compressed.
+  Availability allocation;
   /// Per-task total execution time T_i.
   std::vector<double> execution_time;
   /// Optimal objective value E^{OPT}.

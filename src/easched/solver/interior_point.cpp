@@ -288,7 +288,7 @@ InteriorPointResult solve_optimal_interior_point(const TaskSet& tasks,
   }
 
   result.final_barrier = mu;
-  result.solution.allocation = layout.to_allocation(x, tasks.size(), subs.size());
+  result.solution.allocation = layout.to_availability(x, tasks, subs);
   result.solution.execution_time = objective.totals(x);
   result.solution.energy = objective.value(x);
   result.solution.iterations = result.newton_steps;

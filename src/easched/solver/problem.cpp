@@ -26,17 +26,17 @@ SolverLayout SolverLayout::build(const SubintervalDecomposition& subs, int cores
   return layout;
 }
 
-AllocationMatrix SolverLayout::to_allocation(const std::vector<double>& x,
-                                             std::size_t task_count,
-                                             std::size_t subinterval_count) const {
+Availability SolverLayout::to_availability(const std::vector<double>& x, const TaskSet& tasks,
+                                           const SubintervalDecomposition& subs) const {
   EASCHED_EXPECTS(x.size() == variable_count);
-  AllocationMatrix alloc(task_count, subinterval_count);
+  Availability alloc(tasks, subs);
   for (const Block& block : blocks) {
     for (std::size_t k = 0; k < block.tasks.size(); ++k) {
-      alloc.set(static_cast<std::size_t>(block.tasks[k]), block.subinterval,
-                std::max(0.0, x[block.offset + k]));
+      alloc.set_in_column(static_cast<std::size_t>(block.tasks[k]), block.subinterval,
+                          std::max(0.0, x[block.offset + k]));
     }
   }
+  alloc.finalize_row_sums(Exec::serial());
   return alloc;
 }
 

@@ -10,6 +10,7 @@
 /// g_i(T) = γ·C_i^α·T^{1−α} + p0·T.
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "easched/power/power_model.hpp"
@@ -25,13 +26,17 @@ namespace easched::detail {
 
 /// Flattened variable layout: one contiguous block per subinterval holding
 /// the x_{i,j} of its overlapping tasks.
+///
+/// `tasks` views the decomposition's CSR overlap arena — a layout must not
+/// outlive the `SubintervalDecomposition` it was built from (in practice
+/// both live inside one solve call).
 struct SolverLayout {
   struct Block {
-    std::size_t offset = 0;       ///< start in the flat vector
-    std::size_t subinterval = 0;  ///< j
-    double length = 0.0;          ///< len_j (the per-variable cap)
-    double budget = 0.0;          ///< m·len_j
-    std::vector<TaskId> tasks;    ///< overlapping tasks, block order
+    std::size_t offset = 0;           ///< start in the flat vector
+    std::size_t subinterval = 0;      ///< j
+    double length = 0.0;              ///< len_j (the per-variable cap)
+    double budget = 0.0;              ///< m·len_j
+    std::span<const TaskId> tasks;    ///< overlapping tasks, block order
   };
 
   std::vector<Block> blocks;
@@ -39,9 +44,10 @@ struct SolverLayout {
 
   static SolverLayout build(const SubintervalDecomposition& subs, int cores);
 
-  /// Scatter a flat variable vector into an AllocationMatrix.
-  AllocationMatrix to_allocation(const std::vector<double>& x, std::size_t task_count,
-                                 std::size_t subinterval_count) const;
+  /// Scatter a flat variable vector into a sparse `Availability` (rows keyed
+  /// by each task's live range in `subs`).
+  Availability to_availability(const std::vector<double>& x, const TaskSet& tasks,
+                               const SubintervalDecomposition& subs) const;
 };
 
 /// The separable objective and its derivatives.

@@ -7,8 +7,19 @@
 /// horizon `[R̄, D̄]` into `N−1` subintervals. Within a subinterval the set of
 /// live ("overlapping") tasks is constant, which is what makes the paper's
 /// per-subinterval rationing well defined.
+///
+/// Construction is a sweep over the sorted release/deadline events rather
+/// than a per-subinterval membership scan: because an aperiodic task is live
+/// on a *contiguous* run of subintervals (its window is one interval), two
+/// binary searches per task yield its `[first_sub, last_sub]` range, and one
+/// counting pass lays every overlap set into a single CSR-style arena
+/// (per-subinterval offsets into one flat `TaskId` array). Total cost is
+/// O(n log n + P) time and O(n + P) memory, where P = Σ_j n_j is the overlap
+/// mass — versus O(n·N) for the scan — and the arena is sized exactly from
+/// the sweep counts, so construction performs no reallocation.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "easched/tasksys/task_set.hpp"
@@ -18,11 +29,13 @@ namespace easched {
 struct Exec;
 
 /// One subinterval `[t_j, t_{j+1}]` together with its overlapping tasks.
+/// `overlapping` views the decomposition's shared arena; it is valid exactly
+/// as long as the owning `SubintervalDecomposition`.
 struct Subinterval {
   double begin = 0.0;
   double end = 0.0;
   /// Tasks with `release ≤ begin` and `deadline ≥ end`, ascending TaskId.
-  std::vector<TaskId> overlapping;
+  std::span<const TaskId> overlapping;
 
   double length() const { return end - begin; }
 
@@ -30,7 +43,18 @@ struct Subinterval {
   bool heavy(int cores) const { return overlapping.size() > static_cast<std::size_t>(cores); }
 };
 
+/// The contiguous subinterval range a task is live on: indices
+/// `[first, first + count)`. `count == 0` for a task whose window collapsed
+/// under boundary merging.
+struct SubRange {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
 /// The ordered decomposition for one task set.
+///
+/// Move-only: subintervals view the CSR arena, so a copy would alias the
+/// source's storage.
 class SubintervalDecomposition {
  public:
   /// Build from a non-empty task set. Nearly-equal boundary values (within
@@ -38,9 +62,14 @@ class SubintervalDecomposition {
   /// does not create degenerate slivers.
   explicit SubintervalDecomposition(const TaskSet& tasks, double merge_tol = 1e-12);
 
-  /// Same construction with the per-subinterval overlap scans fanned out
-  /// over `exec` (bit-identical to the serial constructor at any pool size).
+  /// Same construction with the per-task range searches fanned out over
+  /// `exec` (bit-identical to the serial constructor at any pool size).
   SubintervalDecomposition(const TaskSet& tasks, double merge_tol, const Exec& exec);
+
+  SubintervalDecomposition(const SubintervalDecomposition&) = delete;
+  SubintervalDecomposition& operator=(const SubintervalDecomposition&) = delete;
+  SubintervalDecomposition(SubintervalDecomposition&&) = default;
+  SubintervalDecomposition& operator=(SubintervalDecomposition&&) = default;
 
   std::size_t size() const { return intervals_.size(); }
   const Subinterval& operator[](std::size_t j) const { return intervals_[j]; }
@@ -52,7 +81,16 @@ class SubintervalDecomposition {
   const std::vector<double>& boundaries() const { return boundaries_; }
 
   /// Indices of subintervals fully inside `[task.release, task.deadline]`.
+  /// O(log N + out) via binary search on the boundary array.
   std::vector<std::size_t> covering(const Task& task) const;
+
+  /// The contiguous range `covering(task)` spans, without materializing it:
+  /// O(log N). Works for any task, member or not.
+  SubRange covering_range(const Task& task) const;
+
+  /// The precomputed live range of member task `i` (equals
+  /// `covering_range(tasks[i])`, O(1)).
+  SubRange range_of(TaskId i) const;
 
   /// Index of the subinterval containing time `t` (`begin ≤ t < end`;
   /// the final subinterval also claims its right endpoint).
@@ -61,9 +99,20 @@ class SubintervalDecomposition {
   /// Largest overlap count max_j n_j.
   std::size_t max_overlap() const;
 
+  /// Total overlap mass P = Σ_j n_j (the CSR arena length).
+  std::size_t overlap_mass() const { return arena_.size(); }
+
+  /// The flat CSR arena: subinterval `j`'s overlap set occupies
+  /// `[offsets()[j], offsets()[j+1])`, ascending TaskId.
+  std::span<const TaskId> overlap_arena() const { return arena_; }
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+
  private:
   std::vector<double> boundaries_;
   std::vector<Subinterval> intervals_;
+  std::vector<std::size_t> offsets_;  ///< CSR offsets, size N(subintervals)+1
+  std::vector<TaskId> arena_;         ///< flat overlap storage, length P
+  std::vector<SubRange> ranges_;      ///< per-task live range
 };
 
 }  // namespace easched

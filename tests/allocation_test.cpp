@@ -7,24 +7,66 @@
 #include <numeric>
 
 #include "easched/common/rng.hpp"
+#include "easched/parallel/exec.hpp"
 #include "easched/sched/allocation.hpp"
 #include "easched/tasksys/workload.hpp"
 
 namespace easched {
 namespace {
 
-TEST(AllocationMatrixTest, SetGetAndSums) {
-  AllocationMatrix m(2, 3);
+TEST(AvailabilityTest, SetGetAndSums) {
+  // Task 0 live on subintervals [0, 3), task 1 only on subinterval 2.
+  Availability m({{0, 3}, {2, 1}}, 3);
   m.set(0, 0, 1.0);
   m.set(0, 2, 2.0);
   m.set(1, 2, 3.0);
   EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
-  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);  // outside the span: structurally zero
   EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 3.0);
   EXPECT_DOUBLE_EQ(m.column_sum(2), 5.0);
+  EXPECT_EQ(m.value_count(), 4u);  // 3 + 1 stored cells, not 2·3
   EXPECT_THROW(m(2, 0), ContractViolation);
   EXPECT_THROW(m.set(0, 3, 1.0), ContractViolation);
+  EXPECT_THROW(m.set(1, 0, 1.0), ContractViolation);  // structurally zero cell
   EXPECT_THROW(m.set(0, 0, -1.0), ContractViolation);
+}
+
+TEST(AvailabilityTest, RowSliceAndRangeExposeTheSupport) {
+  Availability m({{1, 2}, {0, 0}}, 4);
+  m.set(0, 1, 0.5);
+  m.set(0, 2, 1.5);
+  const SubRange r = m.task_range(0);
+  EXPECT_EQ(r.first, 1u);
+  EXPECT_EQ(r.count, 2u);
+  const auto row = m.row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 0.5);
+  EXPECT_DOUBLE_EQ(row[1], 1.5);
+  // A task live nowhere has an empty row and a zero sum.
+  EXPECT_EQ(m.row(1).size(), 0u);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+}
+
+TEST(AvailabilityTest, BulkFillMatchesIncrementalSet) {
+  Availability bulk({{0, 2}, {1, 2}}, 3);
+  Availability incremental({{0, 2}, {1, 2}}, 3);
+  bulk.set_in_column(0, 0, 1.25);
+  bulk.set_in_column(0, 1, 0.75);
+  bulk.set_in_column(1, 1, 2.5);
+  bulk.set_in_column(1, 2, 0.5);
+  bulk.finalize_row_sums(Exec::serial());
+  incremental.set(0, 0, 1.25);
+  incremental.set(0, 1, 0.75);
+  incremental.set(1, 1, 2.5);
+  incremental.set(1, 2, 0.5);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(bulk.row_sum(i), incremental.row_sum(i));
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(bulk(i, j), incremental(i, j));
+  }
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(bulk.column_sum(j), incremental.column_sum(j));
 }
 
 TEST(EvenRationTest, SplitsCapacityEvenly) {

@@ -114,7 +114,8 @@ TEST(PackingTest, WrappedPiecesNeverOverlapInTime) {
 
 TEST(PackingTest, RejectsOversizedItems) {
   Schedule s(2);
-  EXPECT_THROW(pack_subinterval(0.0, 2.0, 2, {{0, 2.5, 1.0}}, s), ContractViolation);
+  const std::vector<PackItem> items{{0, 2.5, 1.0}};
+  EXPECT_THROW(pack_subinterval(0.0, 2.0, 2, items, s), ContractViolation);
 }
 
 TEST(PackingTest, RejectsOverCapacity) {
@@ -133,7 +134,8 @@ TEST(PackingTest, ToleratesTinyFloatOverrun) {
   // Items a hair over the cap (float noise from upstream) are clamped.
   Schedule s(1);
   const double eps = 1e-12;
-  EXPECT_NO_THROW(pack_subinterval(0.0, 1.0, 1, {{0, 1.0 + eps, 1.0}}, s));
+  const std::vector<PackItem> items{{0, 1.0 + eps, 1.0}};
+  EXPECT_NO_THROW(pack_subinterval(0.0, 1.0, 1, items, s));
   double total = 0.0;
   for (const Segment& seg : s.segments()) total += seg.duration();
   EXPECT_LE(total, 1.0 + 1e-9);

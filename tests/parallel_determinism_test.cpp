@@ -57,7 +57,7 @@ TaskSet workload(std::size_t index) {
   return generate_workload(config, rng);
 }
 
-void expect_same_allocation(const AllocationMatrix& a, const AllocationMatrix& b) {
+void expect_same_allocation(const Availability& a, const Availability& b) {
   ASSERT_EQ(a.task_count(), b.task_count());
   ASSERT_EQ(a.subinterval_count(), b.subinterval_count());
   for (std::size_t i = 0; i < a.task_count(); ++i) {

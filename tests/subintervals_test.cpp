@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "easched/common/contracts.hpp"
 
 #include "easched/common/rng.hpp"
@@ -103,6 +105,88 @@ TEST(SubintervalsTest, MaxOverlapMatchesBruteForce) {
 TEST(SubintervalsTest, RejectsEmptyTaskSet) {
   const TaskSet empty;
   EXPECT_THROW(SubintervalDecomposition{empty}, ContractViolation);
+}
+
+TEST(SubintervalsTest, CoveringMatchesLinearScanOracle) {
+  // `covering`/`covering_range` run two binary searches on the boundary
+  // array; this pins them to the linear-scan definition (every subinterval
+  // with begin ≥ release and end ≤ deadline) on randomized sets and probes.
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    Rng rng(Rng::seed_of("subs-covering-oracle", trial));
+    WorkloadConfig config;
+    config.task_count = 3 + rng.uniform_index(30);
+    const TaskSet ts = generate_workload(config, rng);
+    const SubintervalDecomposition subs(ts);
+
+    const auto oracle = [&](const Task& probe) {
+      std::vector<std::size_t> out;
+      for (std::size_t j = 0; j < subs.size(); ++j) {
+        if (probe.release <= subs[j].begin && probe.deadline >= subs[j].end) out.push_back(j);
+      }
+      return out;
+    };
+    const auto check = [&](const Task& probe) {
+      const std::vector<std::size_t> expected = oracle(probe);
+      ASSERT_EQ(subs.covering(probe), expected);
+      const SubRange range = subs.covering_range(probe);
+      ASSERT_EQ(range.count, expected.size());
+      if (!expected.empty()) ASSERT_EQ(range.first, expected.front());
+    };
+
+    // Member tasks (their precomputed ranges must agree too) ...
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      check(ts[i]);
+      const SubRange range = subs.range_of(static_cast<TaskId>(i));
+      const SubRange recomputed = subs.covering_range(ts[i]);
+      ASSERT_EQ(range.first, recomputed.first);
+      ASSERT_EQ(range.count, recomputed.count);
+    }
+    // ... and random non-member probes, including windows off both ends of
+    // the horizon and windows narrower than any subinterval.
+    const double lo = ts.earliest_release() - 5.0;
+    const double hi = ts.latest_deadline() + 5.0;
+    for (int probe = 0; probe < 50; ++probe) {
+      const double a = rng.uniform(lo, hi);
+      const double b = rng.uniform(lo, hi);
+      check(Task{std::min(a, b), std::max(a, b) + 1e-9, 1.0});
+    }
+  }
+}
+
+TEST(SubintervalsTest, OverlapArenaIsExactlySizedFromSweepCounts) {
+  // The CSR arena is sized once from the sweep counts: its length must equal
+  // the final offset exactly (no slack, no reallocation headroom), every
+  // subinterval's overlap span must view the arena in place, and the
+  // per-task ranges must account for every stored id.
+  Rng rng(Rng::seed_of("subs-arena", 1));
+  WorkloadConfig config;
+  config.task_count = 40;
+  const TaskSet ts = generate_workload(config, rng);
+  const SubintervalDecomposition subs(ts);
+
+  const auto& offsets = subs.offsets();
+  ASSERT_EQ(offsets.size(), subs.size() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(subs.overlap_arena().size(), offsets.back());
+  EXPECT_EQ(subs.overlap_mass(), offsets.back());
+
+  const TaskId* arena_begin = subs.overlap_arena().data();
+  std::size_t by_interval = 0;
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    ASSERT_LE(offsets[j], offsets[j + 1]);
+    const auto span = subs[j].overlapping;
+    ASSERT_EQ(span.size(), offsets[j + 1] - offsets[j]);
+    // Zero-copy: the span points into the shared arena, not a private copy.
+    ASSERT_EQ(span.data(), arena_begin + offsets[j]);
+    ASSERT_TRUE(std::is_sorted(span.begin(), span.end()));
+    by_interval += span.size();
+  }
+  std::size_t by_task = 0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    by_task += subs.range_of(static_cast<TaskId>(i)).count;
+  }
+  EXPECT_EQ(by_interval, subs.overlap_mass());
+  EXPECT_EQ(by_task, subs.overlap_mass());
 }
 
 }  // namespace
