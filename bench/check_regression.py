@@ -99,11 +99,22 @@ def main(argv=None):
     # Required coverage: a rename or a silently skipped scaling row must not
     # slip through as a mere warning. Prefix matching lets one --require
     # cover a size sweep ("BM_PlanDerSerial" matches every /n: variant).
+    # Every name matching the prefix in either run must be present in BOTH:
+    # it is not enough that *some* variant matches on each side, or a
+    # candidate run that silently dropped the /n:10000 row while keeping
+    # /n:500 would pass the gate without ever comparing the gated row.
     missing_required = []
     for prefix in args.require:
-        for label, entries in (("baseline", base_entries), ("candidate", cand_entries)):
-            if not any(name.startswith(prefix) for name in entries):
-                missing_required.append(f"{label} has no benchmark matching {prefix!r}")
+        base_match = {n for n in base_entries if n.startswith(prefix)}
+        cand_match = {n for n in cand_entries if n.startswith(prefix)}
+        if not base_match:
+            missing_required.append(f"baseline has no benchmark matching {prefix!r}")
+        if not cand_match:
+            missing_required.append(f"candidate has no benchmark matching {prefix!r}")
+        for name in sorted(base_match - cand_match):
+            missing_required.append(f"candidate is missing required benchmark {name!r}")
+        for name in sorted(cand_match - base_match):
+            missing_required.append(f"baseline is missing required benchmark {name!r}")
     if missing_required:
         for m in missing_required:
             print(f"missing required benchmark: {m}")

@@ -1,0 +1,92 @@
+// Performance bench P3: the online runtime. Event throughput of
+// `run_runtime` — static replay, cycle-conserving reclamation, and the full
+// look-ahead + DPM + migration stack — plus one policy-matrix cell, the
+// unit the experiment harness spends its time on.
+
+#include <benchmark/benchmark.h>
+
+#include "easched/common/rng.hpp"
+#include "easched/exp/runtime_matrix.hpp"
+#include "easched/runtime/runtime.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace {
+
+using namespace easched;
+
+struct Prepared {
+  TaskSet tasks;
+  PowerModel power{3.0, 0.1};
+  Schedule plan;
+};
+
+Prepared prepare(std::size_t n, std::uint64_t seed) {
+  Prepared p;
+  Rng rng(Rng::seed_of("perf-runtime", seed, n));
+  WorkloadConfig config;
+  config.task_count = n;
+  p.tasks = generate_workload(config, rng);
+  p.plan = run_pipeline(p.tasks, 4, p.power).der.final_schedule;
+  return p;
+}
+
+void run_and_count(benchmark::State& state, const Prepared& p, const RuntimeOptions& options) {
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const RuntimeReport report = run_runtime(p.tasks, p.plan, p.power, options);
+    events += static_cast<std::int64_t>(report.events);
+    benchmark::DoNotOptimize(report.energy.total());
+  }
+  state.SetItemsProcessed(events);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_RuntimeStaticReplay(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 1);
+  run_and_count(state, p, RuntimeOptions{});
+}
+BENCHMARK(BM_RuntimeStaticReplay)->Arg(10)->Arg(40)->Arg(160)->Complexity(benchmark::oAuto);
+
+void BM_RuntimeCycleConserving(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 2);
+  RuntimeOptions options;
+  options.policy = RuntimePolicy::kCycleConserving;
+  options.acet.ratio = 0.5;
+  options.acet.jitter = 0.2;
+  options.acet.seed = 7;
+  run_and_count(state, p, options);
+}
+BENCHMARK(BM_RuntimeCycleConserving)->Arg(10)->Arg(40)->Arg(160)->Complexity(benchmark::oAuto);
+
+void BM_RuntimeLookAheadDpmMigrate(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<std::size_t>(state.range(0)), 3);
+  RuntimeOptions options;
+  options.policy = RuntimePolicy::kLookAhead;
+  options.acet.ratio = 0.5;
+  options.acet.jitter = 0.2;
+  options.acet.seed = 7;
+  options.dpm = true;
+  options.dpm_config.idle_power = p.power.static_power();
+  options.dpm_config.wake_latency = 0.1;
+  options.dpm_config.wake_energy = 0.05;
+  options.migrate = true;
+  run_and_count(state, p, options);
+}
+BENCHMARK(BM_RuntimeLookAheadDpmMigrate)->Arg(10)->Arg(40)->Arg(160)->Complexity(benchmark::oAuto);
+
+void BM_RuntimeMatrixCell(benchmark::State& state) {
+  const PowerModel power(3.0, 0.1);
+  RuntimeMatrixConfig config;
+  config.cores = 4;
+  config.workload.task_count = 20;
+  config.acet_ratios = {0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_runtime_matrix("perf-runtime-cell", config, power, 4));
+  }
+}
+BENCHMARK(BM_RuntimeMatrixCell);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,12 +5,22 @@
 //   ./easched_cli trace.csv --cores 4 --alpha 3 --p0 0.1 --scheduler f2
 //   ./easched_cli trace.csv --ladder xscale --out plan.csv
 //   ./easched_cli --demo --scheduler optimal --gantt
+//   ./easched_cli run trace.csv --policy cc+dpm --acet-ratio 0.5
+//   ./easched_cli run --demo --policy la --acet-ratio 0.4 --migrate
 //   ./easched_cli serve --clients 4 --requests 200 --fmax 1.0
 //   ./easched_cli serve --planner exact --plan-budget-ms 5 --queue-depth 32
 //       --journal service.wal --faults "seed=7;solver_stall:p=1"
 //
 // Schedulers: f1, f2 (paper heuristics), optimal (convex solver),
 // ipm (interior point), yds (uniprocessor), online (rolling-horizon F2).
+//
+// The `run` subcommand plans a trace and then *executes* the plan through
+// the event-driven online runtime: jobs draw actual execution times below
+// their WCET budget (or take them from the trace's acet column), and the
+// chosen policy reclaims the slack — cc/la recompute DVFS speeds at
+// decision points, +dpm adds break-even sleep states, --migrate adds
+// consolidation. It reports realized vs planned energy, the full energy
+// breakdown, and every decision-point counter.
 //
 // The `serve` subcommand runs the long-lived SchedulerService against a
 // synthetic arrival stream: concurrent client threads submit admission
@@ -237,6 +247,117 @@ int run_serve(const CliParser& args) {
   return 0;
 }
 
+int run_online(const CliParser& args) {
+  // --- Workload (trace acet column becomes the ground truth) --------------
+  TaskTrace trace;
+  if (args.get_switch("demo")) {
+    Rng rng(Rng::seed_of("easched-cli-demo", static_cast<std::uint64_t>(args.get_int("seed"))));
+    WorkloadConfig config;
+    config.task_count = static_cast<std::size_t>(args.get_int("tasks"));
+    trace.tasks = generate_workload(config, rng);
+  } else if (const auto path = args.positional("subcommand-arg")) {
+    trace = read_task_trace(*path);
+  } else {
+    std::cerr << "run: need a trace file or --demo (see --help)\n";
+    return 1;
+  }
+  const TaskSet& tasks = trace.tasks;
+  const int cores = args.get_int("cores");
+  const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
+
+  // --- Policy -------------------------------------------------------------
+  RuntimeOptions options;
+  std::string policy_name = args.get("policy");
+  if (const auto plus = policy_name.rfind("+dpm");
+      plus != std::string::npos && plus + 4 == policy_name.size()) {
+    options.dpm = true;
+    policy_name.resize(plus);
+  }
+  const std::optional<RuntimePolicy> policy = parse_policy(policy_name);
+  if (!policy) {
+    std::cerr << "unknown --policy (use: static, cc, la, cc+dpm, la+dpm)\n";
+    return 1;
+  }
+  options.policy = *policy;
+  options.migrate = args.get_switch("migrate");
+  options.acet.ratio = args.get_double("acet-ratio");
+  options.acet.jitter = args.get_double("acet-jitter");
+  options.acet.seed = static_cast<std::uint64_t>(args.get_int("acet-seed"));
+  options.explicit_acet = trace.acet;  // empty unless the trace has the column
+  options.la_expectation = args.get_double("la-expectation");
+  options.dvfs_switch_energy = args.get_double("switch-energy");
+  const double idle_power = args.get_double("idle-power");
+  options.dpm_config.idle_power = idle_power < 0.0 ? power.static_power() : idle_power;
+  options.dpm_config.sleep_power = args.get_double("sleep-power");
+  options.dpm_config.wake_latency = args.get_double("wake-latency");
+  options.dpm_config.wake_energy = args.get_double("wake-energy");
+
+  // --- Plan, then execute the plan online ---------------------------------
+  const std::string scheduler = args.get("scheduler");
+  if (scheduler != "f1" && scheduler != "f2") {
+    std::cerr << "run: --scheduler must be f1 or f2\n";
+    return 1;
+  }
+  const std::string trace_path = args.get("trace");
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::TraceScope> trace_scope;
+  if (!trace_path.empty()) {
+    tracer.emplace();
+    trace_scope.emplace(*tracer);
+  }
+
+  const PipelineResult planned = run_pipeline(tasks, cores, power);
+  const MethodResult& method = scheduler == "f1" ? planned.even : planned.der;
+  const WorkloadStats stats = describe_workload(tasks, cores);
+  std::cout << "workload: " << stats.task_count << " tasks, horizon "
+            << format_fixed(stats.horizon, 2) << ", utilization "
+            << format_fixed(stats.utilization, 3)
+            << (trace.has_acet() ? ", acet column present" : "") << "\n";
+  std::cout << "plan (" << scheduler << "): energy " << format_fixed(method.final_energy, 4)
+            << ", segments " << method.final_schedule.segments().size() << "\n";
+
+  const RuntimeReport report = run_runtime(tasks, method.final_schedule, power, options);
+
+  std::cout << "policy " << args.get("policy") << ": acet "
+            << (trace.has_acet()
+                    ? std::string("from trace")
+                    : format_fixed(options.acet.ratio, 2) + " +/- " +
+                          format_fixed(options.acet.jitter, 2) + " x WCET (seed " +
+                          std::to_string(options.acet.seed) + ")")
+            << (options.migrate ? ", migration on" : "") << "\n";
+  std::cout << "realized energy " << format_fixed(report.energy.total(), 4) << " ("
+            << format_fixed(report.energy.total() / std::max(report.planned_energy, 1e-12), 3)
+            << "x plan): busy " << format_fixed(report.energy.busy(), 4) << " (dynamic "
+            << format_fixed(report.energy.busy_dynamic, 4) << " + static "
+            << format_fixed(report.energy.busy_static, 4) << "), idle "
+            << format_fixed(report.energy.idle, 4) << ", sleep "
+            << format_fixed(report.energy.sleep, 4) << ", wake "
+            << format_fixed(report.energy.wake, 4) << ", dvfs "
+            << format_fixed(report.energy.dvfs_switch, 4) << "\n";
+  std::cout << "decision points: " << report.events << " events, " << report.dispatches
+            << " dispatches, " << report.completions << " completions ("
+            << report.early_completions << " early), " << report.reclamations
+            << " reclamations freeing " << format_fixed(report.reclaimed_total, 3) << ", "
+            << report.sleeps << " sleeps totalling " << format_fixed(report.sleep_time_total, 3)
+            << ", " << report.wakes << " wakes, " << report.migrations << " migrations, "
+            << report.dvfs_switches << " dvfs switches\n";
+  const std::size_t missed = report.missed_deadlines();
+  std::cout << "deadlines: "
+            << (missed == 0 ? "all met" : std::to_string(missed) + " MISSED") << "\n";
+
+  if (const std::string out = args.get("out"); !out.empty()) {
+    write_schedule(out, report.realized);
+    std::cout << "realized schedule written to " << out << "\n";
+  }
+  if (tracer) {
+    trace_scope.reset();
+    write_file(trace_path, tracer->chrome_trace_json());
+    std::cout << "trace written to " << trace_path << " (" << tracer->records().size()
+              << " span(s))\n";
+  }
+  return missed == 0 ? 0 : 2;
+}
+
 int run(const CliParser& args) {
   // Deterministic fault injection: armed for the whole command, idle (one
   // atomic load per hook) when --faults is not given.
@@ -260,6 +381,9 @@ int run(const CliParser& args) {
       std::cout << "\n";
     }
     return rc;
+  }
+  if (args.positional("trace") == std::optional<std::string>("run")) {
+    return run_online(args);
   }
 
   // --- Workload -----------------------------------------------------------
@@ -411,7 +535,8 @@ int main(int argc, char** argv) {
   using namespace easched;
   CliParser args("easched_cli",
                  "energy-aware scheduling of aperiodic task traces (ICPP'14 reproduction)");
-  args.add_positional("trace", "CSV with columns release,deadline,work, or 'serve'");
+  args.add_positional("trace", "CSV with columns release,deadline,work, or 'run' / 'serve'");
+  args.add_positional("subcommand-arg", "run: trace CSV (release,deadline,work[,acet])");
   args.add_option("scheduler", "f2", "f1 | f2 | optimal | ipm | yds | online");
   args.add_option("cores", "4", "number of DVFS cores");
   args.add_option("alpha", "3.0", "dynamic power exponent (continuous platform)");
@@ -425,6 +550,19 @@ int main(int argc, char** argv) {
   args.add_switch("demo", "generate a demo workload instead of reading a trace");
   args.add_switch("gantt", "print an ASCII Gantt chart");
   args.add_switch("nec", "also compute the exact optimum and report NEC");
+  args.add_option("policy", "static",
+                  "run: online policy: static | cc | la | cc+dpm | la+dpm");
+  args.add_option("acet-ratio", "1.0", "run: mean ACET/WCET ratio of the drawn jobs");
+  args.add_option("acet-jitter", "0.0", "run: half-width of the uniform ACET ratio spread");
+  args.add_option("acet-seed", "1", "run: seed of the ACET draws");
+  args.add_option("la-expectation", "0",
+                  "run: prior ACET/WCET ratio for look-ahead (0 = adapt from completions)");
+  args.add_option("idle-power", "-1", "run: awake-idle power (negative = use p0)");
+  args.add_option("sleep-power", "0", "run: sleep-state power");
+  args.add_option("wake-latency", "0", "run: sleep->active transition time");
+  args.add_option("wake-energy", "0", "run: sleep->active transition energy");
+  args.add_option("switch-energy", "0", "run: energy charged per DVFS switch");
+  args.add_switch("migrate", "run: consolidate idle cores' queues onto busier cores");
   args.add_option("clients", "4", "serve: concurrent client threads");
   args.add_option("requests", "200", "serve: synthetic admission requests to submit");
   args.add_option("fmax", "0", "serve: admission frequency ceiling (0 = unbounded)");

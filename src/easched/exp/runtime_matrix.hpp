@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file runtime_matrix.hpp
+/// \brief Monte-Carlo evaluation of the online runtime policies.
+///
+/// The runtime's evaluation question is different from the planners': not
+/// "how close to the offline optimum", but "given the same plan, how much
+/// energy does reacting at decision points save over replaying the plan
+/// verbatim when jobs finish early". The matrix sweeps
+///
+///   policy ∈ {static, cc, la, cc+dpm, la+dpm}
+///     × ACET/WCET ratio ∈ {0.2, 0.4, 0.6, 0.8, 1.0}
+///     × arrival model ∈ {uniform, bursty}
+///
+/// and reports each cell's realized energy normalized to the *static replay
+/// at the same ratio* (so < 1 means the policy beats doing nothing), plus
+/// reclaimed-slack, sleep-residency, and deadline-miss statistics. Every
+/// cell charges awake-idle leakage (`idle_power`), otherwise neither
+/// reclamation nor sleeping could ever pay — matching the leakage-aware
+/// evaluation convention rather than the paper's free-idle abstraction.
+///
+/// Runs fan out over the thread pool with per-run deterministic seeds and
+/// reduce in index order, so every table is bit-identical at any pool size.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "easched/common/stats.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/runtime/runtime.hpp"
+#include "easched/tasksys/arrivals.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+
+/// One policy column of the matrix.
+struct RuntimePolicySpec {
+  std::string name;
+  RuntimePolicy policy = RuntimePolicy::kStatic;
+  bool dpm = false;
+};
+
+/// The default five-column policy set.
+std::vector<RuntimePolicySpec> default_runtime_policies();
+
+/// Matrix configuration.
+struct RuntimeMatrixConfig {
+  int cores = 4;
+  std::vector<double> acet_ratios = {0.2, 0.4, 0.6, 0.8, 1.0};
+  double acet_jitter = 0.1;
+  std::vector<RuntimePolicySpec> policies = default_runtime_policies();
+
+  /// Arrival model: the paper's uniform generator, or bursty clusters.
+  bool bursty = false;
+  WorkloadConfig workload;
+  BurstyConfig bursts;
+
+  /// Sleep-state parameters for the +dpm columns. `idle_power < 0` (the
+  /// default) charges awake-idle at the power model's static power `p0`.
+  DpmConfig dpm{/*idle_power=*/-1.0, /*sleep_power=*/0.0, /*wake_latency=*/0.5,
+                /*wake_energy=*/0.1};
+
+  double la_expectation = 0.0;  ///< look-ahead prior; 0 = adaptive
+};
+
+/// Statistics of one (policy, ratio) cell.
+struct RuntimeCellStats {
+  std::string policy;
+  double acet_ratio = 0.0;
+  RunningStats energy_vs_static;  ///< realized total / static replay total
+  RunningStats realized_energy;   ///< absolute realized total
+  RunningStats reclaimed;         ///< reclaimed slice time per run
+  RunningStats sleep_time;        ///< sleep residency per run
+  RunningStats misses;            ///< 1 when a run missed any deadline
+};
+
+/// Full matrix output, cells in (policy-major, ratio-minor) order.
+struct RuntimeMatrixResult {
+  std::vector<RuntimeCellStats> cells;
+  std::size_t runs = 0;
+
+  const RuntimeCellStats& cell(std::string_view policy, double ratio) const;
+};
+
+/// Run the matrix: `runs` seeded workloads, each planned once (F2) and then
+/// executed under every (policy, ratio) cell. `label` determines all seeds.
+RuntimeMatrixResult run_runtime_matrix(std::string_view label, const RuntimeMatrixConfig& config,
+                                       const PowerModel& power, std::size_t runs,
+                                       ThreadPool& pool = ThreadPool::global());
+
+}  // namespace easched

@@ -1,0 +1,39 @@
+#include "easched/runtime/acet.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+double acet_of(const AcetModel& model, TaskId id, double wcet) {
+  EASCHED_EXPECTS(wcet > 0.0);
+  EASCHED_EXPECTS(model.ratio > 0.0 && model.ratio <= 1.0);
+  EASCHED_EXPECTS(model.jitter >= 0.0);
+  if (model.ratio == 1.0 && model.jitter == 0.0) return wcet;  // exact WCET replay
+  Rng rng(Rng::seed_of("easched-acet", model.seed, static_cast<std::uint64_t>(id)));
+  const double r = model.ratio + model.jitter * (2.0 * rng.uniform() - 1.0);
+  return std::clamp(r, AcetModel::kMinRatio, 1.0) * wcet;
+}
+
+std::vector<double> draw_acets(const AcetModel& model, const TaskSet& tasks) {
+  std::vector<double> acets;
+  acets.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    acets.push_back(acet_of(model, static_cast<TaskId>(i), tasks[i].work));
+  }
+  return acets;
+}
+
+RatioEstimator::RatioEstimator(double initial, double alpha)
+    : estimate_(initial > 0.0 ? std::clamp(initial, AcetModel::kMinRatio, 1.0) : 1.0),
+      alpha_(alpha) {
+  EASCHED_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void RatioEstimator::observe(double ratio) {
+  const double r = std::clamp(ratio, AcetModel::kMinRatio, 1.0);
+  estimate_ = std::clamp((1.0 - alpha_) * estimate_ + alpha_ * r, AcetModel::kMinRatio, 1.0);
+}
+
+}  // namespace easched

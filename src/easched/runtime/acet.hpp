@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file acet.hpp
+/// \brief Actual-execution-time (ACET) draws and online ratio estimation.
+///
+/// Static plans budget every job at its WCET `C_i`; at run time a job
+/// usually needs less. The runtime draws each job's actual requirement from
+/// a seeded model as a *pure function of (seed, task id)* — never of
+/// execution order — so a fixed (workload seed, ACET seed, policy) triple
+/// produces the same jobs no matter how planning was parallelized or in
+/// which order completions fire. This is the runtime's half of the PR 2
+/// determinism contract.
+
+#include <cstdint>
+#include <vector>
+
+#include "easched/common/rng.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// Seeded distribution of per-job ACET/WCET ratios.
+///
+/// Job `i` draws `ratio + jitter·(2u−1)` with `u ~ U[0,1)` from
+/// `Rng(seed_of("easched-acet", seed, i))`, clamped to `[kMinRatio, 1]`.
+/// The degenerate `ratio = 1, jitter = 0` model performs no draw at all and
+/// returns the WCET bit-for-bit — the ACET = WCET configuration must
+/// reproduce the static plan exactly, so it cannot go through rounding.
+struct AcetModel {
+  double ratio = 1.0;   ///< mean ACET/WCET in (0, 1]
+  double jitter = 0.0;  ///< half-width of the uniform ratio spread
+  std::uint64_t seed = 0;
+
+  /// Ratios below this are clamped: a zero-work job is malformed.
+  static constexpr double kMinRatio = 0.01;
+};
+
+/// The actual execution requirement of job `id` with WCET budget `wcet`.
+double acet_of(const AcetModel& model, TaskId id, double wcet);
+
+/// All jobs of a task set at once (`result[i] = acet_of(model, i, C_i)`).
+std::vector<double> draw_acets(const AcetModel& model, const TaskSet& tasks);
+
+/// Exponentially weighted running estimate of the ACET/WCET ratio, fed by
+/// completions in event order (deterministic: the runtime's event loop is
+/// serial). The look-ahead policy keys its optimism off this estimate.
+class RatioEstimator {
+ public:
+  /// `initial = 0` starts pessimistic (estimate 1: no optimism until the
+  /// first completion lands); a positive value seeds a fixed prior.
+  explicit RatioEstimator(double initial = 0.0, double alpha = 0.3);
+
+  /// Record a completed job's realized ACET/WCET ratio.
+  void observe(double ratio);
+
+  /// Current estimate, always within [AcetModel::kMinRatio, 1].
+  double estimate() const { return estimate_; }
+
+ private:
+  double estimate_;
+  double alpha_;
+};
+
+}  // namespace easched

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file dpm.hpp
+/// \brief Dynamic power management: sleep states and break-even accounting.
+///
+/// The paper's model lets an idle core sleep at zero power for free. A real
+/// core burns leakage (`idle_power`) while awake-idle, and entering a sleep
+/// state trades lower residency power (`sleep_power`) against a wake-up
+/// cost (`wake_latency` of lost time, `wake_energy` of transition energy) —
+/// so sleeping only pays off for idle windows beyond a break-even length,
+/// the classic DPM test (cf. the leakage-aware consolidation literature,
+/// arXiv:1011.3087). The runtime evaluates this test at every idle-start
+/// decision point; it is a pure function, so it is unit-testable and the
+/// decisions are trivially deterministic.
+
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+/// Power/transition parameters of one sleep state relative to awake-idle.
+///
+/// The defaults (everything zero) reproduce the paper's free-idle model:
+/// break-even is zero, sleeping is always allowed and changes no energy.
+struct DpmConfig {
+  /// Power of an awake core with nothing to run. 0 matches the plan-side
+  /// convention (idle cores cost nothing); a leakage-aware evaluation sets
+  /// it to the model's static power `p0`.
+  double idle_power = 0.0;
+  /// Residency power of the sleep state (`≤ idle_power` to be useful).
+  double sleep_power = 0.0;
+  /// Time a wake-up takes; a core must initiate wake-up this long before
+  /// its next obligation, and windows shorter than this cannot sleep.
+  double wake_latency = 0.0;
+  /// Transition energy charged per sleep→active wake-up.
+  double wake_energy = 0.0;
+
+  /// Shortest idle window worth sleeping through: the `d` solving
+  /// `idle_power·d = sleep_power·(d − wake_latency) + wake_energy`, floored
+  /// at `wake_latency`. Windows at least this long save energy by
+  /// sleeping; `kInf` when the state saves no power at all.
+  double break_even() const {
+    if (sleep_power >= idle_power) {
+      // No residency saving; sleeping can only pay the wake cost back if
+      // that cost is zero too, in which case any window qualifies.
+      return (wake_energy == 0.0 && sleep_power == idle_power) ? wake_latency : kInf;
+    }
+    const double d = (wake_energy - sleep_power * wake_latency) / (idle_power - sleep_power);
+    return std::max(d, wake_latency);
+  }
+
+  /// The break-even test for an idle window of length `window`.
+  bool should_sleep(double window) const { return window >= break_even() && window > 0.0; }
+
+  /// Energy of sleeping through a window of length `window ≥ wake_latency`
+  /// and waking at its end: residency at `sleep_power`, then the wake-up
+  /// transition (its energy lump includes the latency interval).
+  double sleep_energy(double window) const {
+    return sleep_power * (window - wake_latency) + wake_energy;
+  }
+
+  /// Energy of staying awake-idle through the same window.
+  double idle_energy(double window) const { return idle_power * window; }
+};
+
+}  // namespace easched

@@ -1,0 +1,451 @@
+#include "easched/runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+#include "easched/obs/trace.hpp"
+#include "easched/runtime/timeline.hpp"
+#include "easched/service/metrics.hpp"
+#include "easched/sim/engine.hpp"
+
+namespace easched {
+
+std::string_view to_string(RuntimePolicy policy) {
+  switch (policy) {
+    case RuntimePolicy::kStatic:
+      return "static";
+    case RuntimePolicy::kCycleConserving:
+      return "cc";
+    case RuntimePolicy::kLookAhead:
+      return "la";
+  }
+  return "static";
+}
+
+std::optional<RuntimePolicy> parse_policy(std::string_view name) {
+  if (name == "static") return RuntimePolicy::kStatic;
+  if (name == "cc" || name == "cycle-conserving") return RuntimePolicy::kCycleConserving;
+  if (name == "la" || name == "look-ahead") return RuntimePolicy::kLookAhead;
+  return std::nullopt;
+}
+
+std::size_t RuntimeReport::missed_deadlines() const {
+  std::size_t missed = 0;
+  for (const TaskOutcome& t : tasks) {
+    if (!t.deadline_met) ++missed;
+  }
+  return missed;
+}
+
+namespace {
+
+constexpr double kTimeTol = PlanTimeline::kTimeTol;
+
+/// The whole engine lives on one stack frame of `run_runtime`: serial event
+/// loop over `SimulationEngine`, per-core power state machine, and the
+/// timeline as the single source of pending work. Dispatch decisions are
+/// computed *eagerly* — once a slice starts, nothing in the model can alter
+/// its execution, so its end time, phases, and energy are fixed at dispatch
+/// and the only future event the core needs is "slice ends".
+class RuntimeEngine {
+ public:
+  RuntimeEngine(const TaskSet& tasks, const Schedule& plan, const PowerModel& power,
+                const RuntimeOptions& options)
+      : tasks_(tasks),
+        power_(power),
+        options_(options),
+        timeline_(tasks, plan),
+        estimator_(options.la_expectation),
+        f_floor_(power.critical_frequency()) {
+    EASCHED_EXPECTS_MSG(options.explicit_acet.empty() || options.explicit_acet.size() == tasks.size(),
+                        "explicit ACET list must match the task set");
+    report_.acet =
+        options.explicit_acet.empty() ? draw_acets(options.acet, tasks) : options.explicit_acet;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EASCHED_EXPECTS_MSG(report_.acet[i] > 0.0 && report_.acet[i] <= tasks[i].work * (1.0 + 1e-9),
+                          "ACET must lie in (0, WCET]");
+    }
+    remaining_ = report_.acet;
+    report_.planned_energy = plan.energy(power);
+    report_.realized = Schedule(plan.core_count());
+    report_.tasks.assign(tasks.size(), TaskOutcome{});
+    for (const Segment& seg : plan.segments()) horizon_ = std::max(horizon_, seg.end);
+    report_.horizon = horizon_;
+
+    const auto cores = static_cast<std::size_t>(plan.core_count());
+    state_.assign(cores, CoreState::kIdle);
+    seq_.assign(cores, 0);
+    busy_until_.assign(cores, 0.0);
+    window_start_.assign(cores, 0.0);
+    last_busy_end_.assign(cores, -kInf);
+    last_busy_freq_.assign(cores, 0.0);
+  }
+
+  RuntimeReport run() {
+    obs::Span span("runtime.run");
+    for (CoreId c = 0; c < static_cast<CoreId>(state_.size()); ++c) advance(c, 0.0);
+    engine_.run();
+    report_.events = engine_.dispatched();
+    span.arg("events", static_cast<double>(report_.events));
+    span.arg("energy", report_.energy.total());
+    return std::move(report_);
+  }
+
+ private:
+  enum class CoreState : unsigned char { kIdle, kBusy, kSleeping, kDone };
+
+  /// One constant-frequency stretch of a dispatched slice, ending at `end`.
+  struct Phase {
+    double frequency;
+    double end;
+  };
+
+  /// What the end-of-slice event needs to know.
+  struct InFlight {
+    std::size_t id = 0;
+    bool completes = false;
+    bool early = false;
+  };
+
+  /// Decision point: core `c` is free at `now`. Migrate its queue away if
+  /// allowed, then dispatch, wait, sleep, or finish.
+  void advance(CoreId c, double now) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (state_[ci] == CoreState::kDone) return;
+    if (options_.migrate) try_migrate(c, now);
+
+    const auto head = timeline_.head(c);
+    if (!head) {
+      finalize_core(c, now);
+      return;
+    }
+    const PlannedSlice& s = timeline_.slice(*head);
+    const double gap = s.start - now;
+    if (gap <= kTimeTol) {
+      dispatch(c, *head);
+      return;
+    }
+    const std::uint64_t token = ++seq_[ci];
+    window_start_[ci] = now;
+    if (options_.dpm && options_.dpm_config.should_sleep(gap)) {
+      state_[ci] = CoreState::kSleeping;
+      ++report_.sleeps;
+      engine_.schedule_at(s.start, [this, c, token](SimulationEngine&) { on_wake(c, token); });
+    } else {
+      state_[ci] = CoreState::kIdle;
+      engine_.schedule_at(s.start,
+                          [this, c, token](SimulationEngine&) { on_idle_dispatch(c, token); });
+    }
+  }
+
+  /// No pending work left on `c`: charge the window to the horizon and
+  /// retire the core. Empty queues never refill (migration only targets
+  /// strictly busier cores), so this decision is final. A terminal sleep
+  /// never wakes, so it pays residency but no wake-up transition.
+  void finalize_core(CoreId c, double now) {
+    const double window = horizon_ - now;
+    if (window > kTimeTol) {
+      if (options_.dpm && options_.dpm_config.should_sleep(window)) {
+        report_.energy.sleep += options_.dpm_config.sleep_power * window;
+        ++report_.sleeps;
+        report_.sleep_time_total += window;
+        report_.sleep_residencies.push_back(window);
+      } else {
+        report_.energy.idle += options_.dpm_config.idle_power * window;
+      }
+    }
+    state_[static_cast<std::size_t>(c)] = CoreState::kDone;
+  }
+
+  /// Consolidation: push the head slice of idle `c` to the lowest-id awake
+  /// core that is strictly busier, free over the slice's span, and done
+  /// with its current work by then. Times never change, so plan-level
+  /// safety (release, deadline, no self-overlap) is untouched.
+  void try_migrate(CoreId c, double now) {
+    for (;;) {
+      const auto head = timeline_.head(c);
+      if (!head) return;
+      const PlannedSlice s = timeline_.slice(*head);
+      const double my_load = timeline_.pending_duration(c);
+      CoreId target = -1;
+      for (CoreId d = 0; d < static_cast<CoreId>(state_.size()); ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        if (d == c || state_[di] == CoreState::kSleeping || state_[di] == CoreState::kDone) continue;
+        if (busy_until_[di] > s.start + kTimeTol) continue;
+        if (timeline_.pending_duration(d) <= my_load + kTimeTol) continue;
+        if (!timeline_.core_free_during(d, s.start, s.end)) continue;
+        target = d;
+        break;
+      }
+      if (target < 0) return;
+      timeline_.migrate_head(c, target);
+      ++report_.migrations;
+      const auto ti = static_cast<std::size_t>(target);
+      if (state_[ti] == CoreState::kIdle) {
+        // The migrant may now be the target's earliest obligation; redo its
+        // wait/sleep decision (its pending dispatch event goes stale).
+        report_.energy.idle += options_.dpm_config.idle_power * (now - window_start_[ti]);
+        ++seq_[ti];
+        advance(target, now);
+      }
+    }
+  }
+
+  /// A waiting (awake-idle) core reaches its head's planned start.
+  void on_idle_dispatch(CoreId c, std::uint64_t token) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (token != seq_[ci]) return;  // superseded by a re-decision
+    const double now = engine_.now();
+    report_.energy.idle += options_.dpm_config.idle_power * (now - window_start_[ci]);
+    const auto head = timeline_.head(c);
+    EASCHED_ASSERT(head.has_value());
+    dispatch(c, *head);
+  }
+
+  /// A sleeping core's wake-up completes. The head may have moved later (a
+  /// job elsewhere finished and freed it) — then this was a spurious wake:
+  /// we re-decide and possibly sleep again, paying another transition, the
+  /// honest cost of waking on a stale timer.
+  void on_wake(CoreId c, std::uint64_t token) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (token != seq_[ci]) return;
+    const double now = engine_.now();
+    const double window = now - window_start_[ci];
+    report_.energy.sleep += options_.dpm_config.sleep_power *
+                            (window - options_.dpm_config.wake_latency);
+    report_.energy.wake += options_.dpm_config.wake_energy;
+    ++report_.wakes;
+    report_.sleep_time_total += window;
+    report_.sleep_residencies.push_back(window);
+    state_[ci] = CoreState::kIdle;
+    advance(c, now);
+  }
+
+  /// Start executing slice `id` at its planned start. The execution profile
+  /// (phases, end time, energy) is decided here, once, per the policy.
+  void dispatch(CoreId c, std::size_t id) {
+    const auto ci = static_cast<std::size_t>(c);
+    timeline_.pop(id);
+    const PlannedSlice s = timeline_.slice(id);
+    const auto task = static_cast<std::size_t>(s.task);
+    const double target_work = s.work();
+    const double work_tol = options_.work_tol * std::max(1.0, target_work);
+    const double rem = remaining_[task];
+
+    if (rem <= work_tol) {
+      // The job finished elsewhere in the same instant this dispatch was
+      // already committed; give the interval back and move on.
+      ++report_.skipped_slices;
+      timeline_.add_freed(c, s.start, s.end);
+      advance(c, s.start);
+      return;
+    }
+    ++report_.dispatches;
+
+    const bool completes = rem <= target_work + work_tol;
+    const bool early = rem < target_work - work_tol;
+    // Settle the work ledger now, not at the end event: a sibling slice of
+    // the same job can start on another core in the *same instant* this one
+    // ends (abutting subinterval boundaries), and event-queue tie order must
+    // not decide how much work it sees left.
+    remaining_[task] = completes ? 0.0 : rem - target_work;
+    const std::vector<Phase> phases = plan_phases(id, s);
+
+    // Walk the profile until the slice's work target (the job's remaining
+    // requirement when it completes early, the planned work otherwise —
+    // where "exactly the planned work" means running the profile to its
+    // precomputed end, not re-dividing, so WCET replay is bit-exact).
+    const double goal = early ? rem : target_work;
+    double t = s.start;
+    double done = 0.0;
+    double t_end = phases.back().end;
+    std::vector<Phase> executed;
+    for (const Phase& ph : phases) {
+      const double capacity = ph.frequency * (ph.end - t);
+      if (early && done + capacity >= goal) {
+        const double t_fin = t + (goal - done) / ph.frequency;
+        executed.push_back(Phase{ph.frequency, t_fin});
+        done = goal;
+        t_end = t_fin;
+        break;
+      }
+      executed.push_back(ph);
+      done += capacity;
+      t = ph.end;
+    }
+
+    if (t_end < s.end - kTimeTol) {
+      timeline_.add_freed(c, t_end, s.end);  // unused tail becomes slack
+    } else if (t_end > s.end + kTimeTol) {
+      timeline_.consume_freed(c, s.end, t_end);  // the stretch claims its slack
+    }
+
+    record_busy(s.task, c, s.start, executed);
+    busy_until_[ci] = t_end;
+    state_[ci] = CoreState::kBusy;
+    const InFlight fl{id, completes, early};
+    engine_.schedule_at(t_end, [this, c, fl](SimulationEngine&) { on_slice_end(c, fl); });
+  }
+
+  /// The policy: how fast to run a dispatched slice, as constant-frequency
+  /// phases covering exactly the planned work. Every profile keeps
+  /// frequency ≤ the planned one... except never below the critical
+  /// frequency (slowing past f* wastes static energy) — and fits within
+  /// `stretch_limit`, so realized busy energy can only improve on the plan
+  /// and deadlines are structurally safe.
+  std::vector<Phase> plan_phases(std::size_t id, const PlannedSlice& s) {
+    const double limit = options_.policy == RuntimePolicy::kStatic
+                             ? s.end
+                             : timeline_.stretch_limit(id);
+    if (limit <= s.end + kTimeTol) {
+      // No reclaimed time adjacent: the planned profile, verbatim.
+      return {Phase{s.frequency, s.end}};
+    }
+    const double avail = limit - s.start;
+    const double target_work = s.work();
+    const double f_full = target_work / avail;  // just-in-time speed over the extent
+    const double f_min = std::min(f_floor_, s.frequency);
+
+    if (options_.policy == RuntimePolicy::kCycleConserving) {
+      const double f = std::max(f_full, f_min);
+      return {Phase{f, std::min(s.start + target_work / f, limit)}};
+    }
+    // Look-ahead: run at the speed the *expected* work needs; if the job
+    // turns out to need its full budget, the tail runs at the planned
+    // frequency from the computed switch point and still lands by `limit`.
+    const double expected = estimator_.estimate() * target_work;
+    const double f_lo = std::max(expected / avail, f_min);
+    if (f_lo >= f_full) {
+      return {Phase{f_lo, std::min(s.start + target_work / f_lo, limit)}};
+    }
+    const double t_switch = std::clamp(
+        s.start + (s.frequency * avail - target_work) / (s.frequency - f_lo), s.start, limit);
+    return {Phase{f_lo, t_switch}, Phase{s.frequency, limit}};
+  }
+
+  /// Append executed phases to the realized schedule, integrate busy
+  /// energy, and charge DVFS switches between abutting busy intervals of
+  /// different frequency (the `count_transitions` convention, which an
+  /// internal look-ahead phase boundary also satisfies).
+  void record_busy(TaskId task, CoreId c, double start, const std::vector<Phase>& phases) {
+    const auto ci = static_cast<std::size_t>(c);
+    double t = start;
+    for (const Phase& ph : phases) {
+      const double dur = ph.end - t;
+      if (dur <= kTimeTol) continue;
+      report_.realized.add(Segment{task, c, t, ph.end, ph.frequency});
+      report_.energy.busy_dynamic +=
+          power_.gamma() * std::pow(ph.frequency, power_.alpha()) * dur;
+      report_.energy.busy_static += power_.static_power() * dur;
+      if (std::abs(t - last_busy_end_[ci]) <= kTimeTol &&
+          std::abs(ph.frequency - last_busy_freq_[ci]) > 1e-12) {
+        ++report_.dvfs_switches;
+        report_.energy.dvfs_switch += options_.dvfs_switch_energy;
+      }
+      last_busy_end_[ci] = ph.end;
+      last_busy_freq_[ci] = ph.frequency;
+      t = ph.end;
+    }
+  }
+
+  /// End-of-slice event: settle the job's accounting, reclaim the
+  /// remainder of a completed job, wake up reclamation-affected waiters,
+  /// and advance this core.
+  void on_slice_end(CoreId c, const InFlight& fl) {
+    const double now = engine_.now();
+    const PlannedSlice& s = timeline_.slice(fl.id);
+    const auto task = static_cast<std::size_t>(s.task);
+    if (fl.completes) {
+      TaskOutcome& out = report_.tasks[task];
+      out.completed_work = report_.acet[task];
+      out.completion_time = now;
+      out.deadline_met = now <= tasks_[task].deadline + 1e-9;
+      ++report_.completions;
+      if (fl.early) ++report_.early_completions;
+      estimator_.observe(report_.acet[task] / tasks_[task].work);
+      const double reclaimed = timeline_.remove_pending_of(s.task);
+      if (reclaimed > kTimeTol) {
+        ++report_.reclamations;
+        report_.reclaimed_total += reclaimed;
+        report_.reclaimed_samples.push_back(reclaimed);
+        // Waiting cores may have lost their head (or gained a sleepable
+        // window); have them re-decide now. Sleepers stay asleep — their
+        // stale timers fire as spurious wakes, which is the realistic cost.
+        for (CoreId k = 0; k < static_cast<CoreId>(state_.size()); ++k) {
+          const auto ki = static_cast<std::size_t>(k);
+          if (k == c || state_[ki] != CoreState::kIdle || busy_until_[ki] > now) continue;
+          report_.energy.idle += options_.dpm_config.idle_power * (now - window_start_[ki]);
+          ++seq_[ki];
+          advance(k, now);
+        }
+      }
+    }
+    advance(c, now);
+  }
+
+  const TaskSet& tasks_;
+  const PowerModel& power_;
+  const RuntimeOptions& options_;
+  PlanTimeline timeline_;
+  SimulationEngine engine_;
+  RatioEstimator estimator_;
+  RuntimeReport report_;
+
+  std::vector<double> remaining_;  ///< per job: actual work still owed
+  std::vector<CoreState> state_;
+  std::vector<std::uint64_t> seq_;  ///< per core: stale-event tokens
+  std::vector<double> busy_until_;
+  std::vector<double> window_start_;  ///< start of the current idle/sleep window
+  std::vector<double> last_busy_end_;
+  std::vector<double> last_busy_freq_;
+  double horizon_ = 0.0;
+  double f_floor_ = 0.0;
+};
+
+}  // namespace
+
+RuntimeReport run_runtime(const TaskSet& tasks, const Schedule& plan, const PowerModel& power,
+                          const RuntimeOptions& options) {
+  RuntimeEngine engine(tasks, plan, power, options);
+  return engine.run();
+}
+
+void record_runtime_metrics(MetricsRegistry& metrics, const RuntimeReport& report) {
+  metrics.increment("runtime_runs_total");
+  metrics.increment("runtime_events_total", report.events);
+  metrics.increment("runtime_dispatches_total", report.dispatches);
+  metrics.increment("runtime_completions_total", report.completions);
+  metrics.increment("runtime_early_completions_total", report.early_completions);
+  metrics.increment("runtime_reclamations_total", report.reclamations);
+  metrics.increment("runtime_sleeps_total", report.sleeps);
+  metrics.increment("runtime_wakes_total", report.wakes);
+  metrics.increment("runtime_migrations_total", report.migrations);
+  metrics.increment("runtime_skipped_slices_total", report.skipped_slices);
+  metrics.increment("runtime_dvfs_switches_total", report.dvfs_switches);
+  metrics.increment("runtime_missed_deadlines_total", report.missed_deadlines());
+
+  metrics.set_gauge("runtime_realized_energy", report.energy.total());
+  metrics.set_gauge("runtime_planned_energy", report.planned_energy);
+  if (report.planned_energy > 0.0) {
+    metrics.set_gauge("runtime_energy_ratio", report.energy.total() / report.planned_energy);
+  }
+  metrics.set_gauge("runtime_reclaimed_time", report.reclaimed_total);
+  metrics.set_gauge("runtime_sleep_time", report.sleep_time_total);
+
+  static const std::vector<double> kSlackBuckets = {0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                                                    1.0,   5.0,   10.0, 50.0, 100.0};
+  metrics.declare_buckets("runtime_reclaimed_slack", kSlackBuckets);
+  for (const double sample : report.reclaimed_samples) {
+    metrics.observe_bucketed("runtime_reclaimed_slack", sample);
+  }
+  metrics.declare_buckets("runtime_sleep_residency", kSlackBuckets);
+  for (const double sample : report.sleep_residencies) {
+    metrics.observe_bucketed("runtime_sleep_residency", sample);
+  }
+}
+
+}  // namespace easched

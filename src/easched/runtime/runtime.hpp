@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file runtime.hpp
+/// \brief Event-driven online execution of a static plan.
+///
+/// The planners in `sched/` budget every job at its WCET. This runtime
+/// replays a plan against *actual* execution times (drawn from a seeded
+/// `AcetModel` or supplied per job) and reacts at decision points:
+///
+///  * **Slack reclamation.** A job finishing early frees its remaining
+///    planned slices into per-core slack containers (`PlanTimeline`'s freed
+///    sets). Later dispatches on the core may slow down into that freed
+///    time — cycle-conserving (`kCycleConserving`) stretches exactly over
+///    the reclaimed extent; look-ahead (`kLookAhead`) additionally gambles
+///    on the observed ACET/WCET ratio, starting slower and deferring the
+///    pessimistic remainder to a faster second phase (cf. CC-EDF/LA-EDF,
+///    Pillai & Shin 2001).
+///  * **DPM sleep states.** With `dpm` enabled, a core facing an idle
+///    window runs the `DpmConfig` break-even test and either stays
+///    awake-idle (paying `idle_power`) or sleeps through the window and
+///    pays the wake-up transition. Optional consolidation migration moves
+///    a newly idle core's queue onto busier cores to lengthen its windows.
+///  * **Energy accounting.** Busy dynamic/static, idle, sleep-residency,
+///    wake-transition, and DVFS-switch energies are integrated separately
+///    and cross-checkable against the plan's analytic energy.
+///
+/// Safety and determinism are structural, not re-proved per event: slices
+/// never start earlier than planned, stretch only into reclaimed time
+/// (capped by the task deadline — reclamation cannot cause a miss), and the
+/// event loop is serial with deterministic tie-breaking, so a fixed
+/// (workload seed, ACET seed, policy) triple yields bit-identical reports
+/// at any thread-pool size. With ACET = WCET and DPM disabled, every
+/// policy replays the plan's segments bit-for-bit.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/runtime/acet.hpp"
+#include "easched/runtime/dpm.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/sim/executor.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+class MetricsRegistry;
+
+/// How a dispatched slice reacts to reclaimed slack.
+enum class RuntimePolicy {
+  kStatic,           ///< replay the plan verbatim; never slow down
+  kCycleConserving,  ///< stretch each slice over its reclaimed extent
+  kLookAhead,        ///< start slower (by observed ACET ratio), defer the rest
+};
+
+std::string_view to_string(RuntimePolicy policy);
+std::optional<RuntimePolicy> parse_policy(std::string_view name);
+
+/// Knobs of one runtime run.
+struct RuntimeOptions {
+  RuntimePolicy policy = RuntimePolicy::kStatic;
+
+  /// Enable sleep states (break-even test at every idle decision point).
+  bool dpm = false;
+  DpmConfig dpm_config;
+
+  /// Consolidation: a core going idle offers its queued slices to busier
+  /// cores (times unchanged) to lengthen its own idle windows.
+  bool migrate = false;
+
+  /// Per-job actual execution times: drawn from `acet` unless
+  /// `explicit_acet` is non-empty (then it must have one entry per task,
+  /// e.g. the `acet` column of a trace file).
+  AcetModel acet;
+  std::vector<double> explicit_acet;
+
+  /// Prior ACET/WCET ratio seeding the look-ahead estimator; 0 starts
+  /// pessimistic and adapts from observed completions.
+  double la_expectation = 0.0;
+
+  /// Energy charged per DVFS switch between abutting busy intervals.
+  double dvfs_switch_energy = 0.0;
+
+  /// Relative tolerance for "this slice completes its job's requirement".
+  double work_tol = 1e-6;
+};
+
+/// Energy integrated by the runtime, split by where it went.
+struct EnergyBreakdown {
+  double busy_dynamic = 0.0;  ///< Σ γ·f^α · duration over executed intervals
+  double busy_static = 0.0;   ///< Σ p0 · duration over executed intervals
+  double idle = 0.0;          ///< awake-idle residency at `idle_power`
+  double sleep = 0.0;         ///< sleep-state residency at `sleep_power`
+  double wake = 0.0;          ///< sleep→active transition lumps
+  double dvfs_switch = 0.0;   ///< frequency-switch lumps
+
+  double busy() const { return busy_dynamic + busy_static; }
+  double total() const { return busy() + idle + sleep + wake + dvfs_switch; }
+};
+
+/// Everything one runtime run produced.
+struct RuntimeReport {
+  EnergyBreakdown energy;
+  /// The plan's analytic energy `Σ p(f)·duration` (no idle charge) — the
+  /// baseline the realized busy energy is compared against.
+  double planned_energy = 0.0;
+  /// End of the accounting window: the plan's latest segment end. Idle and
+  /// sleep residency are charged on every core up to this instant.
+  double horizon = 0.0;
+
+  /// The executed segments (possibly stretched/split/migrated).
+  Schedule realized;
+  std::vector<TaskOutcome> tasks;
+  /// The ACET actually used for each job.
+  std::vector<double> acet;
+
+  std::size_t events = 0;
+  std::size_t dispatches = 0;
+  std::size_t completions = 0;
+  std::size_t early_completions = 0;
+  std::size_t reclamations = 0;  ///< completions that freed future slices
+  std::size_t sleeps = 0;
+  std::size_t wakes = 0;
+  std::size_t migrations = 0;
+  std::size_t skipped_slices = 0;  ///< dispatched for already-complete jobs
+  std::size_t dvfs_switches = 0;
+
+  double reclaimed_total = 0.0;   ///< Σ freed slice duration
+  double sleep_time_total = 0.0;  ///< Σ sleep residency
+  std::vector<double> reclaimed_samples;  ///< per reclaiming completion
+  std::vector<double> sleep_residencies;  ///< per sleep window
+
+  std::size_t missed_deadlines() const;
+  bool all_deadlines_met() const { return missed_deadlines() == 0; }
+};
+
+/// Execute `plan` for `tasks` under `options`. The plan must be valid for
+/// the task set (planner output); the run itself is serial and
+/// deterministic.
+RuntimeReport run_runtime(const TaskSet& tasks, const Schedule& plan, const PowerModel& power,
+                          const RuntimeOptions& options = {});
+
+/// Record a finished run into `metrics`: decision-point counters
+/// (`runtime_*_total`), realized/planned energy gauges, and bucketed
+/// reclaimed-slack / sleep-residency histograms (Prometheus-exportable).
+void record_runtime_metrics(MetricsRegistry& metrics, const RuntimeReport& report);
+
+}  // namespace easched

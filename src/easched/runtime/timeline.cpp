@@ -1,0 +1,213 @@
+#include "easched/runtime/timeline.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+#include "easched/common/math.hpp"
+
+namespace easched {
+
+namespace {
+
+/// Deterministic queue order: by start, ties by task id (a valid plan
+/// cannot overlap two slices on one core, but zero-length ties are legal).
+bool slice_before(const PlannedSlice& a, const PlannedSlice& b) {
+  if (a.start != b.start) return a.start < b.start;
+  return a.task < b.task;
+}
+
+}  // namespace
+
+PlanTimeline::PlanTimeline(const TaskSet& tasks, const Schedule& plan) {
+  const int core_count = plan.core_count();
+  EASCHED_EXPECTS(core_count > 0);
+  cores_.resize(static_cast<std::size_t>(core_count));
+  cursor_.assign(static_cast<std::size_t>(core_count), 0);
+  freed_.resize(static_cast<std::size_t>(core_count));
+  tasks_.resize(tasks.size());
+  deadline_.reserve(tasks.size());
+  for (const Task& t : tasks) deadline_.push_back(t.deadline);
+
+  slices_.reserve(plan.segments().size());
+  for (const Segment& seg : plan.segments()) {
+    if (seg.duration() <= 0.0) continue;  // zero-length segments carry no work
+    EASCHED_EXPECTS(seg.core >= 0 && seg.core < core_count);
+    EASCHED_EXPECTS(seg.task >= 0 && static_cast<std::size_t>(seg.task) < tasks.size());
+    slices_.push_back(PlannedSlice{seg.task, seg.core, seg.start, seg.end, seg.frequency});
+  }
+  state_.assign(slices_.size(), SliceState::kPending);
+  queue_pos_.assign(slices_.size(), 0);
+  pending_ = slices_.size();
+
+  for (std::size_t id = 0; id < slices_.size(); ++id) {
+    cores_[static_cast<std::size_t>(slices_[id].core)].push_back(id);
+    tasks_[static_cast<std::size_t>(slices_[id].task)].push_back(id);
+  }
+  const auto by_start = [this](std::size_t a, std::size_t b) {
+    return slice_before(slices_[a], slices_[b]);
+  };
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    std::sort(cores_[c].begin(), cores_[c].end(), by_start);
+    for (std::size_t p = 0; p < cores_[c].size(); ++p) queue_pos_[cores_[c][p]] = p;
+  }
+  for (auto& list : tasks_) std::sort(list.begin(), list.end(), by_start);
+}
+
+std::optional<std::size_t> PlanTimeline::head(CoreId core) const {
+  const auto& queue = cores_[static_cast<std::size_t>(core)];
+  for (std::size_t p = cursor_[static_cast<std::size_t>(core)]; p < queue.size(); ++p) {
+    if (state_[queue[p]] == SliceState::kPending) return queue[p];
+  }
+  return std::nullopt;
+}
+
+void PlanTimeline::pop(std::size_t id) {
+  EASCHED_EXPECTS(id < slices_.size());
+  EASCHED_EXPECTS(state_[id] == SliceState::kPending);
+  const auto core = static_cast<std::size_t>(slices_[id].core);
+  EASCHED_EXPECTS(head(slices_[id].core) == std::optional<std::size_t>(id));
+  state_[id] = SliceState::kDispatched;
+  --pending_;
+  // Advance the cursor past everything decided, so head() stays cheap.
+  const auto& queue = cores_[core];
+  std::size_t& cur = cursor_[core];
+  while (cur < queue.size() && state_[queue[cur]] != SliceState::kPending) ++cur;
+}
+
+std::optional<std::size_t> PlanTimeline::next_pending_after(CoreId core,
+                                                            std::size_t queue_pos) const {
+  const auto& queue = cores_[static_cast<std::size_t>(core)];
+  for (std::size_t p = queue_pos + 1; p < queue.size(); ++p) {
+    if (state_[queue[p]] == SliceState::kPending) return queue[p];
+  }
+  return std::nullopt;
+}
+
+double PlanTimeline::stretch_limit(std::size_t id) const {
+  EASCHED_EXPECTS(id < slices_.size());
+  EASCHED_EXPECTS(state_[id] == SliceState::kDispatched);
+  const PlannedSlice& s = slices_[id];
+  double limit = s.end;
+
+  // Contiguous freed (reclaimed) run starting at the planned end.
+  const FreedSet& freed = freed_[static_cast<std::size_t>(s.core)];
+  auto it = freed.upper_bound(s.end + kTimeTol);
+  if (it != freed.begin()) {
+    --it;
+    if (it->second > s.end && it->first <= s.end + kTimeTol) limit = it->second;
+  }
+
+  // Never into the next pending slice on this core.
+  if (const auto next = next_pending_after(s.core, queue_pos_[id])) {
+    limit = std::min(limit, slices_[*next].start);
+  }
+  // Never overlapping the same task's next pending slice on any core.
+  for (const std::size_t sib : tasks_[static_cast<std::size_t>(s.task)]) {
+    if (sib == id || state_[sib] != SliceState::kPending) continue;
+    if (slices_[sib].start >= s.end - kTimeTol) {
+      limit = std::min(limit, slices_[sib].start);
+      break;  // task list is start-ordered
+    }
+  }
+  // Never past the deadline.
+  limit = std::min(limit, deadline_[static_cast<std::size_t>(s.task)]);
+  return std::max(limit, s.end);
+}
+
+double PlanTimeline::remove_pending_of(TaskId task) {
+  double reclaimed = 0.0;
+  for (const std::size_t id : tasks_[static_cast<std::size_t>(task)]) {
+    if (state_[id] != SliceState::kPending) continue;
+    state_[id] = SliceState::kRemoved;
+    --pending_;
+    reclaimed += slices_[id].duration();
+    add_freed(slices_[id].core, slices_[id].start, slices_[id].end);
+  }
+  return reclaimed;
+}
+
+void PlanTimeline::add_freed(CoreId core, double a, double b) {
+  if (b - a <= kTimeTol) return;
+  FreedSet& freed = freed_[static_cast<std::size_t>(core)];
+  // Merge with any interval overlapping or adjacent (within tolerance).
+  auto it = freed.lower_bound(a - kTimeTol);
+  if (it != freed.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= a - kTimeTol) it = prev;
+  }
+  while (it != freed.end() && it->first <= b + kTimeTol) {
+    a = std::min(a, it->first);
+    b = std::max(b, it->second);
+    it = freed.erase(it);
+  }
+  freed.emplace(a, b);
+}
+
+void PlanTimeline::consume_freed(CoreId core, double a, double b) {
+  if (b - a <= 0.0) return;
+  FreedSet& freed = freed_[static_cast<std::size_t>(core)];
+  auto it = freed.lower_bound(a + kTimeTol);
+  if (it != freed.begin()) --it;
+  while (it != freed.end() && it->first < b - kTimeTol) {
+    const double lo = it->first;
+    const double hi = it->second;
+    if (hi <= a + kTimeTol) {
+      ++it;
+      continue;
+    }
+    it = freed.erase(it);
+    if (lo < a - kTimeTol) freed.emplace(lo, a);
+    if (hi > b + kTimeTol) freed.emplace(b, hi);
+    if (hi > b + kTimeTol) break;
+  }
+}
+
+double PlanTimeline::pending_duration(CoreId core) const {
+  double total = 0.0;
+  const auto& queue = cores_[static_cast<std::size_t>(core)];
+  for (std::size_t p = cursor_[static_cast<std::size_t>(core)]; p < queue.size(); ++p) {
+    if (state_[queue[p]] == SliceState::kPending) total += slices_[queue[p]].duration();
+  }
+  return total;
+}
+
+bool PlanTimeline::core_free_during(CoreId core, double a, double b) const {
+  const auto& queue = cores_[static_cast<std::size_t>(core)];
+  for (std::size_t p = cursor_[static_cast<std::size_t>(core)]; p < queue.size(); ++p) {
+    if (state_[queue[p]] != SliceState::kPending) continue;
+    const PlannedSlice& s = slices_[queue[p]];
+    if (s.start >= b - kTimeTol) break;  // start-ordered: nothing later overlaps
+    if (overlap_length(a, b, s.start, s.end) > kTimeTol) return false;
+  }
+  return true;
+}
+
+std::size_t PlanTimeline::migrate_head(CoreId from, CoreId to) {
+  const auto moving = head(from);
+  EASCHED_EXPECTS(moving.has_value());
+  const std::size_t id = *moving;
+  auto& src = cores_[static_cast<std::size_t>(from)];
+  src.erase(src.begin() + static_cast<std::ptrdiff_t>(queue_pos_[id]));
+  for (std::size_t p = queue_pos_[id]; p < src.size(); ++p) queue_pos_[src[p]] = p;
+  if (cursor_[static_cast<std::size_t>(from)] > src.size()) {
+    cursor_[static_cast<std::size_t>(from)] = src.size();
+  }
+
+  slices_[id].core = to;
+  auto& dst = cores_[static_cast<std::size_t>(to)];
+  const auto at = std::upper_bound(dst.begin(), dst.end(), id,
+                                   [this](std::size_t a, std::size_t b) {
+                                     return slice_before(slices_[a], slices_[b]);
+                                   });
+  const auto pos = static_cast<std::size_t>(at - dst.begin());
+  dst.insert(at, id);
+  for (std::size_t p = pos; p < dst.size(); ++p) queue_pos_[dst[p]] = p;
+  // The destination cursor may sit past removed entries that sort after the
+  // migrant; pull it back so the new pending slice is not skipped.
+  if (pos < cursor_[static_cast<std::size_t>(to)]) {
+    cursor_[static_cast<std::size_t>(to)] = pos;
+  }
+  return id;
+}
+
+}  // namespace easched

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file timeline.hpp
+/// \brief Executable per-core job timelines compiled from a static plan.
+///
+/// The runtime's view of a plan: every segment becomes a *slice* queued on
+/// its core in start order. Two invariants keep online execution provably
+/// safe without re-running a planner at every event:
+///
+///  * **Starts never move earlier.** A slice is dispatched exactly at its
+///    planned start (or skipped). The plan guarantees the task is released
+///    and runs nowhere else at that instant; an earlier start would have to
+///    re-prove both.
+///  * **Stretch only into reclaimed time.** A dispatched slice may run past
+///    its planned end only through the *freed set* — a per-core, MORA-style
+///    slack container holding the exact intervals earlier completions gave
+///    back (skipped future slices of finished tasks, unused slice tails).
+///    Planned idle is never borrowed, so when no job finishes early the
+///    timeline replays the plan bit-for-bit. The stretch is further capped
+///    by the next pending slice on the core, the next pending slice of the
+///    same task anywhere (no task may overlap itself across cores), and the
+///    task deadline — which is why reclamation can never cause a miss.
+///
+/// Consolidation migration moves a *pending* head slice to another core
+/// with its times unchanged, so neither invariant is disturbed.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace easched {
+
+/// One queued unit of planned execution (a plan segment on the runtime side).
+struct PlannedSlice {
+  TaskId task = 0;
+  CoreId core = 0;  ///< current owner (migration may differ from the plan)
+  double start = 0.0;
+  double end = 0.0;
+  double frequency = 0.0;
+
+  double duration() const { return end - start; }
+  double work() const { return frequency * duration(); }
+};
+
+/// Mutable execution state of a plan: per-core pending queues plus freed
+/// (reclaimed) time. All operations are deterministic and O(log) / O(core
+/// queue) — the runtime calls them once per decision point.
+class PlanTimeline {
+ public:
+  /// Boundary tolerance when merging freed intervals and testing
+  /// adjacency/overlap (same convention as `Schedule::coalesce`).
+  static constexpr double kTimeTol = 1e-9;
+
+  PlanTimeline(const TaskSet& tasks, const Schedule& plan);
+
+  std::size_t slice_count() const { return slices_.size(); }
+  std::size_t pending_count() const { return pending_; }
+  const PlannedSlice& slice(std::size_t id) const { return slices_[id]; }
+
+  /// Next pending slice on `core` (the one with the earliest start).
+  std::optional<std::size_t> head(CoreId core) const;
+
+  /// Mark `id` — which must be `head()` of its core — as dispatched.
+  void pop(std::size_t id);
+
+  /// Latest instant the just-dispatched slice `id` may execute to under
+  /// slack reclamation (see file comment for the caps). Always ≥ planned
+  /// end; equals it when nothing adjacent has been reclaimed.
+  double stretch_limit(std::size_t id) const;
+
+  /// Remove every still-pending slice of `task`, freeing their planned
+  /// intervals on their cores. Returns the total duration reclaimed.
+  double remove_pending_of(TaskId task);
+
+  /// Record reclaimed time `[a, b)` on `core` (unused tail of a slice that
+  /// completed its task mid-window).
+  void add_freed(CoreId core, double a, double b);
+
+  /// Consume `[a, b)` from `core`'s freed set (a stretch executed into it).
+  void consume_freed(CoreId core, double a, double b);
+
+  /// Total pending execution time queued on `core`.
+  double pending_duration(CoreId core) const;
+
+  /// True when no pending slice on `core` overlaps `[a, b)`.
+  bool core_free_during(CoreId core, double a, double b) const;
+
+  /// Move the head slice of `from` onto `to`, times unchanged. The caller
+  /// has verified `to` is idle and free over the slice's span. Returns the
+  /// migrated slice id.
+  std::size_t migrate_head(CoreId from, CoreId to);
+
+ private:
+  enum class SliceState : unsigned char { kPending, kDispatched, kRemoved };
+
+  /// Freed intervals of one core, start → end, non-overlapping, merged
+  /// when adjacent within `kTimeTol`.
+  using FreedSet = std::map<double, double>;
+
+  std::optional<std::size_t> next_pending_after(CoreId core, std::size_t queue_pos) const;
+
+  std::vector<PlannedSlice> slices_;
+  std::vector<SliceState> state_;
+  std::vector<std::size_t> queue_pos_;           ///< slice id → index in its core queue
+  std::vector<std::vector<std::size_t>> cores_;  ///< per core: slice ids by start
+  std::vector<std::size_t> cursor_;              ///< per core: first maybe-pending index
+  std::vector<std::vector<std::size_t>> tasks_;  ///< per task: slice ids by start
+  std::vector<FreedSet> freed_;
+  std::vector<double> deadline_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace easched

@@ -190,6 +190,28 @@ double SchedulerService::current_energy() {
   return plan_for_committed_locked().energy;
 }
 
+RuntimeReport SchedulerService::simulate_runtime(const RuntimeOptions& runtime_options) {
+  TaskSet tasks;
+  Schedule plan;
+  {
+    std::lock_guard lock(state_mutex_);
+    std::vector<Task> committed;
+    committed.reserve(committed_.size());
+    for (const auto& [id, task] : committed_) committed.push_back(task);
+    tasks = TaskSet(std::move(committed));
+    if (!tasks.empty()) plan = plan_for_committed_locked().schedule;
+    metrics_.increment("runtime_simulations_total");
+  }
+  if (tasks.empty()) {
+    RuntimeReport empty;
+    record_runtime_metrics(metrics_, empty);
+    return empty;
+  }
+  const RuntimeReport report = run_runtime(tasks, plan, power_, runtime_options);
+  record_runtime_metrics(metrics_, report);
+  return report;
+}
+
 ServiceSnapshot SchedulerService::snapshot() {
   std::lock_guard lock(state_mutex_);
   ServiceSnapshot snap;

@@ -63,6 +63,7 @@
 
 #include "easched/common/math.hpp"
 #include "easched/power/power_model.hpp"
+#include "easched/runtime/runtime.hpp"
 #include "easched/sched/admission.hpp"
 #include "easched/sched/fallback.hpp"
 #include "easched/sched/schedule.hpp"
@@ -189,6 +190,13 @@ class SchedulerService {
   Schedule current_plan();
   /// F2 energy of the committed set.
   double current_energy();
+  /// Simulate executing the committed set's plan through the online
+  /// runtime (slack reclamation / DVFS / DPM per `options`). Planning uses
+  /// the cache under the state lock; the simulation itself runs outside
+  /// it, so admission traffic is never blocked behind a what-if. Decision
+  /// counters and reclaimed-slack / sleep-residency histograms land in
+  /// `metrics()` (see `record_runtime_metrics`).
+  RuntimeReport simulate_runtime(const RuntimeOptions& runtime_options = {});
   /// Serialize current state for restart (see `snapshot.hpp`).
   ServiceSnapshot snapshot();
   MetricsRegistry& metrics() { return metrics_; }

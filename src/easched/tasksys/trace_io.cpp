@@ -1,8 +1,10 @@
 #include "easched/tasksys/trace_io.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
+#include "easched/common/contracts.hpp"
 #include "easched/common/csv.hpp"
 #include "easched/common/table.hpp"
 
@@ -39,10 +41,60 @@ TaskSet task_set_from_csv(const std::string& text) {
   return TaskSet(std::move(tasks));
 }
 
+std::string task_trace_to_csv(const TaskTrace& trace) {
+  if (!trace.has_acet()) return task_set_to_csv(trace.tasks);
+  EASCHED_EXPECTS(trace.acet.size() == trace.tasks.size());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(trace.tasks.size());
+  for (std::size_t i = 0; i < trace.tasks.size(); ++i) {
+    const Task& t = trace.tasks[i];
+    rows.push_back({format_fixed(t.release, 9), format_fixed(t.deadline, 9),
+                    format_fixed(t.work, 9), format_fixed(trace.acet[i], 9)});
+  }
+  return to_csv({"release", "deadline", "work", "acet"}, rows);
+}
+
+TaskTrace task_trace_from_csv(const std::string& text) {
+  TaskTrace trace;
+  trace.tasks = task_set_from_csv(text);
+  const CsvDocument doc = parse_csv(text);
+  std::size_t acet_col = doc.header.size();
+  for (std::size_t c = 0; c < doc.header.size(); ++c) {
+    if (doc.header[c] == "acet") acet_col = c;
+  }
+  if (acet_col == doc.header.size()) return trace;  // no acet column: ACET = WCET
+  trace.acet.reserve(doc.rows.size());
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    double a = 0.0;
+    try {
+      a = std::stod(doc.rows[r][acet_col]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("non-numeric acet field in task trace");
+    }
+    // format_fixed rounds to 9 decimals, so a stored ACET that equalled the
+    // WCET may read back a hair above the independently rounded work field.
+    const double work = trace.tasks[r].work;
+    if (!(a > 0.0) || a > work * (1.0 + 1e-9) + 1e-9) {
+      throw std::runtime_error("acet out of range (need 0 < acet <= work) in task trace row " +
+                               std::to_string(r));
+    }
+    trace.acet.push_back(std::min(a, work));
+  }
+  return trace;
+}
+
 void write_task_set(const std::string& path, const TaskSet& tasks) {
   write_file(path, task_set_to_csv(tasks));
 }
 
 TaskSet read_task_set(const std::string& path) { return task_set_from_csv(read_file(path)); }
+
+void write_task_trace(const std::string& path, const TaskTrace& trace) {
+  write_file(path, task_trace_to_csv(trace));
+}
+
+TaskTrace read_task_trace(const std::string& path) {
+  return task_trace_from_csv(read_file(path));
+}
 
 }  // namespace easched

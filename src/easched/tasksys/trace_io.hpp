@@ -1,26 +1,55 @@
 #pragma once
 
 /// \file trace_io.hpp
-/// \brief Persist task sets as CSV traces (`release,deadline,work`).
+/// \brief Persist task sets as CSV traces (`release,deadline,work[,acet]`).
 ///
 /// Examples ship with traces so users can feed their own task sets into the
 /// schedulers without touching C++.
+///
+/// The optional `acet` column records each job's *actual* execution time
+/// requirement (`0 < acet ≤ work`), the ground truth the online runtime
+/// (`runtime/`) replays when jobs finish before their WCET budget. The
+/// format is backward compatible in both directions: readers ignore columns
+/// they do not know, and a trace without an `acet` column means
+/// ACET = WCET (`TaskTrace::acet` comes back empty).
 
 #include <string>
+#include <vector>
 
 #include "easched/tasksys/task_set.hpp"
 
 namespace easched {
 
+/// A persisted workload: the task set plus, optionally, per-job actual
+/// execution requirements. `acet` is either empty (no acet column — every
+/// job consumes its full WCET budget) or exactly `tasks.size()` values with
+/// `0 < acet[i] ≤ tasks[i].work`.
+struct TaskTrace {
+  TaskSet tasks;
+  std::vector<double> acet;
+
+  bool has_acet() const { return !acet.empty(); }
+};
+
 /// Serialize a task set to CSV text with header `release,deadline,work`.
 std::string task_set_to_csv(const TaskSet& tasks);
 
 /// Parse a task set from CSV text (columns may appear in any order; extra
-/// columns are ignored). Throws on malformed input.
+/// columns — including `acet` — are ignored). Throws on malformed input.
 TaskSet task_set_from_csv(const std::string& text);
+
+/// Serialize a trace; emits the `acet` column only when present, so traces
+/// without ACET data round-trip byte-identically through `TaskTrace`.
+std::string task_trace_to_csv(const TaskTrace& trace);
+
+/// Parse a trace. An absent `acet` column yields `acet.empty()`; a present
+/// one is validated (`0 < acet ≤ work` per row). Throws on malformed input.
+TaskTrace task_trace_from_csv(const std::string& text);
 
 /// File-based convenience wrappers.
 void write_task_set(const std::string& path, const TaskSet& tasks);
 TaskSet read_task_set(const std::string& path);
+void write_task_trace(const std::string& path, const TaskTrace& trace);
+TaskTrace read_task_trace(const std::string& path);
 
 }  // namespace easched

@@ -1,0 +1,98 @@
+/// \file runtime_policy_test.cpp
+/// \brief Policy-level properties of the runtime matrix: the reclaiming
+///        policies beat static replay when jobs finish early, DPM only
+///        helps further, nothing ever misses a deadline, and the matrix is
+///        bit-identical at any thread-pool size.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "easched/exp/runtime_matrix.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/power/power_model.hpp"
+
+namespace easched {
+namespace {
+
+RuntimeMatrixConfig small_config(bool bursty) {
+  RuntimeMatrixConfig config;
+  config.cores = 3;
+  config.workload.task_count = 12;
+  config.bursts.bursts = 3;
+  config.bursts.tasks_per_burst = 4;
+  config.bursty = bursty;
+  config.acet_ratios = {0.5, 1.0};
+  return config;
+}
+
+TEST(RuntimeMatrixTest, ReclaimingPoliciesBeatStaticReplayAtHalfAcet) {
+  const PowerModel power(3.0, 0.05);
+  for (const bool bursty : {false, true}) {
+    const RuntimeMatrixResult result =
+        run_runtime_matrix("policy-test", small_config(bursty), power, 10);
+
+    // At ACET/WCET = 0.5 every reacting policy must save energy over the
+    // static replay — and no cell may ever miss a deadline.
+    EXPECT_LT(result.cell("cc", 0.5).energy_vs_static.mean(), 1.0) << "bursty=" << bursty;
+    EXPECT_LT(result.cell("la", 0.5).energy_vs_static.mean(), 1.0) << "bursty=" << bursty;
+    EXPECT_LT(result.cell("cc+dpm", 0.5).energy_vs_static.mean(), 1.0) << "bursty=" << bursty;
+    EXPECT_LT(result.cell("la+dpm", 0.5).energy_vs_static.mean(), 1.0) << "bursty=" << bursty;
+    for (const RuntimeCellStats& cell : result.cells) {
+      EXPECT_DOUBLE_EQ(cell.misses.mean(), 0.0)
+          << cell.policy << "@" << cell.acet_ratio << " bursty=" << bursty;
+    }
+
+    // DPM on top of a reclaiming policy can only help (same busy profile,
+    // cheaper windows).
+    EXPECT_LE(result.cell("cc+dpm", 0.5).energy_vs_static.mean(),
+              result.cell("cc", 0.5).energy_vs_static.mean() + 1e-9);
+    EXPECT_LE(result.cell("la+dpm", 0.5).energy_vs_static.mean(),
+              result.cell("la", 0.5).energy_vs_static.mean() + 1e-9);
+
+    // With ACET = WCET there is nothing to reclaim: the non-DPM policies
+    // cost exactly the static replay.
+    EXPECT_DOUBLE_EQ(result.cell("static", 1.0).energy_vs_static.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(result.cell("cc", 1.0).energy_vs_static.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(result.cell("la", 1.0).energy_vs_static.mean(), 1.0);
+
+    // Reclaimed slack only exists when jobs actually finish early.
+    EXPECT_GT(result.cell("cc", 0.5).reclaimed.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(result.cell("cc", 1.0).reclaimed.mean(), 0.0);
+  }
+}
+
+TEST(RuntimeMatrixTest, MatrixIsBitIdenticalAtAnyPoolSize) {
+  const PowerModel power(3.0, 0.05);
+  const RuntimeMatrixConfig config = small_config(false);
+
+  ThreadPool pool1(1);
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  const RuntimeMatrixResult a = run_runtime_matrix("pool-det", config, power, 6, pool1);
+  const RuntimeMatrixResult b = run_runtime_matrix("pool-det", config, power, 6, pool2);
+  const RuntimeMatrixResult c = run_runtime_matrix("pool-det", config, power, 6, pool8);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.cells.size(), c.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].realized_energy.mean(), b.cells[i].realized_energy.mean());
+    EXPECT_EQ(a.cells[i].realized_energy.mean(), c.cells[i].realized_energy.mean());
+    EXPECT_EQ(a.cells[i].energy_vs_static.mean(), b.cells[i].energy_vs_static.mean());
+    EXPECT_EQ(a.cells[i].energy_vs_static.mean(), c.cells[i].energy_vs_static.mean());
+    EXPECT_EQ(a.cells[i].reclaimed.mean(), c.cells[i].reclaimed.mean());
+    EXPECT_EQ(a.cells[i].sleep_time.mean(), c.cells[i].sleep_time.mean());
+  }
+}
+
+TEST(RuntimeMatrixTest, SleepResidencyAppearsOnlyInDpmCells) {
+  const PowerModel power(3.0, 0.05);
+  const RuntimeMatrixResult result =
+      run_runtime_matrix("dpm-cells", small_config(false), power, 6);
+  EXPECT_DOUBLE_EQ(result.cell("static", 0.5).sleep_time.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.cell("cc", 0.5).sleep_time.mean(), 0.0);
+  EXPECT_GT(result.cell("cc+dpm", 0.5).sleep_time.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace easched

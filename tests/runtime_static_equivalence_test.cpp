@@ -1,0 +1,130 @@
+/// \file runtime_static_equivalence_test.cpp
+/// \brief The runtime's exactness property: with ACET = WCET and DPM
+///        disabled, *every* policy replays the static plan bit-for-bit —
+///        per-core timelines and energy — for every planner family, across
+///        seeded workloads, independent of the planning thread-pool size.
+///
+/// This is the anchor that keeps the online engine honest: no early
+/// completion means no freed time, no freed time means no stretch, and the
+/// no-stretch dispatch path reuses the plan's own doubles (frequencies and
+/// segment ends verbatim, no re-derivation through division), so equality
+/// is exact, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "easched/parallel/exec.hpp"
+#include "easched/parallel/thread_pool.hpp"
+#include "easched/power/power_model.hpp"
+#include "easched/runtime/runtime.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+constexpr std::uint64_t kSeeds = 25;
+
+std::vector<Segment> sorted_busy(const Schedule& schedule) {
+  std::vector<Segment> out;
+  for (const Segment& s : schedule.segments()) {
+    if (s.duration() > 1e-9) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const Segment& a, const Segment& b) {
+    if (a.core != b.core) return a.core < b.core;
+    if (a.start != b.start) return a.start < b.start;
+    if (a.task != b.task) return a.task < b.task;
+    return a.frequency < b.frequency;
+  });
+  return out;
+}
+
+/// Energy summed in the sorted order, so two equal segment lists integrate
+/// to the same double bit-for-bit (storage order must not matter).
+double sorted_energy(const std::vector<Segment>& segments, const PowerModel& power) {
+  double total = 0.0;
+  for (const Segment& s : segments) total += power.power(s.frequency) * s.duration();
+  return total;
+}
+
+TaskSet workload_for(std::uint64_t seed) {
+  WorkloadConfig config;
+  config.task_count = 16;
+  Rng rng(Rng::seed_of("runtime-equivalence", seed));
+  return generate_workload(config, rng);
+}
+
+void expect_exact_replay(const TaskSet& tasks, const Schedule& plan, const PowerModel& power,
+                         const char* family, std::uint64_t seed) {
+  if (plan.empty()) return;
+  const auto plan_sorted = sorted_busy(plan);
+  const double plan_energy = sorted_energy(plan_sorted, power);
+
+  for (const RuntimePolicy policy :
+       {RuntimePolicy::kStatic, RuntimePolicy::kCycleConserving, RuntimePolicy::kLookAhead}) {
+    RuntimeOptions opt;
+    opt.policy = policy;  // ACET model defaults to ratio 1, jitter 0
+    const RuntimeReport report = run_runtime(tasks, plan, power, opt);
+
+    const auto realized_sorted = sorted_busy(report.realized);
+    ASSERT_EQ(realized_sorted.size(), plan_sorted.size())
+        << family << " policy=" << to_string(policy) << " seed=" << seed;
+    for (std::size_t i = 0; i < plan_sorted.size(); ++i) {
+      EXPECT_EQ(realized_sorted[i], plan_sorted[i])
+          << family << " policy=" << to_string(policy) << " seed=" << seed << " segment " << i;
+    }
+    // Bit-identical segments integrate to bit-identical energy.
+    EXPECT_EQ(sorted_energy(realized_sorted, power), plan_energy)
+        << family << " policy=" << to_string(policy) << " seed=" << seed;
+    EXPECT_EQ(report.early_completions, 0u);
+    EXPECT_EQ(report.reclamations, 0u);
+    EXPECT_EQ(report.completions, tasks.size());
+    EXPECT_TRUE(report.all_deadlines_met());
+  }
+}
+
+TEST(RuntimeStaticEquivalenceTest, WcetReplayIsBitExactForAllPlannerFamilies) {
+  const PowerModel power(3.0, 0.05);
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const TaskSet tasks = workload_for(seed);
+    const PipelineResult result = run_pipeline(tasks, 4, power);
+    expect_exact_replay(tasks, result.even.intermediate_schedule, power, "I1", seed);
+    expect_exact_replay(tasks, result.even.final_schedule, power, "F1", seed);
+    expect_exact_replay(tasks, result.der.intermediate_schedule, power, "I2", seed);
+    expect_exact_replay(tasks, result.der.final_schedule, power, "F2", seed);
+  }
+}
+
+TEST(RuntimeStaticEquivalenceTest, ReplayIsIdenticalAtAnyPlanningPoolSize) {
+  const PowerModel power(3.0, 0.05);
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  const Exec contexts[] = {Exec::serial(), Exec::on(pool2), Exec::on(pool8)};
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const TaskSet tasks = workload_for(seed);
+    std::vector<Segment> reference;
+    double reference_energy = 0.0;
+    for (std::size_t i = 0; i < std::size(contexts); ++i) {
+      const Schedule plan = run_pipeline(tasks, 4, power, contexts[i]).der.final_schedule;
+      RuntimeOptions opt;
+      opt.policy = RuntimePolicy::kCycleConserving;
+      const RuntimeReport report = run_runtime(tasks, plan, power, opt);
+      const auto segs = sorted_busy(report.realized);
+      const double energy = report.energy.total();
+      if (i == 0) {
+        reference = segs;
+        reference_energy = energy;
+      } else {
+        EXPECT_EQ(segs, reference) << "pool context " << i << " seed " << seed;
+        EXPECT_EQ(energy, reference_energy) << "pool context " << i << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easched

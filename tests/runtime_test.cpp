@@ -1,0 +1,389 @@
+/// \file runtime_test.cpp
+/// \brief Unit tests of the online runtime: ACET draws, DPM break-even,
+///        slack reclamation under each policy, sleep/migration accounting,
+///        and deadline safety + determinism under fuzzed workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/runtime/acet.hpp"
+#include "easched/runtime/dpm.hpp"
+#include "easched/runtime/runtime.hpp"
+#include "easched/sched/pipeline.hpp"
+#include "easched/sched/schedule.hpp"
+#include "easched/tasksys/task_set.hpp"
+#include "easched/tasksys/workload.hpp"
+
+namespace easched {
+namespace {
+
+std::vector<Segment> sorted_busy(const Schedule& schedule) {
+  std::vector<Segment> out;
+  for (const Segment& s : schedule.segments()) {
+    if (s.duration() > 1e-9) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const Segment& a, const Segment& b) {
+    if (a.core != b.core) return a.core < b.core;
+    if (a.start != b.start) return a.start < b.start;
+    if (a.task != b.task) return a.task < b.task;
+    return a.frequency < b.frequency;
+  });
+  return out;
+}
+
+/// Realized schedules of early-completing jobs do not satisfy the full
+/// plan-level work requirement, so `Schedule::validate` does not apply;
+/// geometric safety (no core or task self-overlap, release respected) must
+/// still hold and is checked directly.
+void expect_geometrically_sane(const TaskSet& tasks, const Schedule& realized) {
+  std::vector<Segment> segs = sorted_busy(realized);
+  for (const Segment& s : segs) {
+    EXPECT_GE(s.start, tasks[static_cast<std::size_t>(s.task)].release - 1e-9);
+    EXPECT_LE(s.end, tasks[static_cast<std::size_t>(s.task)].deadline + 1e-9);
+  }
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    if (segs[i].core == segs[i - 1].core) {
+      EXPECT_GE(segs[i].start, segs[i - 1].end - 1e-9) << "core overlap";
+    }
+  }
+  std::sort(segs.begin(), segs.end(), [](const Segment& a, const Segment& b) {
+    if (a.task != b.task) return a.task < b.task;
+    return a.start < b.start;
+  });
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    if (segs[i].task == segs[i - 1].task) {
+      EXPECT_GE(segs[i].start, segs[i - 1].end - 1e-9) << "task self-overlap";
+    }
+  }
+}
+
+TEST(AcetModelTest, DegenerateModelReturnsWcetBitForBit) {
+  const AcetModel model;  // ratio 1, jitter 0
+  EXPECT_EQ(acet_of(model, 3, 17.25), 17.25);
+  EXPECT_EQ(acet_of(model, 0, 1e-3), 1e-3);
+}
+
+TEST(AcetModelTest, DrawsAreDeterministicPerTaskAndBounded) {
+  AcetModel model;
+  model.ratio = 0.5;
+  model.jitter = 0.3;
+  model.seed = 42;
+  const double first = acet_of(model, 7, 10.0);
+  EXPECT_EQ(acet_of(model, 7, 10.0), first);
+  for (TaskId id = 0; id < 50; ++id) {
+    const double a = acet_of(model, id, 10.0);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 10.0);
+    EXPECT_GE(a, 10.0 * (0.5 - 0.3) - 1e-12);
+  }
+  model.seed = 43;
+  EXPECT_NE(acet_of(model, 7, 10.0), first);
+}
+
+TEST(AcetModelTest, RatioEstimatorTracksObservations) {
+  RatioEstimator pessimist;  // initial 0 -> starts at 1.0
+  EXPECT_DOUBLE_EQ(pessimist.estimate(), 1.0);
+  for (int i = 0; i < 100; ++i) pessimist.observe(0.4);
+  EXPECT_NEAR(pessimist.estimate(), 0.4, 1e-6);
+
+  RatioEstimator primed(0.6);
+  EXPECT_DOUBLE_EQ(primed.estimate(), 0.6);
+}
+
+TEST(DpmConfigTest, BreakEvenMatchesClosedForm) {
+  DpmConfig free_idle;  // all-zero defaults: the paper's model
+  EXPECT_DOUBLE_EQ(free_idle.break_even(), 0.0);
+  EXPECT_TRUE(free_idle.should_sleep(0.5));
+  EXPECT_FALSE(free_idle.should_sleep(0.0));
+
+  DpmConfig cfg;
+  cfg.idle_power = 1.0;
+  cfg.sleep_power = 0.1;
+  cfg.wake_latency = 0.2;
+  cfg.wake_energy = 0.5;
+  // d solving 1·d = 0.1(d − 0.2) + 0.5  =>  0.9 d = 0.48.
+  EXPECT_NEAR(cfg.break_even(), 0.48 / 0.9, 1e-12);
+  EXPECT_TRUE(cfg.should_sleep(0.6));
+  EXPECT_FALSE(cfg.should_sleep(0.5));
+  // At break-even, both choices cost the same.
+  const double d = cfg.break_even();
+  EXPECT_NEAR(cfg.sleep_energy(d), cfg.idle_energy(d), 1e-12);
+
+  DpmConfig useless;
+  useless.idle_power = 0.1;
+  useless.sleep_power = 0.2;
+  EXPECT_FALSE(useless.should_sleep(1e12));
+}
+
+TEST(RuntimePolicyTest, NamesRoundTrip) {
+  for (const RuntimePolicy p : {RuntimePolicy::kStatic, RuntimePolicy::kCycleConserving,
+                                RuntimePolicy::kLookAhead}) {
+    EXPECT_EQ(parse_policy(to_string(p)), p);
+  }
+  EXPECT_FALSE(parse_policy("bogus").has_value());
+}
+
+/// Hand-built reclamation scenario: τ0 is split around τ1 on one core, so
+/// τ0 finishing early frees its second slice *after* τ1's slice — exactly
+/// the slack the policies may stretch into.
+///
+///   core 0:  τ0 [0,3)@1   τ1 [3,12)@1   τ0 [12,14)@1
+struct ReclaimFixture {
+  TaskSet tasks{std::vector<Task>{{0.0, 20.0, 5.0}, {0.0, 20.0, 9.0}}};
+  Schedule plan{1};
+  PowerModel power{3.0, 0.0};  // alpha 3, no static power -> f* = 0
+
+  ReclaimFixture() {
+    plan.add({0, 0, 0.0, 3.0, 1.0});
+    plan.add({1, 0, 3.0, 12.0, 1.0});
+    plan.add({0, 0, 12.0, 14.0, 1.0});
+  }
+
+  RuntimeReport run(RuntimePolicy policy, std::vector<double> acet) {
+    RuntimeOptions opt;
+    opt.policy = policy;
+    opt.explicit_acet = std::move(acet);
+    return run_runtime(tasks, plan, power, opt);
+  }
+};
+
+TEST(RuntimeReclamationTest, StaticReplayWithFullWorkMatchesPlanExactly) {
+  ReclaimFixture fx;
+  const RuntimeReport report = fx.run(RuntimePolicy::kStatic, {5.0, 9.0});
+  EXPECT_EQ(sorted_busy(report.realized), sorted_busy(fx.plan));
+  EXPECT_NEAR(report.energy.busy(), report.planned_energy, 1e-12);
+  EXPECT_EQ(report.completions, 2u);
+  EXPECT_EQ(report.early_completions, 0u);
+  EXPECT_EQ(report.reclamations, 0u);
+  EXPECT_TRUE(report.all_deadlines_met());
+}
+
+TEST(RuntimeReclamationTest, EarlyCompletionReclaimsFutureSlices) {
+  ReclaimFixture fx;
+  const RuntimeReport report = fx.run(RuntimePolicy::kStatic, {2.0, 9.0});
+  // τ0 completes at t = 2 in its first slice; its [12,14) slice is freed.
+  EXPECT_EQ(report.early_completions, 1u);
+  EXPECT_EQ(report.reclamations, 1u);
+  EXPECT_NEAR(report.reclaimed_total, 2.0, 1e-9);
+  ASSERT_EQ(report.reclaimed_samples.size(), 1u);
+  EXPECT_NEAR(report.reclaimed_samples[0], 2.0, 1e-9);
+  // Static never stretches: τ1 still runs [3,12) at f = 1.
+  EXPECT_NEAR(report.tasks[1].completion_time, 12.0, 1e-9);
+  EXPECT_NEAR(report.energy.busy_dynamic, 2.0 + 9.0, 1e-9);  // γ f³ t at f = 1
+}
+
+TEST(RuntimeReclamationTest, CycleConservingStretchesIntoReclaimedSlack) {
+  ReclaimFixture fx;
+  const RuntimeReport cc = fx.run(RuntimePolicy::kCycleConserving, {2.0, 9.0});
+  const RuntimeReport stat = fx.run(RuntimePolicy::kStatic, {2.0, 9.0});
+  // τ1 dispatches at 3 with [12,14) freed: stretch limit 14, f = 9/11.
+  EXPECT_NEAR(cc.tasks[1].completion_time, 14.0, 1e-9);
+  const double expected = 2.0 + 11.0 * std::pow(9.0 / 11.0, 3.0);
+  EXPECT_NEAR(cc.energy.busy_dynamic, expected, 1e-9);
+  EXPECT_LT(cc.energy.busy(), stat.energy.busy());
+  EXPECT_TRUE(cc.all_deadlines_met());
+  expect_geometrically_sane(fx.tasks, cc.realized);
+}
+
+TEST(RuntimeReclamationTest, LookAheadRunsTwoPhasesAndStillCompletes) {
+  ReclaimFixture fx;
+  RuntimeOptions opt;
+  opt.policy = RuntimePolicy::kLookAhead;
+  opt.explicit_acet = {2.0, 9.0};
+  opt.la_expectation = 0.5;
+  opt.dvfs_switch_energy = 0.25;
+  const RuntimeReport la = run_runtime(fx.tasks, fx.plan, fx.power, opt);
+
+  // τ1 needs its full budget, so the optimistic first phase defers work to
+  // a planned-frequency second phase ending exactly at the stretch limit.
+  EXPECT_NEAR(la.tasks[1].completion_time, 14.0, 1e-9);
+  const auto segs = sorted_busy(la.realized);
+  std::size_t t1_segments = 0;
+  double t1_work = 0.0;
+  for (const Segment& s : segs) {
+    if (s.task == 1) {
+      ++t1_segments;
+      t1_work += s.work();
+    }
+  }
+  EXPECT_EQ(t1_segments, 2u);
+  EXPECT_NEAR(t1_work, 9.0, 1e-9);
+  EXPECT_GE(la.dvfs_switches, 1u);
+  EXPECT_NEAR(la.energy.dvfs_switch, 0.25 * static_cast<double>(la.dvfs_switches), 1e-12);
+  // Any slowdown below the planned frequency saves energy when p0 = 0.
+  const RuntimeReport stat = fx.run(RuntimePolicy::kStatic, {2.0, 9.0});
+  EXPECT_LE(la.energy.busy(), stat.energy.busy() + 1e-9);
+  EXPECT_TRUE(la.all_deadlines_met());
+  expect_geometrically_sane(fx.tasks, la.realized);
+}
+
+TEST(RuntimeDpmTest, SleepsThroughLongGapAndChargesTransition) {
+  const TaskSet tasks(std::vector<Task>{{0.0, 5.0, 2.0}, {0.0, 20.0, 2.0}});
+  Schedule plan(1);
+  plan.add({0, 0, 0.0, 2.0, 1.0});
+  plan.add({1, 0, 10.0, 12.0, 1.0});
+  const PowerModel power(3.0, 0.0);
+
+  RuntimeOptions opt;
+  opt.explicit_acet = {2.0, 2.0};
+  opt.dpm = true;
+  opt.dpm_config.idle_power = 1.0;
+  opt.dpm_config.sleep_power = 0.1;
+  opt.dpm_config.wake_latency = 1.0;
+  opt.dpm_config.wake_energy = 0.5;
+  const RuntimeReport slept = run_runtime(tasks, plan, power, opt);
+  // The [2,10) gap (length 8) is beyond break-even: sleep 7 time units at
+  // 0.1, then a 1-unit wake-up costing 0.5.
+  EXPECT_EQ(slept.sleeps, 1u);
+  EXPECT_EQ(slept.wakes, 1u);
+  ASSERT_EQ(slept.sleep_residencies.size(), 1u);
+  EXPECT_NEAR(slept.sleep_residencies[0], 8.0, 1e-9);
+  EXPECT_NEAR(slept.energy.sleep, 0.1 * 7.0, 1e-9);
+  EXPECT_NEAR(slept.energy.wake, 0.5, 1e-9);
+  EXPECT_NEAR(slept.energy.idle, 0.0, 1e-12);
+  EXPECT_TRUE(slept.all_deadlines_met());
+
+  opt.dpm = false;
+  const RuntimeReport awake = run_runtime(tasks, plan, power, opt);
+  EXPECT_NEAR(awake.energy.idle, 8.0, 1e-9);
+  EXPECT_EQ(awake.sleeps, 0u);
+  EXPECT_LT(slept.energy.total(), awake.energy.total());
+  // Timing is unaffected by the power-state choice.
+  EXPECT_EQ(sorted_busy(slept.realized), sorted_busy(awake.realized));
+}
+
+TEST(RuntimeDpmTest, UnusedCoreTakesTerminalSleepWithoutWakeCost) {
+  const TaskSet tasks(std::vector<Task>{{0.0, 5.0, 2.0}});
+  Schedule plan(2);
+  plan.add({0, 0, 0.0, 2.0, 1.0});
+  const PowerModel power(3.0, 0.0);
+
+  RuntimeOptions opt;
+  opt.explicit_acet = {2.0};
+  opt.dpm = true;
+  opt.dpm_config.idle_power = 1.0;
+  opt.dpm_config.sleep_power = 0.1;
+  opt.dpm_config.wake_latency = 0.5;
+  opt.dpm_config.wake_energy = 0.2;
+  const RuntimeReport report = run_runtime(tasks, plan, power, opt);
+  // Core 1 sleeps from 0 to the horizon (2.0) and never wakes.
+  EXPECT_EQ(report.sleeps, 1u);
+  EXPECT_EQ(report.wakes, 0u);
+  EXPECT_NEAR(report.energy.sleep, 0.1 * 2.0, 1e-9);
+  EXPECT_NEAR(report.energy.wake, 0.0, 1e-12);
+}
+
+TEST(RuntimeMigrationTest, IdleCoreOffloadsToBusierCoreAndSleeps) {
+  const TaskSet tasks(std::vector<Task>{
+      {0.0, 10.0, 2.0},   // τ0: core 0 [0,2)
+      {0.0, 10.0, 2.0},   // τ1: core 0 [4,6)
+      {0.0, 10.0, 1.0},   // τ2: core 1 [0,1)
+      {0.0, 20.0, 1.0},   // τ3: core 1 [8,9) — the migration candidate
+  });
+  Schedule plan(2);
+  plan.add({0, 0, 0.0, 2.0, 1.0});
+  plan.add({1, 0, 4.0, 6.0, 1.0});
+  plan.add({2, 1, 0.0, 1.0, 1.0});
+  plan.add({3, 1, 8.0, 9.0, 1.0});
+  const PowerModel power(3.0, 0.0);
+
+  RuntimeOptions opt;
+  opt.explicit_acet = {2.0, 2.0, 1.0, 1.0};
+  opt.migrate = true;
+  const RuntimeReport report = run_runtime(tasks, plan, power, opt);
+  EXPECT_EQ(report.migrations, 1u);
+  // τ3 now runs on core 0, at its planned time.
+  bool found = false;
+  for (const Segment& s : report.realized.segments()) {
+    if (s.task == 3) {
+      found = true;
+      EXPECT_EQ(s.core, 0);
+      EXPECT_NEAR(s.start, 8.0, 1e-9);
+      EXPECT_NEAR(s.end, 9.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(report.all_deadlines_met());
+  expect_geometrically_sane(tasks, report.realized);
+}
+
+TEST(RuntimeFuzzTest, AllPoliciesAreSafeDeterministicAndComplete) {
+  const PowerModel power(3.0, 0.05);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    WorkloadConfig config;
+    config.task_count = 12;
+    Rng rng(Rng::seed_of("runtime-fuzz", seed));
+    const TaskSet tasks = generate_workload(config, rng);
+    const PipelineResult planned = run_pipeline(tasks, 3, power);
+    const Schedule& plan = planned.der.final_schedule;
+
+    for (const RuntimePolicy policy :
+         {RuntimePolicy::kStatic, RuntimePolicy::kCycleConserving, RuntimePolicy::kLookAhead}) {
+      for (const bool dpm : {false, true}) {
+        RuntimeOptions opt;
+        opt.policy = policy;
+        opt.dpm = dpm;
+        opt.dpm_config.idle_power = power.static_power();
+        opt.dpm_config.sleep_power = 0.2 * power.static_power();
+        opt.dpm_config.wake_latency = 0.5;
+        opt.dpm_config.wake_energy = 0.1;
+        opt.migrate = dpm;
+        opt.acet.ratio = 0.55;
+        opt.acet.jitter = 0.25;
+        opt.acet.seed = seed;
+
+        const RuntimeReport a = run_runtime(tasks, plan, power, opt);
+        const RuntimeReport b = run_runtime(tasks, plan, power, opt);
+        EXPECT_EQ(a.energy.total(), b.energy.total());
+        EXPECT_EQ(sorted_busy(a.realized), sorted_busy(b.realized));
+        EXPECT_EQ(a.events, b.events);
+
+        EXPECT_EQ(a.completions, tasks.size());
+        EXPECT_TRUE(a.all_deadlines_met())
+            << "policy=" << to_string(policy) << " dpm=" << dpm << " seed=" << seed;
+        expect_geometrically_sane(tasks, a.realized);
+        // Realized work per job matches its drawn ACET.
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          double done = 0.0;
+          for (const Segment& s : a.realized.segments()) {
+            if (static_cast<std::size_t>(s.task) == i) done += s.work();
+          }
+          EXPECT_NEAR(done, a.acet[i], 1e-6 * std::max(1.0, a.acet[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(RuntimeFuzzTest, ReclaimingPoliciesNeverCostMoreThanStaticReplay) {
+  const PowerModel power(3.0, 0.05);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    WorkloadConfig config;
+    config.task_count = 14;
+    Rng rng(Rng::seed_of("runtime-energy-fuzz", seed));
+    const TaskSet tasks = generate_workload(config, rng);
+    const Schedule plan = run_pipeline(tasks, 3, power).der.final_schedule;
+
+    RuntimeOptions opt;
+    opt.dpm_config.idle_power = power.static_power();  // leakage-aware idle
+    opt.acet.ratio = 0.5;
+    opt.acet.seed = seed;
+
+    opt.policy = RuntimePolicy::kStatic;
+    const double stat = run_runtime(tasks, plan, power, opt).energy.total();
+    opt.policy = RuntimePolicy::kCycleConserving;
+    const double cc = run_runtime(tasks, plan, power, opt).energy.total();
+    opt.policy = RuntimePolicy::kLookAhead;
+    const double la = run_runtime(tasks, plan, power, opt).energy.total();
+
+    EXPECT_LE(cc, stat + 1e-9) << "seed=" << seed;
+    EXPECT_LE(la, stat + 1e-9) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace easched

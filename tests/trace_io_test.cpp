@@ -66,5 +66,49 @@ TEST(TraceIoTest, FileRoundTrip) {
   EXPECT_NEAR(loaded[1].work, 2.0, 1e-9);
 }
 
+TEST(TraceIoTest, AcetColumnRoundTrips) {
+  TaskTrace trace;
+  trace.tasks = TaskSet({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}, {1.0, 20.0, 6.0}});
+  trace.acet = {2.5, 2.0, 1.25};
+  const TaskTrace parsed = task_trace_from_csv(task_trace_to_csv(trace));
+  ASSERT_TRUE(parsed.has_acet());
+  ASSERT_EQ(parsed.acet.size(), 3u);
+  for (std::size_t i = 0; i < trace.acet.size(); ++i) {
+    EXPECT_NEAR(parsed.acet[i], trace.acet[i], 1e-8);
+    EXPECT_NEAR(parsed.tasks[i].work, trace.tasks[i].work, 1e-8);
+  }
+}
+
+TEST(TraceIoTest, TraceWithoutAcetStaysAcetFree) {
+  // Backward compatibility both ways: a plain task-set CSV parses as a
+  // trace with no ACET data, and serializing it adds no acet column.
+  const TaskTrace parsed = task_trace_from_csv("release,deadline,work\n0,12,4\n2,10,2\n");
+  EXPECT_FALSE(parsed.has_acet());
+  const std::string csv = task_trace_to_csv(parsed);
+  EXPECT_EQ(csv.find("acet"), std::string::npos);
+  // And the pre-acet reader ignores the column when it is present.
+  const TaskSet ts = task_set_from_csv("release,deadline,work,acet\n0,12,4,2\n");
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts[0].work, 4.0);
+}
+
+TEST(TraceIoTest, RejectsAcetAboveWcetOrNonPositive) {
+  EXPECT_THROW(task_trace_from_csv("release,deadline,work,acet\n0,12,4,5\n"),
+               std::runtime_error);
+  EXPECT_THROW(task_trace_from_csv("release,deadline,work,acet\n0,12,4,0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIoTest, TraceFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/easched_acet_trace_test.csv";
+  TaskTrace trace;
+  trace.tasks = TaskSet({{0.0, 12.0, 4.0}, {2.0, 10.0, 2.0}});
+  trace.acet = {3.0, 0.5};
+  write_task_trace(path, trace);
+  const TaskTrace loaded = read_task_trace(path);
+  ASSERT_TRUE(loaded.has_acet());
+  EXPECT_NEAR(loaded.acet[1], 0.5, 1e-9);
+}
+
 }  // namespace
 }  // namespace easched
