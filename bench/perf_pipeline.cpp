@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "easched/common/rng.hpp"
 #include "easched/parallel/exec.hpp"
+#include "easched/sched/incremental.hpp"
 #include "easched/sched/pipeline.hpp"
 #include "easched/solver/interior_point.hpp"
 #include "easched/tasksys/workload.hpp"
@@ -85,6 +86,75 @@ void run_plan_der(benchmark::State& state, std::size_t n) {
   state.counters["tasks"] = static_cast<double>(n);
 }
 
+// The incremental rows run on a constant-density aperiodic *stream*: the
+// release horizon grows with n, so per-instant concurrency stays at the
+// handful of tasks a 4-core host can actually admit. (The fixed-horizon
+// `make_tasks` sets pile thousands of tasks onto every subinterval — there
+// a single arrival perturbs the DER ration and the task scales of nearly
+// every column, so the exact dirty closure is the whole horizon and no
+// delta can be local. Locality is a property of the workload, and the
+// service's heavy-traffic regime is the stream.)
+TaskSet make_stream(std::size_t n) {
+  Rng rng(Rng::seed_of("perf-delta", n));
+  WorkloadConfig config;
+  config.task_count = n;
+  config.release_hi = 10.0 * static_cast<double>(n);
+  return generate_workload(config, rng);
+}
+
+// A workload-typical probe task in the middle of the stream, boundaries
+// off-grid so the splice never collides with a cached value.
+TaskSet stream_with_probe(const TaskSet& base) {
+  const double mid = 0.5 * (base.earliest_release() + base.latest_deadline());
+  std::vector<Task> grown(base.begin(), base.end());
+  grown.push_back(Task{mid + 0.1234567891, mid + 42.1098765432, 10.0});
+  return TaskSet(std::move(grown));
+}
+
+// Single-task delta replan against a warm DeltaPlanner: each iteration
+// admits (or removes) one probe task, so the measured cost is the splice —
+// dirty-column availability + windowed repack — not a full plan. Compare
+// against BM_PlanDerStream at the same n for the incremental speedup; the
+// outputs are bit-identical by the planner's exactness contract.
+void run_delta_admit(benchmark::State& state, std::size_t n) {
+  const TaskSet base = make_stream(n);
+  const TaskSet with_probe = stream_with_probe(base);
+  const PowerModel power(3.0, 0.1);
+
+  DeltaOptions options;
+  options.cores = kCores;
+  DeltaPlanner planner(power, options);
+  planner.plan_to(base, Exec::serial());
+
+  bool added = false;
+  for (auto _ : state) {
+    added = !added;
+    DeltaOutcome outcome;
+    benchmark::DoNotOptimize(
+        planner.plan_to(added ? with_probe : base, Exec::serial(), &outcome));
+    if (!outcome.delta || outcome.ops != 1) {
+      state.SkipWithError("single-op delta declined to the from-scratch path");
+      break;
+    }
+  }
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
+// The from-scratch cost the delta path displaces: the full DER planning
+// pass (decomposition + ideal case + allocation + pack) on the same
+// post-admission stream set.
+void run_plan_der_stream(benchmark::State& state, std::size_t n) {
+  const TaskSet tasks = stream_with_probe(make_stream(n));
+  const PowerModel power(3.0, 0.1);
+  for (auto _ : state) {
+    const SubintervalDecomposition subs(tasks);
+    const IdealCase ideal(tasks, power);
+    benchmark::DoNotOptimize(
+        schedule_with_method(tasks, subs, kCores, power, ideal, AllocationMethod::kDer));
+  }
+  state.counters["tasks"] = static_cast<double>(n);
+}
+
 void run_interior_point(benchmark::State& state, std::size_t n, std::size_t threads) {
   const TaskSet tasks = make_tasks(n);
   const PowerModel power(3.0, 0.1);
@@ -112,6 +182,17 @@ int main(int argc, char** argv) {
     const std::string plan_name = "BM_PlanDerSerial/n:" + std::to_string(n);
     benchmark::RegisterBenchmark(plan_name.c_str(),
                                  [n](benchmark::State& s) { run_plan_der(s, n); });
+  }
+
+  // Incremental replanning rows; 100k only runs when --n raises the cap.
+  for (const std::size_t n : {std::size_t{10000}, std::size_t{100000}}) {
+    if (n > max_n) continue;
+    const std::string delta_name = "BM_DeltaAdmit/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(delta_name.c_str(),
+                                 [n](benchmark::State& s) { run_delta_admit(s, n); });
+    const std::string full_name = "BM_PlanDerStream/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(full_name.c_str(),
+                                 [n](benchmark::State& s) { run_plan_der_stream(s, n); });
   }
 
   for (const std::size_t n : {std::size_t{50}, std::size_t{200}, std::size_t{1000}}) {

@@ -76,6 +76,8 @@ int run_serve(const CliParser& args) {
     return 1;
   }
   options.exact_first = planner == "exact";
+  options.incremental = !args.get_switch("no-incremental");
+  options.warm_start_exact = args.get_switch("warm-start");
   options.plan_budget = std::chrono::milliseconds(std::max(0, args.get_int("plan-budget-ms")));
   options.queue_capacity = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth")));
   options.journal_path = args.get("journal");
@@ -573,6 +575,10 @@ int main(int argc, char** argv) {
   args.add_option("plan-budget-ms", "0",
                   "wall-clock budget per planning pass / exact solve (0 = unlimited)");
   args.add_option("planner", "f2", "serve: top planning rung: f2 | exact (budgeted, falls back)");
+  args.add_switch("no-incremental",
+                  "serve: disable incremental delta replanning on plan-cache misses");
+  args.add_switch("warm-start",
+                  "serve: warm-start the exact solver from the delta planner's availability");
   args.add_option("queue-depth", "0",
                   "serve: bound on queued requests; sheds lowest laxity (0 = unbounded)");
   args.add_option("journal", "", "serve: crash-safe admission journal (WAL) path");

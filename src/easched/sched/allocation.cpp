@@ -48,6 +48,19 @@ Availability::Availability(std::vector<SubRange> spans, std::size_t subintervals
   col_sum_.assign(subintervals_, 0.0);
 }
 
+void Availability::rebuild_sums(const SubintervalDecomposition& subs, const Exec& exec) {
+  EASCHED_EXPECTS(subs.size() == subintervals_);
+  exec.loop(subintervals_, [&](std::size_t j) {
+    // Ascending-member order — the order `set_in_column` accumulates column
+    // j during a bulk fill (and x + 0.0 == x exactly for x ≥ +0.0, so
+    // structural zeros cannot perturb the fold).
+    double sum = 0.0;
+    for (const TaskId i : subs[j].overlapping) sum += (*this)(static_cast<std::size_t>(i), j);
+    col_sum_[j] = sum;
+  });
+  finalize_row_sums(exec);
+}
+
 void Availability::finalize_row_sums(const Exec& exec) {
   exec.loop(spans_.size(), [&](std::size_t i) {
     // Ascending-subinterval order — the same order a dense accumulate over

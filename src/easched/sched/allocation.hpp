@@ -128,6 +128,25 @@ class Availability {
   void finalize_row_sums(const Exec& exec);
   /// @}
 
+  /// \name Delta-replanning path (DeltaPlanner)
+  /// An incremental replan copies the untouched rows of the previous plan
+  /// wholesale and recomputes only dirty columns, then restores the cached
+  /// sums by *refolding* — never by incremental add/subtract, which would
+  /// break the bit-identity contract with a from-scratch plan.
+  /// @{
+  /// Mutable row slice (same indexing as `row`). Writers bypass the sum
+  /// caches; call `rebuild_sums` before any sum is read.
+  std::span<double> row_values(std::size_t task) {
+    EASCHED_EXPECTS(task < spans_.size());
+    return std::span<double>(values_).subspan(offsets_[task], spans_[task].count);
+  }
+  /// Recompute every cached column sum (ascending-member fold over the CSR
+  /// overlap set of each column) and row sum (ascending-subinterval fold) —
+  /// the exact folds the bulk-fill path produces, so the cached sums are
+  /// bit-identical to a from-scratch allocation over the same values.
+  void rebuild_sums(const SubintervalDecomposition& subs, const Exec& exec);
+  /// @}
+
  private:
   double* slot(std::size_t task, std::size_t subinterval) {
     EASCHED_EXPECTS(task < spans_.size() && subinterval < subintervals_);

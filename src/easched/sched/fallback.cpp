@@ -132,6 +132,7 @@ bool attempt_exact(const TaskSet& tasks, const SubintervalDecomposition& subs, i
       attempt.detail = std::string("solver status: ") + std::string(solver_status_name(solved.status));
       return false;
     }
+    if (solved.warm_started) attempt.detail = "warm_started";
     Schedule schedule = materialize_optimal_schedule(tasks, subs, cores, solved);
     return try_serve(tasks, std::move(schedule), solved.energy, options.validate_tol, attempt, plan);
   } catch (const std::exception& e) {

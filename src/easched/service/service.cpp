@@ -66,6 +66,12 @@ SchedulerService::SchedulerService(const PowerModel& power, ServiceOptions optio
   }
   metrics_.declare_buckets("queue_depth_seen", obs::pow2_buckets(16));
   metrics_.declare_buckets("plan_cache_hit_age", obs::pow2_buckets(24));
+  metrics_.declare_buckets("plan_delta_latency_us", obs::default_latency_buckets_us());
+  if (options_.incremental) {
+    DeltaOptions delta_options;
+    delta_options.cores = options_.cores;
+    delta_planner_.emplace(power_, delta_options);
+  }
   if (!options_.journal_path.empty()) {
     {
       std::lock_guard lock(state_mutex_);
@@ -438,14 +444,73 @@ CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId,
     return *hit;
   }
   metrics_.increment("plan_cache_misses_total");
-  obs::Span plan_span("service.plan");
-  plan_span.arg("tasks", static_cast<double>(live.size()));
-  const auto plan_started = std::chrono::steady_clock::now();
   std::vector<Task> tasks;
   tasks.reserve(live.size());
   for (const auto& [id, task] : live) tasks.push_back(task);
-  const FallbackPlan planned = plan_with_fallback(TaskSet(std::move(tasks)), options_.cores,
-                                                  power_, fallback_options(), kernel_exec());
+  const TaskSet task_set(std::move(tasks));
+
+  // Delta fast path: with the exact rung off, a cache miss whose set is a
+  // few ops away from the previously planned one is spliced instead of
+  // re-planned. The planner's exactness contract makes the served plan
+  // bit-identical to the fallback chain's DER rung, so this changes
+  // latency, never answers. Any validation or planner failure invalidates
+  // the planner and falls through to the ordinary chain.
+  if (delta_planner_ && !options_.exact_first) {
+    obs::Span delta_span("service.plan_delta");
+    delta_span.arg("tasks", static_cast<double>(live.size()));
+    const auto delta_started = std::chrono::steady_clock::now();
+    try {
+      DeltaOutcome outcome;
+      DeltaPlan delta = delta_planner_->plan_to(task_set, kernel_exec(), &outcome);
+      const ValidationReport report = delta.schedule.validate(task_set);
+      if (report.ok && std::isfinite(delta.energy)) {
+        const double spent = elapsed_us(delta_started);
+        metrics_.observe_bucketed("plan_delta_latency_us", spent);
+        metrics_.observe_bucketed(plan_latency_metric(PlanRung::kDer), spent);
+        metrics_.increment(outcome.delta ? "plan_delta_hits_total" : "plan_delta_full_total");
+        metrics_.increment("plans_by_rung_der");
+        delta_span.arg("ops", static_cast<double>(outcome.ops));
+        delta_span.set_status(outcome.delta ? "delta" : "rebuild");
+        CachedPlan plan{delta.energy, std::move(delta.schedule), PlanRung::kDer};
+        cache_.insert(signature, plan);
+        return plan;
+      }
+      delta_planner_->invalidate();
+      metrics_.increment("plan_delta_fallbacks_total");
+      delta_span.set_status("invalid");
+    } catch (const InjectedCrash&) {
+      delta_planner_->invalidate();
+      throw;
+    } catch (const std::exception&) {
+      delta_planner_->invalidate();
+      metrics_.increment("plan_delta_fallbacks_total");
+      delta_span.set_status("failed");
+    }
+  }
+
+  obs::Span plan_span("service.plan");
+  plan_span.arg("tasks", static_cast<double>(live.size()));
+  const auto plan_started = std::chrono::steady_clock::now();
+  FallbackOptions chain_options = fallback_options();
+  // With both knobs on, seed the exact rung from the delta planner's
+  // refined F2 allocation of this very set — a feasible near-optimal
+  // iterate the splice keeps cheap to maintain. A planner failure just
+  // means a cold start.
+  std::optional<Availability> warm_hint;
+  if (delta_planner_ && options_.exact_first && options_.warm_start_exact) {
+    try {
+      delta_planner_->plan_to(task_set, kernel_exec());
+      warm_hint.emplace(delta_planner_->refined_allocation());
+      chain_options.exact.warm_start = &*warm_hint;
+    } catch (const InjectedCrash&) {
+      delta_planner_->invalidate();
+      throw;
+    } catch (const std::exception&) {
+      delta_planner_->invalidate();
+    }
+  }
+  const FallbackPlan planned =
+      plan_with_fallback(task_set, options_.cores, power_, chain_options, kernel_exec());
   metrics_.observe_bucketed(plan_latency_metric(planned.outcome.served),
                             elapsed_us(plan_started));
   plan_span.set_status(plan_rung_name(planned.outcome.served).data());

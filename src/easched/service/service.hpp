@@ -66,6 +66,7 @@
 #include "easched/runtime/runtime.hpp"
 #include "easched/sched/admission.hpp"
 #include "easched/sched/fallback.hpp"
+#include "easched/sched/incremental.hpp"
 #include "easched/sched/schedule.hpp"
 #include "easched/service/journal.hpp"
 #include "easched/service/metrics.hpp"
@@ -116,6 +117,20 @@ struct ServiceOptions {
   /// default: the heuristic-only chain reproduces the pre-fallback plans
   /// bit-for-bit.
   bool exact_first = false;
+  /// Serve plan-cache misses through the incremental delta planner
+  /// (`sched/incremental.hpp`) when the exact rung is off: a committed set
+  /// that differs from the previously planned one by a few tasks is spliced
+  /// instead of re-planned from scratch. Plans are bit-identical either
+  /// way (the delta path's exactness contract); a delta that cannot keep
+  /// the contract rebuilds from scratch inside the planner, and a planner
+  /// failure falls back to the ordinary fallback chain.
+  bool incremental = true;
+  /// With `exact_first`, warm-start the exact rung's solver from the delta
+  /// planner's cached DER availability of the same set (the solvers ignore
+  /// the hint unless its dimensions match). Off by default: a warm-started
+  /// solve converges to the same validated solution but takes a different
+  /// iterate path, so opt in explicitly.
+  bool warm_start_exact = false;
   /// Wall-clock budget per planning pass (only the exact rung consumes it
   /// cooperatively; the heuristic rescue rungs always run). 0 = unlimited.
   std::chrono::microseconds plan_budget{0};
@@ -273,6 +288,9 @@ class SchedulerService {
   bool committed_signature_valid_ = false;
   TaskId next_id_ = 0;
   PlanCache cache_;
+  /// Present iff `options_.incremental`; guarded by `state_mutex_` like the
+  /// cache it sits behind.
+  std::optional<DeltaPlanner> delta_planner_;
   std::uint64_t batches_ = 0;
   std::uint64_t decided_requests_ = 0;
 

@@ -38,6 +38,28 @@ SubintervalDecomposition::SubintervalDecomposition(const TaskSet& tasks, double 
     cut_span.arg("subintervals", static_cast<double>(boundaries_.size() - 1));
   }
 
+  build_from_boundaries(tasks, exec);
+}
+
+void SubintervalDecomposition::reserve(std::size_t tasks, std::size_t boundaries,
+                                       std::size_t overlap_mass) {
+  boundaries_.reserve(boundaries);
+  intervals_.reserve(boundaries > 0 ? boundaries - 1 : 0);
+  offsets_.reserve(boundaries);
+  arena_.reserve(overlap_mass);
+  ranges_.reserve(tasks);
+}
+
+void SubintervalDecomposition::assign(const TaskSet& tasks, std::span<const double> boundaries,
+                                      const Exec& exec) {
+  EASCHED_EXPECTS_MSG(!tasks.empty(), "subinterval decomposition needs at least one task");
+  EASCHED_EXPECTS_MSG(boundaries.size() >= 2, "spliced boundary array needs two boundaries");
+  boundaries_.assign(boundaries.begin(), boundaries.end());
+  build_from_boundaries(tasks, exec);
+}
+
+void SubintervalDecomposition::build_from_boundaries(const TaskSet& tasks, const Exec& exec) {
+  const std::size_t n = tasks.size();
   // Sweep: each task is live on the contiguous subinterval run between the
   // first boundary ≥ its release and the last boundary ≤ its deadline
   // (`release ≤ t_j` and `t_{j+1} ≤ deadline` are both monotone in j). Two

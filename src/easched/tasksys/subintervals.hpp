@@ -71,6 +71,20 @@ class SubintervalDecomposition {
   SubintervalDecomposition(SubintervalDecomposition&&) = default;
   SubintervalDecomposition& operator=(SubintervalDecomposition&&) = default;
 
+  /// Rebuild in place from an externally spliced boundary array. The caller
+  /// guarantees `boundaries` is sorted, strictly increasing, already merged
+  /// (no two values within the constructor's `merge_tol`), and brackets every
+  /// task window — exactly what the constructor's sort+merge would produce.
+  /// Every internal buffer is reused; when capacities suffice (see `reserve`)
+  /// no storage is reallocated, in particular the CSR overlap arena keeps its
+  /// data pointer. Bit-identical to constructing from scratch.
+  void assign(const TaskSet& tasks, std::span<const double> boundaries, const Exec& exec);
+
+  /// Pre-size the internal buffers for up to `tasks` tasks, `boundaries`
+  /// boundary values and `overlap_mass` CSR arena slots, so later `assign`
+  /// calls within those bounds perform zero allocation.
+  void reserve(std::size_t tasks, std::size_t boundaries, std::size_t overlap_mass);
+
   std::size_t size() const { return intervals_.size(); }
   const Subinterval& operator[](std::size_t j) const { return intervals_[j]; }
 
@@ -108,6 +122,10 @@ class SubintervalDecomposition {
   const std::vector<std::size_t>& offsets() const { return offsets_; }
 
  private:
+  /// Shared tail of construction: sweep + counting + fill + interval views,
+  /// assuming `boundaries_` already holds the merged sorted boundary array.
+  void build_from_boundaries(const TaskSet& tasks, const Exec& exec);
+
   std::vector<double> boundaries_;
   std::vector<Subinterval> intervals_;
   std::vector<std::size_t> offsets_;  ///< CSR offsets, size N(subintervals)+1

@@ -1,0 +1,201 @@
+// Boundary-splice edge cases of the incremental delta planner: duplicate
+// boundary values shared across tasks, near-tolerance collisions that must
+// take the decline path, degenerate windows, whole-horizon tasks, deltas on
+// one- and two-task sets, and the no-reallocation contract of the CSR
+// overlap arena under `reserve`.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "differential.hpp"
+#include "easched/common/contracts.hpp"
+#include "easched/parallel/exec.hpp"
+
+namespace easched {
+namespace {
+
+using differential::ReplayStats;
+using differential::expect_step_identical;
+
+constexpr double kWork = 4.0;
+
+// Tasks sharing exact boundary values: splicing in a task whose release and
+// deadline both already exist must bump multiplicities (no new column), and
+// removing one of the sharers must keep the value alive for the others.
+TEST(IncrementalFuzz, DuplicateBoundariesSpliceExactly) {
+  const PowerModel power(3.0, 0.05);
+  const Exec exec = Exec::serial();
+  DeltaOptions options;
+  options.cores = 2;
+  DeltaPlanner planner(power, options);
+
+  std::vector<Task> live = {{0.0, 10.0, kWork}, {0.0, 5.0, kWork}, {5.0, 10.0, kWork}};
+  ReplayStats stats;
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+
+  // Both boundaries duplicated; then one duplicated, one new; then remove a
+  // sharer of each kind.
+  const Task steps[] = {{0.0, 10.0, 2.5}, {5.0, 10.0, 1.5}, {0.0, 7.0, 3.0}};
+  for (const Task& t : steps) {
+    live.push_back(t);
+    expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+    if (HasFatalFailure()) return;
+  }
+  for (const std::size_t victim : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+    if (HasFatalFailure()) return;
+  }
+  // Every post-seed step above is a single-op splice.
+  ASSERT_EQ(stats.delta_steps, stats.steps - 1);
+  ASSERT_EQ(stats.full_rebuilds, 1u);
+}
+
+// A new boundary within the merge tolerance of an existing one cannot be
+// spliced (the from-scratch constructor would tolerance-merge the two, a
+// choice the splice cannot reproduce): the delta declines, the full rebuild
+// serves the exact plan, and the now-unclean boundary set pins later deltas
+// to the decline path too.
+TEST(IncrementalFuzz, NearToleranceBoundaryDeclines) {
+  const PowerModel power(3.0, 0.05);
+  const Exec exec = Exec::serial();
+  DeltaOptions options;
+  options.cores = 2;
+  DeltaPlanner planner(power, options);
+
+  std::vector<Task> live = {{0.0, 10.0, kWork}, {2.0, 8.0, kWork}};
+  planner.plan_to(TaskSet(live), exec);
+
+  live.push_back({1e-13, 8.0, 1.0});  // release collides with 0.0 within 1e-12
+  DeltaOutcome outcome;
+  const DeltaPlan got = planner.plan_to(TaskSet(live), exec, &outcome);
+  ASSERT_FALSE(outcome.delta);
+  ASSERT_EQ(outcome.decline_reason, "boundary within merge tolerance");
+
+  // Exactness holds on the decline path: the rebuilt plan matches the
+  // from-scratch pipeline on the same (tolerance-merged) set.
+  const TaskSet set(live);
+  const SubintervalDecomposition subs(set, 1e-12, exec);
+  const IdealCase ideal(set, power);
+  const MethodResult want =
+      schedule_with_method(set, subs, options.cores, power, ideal, AllocationMethod::kDer, exec);
+  ASSERT_EQ(got.energy, want.final_energy);
+  differential::expect_schedule_identical(got.schedule, want.final_schedule);
+
+  // The cached set needed a tolerance merge, so even a clean single-task op
+  // on top of it declines until the merge-free rebuild.
+  live.push_back({3.0, 9.0, 1.0});
+  planner.plan_to(TaskSet(live), exec, &outcome);
+  ASSERT_FALSE(outcome.delta);
+  ASSERT_EQ(outcome.decline_reason, "boundaries were tolerance-merged");
+}
+
+// A window narrower than the merge tolerance is degenerate: the delta path
+// declines it, and the from-scratch rebuild (whose boundary merge collapses
+// the window to nothing) fails its own contracts. The planner must surface
+// that failure and come back clean — never serve a stale plan for the bad
+// set, never stay poisoned for the next good one.
+TEST(IncrementalFuzz, ZeroWidthWindowRejectedSafely) {
+  const PowerModel power(3.0, 0.05);
+  const Exec exec = Exec::serial();
+  DeltaPlanner planner(power, DeltaOptions{});
+
+  std::vector<Task> live = {{0.0, 10.0, kWork}, {2.0, 8.0, kWork}};
+  planner.plan_to(TaskSet(live), exec);
+  ASSERT_TRUE(planner.has_plan());
+
+  std::vector<Task> bad = live;
+  bad.push_back({3.0, 3.0 + 5e-13, 1.0});  // positive width, below merge_tol
+  EXPECT_THROW(planner.plan_to(TaskSet(bad), exec), ContractViolation);
+  EXPECT_FALSE(planner.has_plan());  // failure invalidated, not half-applied
+
+  ReplayStats stats;
+  expect_step_identical(planner, TaskSet(live), power, 4, exec, stats);
+}
+
+// Deltas on the smallest sets, plus a task spanning the whole horizon (its
+// window touches every column, so the dirty span is everything).
+TEST(IncrementalFuzz, TinySetsAndSpanningTask) {
+  const PowerModel power(3.0, 0.05);
+  const Exec exec = Exec::serial();
+  DeltaOptions options;
+  options.cores = 2;
+  DeltaPlanner planner(power, options);
+
+  std::vector<Task> live = {{0.0, 10.0, kWork}};
+  ReplayStats stats;
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+
+  // n=1 → n=2 → n=1, disjoint and overlapping windows.
+  live.push_back({12.0, 20.0, 2.0});  // disjoint, beyond the old horizon
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+  live.pop_back();  // back to n=1: removal entirely outside the survivor
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+  live.push_back({4.0, 6.0, 2.0});  // nested window
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+
+  // A spanning task dirties every column on arrival and on departure.
+  live.push_back({-5.0, 25.0, 6.0});
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+  live.erase(live.end() - 1);
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+
+  ASSERT_EQ(stats.delta_steps, stats.steps - 1);
+}
+
+// The splice must not reallocate the decomposition's CSR overlap arena once
+// `reserve` has sized it: the arena's data pointer is captured after the
+// reserve and pinned across a long admit/remove run.
+TEST(IncrementalFuzz, ArenaPointerPinnedAcrossDeltas) {
+  const PowerModel power(3.0, 0.05);
+  const Exec exec = Exec::serial();
+  DeltaOptions options;
+  options.cores = 4;
+  DeltaPlanner planner(power, options);
+
+  Rng rng(Rng::seed_of("incremental-fuzz-arena", 0));
+  WorkloadConfig config;
+  config.task_count = 20;
+  const TaskSet base = generate_workload(config, rng);
+  std::vector<Task> live(base.begin(), base.end());
+
+  ReplayStats stats;
+  expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+  if (HasFatalFailure()) return;
+
+  constexpr std::size_t kMaxTasks = 64;
+  constexpr std::size_t kMaxBounds = 2 * kMaxTasks + 2;
+  constexpr std::size_t kMaxMass = 4096;
+  planner.reserve(kMaxTasks, kMaxBounds, kMaxMass);
+  const TaskId* arena = planner.decomposition().overlap_arena().data();
+
+  for (std::size_t op = 0; op < 40; ++op) {
+    if (live.size() <= 2 || (live.size() < 40 && rng.uniform() < 0.6)) {
+      WorkloadConfig one;
+      one.task_count = 1;
+      const TaskSet extra = generate_workload(one, rng);
+      live.push_back(extra[0]);
+    } else {
+      const std::size_t victim = static_cast<std::size_t>(rng.uniform_index(live.size()));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    expect_step_identical(planner, TaskSet(live), power, options.cores, exec, stats);
+    if (HasFatalFailure()) return;
+    ASSERT_EQ(planner.decomposition().overlap_arena().data(), arena)
+        << "CSR arena reallocated at op " << op;
+    ASSERT_LE(planner.decomposition().overlap_mass(), kMaxMass);
+  }
+  ASSERT_EQ(stats.delta_steps, stats.steps - 1) << "an op fell off the splice path";
+}
+
+}  // namespace
+}  // namespace easched

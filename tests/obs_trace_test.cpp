@@ -266,8 +266,9 @@ TEST(Tracer, ServiceEmitsQueuePlanJournalChainPerAdmittedRequest) {
   std::remove(journal_path.c_str());
 
   // Group spans by request id: every admitted request must show the full
-  // lifecycle — queue wait, request processing, a plan, the WAL append, and
-  // the reply — under its own id.
+  // lifecycle — queue wait, request processing, a plan (served by either the
+  // fallback chain or the incremental delta path), the WAL append, and the
+  // reply — under its own id.
   std::map<std::uint64_t, std::set<std::string>> by_request;
   for (const SpanRecord& r : tracer.records()) {
     if (r.request != 0) by_request[r.request].insert(r.name);
@@ -276,7 +277,9 @@ TEST(Tracer, ServiceEmitsQueuePlanJournalChainPerAdmittedRequest) {
   for (const auto& [request, names] : by_request) {
     EXPECT_TRUE(names.count("service.queue_wait")) << "request " << request;
     EXPECT_TRUE(names.count("service.request")) << "request " << request;
-    EXPECT_TRUE(names.count("service.plan")) << "request " << request;
+    EXPECT_TRUE(names.count("service.plan") ||
+                names.count("service.plan_delta"))
+        << "request " << request;
     EXPECT_TRUE(names.count("service.journal_append")) << "request " << request;
     EXPECT_TRUE(names.count("service.reply")) << "request " << request;
   }

@@ -1,0 +1,136 @@
+// Service-level contract of the incremental delta path: plans and quotes
+// are identical with the delta planner on or off, cache signatures follow
+// the *post-delta* set (the admit → remove → re-quote poisoning scenario),
+// and the `plan_delta_*` metrics account for every cache miss.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/service/service.hpp"
+
+namespace easched {
+namespace {
+
+ServiceOptions manual_options(bool incremental) {
+  ServiceOptions options;
+  options.cores = 2;
+  options.manual_dispatch = true;
+  options.use_thread_pool = false;
+  options.incremental = incremental;
+  return options;
+}
+
+void expect_same_segments(const Schedule& got, const Schedule& want) {
+  ASSERT_EQ(got.segments().size(), want.segments().size());
+  for (std::size_t s = 0; s < want.segments().size(); ++s) {
+    ASSERT_EQ(got.segments()[s], want.segments()[s]) << "segment " << s;
+  }
+}
+
+// Regression: a departure must invalidate the plan the delta path caches.
+// admit A, admit B, complete A, re-read — the served plan must be the plan
+// of {B} alone, byte-identical to a service that only ever saw B. A stale
+// signature → plan binding would serve the pre-departure plan here.
+TEST(ServiceDelta, DepartureInvalidatesCachedDeltaPlan) {
+  const PowerModel power(3.0, 0.05);
+  const Task task_a{0.0, 10.0, 4.0};
+  const Task task_b{2.0, 12.0, 3.0};
+
+  SchedulerService service(power, manual_options(true));
+  const ServiceDecision a = service.submit_wait(task_a);
+  ASSERT_TRUE(a.admission.admitted);
+  const ServiceDecision b = service.submit_wait(task_b);
+  ASSERT_TRUE(b.admission.admitted);
+  const double energy_both = service.current_energy();
+
+  ASSERT_TRUE(service.complete(a.id));
+  const double energy_after = service.current_energy();
+  const Schedule plan_after = service.current_plan();
+  ASSERT_NE(energy_after, energy_both);
+
+  SchedulerService fresh(power, manual_options(true));
+  ASSERT_TRUE(fresh.submit_wait(task_b).admission.admitted);
+  ASSERT_EQ(energy_after, fresh.current_energy());
+  expect_same_segments(plan_after, fresh.current_plan());
+
+  // And the next quote prices against the post-departure set.
+  const Task task_c{1.0, 9.0, 2.0};
+  const AdmissionDecision quote = service.quote(task_c);
+  const AdmissionDecision fresh_quote = fresh.quote(task_c);
+  ASSERT_EQ(quote.admitted, fresh_quote.admitted);
+  ASSERT_EQ(quote.energy_after, fresh_quote.energy_after);
+  ASSERT_EQ(quote.marginal_energy, fresh_quote.marginal_energy);
+}
+
+// The delta path changes latency, never answers: an identical admit /
+// complete / quote sequence through an incremental and a non-incremental
+// service produces identical decisions, energies, and plans at every step.
+TEST(ServiceDelta, IncrementalAndFullReplanServeIdenticalPlans) {
+  const PowerModel power(3.0, 0.05);
+  SchedulerService with_delta(power, manual_options(true));
+  SchedulerService without_delta(power, manual_options(false));
+
+  const std::vector<Task> arrivals = {
+      {0.0, 10.0, 4.0}, {2.0, 8.0, 3.0},  {5.0, 15.0, 2.0},
+      {1.0, 6.0, 1.5},  {7.0, 14.0, 2.5}, {3.0, 11.0, 3.5},
+  };
+  std::vector<TaskId> ids_with;
+  std::vector<TaskId> ids_without;
+  for (std::size_t k = 0; k < arrivals.size(); ++k) {
+    const ServiceDecision da = with_delta.submit_wait(arrivals[k]);
+    const ServiceDecision db = without_delta.submit_wait(arrivals[k]);
+    ASSERT_EQ(da.admission.admitted, db.admission.admitted) << "arrival " << k;
+    ASSERT_EQ(da.admission.energy_after, db.admission.energy_after) << "arrival " << k;
+    ids_with.push_back(da.id);
+    ids_without.push_back(db.id);
+
+    ASSERT_EQ(with_delta.current_energy(), without_delta.current_energy());
+    expect_same_segments(with_delta.current_plan(), without_delta.current_plan());
+    if (HasFatalFailure()) return;
+
+    if (k % 2 == 1) {  // interleave departures
+      ASSERT_TRUE(with_delta.complete(ids_with[k / 2]));
+      ASSERT_TRUE(without_delta.complete(ids_without[k / 2]));
+      ASSERT_EQ(with_delta.current_energy(), without_delta.current_energy());
+      expect_same_segments(with_delta.current_plan(), without_delta.current_plan());
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Every plan-cache miss in an incremental service is accounted to exactly
+// one of the delta counters, and steady-state misses ride the splice.
+TEST(ServiceDelta, DeltaMetricsAccountForCacheMisses) {
+  const PowerModel power(3.0, 0.05);
+  SchedulerService service(power, manual_options(true));
+
+  const std::vector<Task> arrivals = {
+      {0.0, 10.0, 4.0}, {2.0, 8.0, 3.0}, {5.0, 15.0, 2.0}, {1.0, 6.0, 1.5},
+  };
+  std::vector<TaskId> ids;
+  for (const Task& t : arrivals) {
+    const ServiceDecision d = service.submit_wait(t);
+    ASSERT_TRUE(d.admission.admitted);
+    ids.push_back(d.id);
+  }
+  ASSERT_TRUE(service.complete(ids[0]));
+  service.current_plan();
+
+  const MetricsSnapshot snap = service.metrics().snapshot();
+  const std::uint64_t hits = service.metrics().counter("plan_delta_hits_total");
+  const std::uint64_t full = service.metrics().counter("plan_delta_full_total");
+  const std::uint64_t fallbacks = service.metrics().counter("plan_delta_fallbacks_total");
+  const std::uint64_t misses = service.metrics().counter("plan_cache_misses_total");
+  EXPECT_EQ(hits + full + fallbacks, misses);
+  EXPECT_EQ(fallbacks, 0u);
+  EXPECT_EQ(full, 1u);  // only the cold first plan rebuilds
+  EXPECT_GE(hits, arrivals.size());
+  ASSERT_NE(snap.bucketed.find("plan_delta_latency_us"), snap.bucketed.end());
+  EXPECT_EQ(snap.bucketed.at("plan_delta_latency_us").count(), hits + full);
+}
+
+}  // namespace
+}  // namespace easched
