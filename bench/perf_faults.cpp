@@ -5,6 +5,9 @@
 // (2) The idle fault hooks: planning with no injector installed must match
 //     pre-fault-injection latency (one relaxed atomic load per hook).
 // (3) The admission WAL: journaled admission versus in-memory admission.
+// (4) Supervision: the same journaled stream routed through a one-shard
+//     supervisor (ring lookup, shard lock, crash-containment try block,
+//     brownout observation) — the overhead budget is <= 10% over (3).
 // Counters feed `BENCH_faults.json` so the fallback-path baseline is kept
 // alongside the service/pipeline baselines.
 
@@ -12,6 +15,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -20,6 +24,7 @@
 #include "easched/faults/fault_injection.hpp"
 #include "easched/sched/fallback.hpp"
 #include "easched/service/service.hpp"
+#include "easched/service/supervisor.hpp"
 #include "easched/tasksys/workload.hpp"
 
 namespace {
@@ -143,6 +148,32 @@ void BM_ServiceAdmissionJournaled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_ServiceAdmissionJournaled)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// ...versus the same journaled stream behind a one-shard supervisor: the
+// consistent-hash route, the shard's crash-containment boundary, and the
+// brownout observation all sit on the happy path. The gap to
+// BM_ServiceAdmissionJournaled is the supervision tax (budget: <= 10%).
+void BM_SupervisedAdmission(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Task> stream = admission_stream(n);
+  const PowerModel power = bench_power();
+  const std::string dir = "perf_faults_fleet";
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    SupervisorOptions options;
+    options.shards = 1;
+    options.data_dir = dir;
+    options.service = admission_options();
+    Supervisor supervisor(power, options);
+    for (const Task& t : stream) {
+      benchmark::DoNotOptimize(supervisor.submit("tenant-0", t));
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SupervisedAdmission)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -10,6 +10,8 @@
 //   ./easched_cli serve --clients 4 --requests 200 --fmax 1.0
 //   ./easched_cli serve --planner exact --plan-budget-ms 5 --queue-depth 32
 //       --journal service.wal --faults "seed=7;solver_stall:p=1"
+//   ./easched_cli serve --shards 4 --data-dir /tmp/fleet --brownout
+//       --faults "seed=7;kill:shard.submit@9;restart_after=5"
 //
 // Schedulers: f1, f2 (paper heuristics), optimal (convex solver),
 // ipm (interior point), yds (uniprocessor), online (rolling-horizon F2).
@@ -33,10 +35,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "easched/common/cli.hpp"
 #include "easched/easched.hpp"
@@ -45,7 +50,194 @@ namespace {
 
 using namespace easched;
 
+/// Decorrelated-jitter retry backoff (the AWS builders'-library variant):
+/// each wait is uniform in [base, 3 * previous wait], capped. Competing
+/// clients spread out instead of retrying in synchronized exponential
+/// waves, which matters exactly when the server is overloaded or freshly
+/// restarted.
+std::chrono::microseconds next_backoff(Rng& rng, std::chrono::microseconds base,
+                                       std::chrono::microseconds prev,
+                                       std::chrono::microseconds cap) {
+  const double lo = static_cast<double>(base.count());
+  const double hi = 3.0 * static_cast<double>(prev.count());
+  const auto wait = std::chrono::microseconds(
+      static_cast<std::int64_t>(rng.uniform(lo, std::max(lo, hi))));
+  return std::min(std::max(wait, base), cap);
+}
+
+int run_supervised_serve(const CliParser& args) {
+  const int cores = args.get_int("cores");
+  const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
+  const double fmax_arg = args.get_double("fmax");
+
+  const std::string metrics_format = args.get("metrics-format");
+  if (metrics_format != "text" && metrics_format != "prometheus") {
+    std::cerr << "unknown --metrics-format (use: text, prometheus)\n";
+    return 1;
+  }
+
+  SupervisorOptions sup;
+  sup.shards = static_cast<std::size_t>(args.get_int("shards"));
+  sup.data_dir = args.get("data-dir");
+  if (sup.data_dir.empty()) {
+    std::cerr << "serve --shards needs --data-dir for the per-shard journals\n";
+    return 1;
+  }
+  std::filesystem::create_directories(sup.data_dir);
+  sup.service.cores = cores;
+  sup.service.f_max = fmax_arg > 0.0 ? fmax_arg : kInf;
+  sup.service.exact_first = args.get("planner") == "exact";
+  sup.service.incremental = !args.get_switch("no-incremental");
+  sup.service.plan_budget = std::chrono::milliseconds(std::max(0, args.get_int("plan-budget-ms")));
+  sup.service.queue_capacity = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth")));
+  // A forced ladder walk and the pressure-driven ladder would fight (the
+  // ladder releases a forced level as soon as pressure looks calm), so the
+  // walk runs with observation off.
+  const bool walk = args.get_switch("brownout-walk");
+  sup.brownout_enabled = args.get_switch("brownout") && !walk;
+  sup.watchdog_deadline = std::chrono::milliseconds(std::max(0, args.get_int("watchdog-ms")));
+  Supervisor supervisor(power, sup);
+
+  // Synthetic arrival stream, fixed into arrival order (same generator and
+  // replay as the unsupervised path).
+  const auto requests = static_cast<std::size_t>(args.get_int("requests"));
+  const auto tenants = static_cast<std::size_t>(std::max(1, args.get_int("clients")));
+  Rng rng(Rng::seed_of("easched-serve", static_cast<std::uint64_t>(args.get_int("seed"))));
+  WorkloadConfig config;
+  config.task_count = requests;
+  config.release_hi = args.get_double("horizon");
+  const TaskSet stream = generate_workload(config, rng);
+  std::vector<Task> ordered;
+  ordered.reserve(stream.size());
+  SimulationEngine arrivals;
+  for (const Task& t : stream) {
+    arrivals.schedule_at(t.release, [&ordered, t](SimulationEngine&) { ordered.push_back(t); });
+  }
+  arrivals.run();
+
+  // Brownout pressure: arrival-burst depth, the number of releases inside
+  // the trailing 5% of the horizon at each task's own release. Bursty
+  // streams push the ladder up; sparse ones leave it at level 0. Computed
+  // from the stream itself so the run is deterministic.
+  std::vector<std::size_t> pressure(ordered.size(), 0);
+  const double burst_window = std::max(1e-9, config.release_hi * 0.05);
+  for (std::size_t i = 0, j = 0; i < ordered.size(); ++i) {
+    while (ordered[j].release < ordered[i].release - burst_window) ++j;
+    pressure[i] = i - j + 1;
+  }
+
+  const int retries = std::max(0, args.get_int("retries"));
+  const auto backoff_base =
+      std::chrono::microseconds(std::max(1, args.get_int("retry-backoff-us")));
+  const auto backoff_cap = backoff_base * 64;
+  Rng backoff_rng(Rng::seed_of("easched-serve-backoff", 0,
+                               static_cast<std::uint64_t>(args.get_int("seed"))));
+
+  std::size_t admitted = 0, deduplicated = 0, rejected = 0, retried = 0, gave_up = 0;
+  std::size_t watchdog_restarts = 0;
+  // Every acknowledged admit, keyed by rid: the post-run audit checks each
+  // one still exists on its shard after all crashes and recoveries.
+  struct AckedAdmit {
+    std::size_t shard = 0;
+    TaskId id = -1;
+  };
+  std::unordered_map<std::string, AckedAdmit> acked;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (walk && !ordered.empty()) {
+      // Force the ladder through 0 -> 1 -> 2 -> 3 at stream quarters so a
+      // CI run exercises (and exposes, via the brownout_level gauge) every
+      // degradation level.
+      const int quarter = static_cast<int>(i * 4 / ordered.size());
+      if (supervisor.max_brownout_level() != quarter) supervisor.force_brownout_level(quarter);
+    }
+    const std::string tenant = "tenant-" + std::to_string(i % tenants);
+    const std::string rid = "req-" + std::to_string(i);
+    auto wait = backoff_base;
+    bool decided = false;
+    for (int attempt = 0; attempt <= retries && !decided; ++attempt) {
+      if (attempt > 0) {
+        wait = next_backoff(backoff_rng, backoff_base, wait, backoff_cap);
+        // The shard's advertised brownout level stretches the backoff:
+        // degraded shards see retry pressure back off harder.
+        std::this_thread::sleep_for(wait * (1 + supervisor.max_brownout_level()));
+        ++retried;
+      }
+      const ServiceDecision decision = supervisor.submit(tenant, ordered[i], rid, pressure[i]);
+      if (decision.error_kind == AdmissionErrorKind::kUnavailable ||
+          decision.error_kind == AdmissionErrorKind::kOverload ||
+          decision.error_kind == AdmissionErrorKind::kDropped) {
+        continue;  // retryable: the same rid keeps the retry idempotent
+      }
+      decided = true;
+      if (decision.admission.admitted) {
+        ++admitted;
+        if (decision.deduplicated) ++deduplicated;
+        acked[rid] = AckedAdmit{supervisor.route(tenant), decision.id};
+      } else {
+        ++rejected;
+      }
+    }
+    if (!decided) ++gave_up;
+    if (i % 16 == 15) watchdog_restarts += supervisor.check_watchdogs();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // Final recovery sweep: bring every shard back up (a kill with a long
+  // restart_after may have left one down) so the audit reads live state.
+  for (int round = 0; round < 8; ++round) {
+    bool all_up = true;
+    for (std::size_t k = 0; k < supervisor.shard_count(); ++k) {
+      if (!supervisor.shard(k).up() && !supervisor.shard(k).restart_now()) all_up = false;
+    }
+    if (all_up) break;
+  }
+
+  std::cout << "served " << requests << " request(s) across " << sup.shards << " shard(s) ("
+            << tenants << " tenant(s)) in " << format_fixed(wall_s, 3) << " s: " << admitted
+            << " admitted (" << deduplicated << " deduplicated), " << rejected << " rejected, "
+            << retried << " retried, " << gave_up << " gave up\n";
+
+  const SupervisorStats stats = supervisor.stats();
+  std::cout << "supervision: " << stats.crashes_contained << " crash(es) contained, "
+            << stats.restarts << " restart(s) (" << watchdog_restarts << " by watchdog), "
+            << stats.unavailable_rejects << " unavailable reject(s), " << stats.brownout_sheds
+            << " brownout shed(s), " << stats.compactions << " compaction(s), max brownout level "
+            << stats.max_brownout_level << ", " << stats.shards_up << "/" << sup.shards
+            << " shard(s) up\n";
+
+  // No-lost-acks audit: every acknowledged admit must still be committed on
+  // its shard — across every contained crash, restart, and replay.
+  std::size_t lost_acks = 0;
+  std::vector<std::unordered_set<TaskId>> committed(supervisor.shard_count());
+  for (std::size_t k = 0; k < supervisor.shard_count(); ++k) {
+    for (const TaskId id : supervisor.shard(k).committed_ids()) committed[k].insert(id);
+  }
+  for (const auto& [rid, ack] : acked) {
+    if (committed[ack.shard].count(ack.id) == 0) {
+      ++lost_acks;
+      std::cout << "LOST ACK: " << rid << " (task " << ack.id << " on shard " << ack.shard
+                << ") vanished across recovery\n";
+    }
+  }
+  std::cout << "audit: " << acked.size() << " acked admit(s), " << lost_acks << " lost\n";
+
+  if (metrics_format == "prometheus") {
+    std::cout << "\n" << supervisor.prometheus();
+  } else {
+    MetricsRegistry dump_registry;
+    const MetricsSnapshot merged = supervisor.metrics_snapshot();
+    for (const auto& [name, value] : merged.counters) dump_registry.set_counter(name, value);
+    for (const auto& [name, value] : merged.gauges) dump_registry.set_gauge(name, value);
+    std::cout << "\n" << dump_registry.dump();
+  }
+  return lost_acks == 0 ? 0 : 3;
+}
+
 int run_serve(const CliParser& args) {
+  if (args.get_int("shards") > 0) return run_supervised_serve(args);
   const int cores = args.get_int("cores");
   const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
   const double fmax_arg = args.get_double("fmax");
@@ -141,13 +333,11 @@ int run_serve(const CliParser& args) {
                                      static_cast<std::uint64_t>(args.get_int("seed"))));
         std::vector<Task> pending = per_client[c];
         bool server_gone = false;
+        auto wait = backoff_base;
         for (int attempt = 0; attempt <= retries && !pending.empty() && !server_gone; ++attempt) {
           if (attempt > 0) {
-            const auto base = backoff_base * (1 << (attempt - 1));
-            const auto jitter =
-                std::chrono::microseconds(static_cast<std::int64_t>(
-                    backoff_rng.uniform() * static_cast<double>(base.count())));
-            std::this_thread::sleep_for(base + jitter);
+            wait = next_backoff(backoff_rng, backoff_base, wait, backoff_base * 64);
+            std::this_thread::sleep_for(wait);
             retried.fetch_add(pending.size());
           }
           std::vector<std::future<ServiceDecision>> futures;
@@ -565,7 +755,7 @@ int main(int argc, char** argv) {
   args.add_option("wake-energy", "0", "run: sleep->active transition energy");
   args.add_option("switch-energy", "0", "run: energy charged per DVFS switch");
   args.add_switch("migrate", "run: consolidate idle cores' queues onto busier cores");
-  args.add_option("clients", "4", "serve: concurrent client threads");
+  args.add_option("clients", "4", "serve: concurrent client threads (supervised: tenant count)");
   args.add_option("requests", "200", "serve: synthetic admission requests to submit");
   args.add_option("fmax", "0", "serve: admission frequency ceiling (0 = unbounded)");
   args.add_option("window-us", "500", "serve: batch collection window in microseconds");
@@ -586,7 +776,16 @@ int main(int argc, char** argv) {
                   "deterministic fault plan, e.g. seed=7;solver_stall:p=1;kill:journal.admit.post@3");
   args.add_option("retries", "2", "serve: client retries of overload/dropped decisions");
   args.add_option("retry-backoff-us", "200",
-                  "serve: base client backoff before a retry (jittered, doubled per attempt)");
+                  "serve: base client retry backoff (decorrelated jitter, capped at 64x)");
+  args.add_option("shards", "0",
+                  "serve: run a supervised shard fleet of this size (0 = single service)");
+  args.add_option("data-dir", "",
+                  "serve: directory for per-shard journals + snapshots (required with --shards)");
+  args.add_switch("brownout", "serve: enable the pressure-driven brownout ladder per shard");
+  args.add_switch("brownout-walk",
+                  "serve: force the ladder through levels 0..3 at stream quarters (CI)");
+  args.add_option("watchdog-ms", "250",
+                  "serve: restart a down shard idle longer than this (supervised)");
   args.add_option("trace", "", "serve: write a Chrome trace_event JSON of the run here");
   args.add_option("metrics-format", "text",
                   "serve: metrics exposition at exit: text | prometheus");

@@ -64,7 +64,9 @@ void FaultInjector::kill_point(std::string_view name) {
   for (KillState& kill : kills_) {
     if (kill.spec.point != name) continue;
     const std::uint64_t visit = kill.visits.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (visit == kill.spec.at_visit) throw InjectedCrash(std::string(name));
+    if (visit == kill.spec.at_visit) {
+      throw InjectedCrash(std::string(name), kill.spec.restart_after);
+    }
   }
 }
 

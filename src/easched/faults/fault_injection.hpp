@@ -49,12 +49,18 @@ class InjectedFault : public std::runtime_error {
 /// propagates all the way out so recovery tests observe the aborted state.
 class InjectedCrash : public std::runtime_error {
  public:
-  explicit InjectedCrash(const std::string& point)
-      : std::runtime_error("injected crash at kill point '" + point + "'"), point_(point) {}
+  explicit InjectedCrash(const std::string& point, std::uint64_t restart_after = 0)
+      : std::runtime_error("injected crash at kill point '" + point + "'"),
+        point_(point),
+        restart_after_(restart_after) {}
   const std::string& point() const { return point_; }
+  /// The kill spec's restart schedule: how many routed operations a
+  /// supervisor should keep the crashed shard down before restarting it.
+  std::uint64_t restart_after() const { return restart_after_; }
 
  private:
   std::string point_;
+  std::uint64_t restart_after_ = 0;
 };
 
 /// The sites the library consults. Extend here + in `site_name`.

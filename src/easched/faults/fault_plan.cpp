@@ -79,6 +79,12 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.kills.push_back(std::move(kill));
       continue;
     }
+    if (item.rfind("restart_after=", 0) == 0) {
+      // Attaches to the kill it follows: `kill:shard.submit@3;restart_after=5`.
+      if (plan.kills.empty()) bad_spec(item, "restart_after= must follow a kill:");
+      plan.kills.back().restart_after = parse_count(item, item.substr(14));
+      continue;
+    }
 
     const auto colon = item.find(':');
     if (colon == std::string::npos) bad_spec(item, "expected 'site:fields' or 'seed=N'");
@@ -136,6 +142,7 @@ std::string FaultPlan::to_string() const {
   for (const KillSpec& kill : kills) {
     out << ";kill:" << kill.point;
     if (kill.at_visit != 1) out << "@" << kill.at_visit;
+    if (kill.restart_after != 0) out << ";restart_after=" << kill.restart_after;
   }
   return out.str();
 }

@@ -31,9 +31,15 @@
 namespace easched {
 
 /// One named crash site: throw `InjectedCrash` on the `at_visit`-th visit.
+/// `restart_after` turns the kill into a supervised *restart schedule*: a
+/// supervisor that contains the crash keeps the shard down for that many
+/// further routed operations before restarting it (0 = restart immediately).
+/// It is written as a standalone item right after its kill —
+/// `kill:shard.submit@3;restart_after=5` — mirroring how chaos recipes read.
 struct KillSpec {
   std::string point;
   std::uint64_t at_visit = 1;  ///< 1-based
+  std::uint64_t restart_after = 0;  ///< supervised ops to stay down post-crash
 
   friend bool operator==(const KillSpec&, const KillSpec&) = default;
 };

@@ -10,6 +10,7 @@ namespace easched::obs {
 namespace {
 
 std::atomic<Tracer*> g_current{nullptr};
+std::atomic<bool> g_suppressed{false};
 std::atomic<std::uint64_t> g_next_epoch_id{1};
 
 /// Per-thread recording slot. Caching the owning tracer's epoch id (not its
@@ -171,7 +172,20 @@ std::string Tracer::chrome_trace_json() const {
 
 void Tracer::write_chrome_trace(std::ostream& out) const { out << chrome_trace_json(); }
 
-Tracer* current() noexcept { return g_current.load(std::memory_order_acquire); }
+Tracer* current() noexcept {
+  // Load the tracer first: the no-tracer fast path (the only one production
+  // code sees, and the one the perf gate holds at one atomic load) never
+  // touches the suppression flag.
+  Tracer* tracer = g_current.load(std::memory_order_acquire);
+  if (tracer == nullptr) return nullptr;
+  return g_suppressed.load(std::memory_order_relaxed) ? nullptr : tracer;
+}
+
+void set_tracing_suppressed(bool suppressed) noexcept {
+  g_suppressed.store(suppressed, std::memory_order_relaxed);
+}
+
+bool tracing_suppressed() noexcept { return g_suppressed.load(std::memory_order_relaxed); }
 
 TraceScope::TraceScope(Tracer& tracer)
     : previous_(g_current.exchange(&tracer, std::memory_order_acq_rel)) {}

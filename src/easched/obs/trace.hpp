@@ -136,8 +136,20 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
-/// The installed tracer, or nullptr (the common, zero-cost case).
+/// The installed tracer, or nullptr (the common, zero-cost case). Returns
+/// nullptr while tracing is suppressed (see `set_tracing_suppressed`).
 Tracer* current() noexcept;
+
+/// \name Brownout suppression
+/// Disarm span recording without uninstalling the tracer: the brownout
+/// ladder (level ≥ 2) sheds tracing overhead while keeping the `TraceScope`
+/// alive for when load recedes. Suppression is process-wide and checked
+/// only when a tracer is installed, so the zero-cost disabled-span path is
+/// untouched.
+/// @{
+void set_tracing_suppressed(bool suppressed) noexcept;
+bool tracing_suppressed() noexcept;
+/// @}
 
 /// RAII installation of a tracer as the process-wide current one. Same
 /// discipline as `faults::FaultScope`: installation is a CLI/bench/test

@@ -233,6 +233,9 @@ FallbackPlan plan_with_fallback(const TaskSet& tasks, int cores, const PowerMode
   }
 
   for (const AllocationMethod method : {AllocationMethod::kDer, AllocationMethod::kEven}) {
+    if (method == AllocationMethod::kDer && options.first_heuristic == PlanRung::kEven) {
+      continue;  // brownout ladder entered the chain below F2
+    }
     obs::Span rung_span(
         rung_span_name(method == AllocationMethod::kDer ? PlanRung::kDer : PlanRung::kEven));
     RungAttempt& attempt = attempts.emplace_back();

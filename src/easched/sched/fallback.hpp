@@ -99,6 +99,10 @@ struct FallbackOptions {
   /// Knobs for the exact rung (its `budget` field is overwritten with the
   /// chain's remaining budget).
   SolverOptions exact{};
+  /// Entry point into the heuristic sub-chain (the brownout ladder's knob):
+  /// `kDer` (default) runs F2 → F1; `kEven` skips straight to the cheapest
+  /// rung. Values other than those two are treated as the default.
+  PlanRung first_heuristic = PlanRung::kDer;
   /// Validator tolerance applied to every candidate schedule.
   double validate_tol = 1e-5;
 };

@@ -1,0 +1,56 @@
+#include "easched/service/brownout.hpp"
+
+#include <algorithm>
+
+#include "easched/common/contracts.hpp"
+
+namespace easched {
+
+BrownoutLadder::BrownoutLadder(BrownoutOptions options) : options_(options) {
+  if (options_.dwell == 0) options_.dwell = 1;
+  for (std::size_t i = 0; i < options_.engage.size(); ++i) {
+    EASCHED_EXPECTS_MSG(options_.release[i] < options_.engage[i],
+                        "brownout release watermark must sit below engage");
+  }
+  EASCHED_EXPECTS(options_.shed_slack > 0.0 && options_.shed_slack < 1.0);
+}
+
+int BrownoutLadder::observe(std::size_t pressure) {
+  // Qualify the observation against the watermarks adjacent to the current
+  // level; a non-qualifying observation resets that direction's streak, so
+  // only *consecutive* pressure moves the ladder.
+  if (level_ < kBrownoutMaxLevel &&
+      pressure >= options_.engage[static_cast<std::size_t>(level_)]) {
+    ++engage_streak_;
+  } else {
+    engage_streak_ = 0;
+  }
+  if (level_ > 0 && pressure <= options_.release[static_cast<std::size_t>(level_ - 1)]) {
+    ++release_streak_;
+  } else {
+    release_streak_ = 0;
+  }
+
+  if (engage_streak_ >= options_.dwell) {
+    ++level_;
+    ++transitions_;
+    engage_streak_ = 0;
+    release_streak_ = 0;
+  } else if (release_streak_ >= options_.dwell) {
+    --level_;
+    ++transitions_;
+    engage_streak_ = 0;
+    release_streak_ = 0;
+  }
+  return level_;
+}
+
+void BrownoutLadder::force(int level) {
+  const int clamped = std::clamp(level, 0, kBrownoutMaxLevel);
+  if (clamped != level_) ++transitions_;
+  level_ = clamped;
+  engage_streak_ = 0;
+  release_streak_ = 0;
+}
+
+}  // namespace easched

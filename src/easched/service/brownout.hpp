@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file brownout.hpp
+/// \brief Deterministic overload degradation ladder with hysteresis.
+///
+/// Under sustained overload a service has two bad options: queue until
+/// latency is unbounded, or reject until clients give up. Brownout is the
+/// third: keep answering, but spend less per answer. The ladder has four
+/// levels, each shedding one source of per-request cost:
+///
+///   level 0 — full service: exact→F2→F1 fallback chain (when exact is on)
+///   level 1 — skip the exact rung (the budgeted convex solve)
+///   level 2 — F1-only planning, tracing disarmed
+///   level 3 — additionally shed the lowest-laxity requests outright
+///
+/// **Determinism.** The ladder is a pure integer state machine over
+/// *pressure observations* (queue depth at each decision point) — no wall
+/// clock, no randomness. The same observation sequence produces the same
+/// level transitions on every run, which is what lets the chaos differential
+/// test assert bit-identical recovered state while the ladder is live.
+///
+/// **Hysteresis.** Each level has an engage and a (lower) release
+/// watermark, and a transition needs `dwell` consecutive qualifying
+/// observations. Without both, a queue oscillating around one watermark
+/// would flap the ladder every batch, and each flap invalidates the plan
+/// cache partition for the old level.
+///
+/// The ladder itself only tracks the level; its *effects* live with the
+/// owners: `SchedulerService::set_brownout_level` reshapes the fallback
+/// chain and salts the plan cache, `ServiceShard` sheds at level 3 and
+/// disarms tracing at level ≥ 2, and clients read the level off the
+/// decision to stretch their retry backoff.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace easched {
+
+/// Highest ladder level (lowest-laxity shed).
+inline constexpr int kBrownoutMaxLevel = 3;
+
+/// Watermarks and dwell of a `BrownoutLadder`.
+struct BrownoutOptions {
+  /// Pressure at or above `engage[i]` (for `dwell` consecutive
+  /// observations) raises the level from i to i+1.
+  std::array<std::size_t, 3> engage{8, 16, 32};
+  /// Pressure at or below `release[i]` (for `dwell` consecutive
+  /// observations) lowers the level from i+1 to i. Must sit strictly below
+  /// `engage[i]` for real hysteresis.
+  std::array<std::size_t, 3> release{2, 6, 12};
+  /// Consecutive qualifying observations required before a transition.
+  std::size_t dwell = 2;
+  /// Laxity-over-window floor for the level-3 shed: a request whose
+  /// `(window - work) / window` falls below this is shed instead of
+  /// planned. In (0, 1); at the paper's workloads 0.5 sheds the tight half.
+  double shed_slack = 0.5;
+};
+
+/// The level state machine. Single-owner (the shard drives it under its own
+/// lock); one level step per transition, never a jump.
+class BrownoutLadder {
+ public:
+  explicit BrownoutLadder(BrownoutOptions options = {});
+
+  int level() const { return level_; }
+  const BrownoutOptions& options() const { return options_; }
+
+  /// Feed one pressure observation (queue depth at a decision point).
+  /// Returns the level after the observation; at most one step away from
+  /// the level before it.
+  int observe(std::size_t pressure);
+
+  /// Pin the ladder to `level` (clamped to [0, kBrownoutMaxLevel]) and
+  /// reset the dwell counters. CI forces the ladder through all four
+  /// levels with this; `observe` keeps working afterwards.
+  void force(int level);
+
+  /// Level changes so far (both directions) — feeds
+  /// `brownout_transitions_total`.
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  BrownoutOptions options_;
+  int level_ = 0;
+  std::size_t engage_streak_ = 0;
+  std::size_t release_streak_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace easched

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -30,6 +32,74 @@ std::string checksum_hex(const std::string& payload) {
   std::ostringstream out;
   out << std::hex << fnv1a(payload);
   return out.str();
+}
+
+/// One decoded journal record.
+struct Record {
+  enum class Kind { kAdmit, kComplete, kNext, kDedup } kind = Kind::kAdmit;
+  TaskId id = 0;
+  Task task;        // kAdmit only
+  std::string rid;  // kAdmit (optional) / kDedup
+};
+
+/// Checksum-verify and parse one line. Returns nothing (with `reason` set)
+/// when the line is not a valid record.
+std::optional<Record> parse_record(const std::string& line, std::string& reason) {
+  const auto space = line.find(' ');
+  if (space == std::string::npos ||
+      line.substr(0, space) != checksum_hex(line.substr(space + 1))) {
+    reason = "checksum mismatch";
+    return std::nullopt;
+  }
+  std::istringstream fields(line.substr(space + 1));
+  std::string kind;
+  Record record;
+  fields >> kind;
+  if (!fields) {
+    reason = "unparseable record";
+    return std::nullopt;
+  }
+  if (kind == "dedup") {
+    // Field order is `dedup <rid> <id>` — the rid comes before the id (it
+    // may not be numeric), so it cannot share the common id-first parse.
+    record.kind = Record::Kind::kDedup;
+    fields >> record.rid >> record.id;
+    if (!fields) {
+      reason = "unparseable record";
+      return std::nullopt;
+    }
+    return record;
+  }
+  fields >> record.id;
+  if (!fields) {
+    reason = "unparseable record";
+    return std::nullopt;
+  }
+  if (kind == "admit") {
+    record.kind = Record::Kind::kAdmit;
+    fields >> record.task.release >> record.task.deadline >> record.task.work;
+    if (!fields) {
+      reason = "unparseable record";
+      return std::nullopt;
+    }
+    fields >> record.rid;  // optional trailing request id
+  } else if (kind == "complete") {
+    record.kind = Record::Kind::kComplete;
+  } else if (kind == "next") {
+    record.kind = Record::Kind::kNext;
+  } else {
+    reason = "unparseable record";
+    return std::nullopt;
+  }
+  return record;
+}
+
+std::string admit_payload(TaskId id, const Task& task, std::string_view rid) {
+  std::ostringstream payload;
+  payload.precision(17);
+  payload << "admit " << id << " " << task.release << " " << task.deadline << " " << task.work;
+  if (!rid.empty()) payload << " " << rid;
+  return payload.str();
 }
 
 }  // namespace
@@ -63,11 +133,8 @@ void AdmissionJournal::append_line(const std::string& payload, const char* pre_p
   faults::kill_point(post_point);
 }
 
-void AdmissionJournal::append_admit(TaskId id, const Task& task) {
-  std::ostringstream payload;
-  payload.precision(17);
-  payload << "admit " << id << " " << task.release << " " << task.deadline << " " << task.work;
-  append_line(payload.str(), "journal.admit.pre", "journal.admit.post");
+void AdmissionJournal::append_admit(TaskId id, const Task& task, std::string_view rid) {
+  append_line(admit_payload(id, task, rid), "journal.admit.pre", "journal.admit.post");
 }
 
 void AdmissionJournal::append_complete(TaskId id) {
@@ -81,6 +148,91 @@ std::uint64_t AdmissionJournal::appended() const {
   return appended_;
 }
 
+std::uint64_t AdmissionJournal::size_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+  if (!probe.is_open()) return 0;
+  const auto size = probe.tellg();
+  return size > 0 ? static_cast<std::uint64_t>(size) : 0;
+}
+
+JournalCompaction AdmissionJournal::compact(
+    TaskId next_id, const std::vector<std::pair<TaskId, Task>>& live,
+    const std::vector<std::pair<std::string, TaskId>>& dedup) {
+  std::lock_guard lock(mutex_);
+  JournalCompaction result;
+  {
+    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+    if (probe.is_open() && probe.tellg() > 0) {
+      result.bytes_before = static_cast<std::uint64_t>(probe.tellg());
+    }
+  }
+
+  // rids already carried by a live admit need no standalone dedup record.
+  std::set<std::string_view> live_rids;
+  std::map<TaskId, std::string_view> rid_of;
+  for (const auto& [rid, id] : dedup) rid_of[id] = rid;
+  for (const auto& [id, task] : live) {
+    (void)task;
+    if (const auto it = rid_of.find(id); it != rid_of.end()) live_rids.insert(it->second);
+  }
+
+  const std::string temp_path = path_ + ".compact";
+  {
+    std::ofstream temp(temp_path, std::ios::trunc);
+    if (!temp.is_open()) {
+      throw std::runtime_error("cannot open compaction temp file: " + temp_path);
+    }
+    temp.precision(17);
+    temp << kHeader << "\n";
+    auto emit = [&](const std::string& payload) {
+      temp << checksum_hex(payload) << " " << payload << "\n";
+      ++result.records;
+    };
+    // `next` first: even if everything else is compacted away, the id
+    // counter can never regress and hand out an already-used id.
+    if (next_id > 0) {
+      std::ostringstream payload;
+      payload << "next " << next_id;
+      emit(payload.str());
+    }
+    for (const auto& [id, task] : live) {
+      std::string_view rid;
+      if (const auto it = rid_of.find(id); it != rid_of.end()) rid = it->second;
+      emit(admit_payload(id, task, rid));
+    }
+    for (const auto& [rid, id] : dedup) {
+      if (live_rids.count(rid)) continue;
+      std::ostringstream payload;
+      payload << "dedup " << rid << " " << id;
+      emit(payload.str());
+    }
+    temp.flush();
+    if (!temp) throw std::runtime_error("compaction write failed: " + temp_path);
+  }
+
+  out_.close();
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    // Restore the append handle on the (still intact) original before failing.
+    out_.open(path_, std::ios::app);
+    out_.precision(17);
+    throw std::runtime_error("compaction rename failed: " + path_);
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_.is_open()) {
+    throw std::runtime_error("cannot reopen compacted journal: " + path_);
+  }
+  out_.precision(17);
+
+  {
+    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+    if (probe.is_open() && probe.tellg() > 0) {
+      result.bytes_after = static_cast<std::uint64_t>(probe.tellg());
+    }
+  }
+  return result;
+}
+
 JournalRecovery AdmissionJournal::recover(const std::string& path) {
   JournalRecovery recovery;
   std::ifstream in(path);
@@ -92,48 +244,61 @@ JournalRecovery AdmissionJournal::recover(const std::string& path) {
     throw std::runtime_error("not an easched-admission-journal v1 file: " + path);
   }
 
+  // Decode every line first so bad records can be classified by position:
+  // bad lines with a valid record after them are mid-file corruption
+  // (skipped, surfaced in `corruptions`); bad lines with none after are the
+  // torn tail of a mid-append crash (silently dropped).
+  struct DecodedLine {
+    std::optional<Record> record;
+    JournalCorruption corruption;  // populated when !record
+  };
+  std::vector<DecodedLine> lines;
+  std::uint64_t offset = static_cast<std::uint64_t>(line.size()) + 1;  // past header
+  std::size_t line_number = 1;
+  std::size_t last_valid = 0;  // 1-based index into `lines` + 1; 0 = none
+  while (std::getline(in, line)) {
+    ++line_number;
+    DecodedLine decoded;
+    std::string reason;
+    decoded.record = parse_record(line, reason);
+    if (decoded.record) {
+      last_valid = lines.size() + 1;
+    } else {
+      decoded.corruption = {line_number, offset, std::move(reason)};
+    }
+    offset += static_cast<std::uint64_t>(line.size()) + 1;
+    lines.push_back(std::move(decoded));
+  }
+
   std::map<TaskId, Task> live;
   std::set<TaskId> removed;
-  bool torn = false;
-  while (std::getline(in, line)) {
-    if (torn) {
-      ++recovery.dropped_lines;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].record) {
+      if (i < last_valid) {
+        recovery.corruptions.push_back(std::move(lines[i].corruption));
+      } else {
+        ++recovery.dropped_lines;
+      }
       continue;
     }
-    // Split off the checksum, verify, then parse the payload. Any failure
-    // marks the torn tail: this line and everything after it is dropped.
-    const auto space = line.find(' ');
-    if (space == std::string::npos || line.substr(0, space) != checksum_hex(line.substr(space + 1))) {
-      torn = true;
-      ++recovery.dropped_lines;
-      continue;
-    }
-    std::istringstream fields(line.substr(space + 1));
-    std::string kind;
-    TaskId id = 0;
-    fields >> kind >> id;
-    if (kind == "admit") {
-      Task task;
-      fields >> task.release >> task.deadline >> task.work;
-      if (!fields) {
-        torn = true;
-        ++recovery.dropped_lines;
-        continue;
-      }
-      live[id] = task;
-      recovery.next_id = std::max(recovery.next_id, id + 1);
-    } else if (kind == "complete") {
-      if (!fields) {
-        torn = true;
-        ++recovery.dropped_lines;
-        continue;
-      }
-      live.erase(id);
-      removed.insert(id);
-    } else {
-      torn = true;
-      ++recovery.dropped_lines;
-      continue;
+    const Record& record = *lines[i].record;
+    switch (record.kind) {
+      case Record::Kind::kAdmit:
+        live[record.id] = record.task;
+        recovery.next_id = std::max(recovery.next_id, record.id + 1);
+        if (!record.rid.empty()) recovery.request_ids.emplace_back(record.rid, record.id);
+        break;
+      case Record::Kind::kComplete:
+        live.erase(record.id);
+        removed.insert(record.id);
+        break;
+      case Record::Kind::kNext:
+        recovery.next_id = std::max(recovery.next_id, record.id);
+        break;
+      case Record::Kind::kDedup:
+        recovery.request_ids.emplace_back(record.rid, record.id);
+        recovery.next_id = std::max(recovery.next_id, record.id + 1);
+        break;
     }
     ++recovery.records;
   }

@@ -16,17 +16,30 @@
 /// flush and acknowledgement may recover an admit the client never heard
 /// about — that is the safe side of the race (the service honors a
 /// commitment nobody collected, rather than dropping one somebody did).
+/// Admits may carry a client *request id*; recovery surfaces the rid→id map
+/// so a retried acked admit dedups to its original task id instead of
+/// double-committing (`SchedulerService::submit(task, rid)`).
 ///
 /// **Format.** Plain text, one record per line, self-checking:
 ///
 ///     # easched-admission-journal v1
-///     <fnv64-hex> admit <id> <release> <deadline> <work>
+///     <fnv64-hex> admit <id> <release> <deadline> <work> [<rid>]
 ///     <fnv64-hex> complete <id>
+///     <fnv64-hex> next <id>
+///     <fnv64-hex> dedup <rid> <id>
 ///
-/// The leading checksum covers the rest of the line, so replay detects a
-/// torn tail (a crash mid-append): the first line that fails its checksum —
-/// or fails to parse — ends replay, and everything from it on is counted in
-/// `JournalRecovery::dropped_lines` instead of corrupting the state.
+/// `next` pins the id counter (written by `compact()` so compacting away the
+/// highest admit can never regress `next_id` and reuse ids). `dedup`
+/// preserves a rid→id mapping whose admit record was compacted away (the
+/// task completed, but a late client retry must still dedup, not re-admit).
+///
+/// The leading checksum covers the rest of the line. Replay distinguishes
+/// two failure shapes: a *torn tail* (bad line(s) with no valid record after
+/// them — the expected wreckage of a mid-append crash, silently dropped and
+/// counted in `dropped_lines`) and *mid-file corruption* (a bad line with
+/// valid records after it — bit rot or truncation-and-append, surfaced as a
+/// structured `JournalCorruption` entry with line number + byte offset while
+/// replay skips the bad line and recovers every valid record).
 ///
 /// Crash points: `append_admit` / `append_complete` visit the fault
 /// injector's kill points `journal.admit.pre` / `journal.admit.post` (and
@@ -37,12 +50,23 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "easched/tasksys/task.hpp"
 
 namespace easched {
+
+/// One mid-file bad record found by replay (not a torn tail): where it was
+/// and why it failed. Replay skips it and keeps going.
+struct JournalCorruption {
+  std::size_t line = 0;      ///< 1-based line number in the file
+  std::uint64_t offset = 0;  ///< byte offset of the line's first character
+  std::string reason;        ///< "checksum mismatch" / "unparseable record"
+
+  friend bool operator==(const JournalCorruption&, const JournalCorruption&) = default;
+};
 
 /// What `AdmissionJournal::recover` rebuilds from a log.
 struct JournalRecovery {
@@ -55,10 +79,22 @@ struct JournalRecovery {
   /// caller replaying the journal over a snapshot base also apply the
   /// removals, not just the surviving admits.
   std::vector<TaskId> removed_ids;
+  /// Request-id → task-id for every rid-tagged admit (and every `dedup`
+  /// record), in record order. The restart seed for idempotent re-admission.
+  std::vector<std::pair<std::string, TaskId>> request_ids;
+  /// Mid-file bad records that were skipped (see `JournalCorruption`).
+  std::vector<JournalCorruption> corruptions;
   /// Valid records replayed.
   std::size_t records = 0;
   /// Trailing lines discarded as torn/corrupt.
   std::size_t dropped_lines = 0;
+};
+
+/// What `AdmissionJournal::compact` did, for logs and metrics.
+struct JournalCompaction {
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  std::size_t records = 0;  ///< records in the compacted journal
 };
 
 /// Append-only admission WAL. Thread-safe; every append flushes before
@@ -69,8 +105,11 @@ class AdmissionJournal {
   /// empty. Throws `std::runtime_error` when the file cannot be opened.
   explicit AdmissionJournal(std::string path);
 
-  /// Append (and flush) one admit record.
-  void append_admit(TaskId id, const Task& task);
+  /// Append (and flush) one admit record. A non-empty `rid` (client request
+  /// id; must contain no whitespace) rides inside the record so the
+  /// admit→rid binding is atomic — there is no crash window in which the
+  /// admit is durable but its dedup key is not.
+  void append_admit(TaskId id, const Task& task, std::string_view rid = {});
 
   /// Append (and flush) one removal record (used for both `complete` and
   /// `cancel` — recovery only needs to know the task is gone).
@@ -80,6 +119,19 @@ class AdmissionJournal {
 
   /// Records appended through this handle (excludes pre-existing ones).
   std::uint64_t appended() const;
+
+  /// Current size of the journal file in bytes (compaction threshold input).
+  std::uint64_t size_bytes() const;
+
+  /// Rewrite the journal in place against a fresh snapshot: the new file
+  /// holds only a `next` record pinning the id counter, the caller's `live`
+  /// admits (empty when a just-written snapshot already covers the live
+  /// set), and `dedup` records for every rid→id mapping so late retries
+  /// still dedup. Atomic via write-temp-then-rename; the handle stays open
+  /// for appending afterwards.
+  JournalCompaction compact(TaskId next_id,
+                            const std::vector<std::pair<TaskId, Task>>& live,
+                            const std::vector<std::pair<std::string, TaskId>>& dedup);
 
   /// Replay the log at `path`. A missing file recovers to the empty state;
   /// a present file with a bad header throws (that is not a journal).

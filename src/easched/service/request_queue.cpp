@@ -40,13 +40,15 @@ std::string_view admission_error_kind_name(AdmissionErrorKind kind) {
       return "contract";
     case AdmissionErrorKind::kInternal:
       return "internal";
+    case AdmissionErrorKind::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
 
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {}
 
-std::future<ServiceDecision> RequestQueue::push(const Task& task) {
+std::future<ServiceDecision> RequestQueue::push(const Task& task, std::string rid) {
   std::future<ServiceDecision> fut;
   bool enqueued = false;
   {
@@ -56,6 +58,7 @@ std::future<ServiceDecision> RequestQueue::push(const Task& task) {
     PendingRequest req;
     req.sequence = next_sequence_++;
     req.task = task;
+    req.rid = std::move(rid);
     req.enqueued_at = std::chrono::steady_clock::now();
     fut = req.promise.get_future();
 
@@ -98,6 +101,7 @@ std::future<ServiceDecision> RequestQueue::push(const Task& task) {
       PendingRequest dup;
       dup.sequence = next_sequence_++;
       dup.task = task;
+      dup.rid = items_.back().rid;  // a retry carries the same request id
       dup.enqueued_at = std::chrono::steady_clock::now();
       ++fault_duplicated_;
       items_.push_back(std::move(dup));

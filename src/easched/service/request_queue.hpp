@@ -53,12 +53,13 @@ namespace easched {
 /// abnormal one). `kNone` covers both admits and ordinary model-based
 /// rejections (infeasible, malformed, over the frequency ceiling).
 enum class AdmissionErrorKind {
-  kNone,      ///< decided by admission proper
-  kOverload,  ///< shed or rejected by the bounded queue
-  kDropped,   ///< fault injection dropped the request
-  kPlanning,  ///< every rung of the fallback chain failed
-  kContract,  ///< a contract violation surfaced during admission
-  kInternal,  ///< any other exception during admission
+  kNone,         ///< decided by admission proper
+  kOverload,     ///< shed or rejected by the bounded queue (or brownout level 3)
+  kDropped,      ///< fault injection dropped the request
+  kPlanning,     ///< every rung of the fallback chain failed
+  kContract,     ///< a contract violation surfaced during admission
+  kInternal,     ///< any other exception during admission
+  kUnavailable,  ///< the routed shard is down (crashed, restart pending) — retry
 };
 
 /// Stable display name ("none", "overload", ...), also the metric suffix of
@@ -83,6 +84,13 @@ struct ServiceDecision {
   /// Which fallback-chain rung produced the plan backing an admit
   /// (`PlanRung::kNone` for rejections and errors).
   PlanRung plan_rung = PlanRung::kNone;
+  /// True when the decision is a replay of an earlier acked admit with the
+  /// same request id (idempotent re-admission): `id` is the original task's
+  /// id and nothing was re-committed or re-journaled.
+  bool deduplicated = false;
+  /// Brownout ladder level of the deciding service at decision time
+  /// (`brownout.hpp`); clients stretch their retry backoff as it rises.
+  int brownout_level = 0;
 };
 
 /// One queued submission: the candidate plus the promise the dispatcher
@@ -90,6 +98,10 @@ struct ServiceDecision {
 struct PendingRequest {
   std::uint64_t sequence = 0;
   Task task;
+  /// Client request id for idempotent re-admission (empty = none). Rides
+  /// inside the journal's admit record, so a retried acked admit dedups to
+  /// its original task id across a crash/restart.
+  std::string rid;
   std::promise<ServiceDecision> promise;
   /// Push time, stamped under the queue lock; the dispatcher turns it into
   /// the request's queue-wait span and latency observation.
@@ -106,8 +118,10 @@ class RequestQueue {
 
   /// Enqueue `task`, returning the future its decision will arrive on. The
   /// future may already be ready (overload or injected drop — see the
-  /// overload contract above). Throws `std::runtime_error` after `close()`.
-  std::future<ServiceDecision> push(const Task& task);
+  /// overload contract above). A non-empty `rid` (no whitespace) names the
+  /// request for idempotent re-admission. Throws `std::runtime_error` after
+  /// `close()`.
+  std::future<ServiceDecision> push(const Task& task, std::string rid = {});
 
   /// Block until at least one request is queued (or the queue is closed),
   /// then keep collecting until `window` elapses — measured from the first

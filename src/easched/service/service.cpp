@@ -7,6 +7,7 @@
 
 #include "easched/common/contracts.hpp"
 #include "easched/faults/fault_injection.hpp"
+#include "easched/service/brownout.hpp"
 #include "easched/obs/trace.hpp"
 #include "easched/parallel/exec.hpp"
 #include "easched/parallel/thread_pool.hpp"
@@ -120,14 +121,14 @@ SchedulerService::SchedulerService(const ServiceSnapshot& snapshot, const PowerM
 
 SchedulerService::~SchedulerService() { shutdown(); }
 
-std::future<ServiceDecision> SchedulerService::submit(const Task& task) {
-  auto fut = queue_.push(task);
+std::future<ServiceDecision> SchedulerService::submit(const Task& task, std::string rid) {
+  auto fut = queue_.push(task, std::move(rid));
   metrics_.increment("requests_total");
   return fut;
 }
 
-ServiceDecision SchedulerService::submit_wait(const Task& task) {
-  auto fut = submit(task);
+ServiceDecision SchedulerService::submit_wait(const Task& task, std::string rid) {
+  auto fut = submit(task, std::move(rid));
   if (options_.manual_dispatch) pump();
   return fut.get();
 }
@@ -300,8 +301,8 @@ void SchedulerService::process_batch(std::vector<PendingRequest> batch) {
     // fires *before* the job body runs) can be retried inline instead of
     // breaking every promise in the batch.
     auto shared = std::make_shared<std::vector<PendingRequest>>(std::move(batch));
-    auto fut = ThreadPool::global().submit(
-        [this, shared]() mutable { run_batch(std::move(*shared)); });
+    ThreadPool& pool = options_.pool != nullptr ? *options_.pool : ThreadPool::global();
+    auto fut = pool.submit([this, shared]() mutable { run_batch(std::move(*shared)); });
     try {
       fut.get();
     } catch (const InjectedFault&) {
@@ -357,6 +358,21 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
       ServiceDecision decision;
       decision.sequence = request.sequence;
       decision.batch = batch_index;
+      decision.brownout_level = brownout_level_.load(std::memory_order_relaxed);
+      // Idempotent re-admission: a rid the service has already committed —
+      // in this incarnation or any journaled predecessor — replays the
+      // original ack instead of evaluating (and double-committing) again.
+      if (!request.rid.empty()) {
+        if (const auto hit = dedup_.find(request.rid); hit != dedup_.end()) {
+          decision.admission.admitted = true;
+          decision.id = hit->second;
+          decision.deduplicated = true;
+          metrics_.increment("request_dedup_hits_total");
+          request_span.set_status("deduplicated");
+          outcomes.emplace_back(std::move(request.promise), std::move(decision));
+          continue;
+        }
+      }
       try {
         if (baseline_failed) throw PlanningError(baseline_reason);
         decision.admission = evaluate_locked(request.task, energy_before, /*commit=*/true,
@@ -386,10 +402,13 @@ void SchedulerService::run_batch(std::vector<PendingRequest> batch) {
       if (decision.admission.admitted) {
         // Write-ahead: the admit is durable before its promise is
         // fulfilled below, so every acknowledged admit survives a crash.
+        // The rid rides inside the admit record — there is no crash window
+        // in which the admit is durable but its dedup key is not.
         if (journal_) {
           obs::Span journal_span("service.journal_append");
-          journal_->append_admit(decision.id, request.task);
+          journal_->append_admit(decision.id, request.task, request.rid);
         }
+        if (!request.rid.empty()) dedup_[request.rid] = decision.id;
         energy_before = decision.admission.energy_after;
         metrics_.increment("admitted_total");
         metrics_.observe("quoted_marginal_energy", decision.admission.marginal_energy);
@@ -426,17 +445,34 @@ FallbackOptions SchedulerService::fallback_options() const {
     fo.budget.deadline = PlanBudget::Clock::now() + options_.plan_budget;
   }
   fo.budget.max_solver_iterations = options_.plan_max_iterations;
+  // The brownout ladder trims the chain from the top: level ≥ 1 drops the
+  // exact rung, level ≥ 2 enters the heuristics at F1.
+  const int brownout = brownout_level_.load(std::memory_order_relaxed);
+  if (brownout >= 1) fo.try_exact = false;
+  if (brownout >= 2) fo.first_heuristic = PlanRung::kEven;
   return fo;
 }
 
 CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId, Task>>& live,
-                                             const std::string& signature) {
+                                             const std::string& raw_signature) {
   if (live.empty()) {
     CachedPlan empty;
     empty.schedule = Schedule(options_.cores);
     empty.rung = PlanRung::kNone;
     return empty;
   }
+  // Salt the cache key with the brownout level: a degraded (F2- or F1-only)
+  // plan cached at level > 0 must never be served as the full-service plan
+  // of the same set once load recedes — and vice versa.
+  const int brownout = brownout_level_.load(std::memory_order_relaxed);
+  std::string salted;
+  if (brownout > 0) {
+    salted.reserve(raw_signature.size() + 3);
+    salted = raw_signature;
+    salted += "|b";
+    salted += static_cast<char>('0' + brownout);
+  }
+  const std::string& signature = brownout > 0 ? salted : raw_signature;
   std::uint64_t hit_age = 0;
   if (auto hit = cache_.lookup(signature, &hit_age)) {
     metrics_.increment("plan_cache_hits_total");
@@ -455,7 +491,7 @@ CachedPlan SchedulerService::plan_set_locked(const std::vector<std::pair<TaskId,
   // bit-identical to the fallback chain's DER rung, so this changes
   // latency, never answers. Any validation or planner failure invalidates
   // the planner and falls through to the ordinary chain.
-  if (delta_planner_ && !options_.exact_first) {
+  if (delta_planner_ && !options_.exact_first && brownout < 2) {
     obs::Span delta_span("service.plan_delta");
     delta_span.arg("tasks", static_cast<double>(live.size()));
     const auto delta_started = std::chrono::steady_clock::now();
@@ -547,7 +583,9 @@ const std::string& SchedulerService::committed_signature_locked() {
 void SchedulerService::replay_journal_locked() {
   if (options_.journal_path.empty()) return;
   const JournalRecovery recovery = AdmissionJournal::recover(options_.journal_path);
-  if (recovery.records == 0 && recovery.dropped_lines == 0) return;
+  if (recovery.records == 0 && recovery.dropped_lines == 0 && recovery.corruptions.empty()) {
+    return;
+  }
   // Removals first (a task the journal saw completed must not survive from
   // a snapshot base), then the surviving admits, id order kept.
   for (const TaskId id : recovery.removed_ids) {
@@ -565,17 +603,26 @@ void SchedulerService::replay_journal_locked() {
     }
   }
   next_id_ = std::max(next_id_, recovery.next_id);
+  // Re-seed the dedup map: a client retrying an admit that was acked by the
+  // previous incarnation must get the same id back, not a second commit.
+  for (const auto& [rid, id] : recovery.request_ids) dedup_[rid] = id;
   committed_signature_valid_ = false;
   metrics_.increment("journal_replays_total");
   metrics_.increment("journal_records_replayed_total", recovery.records);
   if (recovery.dropped_lines > 0) {
     metrics_.increment("journal_torn_lines_total", recovery.dropped_lines);
   }
+  // Mid-file corruption is damage, not a torn tail: count it loudly (the
+  // supervisor alerts on this counter) but keep every valid record.
+  if (!recovery.corruptions.empty()) {
+    metrics_.increment("journal_corruption_total", recovery.corruptions.size());
+  }
   metrics_.set_gauge("journal_recovered_tasks", static_cast<double>(recovery.committed.size()));
 }
 
 Exec SchedulerService::kernel_exec() const {
-  return options_.use_thread_pool ? Exec::global() : Exec::serial();
+  if (!options_.use_thread_pool) return Exec::serial();
+  return options_.pool != nullptr ? Exec::on(*options_.pool) : Exec::global();
 }
 
 AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
@@ -642,6 +689,27 @@ AdmissionDecision SchedulerService::evaluate_locked(const Task& candidate,
     ++next_id_;
   }
   return decision;
+}
+
+void SchedulerService::set_brownout_level(int level) {
+  const int clamped = std::clamp(level, 0, kBrownoutMaxLevel);
+  const int previous = brownout_level_.exchange(clamped, std::memory_order_relaxed);
+  if (previous != clamped) {
+    metrics_.increment("brownout_transitions_total");
+    metrics_.set_gauge("brownout_level", static_cast<double>(clamped));
+  }
+}
+
+std::optional<JournalCompaction> SchedulerService::compact_journal() {
+  std::lock_guard lock(state_mutex_);
+  if (!journal_) return std::nullopt;
+  // Deterministic record order: dedup entries sorted by rid.
+  std::vector<std::pair<std::string, TaskId>> dedup(dedup_.begin(), dedup_.end());
+  std::sort(dedup.begin(), dedup.end());
+  const JournalCompaction result = journal_->compact(next_id_, committed_, dedup);
+  metrics_.increment("journal_compactions_total");
+  metrics_.set_gauge("journal_size_bytes", static_cast<double>(result.bytes_after));
+  return result;
 }
 
 void SchedulerService::refresh_gauges_locked() {

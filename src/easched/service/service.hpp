@@ -58,6 +58,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -87,6 +88,8 @@ class PlanningError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+class ThreadPool;
 
 /// Tunables of a `SchedulerService`.
 struct ServiceOptions {
@@ -143,6 +146,13 @@ struct ServiceOptions {
   /// journaling. On construction the journal is replayed — on top of the
   /// snapshot, when resuming from one — before any request is served.
   std::string journal_path;
+  /// Run planning kernels (and batch jobs) on this pool instead of
+  /// `ThreadPool::global()`. Lets owners give each service instance —
+  /// supervisor shards, tests at pools {1, 2, 8} — its own worker budget;
+  /// plans are bit-identical at any pool size (the `Exec` contract).
+  /// Ignored when `use_thread_pool` is false. Not owned; must outlive the
+  /// service.
+  ThreadPool* pool = nullptr;
 };
 
 struct Exec;
@@ -171,12 +181,16 @@ class SchedulerService {
   /// @{
 
   /// Enqueue an admission request. The future resolves after the batch
-  /// containing the request is processed. Throws `std::runtime_error`
-  /// after `shutdown()`.
-  std::future<ServiceDecision> submit(const Task& task);
+  /// containing the request is processed. A non-empty `rid` (client
+  /// request id, no whitespace) makes the admission *idempotent*: a retry
+  /// carrying the same rid — in this incarnation or after a crash/restart
+  /// over the same journal — resolves to the original task id with
+  /// `ServiceDecision::deduplicated` set instead of double-committing.
+  /// Throws `std::runtime_error` after `shutdown()`.
+  std::future<ServiceDecision> submit(const Task& task, std::string rid = {});
 
   /// Submit and block for the decision (drives a `pump()` in manual mode).
-  ServiceDecision submit_wait(const Task& task);
+  ServiceDecision submit_wait(const Task& task, std::string rid = {});
 
   /// Non-binding admission check with an energy quote: evaluates the
   /// candidate against the current committed set without committing it.
@@ -217,6 +231,28 @@ class SchedulerService {
   MetricsRegistry& metrics() { return metrics_; }
   const ServiceOptions& options() const { return options_; }
   /// @}
+
+  /// \name Brownout (see `brownout.hpp`)
+  /// @{
+
+  /// Set the degradation level (clamped to [0, kBrownoutMaxLevel]).
+  /// Level ≥ 1 skips the exact rung; level ≥ 2 plans F1-only (the delta
+  /// path is bypassed too — it serves F2 plans). Plans produced at level
+  /// > 0 are cached under a level-salted key, so a degraded plan never
+  /// masquerades as the full-service plan for the same set. The level-3
+  /// shed and tracing disarm are the owner's job (`ServiceShard`).
+  void set_brownout_level(int level);
+  int brownout_level() const { return brownout_level_.load(std::memory_order_relaxed); }
+  /// @}
+
+  /// Rewrite the journal in place so replay cost stays proportional to the
+  /// *live* state instead of history: the compacted log holds a `next`
+  /// record, the committed set, and the rid→id dedup map. Returns nothing
+  /// when journaling is off. Any snapshot taken before the compaction is
+  /// invalidated (its completions were compacted away) — owners resuming
+  /// from snapshots must re-snapshot at the compaction point, which is what
+  /// `ServiceShard` does.
+  std::optional<JournalCompaction> compact_journal();
 
   /// \name Lifecycle
   /// @{
@@ -287,6 +323,10 @@ class SchedulerService {
   std::string committed_signature_;
   bool committed_signature_valid_ = false;
   TaskId next_id_ = 0;
+  /// rid → admitted task id, for idempotent re-admission. Seeded from the
+  /// journal's rid-tagged admits on replay; grows with every rid-tagged
+  /// admit. Guarded by `state_mutex_`.
+  std::unordered_map<std::string, TaskId> dedup_;
   PlanCache cache_;
   /// Present iff `options_.incremental`; guarded by `state_mutex_` like the
   /// cache it sits behind.
@@ -294,6 +334,7 @@ class SchedulerService {
   std::uint64_t batches_ = 0;
   std::uint64_t decided_requests_ = 0;
 
+  std::atomic<int> brownout_level_{0};
   std::atomic<bool> shutdown_{false};
   std::thread dispatcher_;  ///< not started in manual mode
 };

@@ -1,0 +1,263 @@
+#include "easched/service/shard.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "easched/common/contracts.hpp"
+#include "easched/faults/fault_injection.hpp"
+
+namespace easched {
+
+namespace {
+
+/// Laxity share of a request's window; level 3 sheds below the floor.
+double slack_ratio(const Task& task) {
+  const double window = task.window();
+  return window > 0.0 ? (window - task.work) / window : 0.0;
+}
+
+std::uint64_t file_size_bytes(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  if (!probe.is_open()) return 0;
+  const auto size = probe.tellg();
+  return size > 0 ? static_cast<std::uint64_t>(size) : 0;
+}
+
+/// Journal growth is checked every this many served ops, not every op: the
+/// file-size probe opens the WAL, which is too heavy for the admission
+/// fast path but negligible amortized.
+constexpr std::uint64_t kSizeCheckPeriod = 32;
+
+}  // namespace
+
+ServiceShard::ServiceShard(const PowerModel& power, ShardOptions options)
+    : power_(power),
+      options_(std::move(options)),
+      submit_site_("shard" + std::to_string(options_.index) + ".submit"),
+      restart_site_("shard" + std::to_string(options_.index) + ".restart.replay"),
+      ladder_(options_.brownout) {
+  EASCHED_EXPECTS_MSG(!options_.journal_path.empty(),
+                      "a supervised shard needs a journal to recover from");
+  last_activity_ = std::chrono::steady_clock::now();
+  std::lock_guard lock(mutex_);
+  // A crash injected into the first bring-up leaves the shard down with an
+  // immediate-retry countdown — the same lazy-recovery path as any later
+  // crash — rather than failing construction.
+  start_service_locked();
+}
+
+ServiceShard::~ServiceShard() = default;
+
+ServiceDecision ServiceShard::submit(const Task& task, std::string rid, std::size_t pressure) {
+  std::lock_guard lock(mutex_);
+  if (!service_ && !tick_down_locked()) {
+    return unavailable_decision_locked("shard down (restart scheduled)");
+  }
+
+  if (options_.brownout_enabled) apply_brownout_locked(ladder_.observe(pressure));
+  const int level = ladder_.level();
+  if (level >= kBrownoutMaxLevel && slack_ratio(task) < ladder_.options().shed_slack) {
+    ++stats_.brownout_sheds;
+    last_activity_ = std::chrono::steady_clock::now();
+    ServiceDecision shed;
+    shed.error_kind = AdmissionErrorKind::kOverload;
+    shed.admission.admitted = false;
+    shed.admission.rejection_reason = "brownout shed (level 3, lowest laxity)";
+    shed.brownout_level = level;
+    return shed;
+  }
+
+  try {
+    // Arrival crash site: fires before anything is queued or committed, so
+    // a kill here loses nothing a client was ever acked for. Both the
+    // fleet-wide and the shard-addressed name are consulted.
+    faults::kill_point("shard.submit");
+    faults::kill_point(submit_site_);
+    ServiceDecision decision = service_->submit_wait(task, std::move(rid));
+    decision.brownout_level = level;
+    last_activity_ = std::chrono::steady_clock::now();
+    if (options_.journal_compact_bytes > 0 && ++ops_since_size_check_ >= kSizeCheckPeriod) {
+      ops_since_size_check_ = 0;
+      if (file_size_bytes(options_.journal_path) > options_.journal_compact_bytes) {
+        snapshot_and_compact_locked();
+      }
+    }
+    return decision;
+  } catch (const InjectedCrash& crash) {
+    ++stats_.crashes_contained;
+    mark_down_locked(crash.restart_after());
+    return unavailable_decision_locked(std::string("shard crashed at ") + crash.point());
+  }
+}
+
+std::optional<bool> ServiceShard::complete(TaskId id) {
+  std::lock_guard lock(mutex_);
+  if (!service_ && !tick_down_locked()) return std::nullopt;
+  try {
+    const bool ok = service_->complete(id);
+    last_activity_ = std::chrono::steady_clock::now();
+    return ok;
+  } catch (const InjectedCrash& crash) {
+    ++stats_.crashes_contained;
+    mark_down_locked(crash.restart_after());
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> ServiceShard::cancel(TaskId id) {
+  std::lock_guard lock(mutex_);
+  if (!service_ && !tick_down_locked()) return std::nullopt;
+  try {
+    const bool ok = service_->cancel(id);
+    last_activity_ = std::chrono::steady_clock::now();
+    return ok;
+  } catch (const InjectedCrash& crash) {
+    ++stats_.crashes_contained;
+    mark_down_locked(crash.restart_after());
+    return std::nullopt;
+  }
+}
+
+bool ServiceShard::up() const {
+  std::lock_guard lock(mutex_);
+  return service_ != nullptr;
+}
+
+std::size_t ServiceShard::committed_count() const {
+  std::lock_guard lock(mutex_);
+  return service_ ? service_->committed_count() : 0;
+}
+
+std::vector<TaskId> ServiceShard::committed_ids() const {
+  std::lock_guard lock(mutex_);
+  return service_ ? service_->committed_ids() : std::vector<TaskId>{};
+}
+
+TaskSet ServiceShard::committed_task_set() const {
+  std::lock_guard lock(mutex_);
+  return service_ ? service_->committed_task_set() : TaskSet{};
+}
+
+Schedule ServiceShard::current_plan() {
+  std::lock_guard lock(mutex_);
+  return service_ ? service_->current_plan() : Schedule(options_.service.cores);
+}
+
+double ServiceShard::current_energy() {
+  std::lock_guard lock(mutex_);
+  return service_ ? service_->current_energy() : 0.0;
+}
+
+int ServiceShard::brownout_level() const {
+  std::lock_guard lock(mutex_);
+  return ladder_.level();
+}
+
+ShardStats ServiceShard::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+MetricsSnapshot ServiceShard::metrics_snapshot() const {
+  std::lock_guard lock(mutex_);
+  return service_ ? service_->metrics().snapshot() : MetricsSnapshot{};
+}
+
+void ServiceShard::force_brownout_level(int level) {
+  std::lock_guard lock(mutex_);
+  ladder_.force(level);
+  apply_brownout_locked(ladder_.level());
+}
+
+std::chrono::steady_clock::time_point ServiceShard::last_activity() const {
+  std::lock_guard lock(mutex_);
+  return last_activity_;
+}
+
+bool ServiceShard::restart_now() {
+  std::lock_guard lock(mutex_);
+  if (service_) return true;
+  restart_countdown_ = 0;
+  return start_service_locked();
+}
+
+bool ServiceShard::start_service_locked() {
+  try {
+    ServiceOptions service_options = options_.service;
+    service_options.manual_dispatch = true;
+    service_options.journal_path = options_.journal_path;
+    std::optional<ServiceSnapshot> base;
+    if (!options_.snapshot_path.empty()) {
+      std::ifstream probe(options_.snapshot_path);
+      if (probe.is_open()) {
+        probe.close();
+        base = read_snapshot(options_.snapshot_path);
+      }
+    }
+    // Mid-restart crash site: the snapshot is loaded, the journal replay
+    // (inside the service constructor) has not happened. A kill here leaves
+    // the shard down; the next routed op retries recovery from scratch.
+    faults::kill_point("shard.restart.replay");
+    faults::kill_point(restart_site_);
+    service_ = base ? std::make_unique<SchedulerService>(*base, power_, service_options)
+                    : std::make_unique<SchedulerService>(power_, service_options);
+    // A restarted incarnation resumes at the ladder's current level.
+    if (ladder_.level() > 0) service_->set_brownout_level(ladder_.level());
+    if (stats_.crashes_contained + stats_.restart_failures > 0) ++stats_.restarts;
+    if (options_.compact_on_restart) snapshot_and_compact_locked();
+    last_activity_ = std::chrono::steady_clock::now();
+    return true;
+  } catch (const InjectedCrash&) {
+    ++stats_.restart_failures;
+    service_.reset();
+    restart_countdown_ = 0;  // the next routed op retries immediately
+    return false;
+  }
+}
+
+void ServiceShard::mark_down_locked(std::uint64_t restart_after) {
+  // The crash happened inside a pumped batch, so the inner queue is
+  // drained: tearing the service down cannot replay armed kill points from
+  // its destructor.
+  service_.reset();
+  restart_countdown_ = restart_after;
+}
+
+bool ServiceShard::tick_down_locked() {
+  if (restart_countdown_ > 0) {
+    --restart_countdown_;
+    ++stats_.unavailable_rejects;
+    return false;
+  }
+  if (!start_service_locked()) {
+    ++stats_.unavailable_rejects;
+    return false;
+  }
+  return true;
+}
+
+void ServiceShard::snapshot_and_compact_locked() {
+  if (!service_) return;
+  // Fresh snapshot first, then the journal is rewritten against it — the
+  // pre-compaction snapshot would resurrect completed tasks (the compacted
+  // log has no removal records).
+  if (!options_.snapshot_path.empty()) {
+    write_snapshot(options_.snapshot_path, service_->snapshot());
+  }
+  if (service_->compact_journal()) ++stats_.compactions;
+}
+
+void ServiceShard::apply_brownout_locked(int level) {
+  if (service_ && service_->brownout_level() != level) service_->set_brownout_level(level);
+}
+
+ServiceDecision ServiceShard::unavailable_decision_locked(std::string reason) {
+  ServiceDecision decision;
+  decision.error_kind = AdmissionErrorKind::kUnavailable;
+  decision.admission.admitted = false;
+  decision.admission.rejection_reason = std::move(reason);
+  decision.brownout_level = ladder_.level();
+  return decision;
+}
+
+}  // namespace easched

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file shard.hpp
+/// \brief One supervised scheduler shard: a `SchedulerService` wrapped in a
+///        crash-containment boundary with automatic snapshot+journal
+///        recovery and a per-shard brownout ladder.
+///
+/// A shard is the supervisor's unit of failure. It owns a private
+/// `SchedulerService` (own journal path, own snapshot file, own plan cache,
+/// own kernel `Exec` via `ServiceOptions::pool`) and drives it in
+/// `manual_dispatch` mode under the shard lock, so every operation is a
+/// synchronous submit→pump→decide round with deterministic crash points.
+///
+/// **Crash containment.** Service code never swallows `InjectedCrash`; the
+/// shard is the layer that finally catches it. A crash tears down the inner
+/// service (the "process" died), marks the shard down, and records the kill
+/// spec's `restart_after` — the number of further routed operations the
+/// shard stays down before recovering, which is how the chaos grammar's
+/// `kill:shard.submit@3;restart_after=5` schedules become behavior. While
+/// down, routed operations are answered `AdmissionErrorKind::kUnavailable`
+/// (clients retry with the same rid) and each one ticks the restart
+/// countdown.
+///
+/// **Recovery.** Restart rebuilds the service from its snapshot file plus
+/// the journal replayed over it — every acked admit survives, and the
+/// journal's rid→id records make retried acks dedup instead of
+/// double-committing. After a successful restart the shard writes a fresh
+/// snapshot and compacts the journal, so recovery time is bounded by live
+/// state, not history. The same compaction runs when the journal grows past
+/// `journal_compact_bytes`. Kill points `shard.submit` (on arrival, before
+/// anything commits) and `shard.restart.replay` (between snapshot load and
+/// journal replay) extend the crash-boundary coverage to the supervisor
+/// era.
+///
+/// **Brownout.** Each shard runs its own `BrownoutLadder`, fed the
+/// supervisor's in-flight pressure at every decision point. The level
+/// reshapes the inner service's fallback chain (`set_brownout_level`); at
+/// level ≥ 2 the shard disarms tracing process-wide, and at level 3 it
+/// sheds the lowest-laxity arrivals before they reach planning.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "easched/power/power_model.hpp"
+#include "easched/service/brownout.hpp"
+#include "easched/service/service.hpp"
+
+namespace easched {
+
+/// Tunables of one `ServiceShard`.
+struct ShardOptions {
+  /// Shard index within the supervisor (names metrics and kill sites).
+  std::size_t index = 0;
+  /// WAL path (required: a shard without a journal cannot recover).
+  std::string journal_path;
+  /// Snapshot file path; empty disables snapshots (recovery then replays
+  /// the whole journal).
+  std::string snapshot_path;
+  /// Inner service tuning. `manual_dispatch` is forced on and
+  /// `journal_path` is overwritten with the shard's own.
+  ServiceOptions service;
+  /// Brownout watermarks (see `brownout.hpp`).
+  BrownoutOptions brownout;
+  /// Drive the ladder from pressure observations; off leaves level 0
+  /// unless `force_brownout_level` is called.
+  bool brownout_enabled = true;
+  /// Compact the journal (and re-snapshot) when it grows past this many
+  /// bytes. 0 disables threshold compaction.
+  std::uint64_t journal_compact_bytes = std::uint64_t{1} << 20;
+  /// Compact (and re-snapshot) as part of every restart.
+  bool compact_on_restart = true;
+};
+
+/// Monotone per-shard counters, read by the supervisor's aggregation.
+/// These live on the shard (not the inner registry) so they survive the
+/// inner service being torn down by a crash.
+struct ShardStats {
+  std::uint64_t restarts = 0;            ///< successful recoveries
+  std::uint64_t crashes_contained = 0;   ///< InjectedCrash caught at the boundary
+  std::uint64_t unavailable_rejects = 0; ///< ops answered while down
+  std::uint64_t brownout_sheds = 0;      ///< level-3 lowest-laxity sheds
+  std::uint64_t compactions = 0;         ///< journal compactions
+  std::uint64_t restart_failures = 0;    ///< restarts aborted by a crash mid-recovery
+};
+
+/// One supervised shard. Thread-safe; every operation serializes on the
+/// shard lock (the shard is the concurrency unit — parallelism comes from
+/// having many shards).
+class ServiceShard {
+ public:
+  /// Builds the shard and brings the inner service up immediately
+  /// (snapshot + journal recovery, like any restart). Throws when the
+  /// first bring-up itself crashes or fails.
+  ServiceShard(const PowerModel& power, ShardOptions options);
+  ~ServiceShard();
+
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+
+  /// Synchronous admission round. `pressure` is the caller's congestion
+  /// observation (supervisor in-flight count) feeding the brownout ladder.
+  /// Never throws `InjectedCrash`: a crash is contained and the decision
+  /// comes back `kUnavailable`.
+  ServiceDecision submit(const Task& task, std::string rid = {}, std::size_t pressure = 0);
+
+  /// Remove a finished / cancelled task. `nullopt` while the shard is down
+  /// (the op still ticks the restart countdown); otherwise the service's
+  /// answer.
+  std::optional<bool> complete(TaskId id);
+  std::optional<bool> cancel(TaskId id);
+
+  /// \name State reads (empty/zero while down)
+  /// @{
+  bool up() const;
+  std::size_t committed_count() const;
+  std::vector<TaskId> committed_ids() const;
+  TaskSet committed_task_set() const;
+  Schedule current_plan();
+  double current_energy();
+  int brownout_level() const;
+  ShardStats stats() const;
+  /// Inner registry snapshot (empty while down).
+  MetricsSnapshot metrics_snapshot() const;
+  /// @}
+
+  /// Pin the brownout ladder (testing / CI walks the full ladder).
+  void force_brownout_level(int level);
+
+  /// Steady-clock time of the last completed operation (watchdog input).
+  std::chrono::steady_clock::time_point last_activity() const;
+
+  /// Restart now if the shard is down, regardless of the remaining
+  /// countdown (the supervisor's watchdog path). Returns true when the
+  /// shard is up afterwards.
+  bool restart_now();
+
+  const ShardOptions& options() const { return options_; }
+
+ private:
+  /// Bring the inner service up from snapshot + journal. Caller holds the
+  /// shard lock. Returns false (shard stays down) when recovery itself
+  /// crashes at `shard.restart.replay`.
+  bool start_service_locked();
+  /// Tear the service down after a contained crash and arm the restart
+  /// countdown.
+  void mark_down_locked(std::uint64_t restart_after);
+  /// Down-path bookkeeping for one routed op: ticks the countdown and
+  /// restarts when it expires. Returns true when the shard is up after it.
+  bool tick_down_locked();
+  /// Snapshot + compact (threshold or restart path). Caller holds the lock
+  /// and the service is up.
+  void snapshot_and_compact_locked();
+  /// Apply a (possibly new) ladder level to the inner service + tracing.
+  void apply_brownout_locked(int level);
+  ServiceDecision unavailable_decision_locked(std::string reason);
+
+  PowerModel power_;
+  ShardOptions options_;
+  /// Shard-addressed kill-site names ("shard<k>.submit",
+  /// "shard<k>.restart.replay"), precomputed so the hot path never builds
+  /// strings. The fleet-wide names "shard.submit" / "shard.restart.replay"
+  /// are consulted too.
+  std::string submit_site_;
+  std::string restart_site_;
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<SchedulerService> service_;  ///< null while down
+  BrownoutLadder ladder_;
+  ShardStats stats_;
+  std::uint64_t restart_countdown_ = 0;  ///< valid while down
+  std::uint64_t ops_since_size_check_ = 0;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace easched

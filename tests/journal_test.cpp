@@ -118,7 +118,7 @@ TEST(JournalTest, TornTailIsDroppedNotFatal) {
   EXPECT_EQ(recovery.dropped_lines, 1u);
 }
 
-TEST(JournalTest, CorruptChecksumEndsReplayThere) {
+TEST(JournalTest, MidFileCorruptionIsSkippedAndStructured) {
   const std::string path = fresh_path("journal_corrupt.log");
   {
     AdmissionJournal journal(path);
@@ -126,17 +126,61 @@ TEST(JournalTest, CorruptChecksumEndsReplayThere) {
     journal.append_admit(1, Task{1.0, 9.0, 1.0});
     journal.append_admit(2, Task{2.0, 8.0, 1.0});
   }
-  // Flip the middle record's payload without fixing its checksum: replay
-  // must stop there and drop the (valid) record after it too.
+  // Flip the middle record's payload without fixing its checksum. A valid
+  // record follows, so this is mid-file corruption (bit rot), not a torn
+  // tail: replay skips the bad line, recovers the record after it, and
+  // surfaces a structured report with the line number and byte offset.
   std::vector<std::string> lines = read_lines(path);
   ASSERT_EQ(lines.size(), 4u);
   lines[2][lines[2].size() - 1] = lines[2].back() == '9' ? '8' : '9';
   write_lines(path, lines);
 
   const JournalRecovery recovery = AdmissionJournal::recover(path);
-  ASSERT_EQ(recovery.committed.size(), 1u);
+  ASSERT_EQ(recovery.committed.size(), 2u);
   EXPECT_EQ(recovery.committed[0].first, 0);
-  EXPECT_EQ(recovery.dropped_lines, 2u);
+  EXPECT_EQ(recovery.committed[1].first, 2);
+  EXPECT_EQ(recovery.next_id, 3);  // the surviving admit of id 2 pins it
+  EXPECT_EQ(recovery.dropped_lines, 0u);
+  ASSERT_EQ(recovery.corruptions.size(), 1u);
+  EXPECT_EQ(recovery.corruptions[0].line, 3u);  // 1-based; header is line 1
+  EXPECT_EQ(recovery.corruptions[0].reason, "checksum mismatch");
+  // Offset points at the corrupted line's first byte: header + record 1.
+  EXPECT_EQ(recovery.corruptions[0].offset, lines[0].size() + lines[1].size() + 2);
+}
+
+TEST(JournalTest, CorruptionAndTornTailAreClassifiedByPosition) {
+  const std::string path = fresh_path("journal_corrupt_tail.log");
+  {
+    AdmissionJournal journal(path);
+    journal.append_admit(0, Task{0.0, 10.0, 2.0});
+    journal.append_admit(1, Task{1.0, 9.0, 1.0});
+    journal.append_admit(2, Task{2.0, 8.0, 1.0});
+  }
+  // Corrupt the FIRST record and tear the LAST: the first is reported as
+  // corruption (a valid record follows it), the torn tail — everything
+  // after the last valid record — is silently dropped.
+  std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  lines[1][lines[1].size() - 1] = lines[1].back() == '9' ? '8' : '9';
+  lines[3] = lines[3].substr(0, lines[3].size() / 2);
+  write_lines(path, lines);
+
+  const JournalRecovery recovery = AdmissionJournal::recover(path);
+  ASSERT_EQ(recovery.committed.size(), 1u);
+  EXPECT_EQ(recovery.committed[0].first, 1);
+  EXPECT_EQ(recovery.corruptions.size(), 1u);
+  EXPECT_EQ(recovery.corruptions[0].line, 2u);
+  EXPECT_EQ(recovery.dropped_lines, 1u);
+
+  // A corrupted line followed only by torn lines has no valid record after
+  // it — that whole region is the torn tail, not reportable corruption.
+  std::vector<std::string> tail_only = read_lines(path);
+  tail_only[2][tail_only[2].size() - 1] = tail_only[2].back() == '9' ? '8' : '9';
+  write_lines(path, tail_only);
+  const JournalRecovery tail_recovery = AdmissionJournal::recover(path);
+  EXPECT_TRUE(tail_recovery.committed.empty());
+  EXPECT_EQ(tail_recovery.corruptions.size(), 0u);
+  EXPECT_EQ(tail_recovery.dropped_lines, 3u);
 }
 
 TEST(JournalTest, BadHeaderThrows) {
@@ -163,6 +207,84 @@ TEST(JournalTest, ReadmitAfterRemovalSurvives) {
   // apply removals first, then surviving admits, so this stays consistent.
   ASSERT_EQ(recovery.removed_ids.size(), 1u);
   EXPECT_EQ(recovery.removed_ids[0], 0);
+}
+
+TEST(JournalTest, CompactShrinksToLiveStateAndStaysAppendable) {
+  const std::string path = fresh_path("journal_compact.log");
+  AdmissionJournal journal(path);
+  for (TaskId id = 0; id < 50; ++id) {
+    journal.append_admit(id, Task{0.1 * id, 0.1 * id + 10.0, 1.0});
+    if (id != 42) journal.append_complete(id);
+  }
+
+  const JournalCompaction result = journal.compact(50, {{42, Task{4.2, 14.2, 1.0}}}, {});
+  EXPECT_LT(result.bytes_after, result.bytes_before / 10);
+  EXPECT_EQ(result.records, 2u);  // next + one live admit
+
+  // The handle survives the rename: appends keep working on the new file.
+  journal.append_admit(50, Task{5.0, 15.0, 1.0});
+
+  const JournalRecovery recovery = AdmissionJournal::recover(path);
+  ASSERT_EQ(recovery.committed.size(), 2u);
+  EXPECT_EQ(recovery.committed[0].first, 42);
+  EXPECT_EQ(recovery.committed[1].first, 50);
+  EXPECT_EQ(recovery.records, 3u);
+  EXPECT_TRUE(recovery.removed_ids.empty());  // history is gone, by design
+}
+
+TEST(JournalTest, CompactionNextRecordPinsTheIdCounter) {
+  // Every admit completed: the compacted log would be empty, and without
+  // the `next` record a restart would hand out id 0 again — aliasing the
+  // completed task 0 in any external system that remembers ids.
+  const std::string path = fresh_path("journal_compact_next.log");
+  AdmissionJournal journal(path);
+  journal.append_admit(0, Task{0.0, 10.0, 1.0});
+  journal.append_admit(1, Task{1.0, 11.0, 1.0});
+  journal.append_complete(0);
+  journal.append_complete(1);
+
+  journal.compact(2, {}, {});
+  const JournalRecovery recovery = AdmissionJournal::recover(path);
+  EXPECT_TRUE(recovery.committed.empty());
+  EXPECT_EQ(recovery.next_id, 2);
+}
+
+TEST(JournalTest, CompactionPreservesDedupMappings) {
+  const std::string path = fresh_path("journal_compact_dedup.log");
+  AdmissionJournal journal(path);
+  journal.append_admit(0, Task{0.0, 10.0, 1.0}, "req-a");
+  journal.append_admit(1, Task{1.0, 11.0, 1.0}, "req-b");
+  journal.append_complete(0);
+
+  // Live admit 1 carries req-b inline; completed 0's req-a needs a
+  // standalone dedup record so a late retry of req-a still dedups.
+  journal.compact(2, {{1, Task{1.0, 11.0, 1.0}}}, {{"req-a", 0}, {"req-b", 1}});
+  const JournalRecovery recovery = AdmissionJournal::recover(path);
+  ASSERT_EQ(recovery.committed.size(), 1u);
+  ASSERT_EQ(recovery.request_ids.size(), 2u);
+  // Record order: live admits (inline rids) first, then standalone dedups.
+  EXPECT_EQ(recovery.request_ids[0], (std::pair<std::string, TaskId>{"req-b", 1}));
+  EXPECT_EQ(recovery.request_ids[1], (std::pair<std::string, TaskId>{"req-a", 0}));
+  EXPECT_EQ(recovery.next_id, 2);
+}
+
+TEST(JournalTest, RidRidesInsideTheAdmitRecord) {
+  // The admit→rid binding is atomic: one record, one flush — no crash
+  // window where the admit is durable but its dedup key is not.
+  const std::string path = fresh_path("journal_rid.log");
+  {
+    AdmissionJournal journal(path);
+    journal.append_admit(7, Task{0.5, 9.5, 2.0}, "client-3-attempt-1");
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("admit 7"), std::string::npos);
+  EXPECT_NE(lines[1].find("client-3-attempt-1"), std::string::npos);
+
+  const JournalRecovery recovery = AdmissionJournal::recover(path);
+  ASSERT_EQ(recovery.request_ids.size(), 1u);
+  EXPECT_EQ(recovery.request_ids[0].first, "client-3-attempt-1");
+  EXPECT_EQ(recovery.request_ids[0].second, 7);
 }
 
 }  // namespace
