@@ -1,0 +1,384 @@
+// loadgen — open-loop TCP load generator for `easched_cli serve --listen`.
+//
+//   ./loadgen --port 7411 --requests 1000 --connections 4 --mix bursty
+//   ./loadgen --port 7411 --mix diurnal --tenants 64 --zipf-s 1.2
+//   ./loadgen --port 7411 --requests 1000 --audit-dedup --shutdown
+//
+// Open-loop means the arrival schedule is fixed before the first byte is
+// sent: every request has a precomputed send time drawn from the chosen
+// arrival mix (uniform Poisson, bursty on/off, or a diurnal sinusoid), and
+// a connection that falls behind schedule sends immediately rather than
+// thinning the offered load — the server's slowness cannot flatter the
+// generator. Tenants are drawn with Zipf skew, so consistent-hash routing
+// sees the hot-tenant imbalance a real multi-tenant front door sees.
+//
+// Retry contract: retryable statuses (unavailable / overload / brownout
+// shed) are retried with the SAME rid under decorrelated-jitter backoff
+// (uniform in [base, 3*prev], capped at 64x base), stretched by the
+// server-advertised brownout level. Terminal statuses are final.
+//
+// Audit: every acked admit is recorded client-side. With --audit-dedup the
+// run ends by re-submitting every acked rid and requiring a deduplicated
+// replay of the original task id — the wire-level proof that no acked
+// admission was lost and no retry double-committed. Exit codes: 0 clean,
+// 2 when any request exhausted its retries undecided, 3 when the audit
+// finds a lost or re-committed ack.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <numbers>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "easched/common/cli.hpp"
+#include "easched/common/rng.hpp"
+#include "easched/common/table.hpp"
+#include "easched/net/client.hpp"
+
+namespace {
+
+using namespace easched;
+
+std::chrono::microseconds next_backoff(Rng& rng, std::chrono::microseconds base,
+                                       std::chrono::microseconds prev,
+                                       std::chrono::microseconds cap) {
+  const double lo = static_cast<double>(base.count());
+  const double hi = 3.0 * static_cast<double>(prev.count());
+  const auto wait = std::chrono::microseconds(
+      static_cast<std::int64_t>(rng.uniform(lo, std::max(lo, hi))));
+  return std::min(std::max(wait, base), cap);
+}
+
+/// Arrival offsets (seconds from start, ascending) for `n` requests over
+/// `duration` seconds under the chosen mix.
+std::vector<double> arrival_schedule(const std::string& mix, std::size_t n, double duration,
+                                     Rng& rng) {
+  std::vector<double> at;
+  at.reserve(n);
+  if (mix == "uniform") {
+    // Homogeneous Poisson: exponential gaps at the mean rate, rescaled onto
+    // the duration so the offered window is exact.
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += -std::log(1.0 - rng.uniform(0.0, 1.0));
+      at.push_back(t);
+    }
+  } else if (mix == "bursty") {
+    // On/off: Poisson burst epochs, each releasing a geometric clump with
+    // microsecond-scale intra-burst gaps. The queue sees walls, not drizzle.
+    double t = 0.0;
+    while (at.size() < n) {
+      t += -std::log(1.0 - rng.uniform(0.0, 1.0));  // burst epoch gap
+      const auto clump = static_cast<std::size_t>(1.0 + rng.uniform(0.0, 15.0));
+      for (std::size_t j = 0; j < clump && at.size() < n; ++j) {
+        at.push_back(t + 1e-4 * static_cast<double>(j));
+      }
+    }
+  } else {  // diurnal
+    // Inhomogeneous Poisson with rate 1 + 0.8*sin(2*pi*t): two "days" of
+    // load swing across the run, sampled by thinning against the peak rate.
+    double t = 0.0;
+    const double peak = 1.8;
+    while (at.size() < n) {
+      t += -std::log(1.0 - rng.uniform(0.0, 1.0)) / peak;
+      const double rate =
+          1.0 + 0.8 * std::sin(2.0 * std::numbers::pi * 2.0 * t / static_cast<double>(n));
+      if (rng.uniform(0.0, peak) <= rate) at.push_back(t);
+    }
+  }
+  // Rescale onto [0, duration].
+  const double span = std::max(at.back(), 1e-9);
+  for (double& t : at) t = t / span * duration;
+  return at;
+}
+
+/// Zipf(s) sampler over `tenants` ranks via inverse CDF.
+class ZipfTenants {
+ public:
+  ZipfTenants(std::size_t tenants, double s) {
+    cdf_.reserve(tenants);
+    double total = 0.0;
+    for (std::size_t rank = 1; rank <= tenants; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t draw(Rng& rng) const {
+    const double u = rng.uniform(0.0, 1.0);
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One planned request of the open-loop schedule.
+struct PlannedRequest {
+  double send_at = 0.0;  ///< seconds from run start
+  std::string tenant;
+  std::string rid;
+  Task task;
+};
+
+struct WorkerTally {
+  std::size_t sent = 0;
+  std::size_t acked = 0;
+  std::size_t deduplicated = 0;
+  std::size_t rejected = 0;
+  std::size_t retries = 0;
+  std::size_t gave_up = 0;
+  std::size_t late = 0;  ///< requests already past their send time when reached
+  std::size_t acks_lost = 0;
+  std::vector<std::size_t> by_status;
+  /// (rid, task, acked id) for the dedup audit.
+  std::vector<std::tuple<std::string, Task, std::int64_t>> acks;
+
+  WorkerTally() : by_status(16, 0) {}
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser args("loadgen", "open-loop TCP load generator for easched serve --listen");
+  args.add_option("host", "127.0.0.1", "server address");
+  args.add_option("port", "0", "server port (required)");
+  args.add_option("requests", "1000", "total admission requests to offer");
+  args.add_option("connections", "4", "concurrent TCP connections (one thread each)");
+  args.add_option("duration-s", "2.0", "window the arrival schedule spans, in seconds");
+  args.add_option("mix", "uniform", "arrival mix: uniform | bursty | diurnal");
+  args.add_option("tenants", "32", "distinct tenants (Zipf-skewed popularity)");
+  args.add_option("zipf-s", "1.1", "Zipf skew exponent (0 = uniform tenants)");
+  args.add_option("seed", "1", "schedule + workload + backoff seed");
+  args.add_option("retries", "16", "max retries of retryable statuses per request");
+  args.add_option("retry-backoff-us", "200",
+                  "base retry backoff (decorrelated jitter, capped at 64x)");
+  args.add_switch("audit-dedup",
+                  "re-submit every acked rid at the end; non-dedup replays are lost acks");
+  args.add_switch("shutdown", "send the protocol shutdown op when done");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n\n" << args.help();
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help();
+    return 0;
+  }
+
+  const std::string host = args.get("host");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port"));
+  if (port == 0) {
+    std::cerr << "loadgen needs --port (see `serve --listen`'s 'serving on' line)\n";
+    return 1;
+  }
+  const auto requests = static_cast<std::size_t>(std::max(1, args.get_int("requests")));
+  const auto connections = static_cast<std::size_t>(std::max(1, args.get_int("connections")));
+  const double duration = std::max(0.01, args.get_double("duration-s"));
+  const std::string mix = args.get("mix");
+  if (mix != "uniform" && mix != "bursty" && mix != "diurnal") {
+    std::cerr << "unknown --mix (use: uniform, bursty, diurnal)\n";
+    return 1;
+  }
+  const auto tenants = static_cast<std::size_t>(std::max(1, args.get_int("tenants")));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const int retries = std::max(0, args.get_int("retries"));
+  const auto backoff_base =
+      std::chrono::microseconds(std::max(1, args.get_int("retry-backoff-us")));
+  const auto backoff_cap = backoff_base * 64;
+
+  // ---- Build the open-loop schedule (before any socket exists) ----------
+  Rng rng(Rng::seed_of("loadgen", seed, requests));
+  const std::vector<double> arrivals = arrival_schedule(mix, requests, duration, rng);
+  const ZipfTenants zipf(tenants, std::max(0.0, args.get_double("zipf-s")));
+
+  std::vector<PlannedRequest> plan(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    plan[i].send_at = arrivals[i];
+    plan[i].tenant = "tenant-" + std::to_string(zipf.draw(rng));
+    plan[i].rid = "lg-" + std::to_string(seed) + "-" + std::to_string(i);
+    const double release = rng.uniform(0.0, 6.0);
+    plan[i].task =
+        Task{release, release + rng.uniform(10.0, 20.0), rng.uniform(0.2, 1.5)};
+  }
+
+  std::cout << "loadgen: " << requests << " request(s) over " << duration << " s (" << mix
+            << " mix), " << connections << " connection(s), " << tenants
+            << " tenant(s) Zipf(" << args.get_double("zipf-s") << ") -> " << host << ":"
+            << port << "\n";
+
+  // ---- Fire ---------------------------------------------------------------
+  std::vector<WorkerTally> tallies(connections);
+  std::vector<std::thread> workers;
+  std::atomic<bool> connect_failed{false};
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerTally& tally = tallies[w];
+      net::BlockingClient client;
+      try {
+        client.connect(host, port);
+      } catch (const std::exception& e) {
+        std::cerr << "connection " << w << ": " << e.what() << "\n";
+        connect_failed.store(true);
+        return;
+      }
+      Rng backoff_rng(Rng::seed_of("loadgen-backoff", seed, w));
+
+      // Connection w owns requests w, w+connections, w+2*connections, ...
+      for (std::size_t i = w; i < requests; i += connections) {
+        const PlannedRequest& planned = plan[i];
+        const auto send_at =
+            start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(planned.send_at));
+        if (std::chrono::steady_clock::now() < send_at) {
+          std::this_thread::sleep_until(send_at);
+        } else {
+          ++tally.late;  // behind schedule: send immediately, never thin
+        }
+
+        net::AdmitRequest admit;
+        admit.tenant = planned.tenant;
+        admit.rid = planned.rid;
+        admit.task = planned.task;
+
+        auto wait = backoff_base;
+        bool decided = false;
+        for (int attempt = 0; attempt <= retries && !decided; ++attempt) {
+          if (attempt > 0) {
+            wait = next_backoff(backoff_rng, backoff_base, wait, backoff_cap);
+            // Degraded shards advertise their ladder level; stretch.
+            std::this_thread::sleep_for(wait);
+            ++tally.retries;
+          }
+          net::AdmitResponse response;
+          try {
+            response = client.admit(admit);
+          } catch (const std::exception& e) {
+            std::cerr << "connection " << w << " died: " << e.what() << "\n";
+            return;
+          }
+          ++tally.sent;
+          const auto status_index = static_cast<std::size_t>(response.status);
+          if (status_index < tally.by_status.size()) ++tally.by_status[status_index];
+          if (net::is_retryable(response.status)) {
+            // Back off harder when the shard says it is browning out.
+            wait = wait * (1 + std::max(0, response.brownout_level));
+            continue;
+          }
+          decided = true;
+          if (response.status == net::Status::kOk) {
+            ++tally.acked;
+            if (response.deduplicated) ++tally.deduplicated;
+            tally.acks.emplace_back(planned.rid, planned.task, response.id);
+          } else {
+            ++tally.rejected;
+          }
+        }
+        if (!decided) ++tally.gave_up;
+      }
+
+      // ---- Dedup audit on this connection's own acks ---------------------
+      if (args.get_switch("audit-dedup")) {
+        for (const auto& [rid, task, id] : tally.acks) {
+          // Tenant must match the original (it decides shard routing); the
+          // rid encodes the plan index: "lg-<seed>-<index>".
+          const std::size_t index =
+              static_cast<std::size_t>(std::stoull(rid.substr(rid.rfind('-') + 1)));
+          net::AdmitRequest replay;
+          replay.tenant = plan[index].tenant;
+          replay.rid = rid;
+          replay.task = task;
+          net::AdmitResponse response;
+          bool replay_decided = false;
+          auto replay_wait = backoff_base;
+          for (int attempt = 0; attempt <= retries && !replay_decided; ++attempt) {
+            if (attempt > 0) {
+              replay_wait = next_backoff(backoff_rng, backoff_base, replay_wait, backoff_cap);
+              std::this_thread::sleep_for(replay_wait);
+            }
+            try {
+              response = client.admit(replay);
+            } catch (const std::exception& e) {
+              std::cerr << "connection " << w << " died in audit: " << e.what() << "\n";
+              return;
+            }
+            replay_decided = !net::is_retryable(response.status);
+          }
+          if (!replay_decided || response.status != net::Status::kOk ||
+              !response.deduplicated || response.id != id) {
+            std::cerr << "LOST ACK: " << rid << " acked id " << id << " but replay got "
+                      << net::status_name(response.status) << " id " << response.id
+                      << " dedup=" << response.deduplicated << "\n";
+            ++tally.acks_lost;
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (connect_failed.load()) return 1;
+
+  // ---- Aggregate ----------------------------------------------------------
+  WorkerTally total;
+  for (const WorkerTally& tally : tallies) {
+    total.sent += tally.sent;
+    total.acked += tally.acked;
+    total.deduplicated += tally.deduplicated;
+    total.rejected += tally.rejected;
+    total.retries += tally.retries;
+    total.gave_up += tally.gave_up;
+    total.late += tally.late;
+    total.acks_lost += tally.acks_lost;
+    for (std::size_t s = 0; s < total.by_status.size(); ++s) {
+      total.by_status[s] += tally.by_status[s];
+    }
+  }
+
+  std::cout << "loadgen: " << total.sent << " frame(s) sent in " << format_fixed(wall_s, 3)
+            << " s (" << format_fixed(static_cast<double>(total.sent) / wall_s, 1)
+            << " rps offered): " << total.acked << " acked (" << total.deduplicated
+            << " deduplicated), " << total.rejected << " rejected, " << total.retries
+            << " retried, " << total.gave_up << " gave up, " << total.late
+            << " behind schedule\n";
+  std::cout << "statuses:";
+  for (std::size_t s = 0; s < total.by_status.size(); ++s) {
+    if (total.by_status[s] == 0) continue;
+    std::cout << " " << net::status_name(static_cast<net::Status>(s)) << "="
+              << total.by_status[s];
+  }
+  std::cout << "\n";
+  if (args.get_switch("audit-dedup")) {
+    std::size_t audited = 0;
+    for (const WorkerTally& tally : tallies) audited += tally.acks.size();
+    std::cout << "audit: " << audited << " acked admit(s) replayed, " << total.acks_lost
+              << " lost\n";
+  }
+
+  if (args.get_switch("shutdown")) {
+    try {
+      net::BlockingClient closer;
+      closer.connect(host, port);
+      closer.shutdown_server();
+      std::cout << "shutdown op sent\n";
+    } catch (const std::exception& e) {
+      std::cerr << "shutdown failed: " << e.what() << "\n";
+    }
+  }
+
+  if (total.acks_lost > 0) return 3;
+  if (total.gave_up > 0) return 2;
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Performance bench P9: loopback admission throughput versus shard count.
+//
+// BM_LoopbackAdmission stands up the full network stack in one process —
+// Supervisor fleet, epoll FrontEnd, a BlockingClient over 127.0.0.1 — and
+// measures admissions/sec end to end: frame encode, TCP round trip, worker
+// dispatch, shard admission, response decode. Run at shards ∈ {1, 2, 4, 8}
+// it answers the scaling question the supervisor was built for; the CI perf
+// gate pins the shards=1 row (`BENCH_scale.json`) so single-connection wire
+// overhead cannot silently regress.
+//
+// Timing: `MeasureProcessCPUTime` — the client thread spends its life
+// blocked in recv(), so thread CPU time would measure almost nothing. The
+// process-wide figure charges the loop thread, the op workers, and the
+// shard planners to each admission, which is the cost that matters.
+//
+// BM_FrameRoundTrip is the socket-free codec baseline (encode + incremental
+// decode of one admit frame) separating protocol cost from transport cost.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "easched/common/rng.hpp"
+#include "easched/net/client.hpp"
+#include "easched/net/front_end.hpp"
+#include "easched/net/protocol.hpp"
+#include "easched/service/supervisor.hpp"
+#include "easched/tasksys/task_set.hpp"
+
+namespace {
+
+using namespace easched;
+
+PowerModel bench_power() { return PowerModel(3.0, 0.1); }
+
+SupervisorOptions fleet_options(const std::string& name, std::size_t shards) {
+  SupervisorOptions options;
+  options.shards = shards;
+  options.data_dir =
+      (std::filesystem::temp_directory_path() / ("perf_scale_" + name)).string();
+  std::filesystem::remove_all(options.data_dir);
+  std::filesystem::create_directories(options.data_dir);
+  options.service.cores = 2;
+  options.service.f_max = kInf;
+  options.service.use_thread_pool = false;  // planning stays on the op worker
+  return options;
+}
+
+void BM_LoopbackAdmission(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  Supervisor supervisor(bench_power(),
+                        fleet_options("s" + std::to_string(shards), shards));
+  net::FrontEnd front_end(supervisor, net::FrontEndOptions{});
+  front_end.start();
+  net::BlockingClient client;
+  client.connect("127.0.0.1", front_end.port());
+
+  // One tenant per shard keeps every shard's journal warm; completing each
+  // admitted task keeps the committed set (and thus per-admit planning
+  // cost) constant across iterations.
+  Rng rng(Rng::seed_of("perf-scale", shards));
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    net::AdmitRequest admit;
+    admit.tenant = "tenant-" + std::to_string(sequence % shards);
+    admit.rid = "perf-" + std::to_string(sequence);
+    const double release = rng.uniform(0.0, 5.0);
+    admit.task = Task{release, release + 20.0, rng.uniform(0.5, 1.5)};
+    const net::AdmitResponse response = client.admit(admit);
+    if (response.status != net::Status::kOk) {
+      state.SkipWithError(("admit failed: " + response.reason).c_str());
+      break;
+    }
+    net::TaskOpRequest done;
+    done.tenant = admit.tenant;
+    done.id = response.id;
+    benchmark::DoNotOptimize(client.complete_task(done));
+    ++sequence;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["admissions_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  const net::FrontEndStats stats = front_end.stats();
+  state.counters["frames"] = static_cast<double>(stats.frames_received);
+  front_end.stop();
+}
+BENCHMARK(BM_LoopbackAdmission)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  net::AdmitRequest admit;
+  admit.tenant = "tenant-codec";
+  admit.rid = "rid-0123456789abcdef";
+  admit.task = Task{1.0, 21.0, 0.75};
+  net::FrameDecoder decoder;
+  for (auto _ : state) {
+    const std::string wire = net::encode_frame(net::Op::kAdmit, /*response=*/false, 42,
+                                               net::encode_admit_request(admit));
+    decoder.feed(wire);
+    net::AdmitRequest decoded;
+    if (!net::decode_admit_request(decoder.frames().back().payload, decoded)) {
+      state.SkipWithError("decode failed");
+      break;
+    }
+    decoder.frames().clear();
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,6 +12,7 @@
 //       --journal service.wal --faults "seed=7;solver_stall:p=1"
 //   ./easched_cli serve --shards 4 --data-dir /tmp/fleet --brownout
 //       --faults "seed=7;kill:shard.submit@9;restart_after=5"
+//   ./easched_cli serve --listen 7411 --shards 2 --data-dir /tmp/fleet
 //
 // Schedulers: f1, f2 (paper heuristics), optimal (convex solver),
 // ipm (interior point), yds (uniprocessor), online (rolling-horizon F2).
@@ -35,6 +36,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -63,6 +65,115 @@ std::chrono::microseconds next_backoff(Rng& rng, std::chrono::microseconds base,
   const auto wait = std::chrono::microseconds(
       static_cast<std::int64_t>(rng.uniform(lo, std::max(lo, hi))));
   return std::min(std::max(wait, base), cap);
+}
+
+/// SIGINT/SIGTERM latch for the network server's main wait loop. A signal
+/// is treated exactly like a client's kShutdown op: drain, audit, exit.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void handle_stop_signal(int) { g_stop_signal = 1; }
+
+/// `serve --listen <port>`: expose the supervised fleet over TCP instead of
+/// driving it with a synthetic in-process stream. Runs until a client sends
+/// the protocol's shutdown op or the process receives SIGINT/SIGTERM, then
+/// sweeps every shard back up and audits that no acked admit was lost.
+/// Exit codes: 0 clean, 3 when the audit finds a lost ack.
+int run_network_serve(const CliParser& args) {
+  const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
+  const double fmax_arg = args.get_double("fmax");
+
+  const std::string trace_path = args.get("trace");
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::TraceScope> trace_scope;
+  if (!trace_path.empty()) {
+    tracer.emplace();
+    trace_scope.emplace(*tracer);
+  }
+
+  SupervisorOptions sup;
+  sup.shards = static_cast<std::size_t>(std::max(1, args.get_int("shards")));
+  sup.data_dir = args.get("data-dir");
+  if (sup.data_dir.empty()) {
+    std::cerr << "serve --listen needs --data-dir for the per-shard journals\n";
+    return 1;
+  }
+  std::filesystem::create_directories(sup.data_dir);
+  sup.service.cores = args.get_int("cores");
+  sup.service.f_max = fmax_arg > 0.0 ? fmax_arg : kInf;
+  sup.service.exact_first = args.get("planner") == "exact";
+  sup.service.incremental = !args.get_switch("no-incremental");
+  sup.service.plan_budget = std::chrono::milliseconds(std::max(0, args.get_int("plan-budget-ms")));
+  sup.service.queue_capacity = static_cast<std::size_t>(std::max(0, args.get_int("queue-depth")));
+  sup.brownout_enabled = args.get_switch("brownout");
+  sup.watchdog_deadline = std::chrono::milliseconds(std::max(0, args.get_int("watchdog-ms")));
+  Supervisor supervisor(power, sup);
+
+  net::FrontEndOptions fe;
+  fe.bind_address = args.get("listen-host");
+  fe.port = static_cast<std::uint16_t>(args.get_int("listen"));
+  fe.workers = static_cast<std::size_t>(std::max(1, args.get_int("net-workers")));
+  net::FrontEnd front_end(supervisor, fe);
+  front_end.start();
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  // Scripts parse this line for the (possibly ephemeral) port; flush it
+  // before blocking.
+  std::cout << "serving on " << fe.bind_address << ":" << front_end.port() << " (" << sup.shards
+            << " shard(s), " << fe.workers << " worker(s))" << std::endl;
+
+  // Main wait loop: watchdog sweeps keep unrouted-to dead shards honest
+  // while the event loop and workers do all request work.
+  std::size_t watchdog_restarts = 0;
+  while (g_stop_signal == 0 &&
+         !front_end.wait_shutdown_requested(std::chrono::milliseconds(100))) {
+    watchdog_restarts += supervisor.check_watchdogs();
+  }
+  // Grace: let the shutdown ack (and any in-flight responses) flush before
+  // connections are torn down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  front_end.stop();
+
+  // Recovery sweep: every shard up before the audit reads live state.
+  for (int round = 0; round < 8; ++round) {
+    bool all_up = true;
+    for (std::size_t k = 0; k < supervisor.shard_count(); ++k) {
+      if (!supervisor.shard(k).up() && !supervisor.shard(k).restart_now()) all_up = false;
+    }
+    if (all_up) break;
+  }
+
+  const net::FrontEndStats net_stats = front_end.stats();
+  std::cout << "front-end: " << net_stats.connections_accepted << " connection(s), "
+            << net_stats.frames_received << " frame(s) in / " << net_stats.frames_sent
+            << " out, " << net_stats.admits << " admit(s), " << net_stats.quotes
+            << " quote(s), " << net_stats.completes + net_stats.cancels << " task op(s), "
+            << net_stats.bad_requests << " bad request(s), " << net_stats.protocol_errors
+            << " protocol error(s)\n";
+
+  const SupervisorStats stats = supervisor.stats();
+  std::cout << "supervision: " << stats.crashes_contained << " crash(es) contained, "
+            << stats.restarts << " restart(s) (" << watchdog_restarts << " by watchdog), "
+            << stats.unavailable_rejects << " unavailable reject(s), " << stats.brownout_sheds
+            << " brownout shed(s), max brownout level " << stats.max_brownout_level << ", "
+            << stats.shards_up << "/" << sup.shards << " shard(s) up\n";
+
+  // Server-side no-lost-acks audit over every admit the wire acknowledged.
+  const std::size_t lost_acks = front_end.audit_lost_acks();
+  std::cout << "audit: " << front_end.acked_admits() << " acked admit(s), " << lost_acks
+            << " lost\n";
+
+  if (args.get("metrics-format") == "prometheus") {
+    std::cout << "\n" << supervisor.prometheus();
+  }
+  if (tracer) {
+    trace_scope.reset();
+    write_file(trace_path, tracer->chrome_trace_json());
+    std::cout << "trace written to " << trace_path << " (" << tracer->records().size()
+              << " span(s))\n";
+  }
+  return lost_acks == 0 ? 0 : 3;
 }
 
 int run_supervised_serve(const CliParser& args) {
@@ -237,6 +348,7 @@ int run_supervised_serve(const CliParser& args) {
 }
 
 int run_serve(const CliParser& args) {
+  if (args.get_int("listen") >= 0) return run_network_serve(args);
   if (args.get_int("shards") > 0) return run_supervised_serve(args);
   const int cores = args.get_int("cores");
   const PowerModel power(args.get_double("alpha"), args.get_double("p0"));
@@ -786,6 +898,10 @@ int main(int argc, char** argv) {
                   "serve: force the ladder through levels 0..3 at stream quarters (CI)");
   args.add_option("watchdog-ms", "250",
                   "serve: restart a down shard idle longer than this (supervised)");
+  args.add_option("listen", "-1",
+                  "serve: expose the fleet over TCP on this port (0 = ephemeral; -1 = off)");
+  args.add_option("listen-host", "127.0.0.1", "serve: bind address for --listen");
+  args.add_option("net-workers", "2", "serve: op-handler threads behind the event loop");
   args.add_option("trace", "", "serve: write a Chrome trace_event JSON of the run here");
   args.add_option("metrics-format", "text",
                   "serve: metrics exposition at exit: text | prometheus");

@@ -1,0 +1,217 @@
+#include "easched/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace easched::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Status-only responses (bad request, unknown op, internal error) may stand
+/// in for any typed response; fold one into the typed shape.
+template <typename Response>
+Response from_status_only(std::string_view payload) {
+  StatusResponse status;
+  if (!decode_status_response(payload, status)) {
+    throw std::runtime_error("undecodable response payload");
+  }
+  Response response;
+  response.status = status.status;
+  response.reason = std::move(status.reason);
+  return response;
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_correlation_(other.next_correlation_),
+      decoder_(std::move(other.decoder_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_correlation_ = other.next_correlation_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+void BlockingClient::connect(const std::string& host, std::uint16_t port,
+                             std::chrono::milliseconds timeout) {
+  close();
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad host address: " + host);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      return;
+    }
+    const int saved = errno;
+    ::close(fd);
+    // Refusals during server start-up are expected; anything else is final.
+    if (saved != ECONNREFUSED && saved != ETIMEDOUT) {
+      errno = saved;
+      throw_errno("connect");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      errno = saved;
+      throw_errno("connect (retries exhausted)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder{};
+}
+
+void BlockingClient::send_raw(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error("send on a closed client");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame BlockingClient::read_frame() {
+  if (fd_ < 0) throw std::runtime_error("read on a closed client");
+  std::array<char, 16384> chunk;
+  while (true) {
+    if (!decoder_.frames().empty()) {
+      Frame frame = std::move(decoder_.frames().front());
+      decoder_.frames().erase(decoder_.frames().begin());
+      return frame;
+    }
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n == 0) throw std::runtime_error("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (!decoder_.feed(std::string_view(chunk.data(), static_cast<std::size_t>(n)))) {
+      throw std::runtime_error("protocol violation from server: " + decoder_.error());
+    }
+  }
+}
+
+Frame BlockingClient::round_trip(Op op, std::string_view payload) {
+  const std::uint64_t correlation = next_correlation_++;
+  send_raw(encode_frame(op, /*response=*/false, correlation, payload));
+  while (true) {
+    Frame frame = read_frame();
+    // A blocking client never pipelines, so anything but our response is a
+    // server bug worth surfacing loudly.
+    if (!frame.is_response() || frame.correlation != correlation) {
+      throw std::runtime_error("out-of-order response frame");
+    }
+    return frame;
+  }
+}
+
+AdmitResponse BlockingClient::admit(const AdmitRequest& request) {
+  const Frame frame = round_trip(Op::kAdmit, encode_admit_request(request));
+  AdmitResponse response;
+  if (!decode_admit_response(frame.payload, response)) {
+    return from_status_only<AdmitResponse>(frame.payload);
+  }
+  return response;
+}
+
+QuoteResponse BlockingClient::quote(const QuoteRequest& request) {
+  const Frame frame = round_trip(Op::kQuote, encode_quote_request(request));
+  QuoteResponse response;
+  if (!decode_quote_response(frame.payload, response)) {
+    return from_status_only<QuoteResponse>(frame.payload);
+  }
+  return response;
+}
+
+StatusResponse BlockingClient::complete_task(const TaskOpRequest& request) {
+  const Frame frame = round_trip(Op::kComplete, encode_task_op_request(request));
+  StatusResponse response;
+  if (!decode_status_response(frame.payload, response)) {
+    throw std::runtime_error("undecodable complete response");
+  }
+  return response;
+}
+
+StatusResponse BlockingClient::cancel_task(const TaskOpRequest& request) {
+  const Frame frame = round_trip(Op::kCancel, encode_task_op_request(request));
+  StatusResponse response;
+  if (!decode_status_response(frame.payload, response)) {
+    throw std::runtime_error("undecodable cancel response");
+  }
+  return response;
+}
+
+StatsResponse BlockingClient::stats() {
+  const Frame frame = round_trip(Op::kStats, {});
+  StatsResponse response;
+  if (!decode_stats_response(frame.payload, response)) {
+    StatusResponse status;
+    if (!decode_status_response(frame.payload, status)) {
+      throw std::runtime_error("undecodable stats response");
+    }
+    response.status = status.status;
+    return response;
+  }
+  return response;
+}
+
+RuntimeSimResponse BlockingClient::runtime_sim(const RuntimeSimRequest& request) {
+  const Frame frame = round_trip(Op::kRuntimeSim, encode_runtime_sim_request(request));
+  RuntimeSimResponse response;
+  if (!decode_runtime_sim_response(frame.payload, response)) {
+    return from_status_only<RuntimeSimResponse>(frame.payload);
+  }
+  return response;
+}
+
+StatusResponse BlockingClient::shutdown_server() {
+  const Frame frame = round_trip(Op::kShutdown, {});
+  StatusResponse response;
+  if (!decode_status_response(frame.payload, response)) {
+    throw std::runtime_error("undecodable shutdown response");
+  }
+  return response;
+}
+
+}  // namespace easched::net

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file client.hpp
+/// \brief A small blocking client for the wire protocol.
+///
+/// `BlockingClient` is the reference consumer of `protocol.hpp`: one TCP
+/// connection, synchronous request/response, typed wrappers per op. It is
+/// what the load generator, the end-to-end tests, and the loopback
+/// differential test build on — deliberately simple, because its job is to
+/// exercise the *server's* async machinery, not to be fast itself.
+///
+/// Error surface: transport failures (connect refused, mid-frame
+/// disconnect, decoder violation) throw `std::runtime_error`; protocol-level
+/// outcomes — including `kBadRequest` / `kUnknownOp` answered as status-only
+/// frames — come back inside the typed response's `status`/`reason` fields,
+/// so a caller can branch on the taxonomy without any exception handling.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "easched/net/protocol.hpp"
+
+namespace easched::net {
+
+/// One blocking protocol connection. Not thread-safe; use one per thread.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connect to `host:port`, retrying on refusal until `timeout` elapses
+  /// (the server may still be binding). Throws on final failure.
+  void connect(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// \name Typed ops (blocking round trips)
+  /// @{
+  AdmitResponse admit(const AdmitRequest& request);
+  QuoteResponse quote(const QuoteRequest& request);
+  StatusResponse complete_task(const TaskOpRequest& request);
+  StatusResponse cancel_task(const TaskOpRequest& request);
+  StatsResponse stats();
+  RuntimeSimResponse runtime_sim(const RuntimeSimRequest& request);
+  StatusResponse shutdown_server();
+  /// @}
+
+  /// Send a pre-encoded frame body verbatim (protocol tests forge broken
+  /// frames through this).
+  void send_raw(std::string_view bytes);
+
+  /// Block until the next complete frame arrives. Throws on disconnect or
+  /// a framing violation.
+  Frame read_frame();
+
+ private:
+  /// Encode + send a request and block for the response with the same
+  /// correlation id and `op`'s response bit.
+  Frame round_trip(Op op, std::string_view payload);
+
+  int fd_ = -1;
+  std::uint64_t next_correlation_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace easched::net

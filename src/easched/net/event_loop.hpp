@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file event_loop.hpp
+/// \brief A minimal non-blocking epoll event loop.
+///
+/// One thread calls `run()` and becomes the *loop thread*: it blocks in
+/// `epoll_wait`, dispatches ready-fd callbacks, and drains tasks handed
+/// over from other threads via `post()` (an eventfd wakes the loop, so a
+/// post is never stuck behind a quiet socket). Everything else —
+/// registering fds, changing interest sets, removing fds — must happen on
+/// the loop thread (or before `run()` starts), which is the discipline that
+/// lets connection state live without per-field locks: the loop thread owns
+/// all of it, and worker threads reach it only through `post()`.
+///
+/// The loop is level-triggered. Callbacks receive the ready `epoll`
+/// event mask (`EPOLLIN`/`EPOLLOUT`/`EPOLLERR`/`EPOLLHUP`); a callback may
+/// remove its own fd (removal during dispatch is safe — the registration is
+/// kept alive for the duration of the call).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace easched::net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` with the given epoll interest mask. Loop thread only
+  /// (or before `run()`). The fd is not owned; the caller closes it after
+  /// `remove()`.
+  void add(int fd, std::uint32_t events, Callback callback);
+
+  /// Change an fd's interest mask. Loop thread only.
+  void set_events(int fd, std::uint32_t events);
+
+  /// Deregister an fd. Loop thread only. Safe from inside the fd's own
+  /// callback.
+  void remove(int fd);
+
+  /// Run until `stop()`. Blocks; dispatches fd events and posted tasks.
+  void run();
+
+  /// Ask the loop to exit its next iteration. Thread-safe, idempotent.
+  void stop();
+
+  /// Queue `task` for execution on the loop thread and wake it.
+  /// Thread-safe. Tasks posted after the loop exits are discarded.
+  void post(std::function<void()> task);
+
+  /// True when called from the thread currently inside `run()`.
+  bool in_loop_thread() const;
+
+ private:
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+
+  /// shared_ptr so a callback survives its own `remove()`.
+  std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace easched::net

@@ -118,6 +118,35 @@ std::optional<bool> ServiceShard::cancel(TaskId id) {
   }
 }
 
+std::optional<AdmissionDecision> ServiceShard::quote(const Task& task) {
+  std::lock_guard lock(mutex_);
+  if (!service_ && !tick_down_locked()) return std::nullopt;
+  try {
+    const AdmissionDecision decision = service_->quote(task);
+    last_activity_ = std::chrono::steady_clock::now();
+    return decision;
+  } catch (const InjectedCrash& crash) {
+    ++stats_.crashes_contained;
+    mark_down_locked(crash.restart_after());
+    return std::nullopt;
+  }
+}
+
+std::optional<RuntimeReport> ServiceShard::simulate_runtime(
+    const RuntimeOptions& runtime_options) {
+  std::lock_guard lock(mutex_);
+  if (!service_ && !tick_down_locked()) return std::nullopt;
+  try {
+    RuntimeReport report = service_->simulate_runtime(runtime_options);
+    last_activity_ = std::chrono::steady_clock::now();
+    return report;
+  } catch (const InjectedCrash& crash) {
+    ++stats_.crashes_contained;
+    mark_down_locked(crash.restart_after());
+    return std::nullopt;
+  }
+}
+
 bool ServiceShard::up() const {
   std::lock_guard lock(mutex_);
   return service_ != nullptr;

@@ -114,6 +114,16 @@ class ServiceShard {
   std::optional<bool> complete(TaskId id);
   std::optional<bool> cancel(TaskId id);
 
+  /// Non-binding admission check + energy quote against this shard's
+  /// committed set. `nullopt` while the shard is down (ticks the restart
+  /// countdown like any routed op); a crash is contained the same way
+  /// `submit` contains it.
+  std::optional<AdmissionDecision> quote(const Task& task);
+
+  /// What-if simulation: execute this shard's current plan through the
+  /// online runtime. `nullopt` while down; crashes are contained.
+  std::optional<RuntimeReport> simulate_runtime(const RuntimeOptions& runtime_options = {});
+
   /// \name State reads (empty/zero while down)
   /// @{
   bool up() const;

@@ -109,6 +109,21 @@ std::optional<bool> Supervisor::cancel(std::string_view tenant, TaskId id) {
   return shards_[route(tenant)]->cancel(id);
 }
 
+std::optional<AdmissionDecision> Supervisor::quote(std::string_view tenant, const Task& task) {
+  return shards_[route(tenant)]->quote(task);
+}
+
+std::optional<RuntimeReport> Supervisor::simulate_runtime(
+    std::string_view tenant, const RuntimeOptions& runtime_options) {
+  return shards_[route(tenant)]->simulate_runtime(runtime_options);
+}
+
+std::size_t Supervisor::committed_total() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->committed_count();
+  return total;
+}
+
 std::size_t Supervisor::check_watchdogs() {
   std::size_t restarted = 0;
   const auto now = std::chrono::steady_clock::now();

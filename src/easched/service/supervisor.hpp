@@ -123,6 +123,18 @@ class Supervisor {
   std::optional<bool> complete(std::string_view tenant, TaskId id);
   std::optional<bool> cancel(std::string_view tenant, TaskId id);
 
+  /// Route a non-binding admission quote to `tenant`'s shard. `nullopt`
+  /// while that shard is down.
+  std::optional<AdmissionDecision> quote(std::string_view tenant, const Task& task);
+
+  /// Route a what-if online-runtime simulation of the shard's current plan.
+  /// `nullopt` while that shard is down.
+  std::optional<RuntimeReport> simulate_runtime(std::string_view tenant,
+                                                const RuntimeOptions& runtime_options = {});
+
+  /// Sum of committed tasks across every up shard (down shards count 0).
+  std::size_t committed_total() const;
+
   /// Restart every down shard whose `last_activity` is older than
   /// `watchdog_deadline` (liveness for shards receiving no traffic).
   /// Returns the number of shards brought back up.
