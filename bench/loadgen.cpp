@@ -3,6 +3,14 @@
 //   ./loadgen --port 7411 --requests 1000 --connections 4 --mix bursty
 //   ./loadgen --port 7411 --mix diurnal --tenants 64 --zipf-s 1.2
 //   ./loadgen --port 7411 --requests 1000 --audit-dedup --shutdown
+//   ./loadgen --port 7411 --requests 1000 --batch 16 --pipeline 32
+//
+// Wire modes: the default is one blocking admit round trip per request.
+// --batch=N packs up to N tasks per kAdmitBatch frame; --pipeline=M keeps
+// up to M frames in flight per connection (PipelinedClient, correlation-id
+// multiplexing). Either flag switches the connection to the batched
+// pipelined path; retryable items are re-batched with the SAME rid, and
+// the dedup audit runs over a fresh blocking connection.
 //
 // Open-loop means the arrival schedule is fixed before the first byte is
 // sent: every request has a precomputed send time drawn from the chosen
@@ -36,24 +44,16 @@
 #include <tuple>
 #include <vector>
 
+#include "easched/common/backoff.hpp"
 #include "easched/common/cli.hpp"
 #include "easched/common/rng.hpp"
 #include "easched/common/table.hpp"
 #include "easched/net/client.hpp"
+#include "easched/net/pipelined_client.hpp"
 
 namespace {
 
 using namespace easched;
-
-std::chrono::microseconds next_backoff(Rng& rng, std::chrono::microseconds base,
-                                       std::chrono::microseconds prev,
-                                       std::chrono::microseconds cap) {
-  const double lo = static_cast<double>(base.count());
-  const double hi = 3.0 * static_cast<double>(prev.count());
-  const auto wait = std::chrono::microseconds(
-      static_cast<std::int64_t>(rng.uniform(lo, std::max(lo, hi))));
-  return std::min(std::max(wait, base), cap);
-}
 
 /// Arrival offsets (seconds from start, ascending) for `n` requests over
 /// `duration` seconds under the chosen mix.
@@ -161,6 +161,9 @@ int main(int argc, char** argv) {
   args.add_option("retries", "16", "max retries of retryable statuses per request");
   args.add_option("retry-backoff-us", "200",
                   "base retry backoff (decorrelated jitter, capped at 64x)");
+  args.add_option("batch", "1", "tasks per admit frame (kAdmitBatch frames when set)");
+  args.add_option("pipeline", "0",
+                  "max in-flight frames per connection (0 = blocking round trips)");
   args.add_switch("audit-dedup",
                   "re-submit every acked rid at the end; non-dedup replays are lost acks");
   args.add_switch("shutdown", "send the protocol shutdown op when done");
@@ -194,6 +197,9 @@ int main(int argc, char** argv) {
   const auto backoff_base =
       std::chrono::microseconds(std::max(1, args.get_int("retry-backoff-us")));
   const auto backoff_cap = backoff_base * 64;
+  const auto batch = static_cast<std::size_t>(std::max(1, args.get_int("batch")));
+  const auto pipeline = static_cast<std::size_t>(std::max(0, args.get_int("pipeline")));
+  const bool batched_path = batch > 1 || pipeline > 0;
 
   // ---- Build the open-loop schedule (before any socket exists) ----------
   Rng rng(Rng::seed_of("loadgen", seed, requests));
@@ -213,7 +219,11 @@ int main(int argc, char** argv) {
   std::cout << "loadgen: " << requests << " request(s) over " << duration << " s (" << mix
             << " mix), " << connections << " connection(s), " << tenants
             << " tenant(s) Zipf(" << args.get_double("zipf-s") << ") -> " << host << ":"
-            << port << "\n";
+            << port;
+  if (batched_path) {
+    std::cout << " [batch=" << batch << ", pipeline=" << (pipeline > 0 ? pipeline : 1) << "]";
+  }
+  std::cout << "\n";
 
   // ---- Fire ---------------------------------------------------------------
   std::vector<WorkerTally> tallies(connections);
@@ -224,71 +234,10 @@ int main(int argc, char** argv) {
   for (std::size_t w = 0; w < connections; ++w) {
     workers.emplace_back([&, w] {
       WorkerTally& tally = tallies[w];
-      net::BlockingClient client;
-      try {
-        client.connect(host, port);
-      } catch (const std::exception& e) {
-        std::cerr << "connection " << w << ": " << e.what() << "\n";
-        connect_failed.store(true);
-        return;
-      }
       Rng backoff_rng(Rng::seed_of("loadgen-backoff", seed, w));
 
-      // Connection w owns requests w, w+connections, w+2*connections, ...
-      for (std::size_t i = w; i < requests; i += connections) {
-        const PlannedRequest& planned = plan[i];
-        const auto send_at =
-            start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(planned.send_at));
-        if (std::chrono::steady_clock::now() < send_at) {
-          std::this_thread::sleep_until(send_at);
-        } else {
-          ++tally.late;  // behind schedule: send immediately, never thin
-        }
-
-        net::AdmitRequest admit;
-        admit.tenant = planned.tenant;
-        admit.rid = planned.rid;
-        admit.task = planned.task;
-
-        auto wait = backoff_base;
-        bool decided = false;
-        for (int attempt = 0; attempt <= retries && !decided; ++attempt) {
-          if (attempt > 0) {
-            wait = next_backoff(backoff_rng, backoff_base, wait, backoff_cap);
-            // Degraded shards advertise their ladder level; stretch.
-            std::this_thread::sleep_for(wait);
-            ++tally.retries;
-          }
-          net::AdmitResponse response;
-          try {
-            response = client.admit(admit);
-          } catch (const std::exception& e) {
-            std::cerr << "connection " << w << " died: " << e.what() << "\n";
-            return;
-          }
-          ++tally.sent;
-          const auto status_index = static_cast<std::size_t>(response.status);
-          if (status_index < tally.by_status.size()) ++tally.by_status[status_index];
-          if (net::is_retryable(response.status)) {
-            // Back off harder when the shard says it is browning out.
-            wait = wait * (1 + std::max(0, response.brownout_level));
-            continue;
-          }
-          decided = true;
-          if (response.status == net::Status::kOk) {
-            ++tally.acked;
-            if (response.deduplicated) ++tally.deduplicated;
-            tally.acks.emplace_back(planned.rid, planned.task, response.id);
-          } else {
-            ++tally.rejected;
-          }
-        }
-        if (!decided) ++tally.gave_up;
-      }
-
-      // ---- Dedup audit on this connection's own acks ---------------------
-      if (args.get_switch("audit-dedup")) {
+      // ---- Dedup audit on this connection's own acks (blocking wire) -----
+      auto run_audit = [&](net::BlockingClient& client) {
         for (const auto& [rid, task, id] : tally.acks) {
           // Tenant must match the original (it decides shard routing); the
           // rid encodes the plan index: "lg-<seed>-<index>".
@@ -303,7 +252,8 @@ int main(int argc, char** argv) {
           auto replay_wait = backoff_base;
           for (int attempt = 0; attempt <= retries && !replay_decided; ++attempt) {
             if (attempt > 0) {
-              replay_wait = next_backoff(backoff_rng, backoff_base, replay_wait, backoff_cap);
+              replay_wait =
+                  decorrelated_backoff(backoff_rng, backoff_base, replay_wait, backoff_cap);
               std::this_thread::sleep_for(replay_wait);
             }
             try {
@@ -322,6 +272,204 @@ int main(int argc, char** argv) {
             ++tally.acks_lost;
           }
         }
+      };
+
+      if (!batched_path) {
+        net::BlockingClient client;
+        try {
+          client.connect(host, port);
+        } catch (const std::exception& e) {
+          std::cerr << "connection " << w << ": " << e.what() << "\n";
+          connect_failed.store(true);
+          return;
+        }
+
+        // Connection w owns requests w, w+connections, w+2*connections, ...
+        for (std::size_t i = w; i < requests; i += connections) {
+          const PlannedRequest& planned = plan[i];
+          const auto send_at =
+              start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(planned.send_at));
+          if (std::chrono::steady_clock::now() < send_at) {
+            std::this_thread::sleep_until(send_at);
+          } else {
+            ++tally.late;  // behind schedule: send immediately, never thin
+          }
+
+          net::AdmitRequest admit;
+          admit.tenant = planned.tenant;
+          admit.rid = planned.rid;
+          admit.task = planned.task;
+
+          auto wait = backoff_base;
+          bool decided = false;
+          for (int attempt = 0; attempt <= retries && !decided; ++attempt) {
+            if (attempt > 0) {
+              wait = decorrelated_backoff(backoff_rng, backoff_base, wait, backoff_cap);
+              // Degraded shards advertise their ladder level; stretch.
+              std::this_thread::sleep_for(wait);
+              ++tally.retries;
+            }
+            net::AdmitResponse response;
+            try {
+              response = client.admit(admit);
+            } catch (const std::exception& e) {
+              std::cerr << "connection " << w << " died: " << e.what() << "\n";
+              return;
+            }
+            ++tally.sent;
+            const auto status_index = static_cast<std::size_t>(response.status);
+            if (status_index < tally.by_status.size()) ++tally.by_status[status_index];
+            if (net::is_retryable(response.status)) {
+              // Back off harder when the shard says it is browning out.
+              wait = wait * (1 + std::max(0, response.brownout_level));
+              continue;
+            }
+            decided = true;
+            if (response.status == net::Status::kOk) {
+              ++tally.acked;
+              if (response.deduplicated) ++tally.deduplicated;
+              tally.acks.emplace_back(planned.rid, planned.task, response.id);
+            } else {
+              ++tally.rejected;
+            }
+          }
+          if (!decided) ++tally.gave_up;
+        }
+
+        if (args.get_switch("audit-dedup")) run_audit(client);
+        return;
+      }
+
+      // ---- Batched + pipelined path --------------------------------------
+      // Frames of up to `batch` tasks, up to `pipeline` frames in flight;
+      // retryable items are re-batched (same rids) in backoff rounds.
+      net::PipelinedClient client(pipeline > 0 ? pipeline : 1);
+      try {
+        client.connect(host, port);
+      } catch (const std::exception& e) {
+        std::cerr << "connection " << w << ": " << e.what() << "\n";
+        connect_failed.store(true);
+        return;
+      }
+
+      struct InFlightFrame {
+        std::vector<std::size_t> indices;  ///< plan indices, request order
+        std::future<net::AdmitBatchResponse> future;
+      };
+      std::vector<std::size_t> queue;  // this worker's undecided plan indices
+      for (std::size_t i = w; i < requests; i += connections) queue.push_back(i);
+      std::vector<int> attempts(requests, 0);
+      auto wait = backoff_base;
+      int round = 0;
+
+      while (!queue.empty()) {
+        if (round > 0) {
+          wait = decorrelated_backoff(backoff_rng, backoff_base, wait, backoff_cap);
+          std::this_thread::sleep_for(wait);
+        }
+        std::vector<InFlightFrame> inflight;
+        for (std::size_t off = 0; off < queue.size(); off += batch) {
+          const std::size_t count = std::min(batch, queue.size() - off);
+          if (round == 0) {
+            // Open loop: a frame leaves at its first item's send time;
+            // items already past theirs count as late, never thinned.
+            const auto frame_at =
+                start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(plan[queue[off]].send_at));
+            if (std::chrono::steady_clock::now() < frame_at) {
+              std::this_thread::sleep_until(frame_at);
+            }
+            const auto now = std::chrono::steady_clock::now();
+            for (std::size_t j = 0; j < count; ++j) {
+              const auto item_at =
+                  start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(plan[queue[off + j]].send_at));
+              if (now > item_at) ++tally.late;
+            }
+          }
+          net::AdmitBatchRequest request;
+          request.items.resize(count);
+          for (std::size_t j = 0; j < count; ++j) {
+            const PlannedRequest& planned = plan[queue[off + j]];
+            request.items[j] = {planned.tenant, planned.rid, planned.task};
+          }
+          InFlightFrame frame;
+          frame.indices.assign(queue.begin() + static_cast<std::ptrdiff_t>(off),
+                               queue.begin() + static_cast<std::ptrdiff_t>(off + count));
+          try {
+            frame.future = client.admit_batch(request);  // blocks at the window bound
+          } catch (const std::exception& e) {
+            std::cerr << "connection " << w << " died: " << e.what() << "\n";
+            return;
+          }
+          inflight.push_back(std::move(frame));
+        }
+
+        std::vector<std::size_t> next_queue;
+        int max_brownout = 0;
+        for (InFlightFrame& frame : inflight) {
+          net::AdmitBatchResponse response;
+          try {
+            response = frame.future.get();
+          } catch (const std::exception& e) {
+            std::cerr << "connection " << w << " died: " << e.what() << "\n";
+            return;
+          }
+          tally.sent += frame.indices.size();
+          if (response.status != net::Status::kOk ||
+              response.items.size() != frame.indices.size()) {
+            // A well-formed batch is never rejected wholesale (partial
+            // failure is per item), so a frame-level status is a bug worth
+            // shouting about, not retrying into.
+            std::cerr << "connection " << w << " batch rejected: "
+                      << net::status_name(response.status) << " " << response.reason
+                      << "\n";
+            tally.gave_up += frame.indices.size();
+            continue;
+          }
+          for (std::size_t j = 0; j < frame.indices.size(); ++j) {
+            const std::size_t index = frame.indices[j];
+            const net::AdmitResponse& item = response.items[j];
+            const auto status_index = static_cast<std::size_t>(item.status);
+            if (status_index < tally.by_status.size()) ++tally.by_status[status_index];
+            if (net::is_retryable(item.status)) {
+              max_brownout = std::max(max_brownout, item.brownout_level);
+              if (attempts[index]++ < retries) {
+                ++tally.retries;
+                next_queue.push_back(index);
+              } else {
+                ++tally.gave_up;
+              }
+              continue;
+            }
+            if (item.status == net::Status::kOk) {
+              ++tally.acked;
+              if (item.deduplicated) ++tally.deduplicated;
+              tally.acks.emplace_back(plan[index].rid, plan[index].task, item.id);
+            } else {
+              ++tally.rejected;
+            }
+          }
+        }
+        // Back off harder when shards advertise brownout; re-batching keeps
+        // the same rids, so retries stay dedup-safe.
+        wait = wait * (1 + std::max(0, max_brownout));
+        queue = std::move(next_queue);
+        ++round;
+      }
+      client.close();
+
+      if (args.get_switch("audit-dedup")) {
+        net::BlockingClient audit_client;
+        try {
+          audit_client.connect(host, port);
+        } catch (const std::exception& e) {
+          std::cerr << "audit connection " << w << ": " << e.what() << "\n";
+          connect_failed.store(true);
+          return;
+        }
+        run_audit(audit_client);
       }
     });
   }

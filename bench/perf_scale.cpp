@@ -15,15 +15,25 @@
 //
 // BM_FrameRoundTrip is the socket-free codec baseline (encode + incremental
 // decode of one admit frame) separating protocol cost from transport cost.
+//
+// BM_BatchedAdmission / BM_PipelinedAdmission measure the PR-10 wire modes:
+// N tasks per kAdmitBatch frame, and N single-task frames in flight at once.
+// Both amortize the per-round-trip cost the per-frame bench pays in full;
+// the perf gate requires the batched row to hold its win over
+// BM_LoopbackAdmission/1.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "easched/common/rng.hpp"
 #include "easched/net/client.hpp"
 #include "easched/net/front_end.hpp"
+#include "easched/net/pipelined_client.hpp"
 #include "easched/net/protocol.hpp"
 #include "easched/service/supervisor.hpp"
 #include "easched/tasksys/task_set.hpp"
@@ -91,6 +101,127 @@ BENCHMARK(BM_LoopbackAdmission)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Batched wire path: one kAdmitBatch frame of `batch` tasks per round trip.
+// Admitted tasks are completed in process (supervisor.complete(), not over
+// the wire) so the measured loop is purely the admission wire path — the
+// number this bench exists to compare against per-frame BM_LoopbackAdmission.
+//
+// Workload control: task windows are pairwise disjoint (each task gets its
+// own 25-unit slot). The per-frame row completes after every admit, so its
+// committed set never exceeds one task; inside a batch completes cannot
+// interleave, and overlapping windows would grow each admission's planning
+// work with the batch position — a cost that varies with batch size, not
+// with the wire mode. Disjoint windows hold per-admission planning work
+// comparable across the rows, so their ratio measures the round-trip
+// amortization the batched op exists to buy.
+void BM_BatchedAdmission(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Supervisor supervisor(bench_power(), fleet_options("b" + std::to_string(batch), 1));
+  net::FrontEnd front_end(supervisor, net::FrontEndOptions{});
+  front_end.start();
+  net::BlockingClient client;
+  client.connect("127.0.0.1", front_end.port());
+
+  Rng rng(Rng::seed_of("perf-scale-batch", batch));
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    net::AdmitBatchRequest request;
+    request.items.resize(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      net::AdmitBatchItem& item = request.items[i];
+      item.tenant = "tenant-0";
+      item.rid = "perfb-" + std::to_string(sequence);
+      const double slot = static_cast<double>(sequence) * 25.0;
+      const double release = slot + rng.uniform(0.0, 5.0);
+      item.task = Task{release, release + 20.0, rng.uniform(0.5, 1.5)};
+      ++sequence;
+    }
+    const net::AdmitBatchResponse response = client.admit_batch(request);
+    if (response.status != net::Status::kOk || response.items.size() != batch) {
+      state.SkipWithError(("batch failed: " + response.reason).c_str());
+      break;
+    }
+    state.PauseTiming();
+    for (const net::AdmitResponse& item : response.items) {
+      if (item.status != net::Status::kOk) {
+        state.SkipWithError(("batch item failed: " + item.reason).c_str());
+        break;
+      }
+      supervisor.complete("tenant-0", item.id);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  state.counters["admissions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(batch),
+      benchmark::Counter::kIsRate);
+  front_end.stop();
+}
+BENCHMARK(BM_BatchedAdmission)
+    ->Arg(16)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Pipelined wire path: single-task frames, `window` of them in flight on one
+// connection. Completions happen in process, off the measured wire path, and
+// task windows are pairwise disjoint, both as in BM_BatchedAdmission (the
+// whole wave is admitted before any completes, so overlapping windows would
+// charge later wave members growing planning work).
+void BM_PipelinedAdmission(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  Supervisor supervisor(bench_power(), fleet_options("p" + std::to_string(window), 1));
+  net::FrontEnd front_end(supervisor, net::FrontEndOptions{});
+  front_end.start();
+  net::PipelinedClient client(window);
+  client.connect("127.0.0.1", front_end.port());
+
+  Rng rng(Rng::seed_of("perf-scale-pipeline", window));
+  std::uint64_t sequence = 0;
+  std::vector<std::future<net::AdmitResponse>> wave;
+  wave.reserve(window);
+  for (auto _ : state) {
+    // One wave = `window` pipelined admits issued back to back, then drained.
+    wave.clear();
+    for (std::size_t i = 0; i < window; ++i) {
+      net::AdmitRequest admit;
+      admit.tenant = "tenant-0";
+      admit.rid = "perfp-" + std::to_string(sequence);
+      const double slot = static_cast<double>(sequence) * 25.0;
+      const double release = slot + rng.uniform(0.0, 5.0);
+      admit.task = Task{release, release + 20.0, rng.uniform(0.5, 1.5)};
+      wave.push_back(client.admit(admit));
+      ++sequence;
+    }
+    std::vector<TaskId> admitted;
+    admitted.reserve(window);
+    for (std::future<net::AdmitResponse>& future : wave) {
+      const net::AdmitResponse response = future.get();
+      if (response.status != net::Status::kOk) {
+        state.SkipWithError(("admit failed: " + response.reason).c_str());
+        break;
+      }
+      admitted.push_back(response.id);
+    }
+    state.PauseTiming();
+    for (const TaskId id : admitted) supervisor.complete("tenant-0", id);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(window));
+  state.counters["admissions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(window),
+      benchmark::Counter::kIsRate);
+  client.close();
+  front_end.stop();
+}
+BENCHMARK(BM_PipelinedAdmission)
+    ->Arg(32)
     ->MeasureProcessCPUTime()
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);

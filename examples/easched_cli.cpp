@@ -38,6 +38,7 @@
 #include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -51,21 +52,6 @@
 namespace {
 
 using namespace easched;
-
-/// Decorrelated-jitter retry backoff (the AWS builders'-library variant):
-/// each wait is uniform in [base, 3 * previous wait], capped. Competing
-/// clients spread out instead of retrying in synchronized exponential
-/// waves, which matters exactly when the server is overloaded or freshly
-/// restarted.
-std::chrono::microseconds next_backoff(Rng& rng, std::chrono::microseconds base,
-                                       std::chrono::microseconds prev,
-                                       std::chrono::microseconds cap) {
-  const double lo = static_cast<double>(base.count());
-  const double hi = 3.0 * static_cast<double>(prev.count());
-  const auto wait = std::chrono::microseconds(
-      static_cast<std::int64_t>(rng.uniform(lo, std::max(lo, hi))));
-  return std::min(std::max(wait, base), cap);
-}
 
 /// SIGINT/SIGTERM latch for the network server's main wait loop. A signal
 /// is treated exactly like a client's kShutdown op: drain, audit, exit.
@@ -112,6 +98,12 @@ int run_network_serve(const CliParser& args) {
   fe.bind_address = args.get("listen-host");
   fe.port = static_cast<std::uint16_t>(args.get_int("listen"));
   fe.workers = static_cast<std::size_t>(std::max(1, args.get_int("net-workers")));
+  fe.rate_limit_per_s = std::max(0.0, args.get_double("rate-limit"));
+  fe.rate_limit_burst = std::max(1.0, args.get_double("rate-burst"));
+  fe.outbox_watermark_bytes =
+      static_cast<std::size_t>(std::max(0, args.get_int("outbox-watermark-kb"))) * 1024;
+  fe.outbox_max_bytes =
+      static_cast<std::size_t>(std::max(0, args.get_int("outbox-max-kb"))) * 1024;
   net::FrontEnd front_end(supervisor, fe);
   front_end.start();
 
@@ -147,10 +139,19 @@ int run_network_serve(const CliParser& args) {
   const net::FrontEndStats net_stats = front_end.stats();
   std::cout << "front-end: " << net_stats.connections_accepted << " connection(s), "
             << net_stats.frames_received << " frame(s) in / " << net_stats.frames_sent
-            << " out, " << net_stats.admits << " admit(s), " << net_stats.quotes
+            << " out, " << net_stats.admits << " admit(s), " << net_stats.admit_batches
+            << " batch(es)/" << net_stats.admit_batch_items << " item(s), " << net_stats.quotes
             << " quote(s), " << net_stats.completes + net_stats.cancels << " task op(s), "
             << net_stats.bad_requests << " bad request(s), " << net_stats.protocol_errors
             << " protocol error(s)\n";
+  const double coalesce = net_stats.writev_calls > 0
+                              ? static_cast<double>(net_stats.writev_frames) /
+                                    static_cast<double>(net_stats.writev_calls)
+                              : 0.0;
+  std::cout << "backpressure: " << net_stats.rate_limited << " rate-limited, "
+            << net_stats.outbox_pauses << " outbox pause(s), " << net_stats.outbox_overflows
+            << " outbox overflow(s), " << std::fixed << std::setprecision(2) << coalesce
+            << std::defaultfloat << " frame(s)/writev\n";
 
   const SupervisorStats stats = supervisor.stats();
   std::cout << "supervision: " << stats.crashes_contained << " crash(es) contained, "
@@ -269,7 +270,7 @@ int run_supervised_serve(const CliParser& args) {
     bool decided = false;
     for (int attempt = 0; attempt <= retries && !decided; ++attempt) {
       if (attempt > 0) {
-        wait = next_backoff(backoff_rng, backoff_base, wait, backoff_cap);
+        wait = decorrelated_backoff(backoff_rng, backoff_base, wait, backoff_cap);
         // The shard's advertised brownout level stretches the backoff:
         // degraded shards see retry pressure back off harder.
         std::this_thread::sleep_for(wait * (1 + supervisor.max_brownout_level()));
@@ -448,7 +449,7 @@ int run_serve(const CliParser& args) {
         auto wait = backoff_base;
         for (int attempt = 0; attempt <= retries && !pending.empty() && !server_gone; ++attempt) {
           if (attempt > 0) {
-            wait = next_backoff(backoff_rng, backoff_base, wait, backoff_base * 64);
+            wait = decorrelated_backoff(backoff_rng, backoff_base, wait, backoff_base * 64);
             std::this_thread::sleep_for(wait);
             retried.fetch_add(pending.size());
           }
@@ -902,6 +903,16 @@ int main(int argc, char** argv) {
                   "serve: expose the fleet over TCP on this port (0 = ephemeral; -1 = off)");
   args.add_option("listen-host", "127.0.0.1", "serve: bind address for --listen");
   args.add_option("net-workers", "2", "serve: op-handler threads behind the event loop");
+  args.add_option("rate-limit", "0",
+                  "serve: per-connection admit tokens per second (0 disables; over-limit "
+                  "admits are answered kOverload, not dropped)");
+  args.add_option("rate-burst", "64", "serve: token-bucket burst size for --rate-limit");
+  args.add_option("outbox-watermark-kb", "256",
+                  "serve: per-connection outbox bytes (KiB) past which the connection "
+                  "stops being read until it drains (0 disables)");
+  args.add_option("outbox-max-kb", "4096",
+                  "serve: per-connection outbox hard cap (KiB); past it the connection "
+                  "is closed and counted (0 disables)");
   args.add_option("trace", "", "serve: write a Chrome trace_event JSON of the run here");
   args.add_option("metrics-format", "text",
                   "serve: metrics exposition at exit: text | prometheus");

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "easched/common/rng.hpp"
+
+namespace easched {
+
+// Decorrelated-jitter retry backoff (the AWS builders'-library variant):
+//   wait = clamp(uniform(base, 3 * previous), base, cap)
+// Successive waits random-walk upward without the synchronized thundering
+// herds of plain exponential backoff. Shared by the CLI retry path, the
+// load generator, and `BlockingClient::connect`.
+inline std::chrono::microseconds decorrelated_backoff(Rng& rng,
+                                                      std::chrono::microseconds base,
+                                                      std::chrono::microseconds previous,
+                                                      std::chrono::microseconds cap) {
+  const double lo = static_cast<double>(base.count());
+  const double hi = std::max(lo, 3.0 * static_cast<double>(previous.count()));
+  const auto drawn =
+      std::chrono::microseconds(static_cast<std::int64_t>(rng.uniform(lo, hi)));
+  return std::min(std::max(drawn, base), cap);
+}
+
+}  // namespace easched

@@ -13,6 +13,8 @@
 #include <thread>
 #include <utility>
 
+#include "easched/common/backoff.hpp"
+
 namespace easched::net {
 
 namespace {
@@ -37,6 +39,44 @@ Response from_status_only(std::string_view payload) {
 
 }  // namespace
 
+int connect_with_backoff(const std::string& host, std::uint16_t port,
+                         std::chrono::milliseconds timeout) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad host address: " + host);
+  }
+
+  Rng rng(Rng::seed_of("easched-connect-backoff", port));
+  const auto base = std::chrono::microseconds(2000);
+  const auto cap = std::chrono::microseconds(200'000);
+  auto wait = base;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    // Refusals during server start-up are expected; anything else is final.
+    if (saved != ECONNREFUSED && saved != ETIMEDOUT) {
+      errno = saved;
+      throw_errno("connect");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      errno = saved;
+      throw_errno("connect (retries exhausted)");
+    }
+    wait = decorrelated_backoff(rng, base, wait, cap);
+    std::this_thread::sleep_for(wait);
+  }
+}
+
 BlockingClient::~BlockingClient() { close(); }
 
 BlockingClient::BlockingClient(BlockingClient&& other) noexcept
@@ -57,37 +97,7 @@ BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
 void BlockingClient::connect(const std::string& host, std::uint16_t port,
                              std::chrono::milliseconds timeout) {
   close();
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw std::runtime_error("bad host address: " + host);
-  }
-
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (true) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) throw_errno("socket");
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      fd_ = fd;
-      return;
-    }
-    const int saved = errno;
-    ::close(fd);
-    // Refusals during server start-up are expected; anything else is final.
-    if (saved != ECONNREFUSED && saved != ETIMEDOUT) {
-      errno = saved;
-      throw_errno("connect");
-    }
-    if (std::chrono::steady_clock::now() >= deadline) {
-      errno = saved;
-      throw_errno("connect (retries exhausted)");
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  fd_ = connect_with_backoff(host, port, timeout);
 }
 
 void BlockingClient::close() {
@@ -151,6 +161,21 @@ AdmitResponse BlockingClient::admit(const AdmitRequest& request) {
   AdmitResponse response;
   if (!decode_admit_response(frame.payload, response)) {
     return from_status_only<AdmitResponse>(frame.payload);
+  }
+  return response;
+}
+
+AdmitBatchResponse BlockingClient::admit_batch(const AdmitBatchRequest& request) {
+  const std::string payload = encode_admit_batch_request(request);
+  if (payload.size() + kMinBodyBytes > kMaxFrameBytes) {
+    throw std::length_error("admit batch of " + std::to_string(request.items.size()) +
+                            " tasks encodes to " + std::to_string(payload.size()) +
+                            " bytes, past the max-frame guard; split the batch");
+  }
+  const Frame frame = round_trip(Op::kAdmitBatch, payload);
+  AdmitBatchResponse response;
+  if (!decode_admit_batch_response(frame.payload, response)) {
+    return from_status_only<AdmitBatchResponse>(frame.payload);
   }
   return response;
 }

@@ -24,6 +24,14 @@
 
 namespace easched::net {
 
+/// Open a blocking TCP socket to `host:port`, retrying refusals with
+/// decorrelated-jitter backoff until `timeout` elapses (the server may
+/// still be binding). Returns the connected fd (TCP_NODELAY set); throws
+/// `std::runtime_error` on a bad address, a non-retryable error, or
+/// exhausted retries. Shared by `BlockingClient` and `PipelinedClient`.
+int connect_with_backoff(const std::string& host, std::uint16_t port,
+                         std::chrono::milliseconds timeout);
+
 /// One blocking protocol connection. Not thread-safe; use one per thread.
 class BlockingClient {
  public:
@@ -46,6 +54,10 @@ class BlockingClient {
   /// \name Typed ops (blocking round trips)
   /// @{
   AdmitResponse admit(const AdmitRequest& request);
+  /// Admit N tasks in one frame. Throws `std::length_error` *before sending*
+  /// when the encoded frame would trip the server's max-frame guard — split
+  /// the batch instead of poisoning the connection.
+  AdmitBatchResponse admit_batch(const AdmitBatchRequest& request);
   QuoteResponse quote(const QuoteRequest& request);
   StatusResponse complete_task(const TaskOpRequest& request);
   StatusResponse cancel_task(const TaskOpRequest& request);

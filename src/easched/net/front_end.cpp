@@ -5,11 +5,14 @@
 #include <sys/epoll.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <iostream>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -28,6 +31,25 @@ std::string encode_status_frame(Op op, std::uint64_t correlation, Status status,
   response.status = status;
   response.reason = std::move(reason);
   return encode_frame(op, /*response=*/true, correlation, encode_status_response(response));
+}
+
+constexpr const char* kRateLimitReason =
+    "rate limit exceeded (per-connection token bucket); retry with backoff";
+
+/// Map a service decision onto the wire message — shared by the single and
+/// batched admit handlers so the two paths cannot drift.
+AdmitResponse to_admit_response(const ServiceDecision& decision, const Task& task) {
+  AdmitResponse response;
+  response.status = admit_status(decision, task);
+  response.admitted = decision.admission.admitted;
+  response.id = decision.id;
+  response.deduplicated = decision.deduplicated;
+  response.brownout_level = decision.brownout_level;
+  response.energy_before = decision.admission.energy_before;
+  response.energy_after = decision.admission.energy_after;
+  response.marginal_energy = decision.admission.marginal_energy;
+  response.reason = decision.admission.rejection_reason;
+  return response;
 }
 
 }  // namespace
@@ -173,9 +195,14 @@ void FrontEnd::handle_accept(std::uint32_t) {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
 
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
+    connection->interest = EPOLLIN;
     connections_.emplace(fd, connection);
     loop_.add(fd, EPOLLIN, [this, connection](std::uint32_t events) {
       handle_connection_event(connection, events);
@@ -245,27 +272,82 @@ void FrontEnd::handle_connection_event(const std::shared_ptr<Connection>& connec
 }
 
 void FrontEnd::flush_connection(const std::shared_ptr<Connection>& connection) {
-  while (!connection->outbox.empty()) {
-    const ssize_t n = ::send(connection->fd, connection->outbox.data(),
-                             connection->outbox.size(), MSG_NOSIGNAL);
+  connection->flush_armed = false;
+  std::uint64_t flushed_bytes = 0;
+  std::uint64_t flushed_frames = 0;
+  std::uint64_t gather_writes = 0;
+  const auto record = [&] {
+    if (gather_writes == 0) return;
+    std::lock_guard lock(stats_mutex_);
+    stats_.bytes_sent += flushed_bytes;
+    stats_.writev_calls += gather_writes;
+    stats_.writev_frames += flushed_frames;
+  };
+
+  while (connection->outbox_bytes > 0) {
+    // Gather every pending frame (up to the iovec cap) into one writev —
+    // responses queued since the last flush leave in a single syscall.
+    std::array<iovec, 64> iov;
+    std::size_t n_iov = 0;
+    std::size_t offset = connection->outbox_offset;
+    for (const std::string& frame_bytes : connection->outbox) {
+      if (n_iov == iov.size()) break;
+      iov[n_iov].iov_base = const_cast<char*>(frame_bytes.data()) + offset;
+      iov[n_iov].iov_len = frame_bytes.size() - offset;
+      ++n_iov;
+      offset = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = n_iov;
+    const ssize_t n = ::sendmsg(connection->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      {
-        std::lock_guard lock(stats_mutex_);
-        stats_.bytes_sent += static_cast<std::uint64_t>(n);
+      ++gather_writes;
+      flushed_bytes += static_cast<std::uint64_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        const std::size_t avail =
+            connection->outbox.front().size() - connection->outbox_offset;
+        if (left >= avail) {
+          left -= avail;
+          connection->outbox_bytes -= avail;
+          connection->outbox_offset = 0;
+          connection->outbox.pop_front();
+          ++flushed_frames;
+        } else {
+          connection->outbox_offset += left;
+          connection->outbox_bytes -= left;
+          left = 0;
+        }
       }
-      connection->outbox.erase(0, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
+    record();
     close_connection(connection);
     return;
   }
-  const bool want_write = !connection->outbox.empty();
-  if (want_write != connection->want_write) {
-    connection->want_write = want_write;
-    loop_.set_events(connection->fd, want_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+  record();
+
+  // EPOLLOUT stays armed only while the kernel buffer is actually full.
+  connection->want_write = connection->outbox_bytes > 0;
+  // Resume reads once a paused connection drained below half the watermark.
+  if (connection->read_paused &&
+      connection->outbox_bytes <= options_.outbox_watermark_bytes / 2) {
+    connection->read_paused = false;
   }
+  update_interest(connection);
+}
+
+void FrontEnd::update_interest(const std::shared_ptr<Connection>& connection) {
+  if (connection->closed) return;
+  const std::uint32_t mask =
+      (connection->read_paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+      (connection->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  if (mask == connection->interest) return;
+  connection->interest = mask;
+  loop_.set_events(connection->fd, mask);
 }
 
 void FrontEnd::close_connection(const std::shared_ptr<Connection>& connection) {
@@ -281,12 +363,47 @@ void FrontEnd::close_connection(const std::shared_ptr<Connection>& connection) {
 void FrontEnd::send_to(const std::shared_ptr<Connection>& connection, std::string bytes) {
   loop_.post([this, connection, bytes = std::move(bytes)]() mutable {
     if (connection->closed) return;
-    connection->outbox += bytes;
+    connection->outbox_bytes += bytes.size();
+    connection->outbox.push_back(std::move(bytes));
     {
       std::lock_guard lock(stats_mutex_);
       ++stats_.frames_sent;
     }
-    flush_connection(connection);
+    if (options_.outbox_max_bytes > 0 &&
+        connection->outbox_bytes > options_.outbox_max_bytes) {
+      // A reader this far behind is hopeless; shed it instead of letting
+      // its outbox swell server memory without bound.
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.outbox_overflows;
+      }
+      std::cerr << "easched-net: closing connection fd=" << connection->fd
+                << ": outbox " << connection->outbox_bytes
+                << " bytes exceeds the hard cap of " << options_.outbox_max_bytes
+                << " (slow or stalled reader)\n";
+      close_connection(connection);
+      return;
+    }
+    if (!connection->read_paused && options_.outbox_watermark_bytes > 0 &&
+        connection->outbox_bytes > options_.outbox_watermark_bytes) {
+      // Stop reading a stalled reader: its requests stay in the kernel
+      // receive buffer (and eventually push back on the client) instead of
+      // turning into ever more buffered responses.
+      connection->read_paused = true;
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.outbox_pauses;
+      }
+      update_interest(connection);
+    }
+    // One flush task per burst: appends posted before it runs ride along in
+    // the same writev gather.
+    if (!connection->flush_armed) {
+      connection->flush_armed = true;
+      loop_.post([this, connection] {
+        if (!connection->closed) flush_connection(connection);
+      });
+    }
   });
 }
 
@@ -303,11 +420,12 @@ void FrontEnd::worker_loop() {
       item = std::move(work_.front());
       work_.pop_front();
     }
-    send_to(item.connection, handle_frame(item.frame));
+    send_to(item.connection, handle_frame(item.connection, item.frame));
   }
 }
 
-std::string FrontEnd::handle_frame(const Frame& frame) {
+std::string FrontEnd::handle_frame(const std::shared_ptr<Connection>& connection,
+                                   const Frame& frame) {
   const Op op = frame.request_op();
   try {
     if (frame.is_response()) {
@@ -318,7 +436,9 @@ std::string FrontEnd::handle_frame(const Frame& frame) {
     }
     switch (op) {
       case Op::kAdmit:
-        return handle_admit(frame);
+        return handle_admit(connection, frame);
+      case Op::kAdmitBatch:
+        return handle_admit_batch(connection, frame);
       case Op::kQuote:
         return handle_quote(frame);
       case Op::kComplete:
@@ -345,7 +465,28 @@ std::string FrontEnd::handle_frame(const Frame& frame) {
   }
 }
 
-std::string FrontEnd::handle_admit(const Frame& frame) {
+std::size_t FrontEnd::charge_admits(const std::shared_ptr<Connection>& connection,
+                                    std::size_t requested) {
+  if (options_.rate_limit_per_s <= 0.0 || requested == 0) return requested;
+  std::lock_guard lock(connection->rate_mutex);
+  const auto now = std::chrono::steady_clock::now();
+  if (!connection->bucket_primed) {
+    connection->bucket_primed = true;
+    connection->tokens = options_.rate_limit_burst;
+    connection->last_refill = now;
+  }
+  const double elapsed = std::chrono::duration<double>(now - connection->last_refill).count();
+  connection->last_refill = now;
+  connection->tokens = std::min(options_.rate_limit_burst,
+                                connection->tokens + elapsed * options_.rate_limit_per_s);
+  const auto affordable = static_cast<std::size_t>(connection->tokens);
+  const std::size_t granted = std::min(requested, affordable);
+  connection->tokens -= static_cast<double>(granted);
+  return granted;
+}
+
+std::string FrontEnd::handle_admit(const std::shared_ptr<Connection>& connection,
+                                   const Frame& frame) {
   AdmitRequest request;
   if (!decode_admit_request(frame.payload, request)) {
     std::lock_guard lock(stats_mutex_);
@@ -357,20 +498,21 @@ std::string FrontEnd::handle_admit(const Frame& frame) {
     std::lock_guard lock(stats_mutex_);
     ++stats_.admits;
   }
+  if (charge_admits(connection, 1) == 0) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.rate_limited;
+    }
+    AdmitResponse overload;
+    overload.status = Status::kOverload;
+    overload.reason = kRateLimitReason;
+    return encode_frame(Op::kAdmit, /*response=*/true, frame.correlation,
+                        encode_admit_response(overload));
+  }
   const ServiceDecision decision =
       supervisor_.submit(request.tenant, request.task, request.rid, request.pressure);
 
-  AdmitResponse response;
-  response.status = admit_status(decision, request.task);
-  response.admitted = decision.admission.admitted;
-  response.id = decision.id;
-  response.deduplicated = decision.deduplicated;
-  response.brownout_level = decision.brownout_level;
-  response.energy_before = decision.admission.energy_before;
-  response.energy_after = decision.admission.energy_after;
-  response.marginal_energy = decision.admission.marginal_energy;
-  response.reason = decision.admission.rejection_reason;
-
+  const AdmitResponse response = to_admit_response(decision, request.task);
   if (response.status == Status::kOk && !request.rid.empty()) {
     const std::size_t shard = supervisor_.route(request.tenant);
     std::lock_guard lock(acks_mutex_);
@@ -378,6 +520,60 @@ std::string FrontEnd::handle_admit(const Frame& frame) {
   }
   return encode_frame(Op::kAdmit, /*response=*/true, frame.correlation,
                       encode_admit_response(response));
+}
+
+std::string FrontEnd::handle_admit_batch(const std::shared_ptr<Connection>& connection,
+                                         const Frame& frame) {
+  AdmitBatchRequest request;
+  if (!decode_admit_batch_request(frame.payload, request)) {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.bad_requests;
+    return encode_status_frame(Op::kAdmitBatch, frame.correlation, Status::kBadRequest,
+                               "malformed admit-batch payload");
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.admit_batches;
+    stats_.admit_batch_items += request.items.size();
+  }
+
+  AdmitBatchResponse response;
+  response.status = Status::kOk;
+  response.items.resize(request.items.size());
+
+  // The token bucket grants a prefix (arrival order); everything past it is
+  // answered kOverload per item — partial failure, never a dropped frame.
+  const std::size_t granted = charge_admits(connection, request.items.size());
+  if (granted < request.items.size()) {
+    std::lock_guard lock(stats_mutex_);
+    stats_.rate_limited += request.items.size() - granted;
+  }
+
+  std::vector<Supervisor::BatchItem> batch;
+  batch.reserve(granted);
+  for (std::size_t i = 0; i < granted; ++i) {
+    const AdmitBatchItem& item = request.items[i];
+    batch.push_back({item.tenant, item.task, item.rid});
+  }
+  const std::vector<ServiceDecision> decisions =
+      supervisor_.submit_batch(batch, request.pressure);
+
+  for (std::size_t i = 0; i < granted; ++i) {
+    const AdmitBatchItem& item = request.items[i];
+    const ServiceDecision& decision = decisions[i];
+    response.items[i] = to_admit_response(decision, item.task);
+    if (response.items[i].status == Status::kOk && !item.rid.empty()) {
+      const std::size_t shard = supervisor_.route(item.tenant);
+      std::lock_guard lock(acks_mutex_);
+      acked_[item.rid] = {shard, decision.id};
+    }
+  }
+  for (std::size_t i = granted; i < request.items.size(); ++i) {
+    response.items[i].status = Status::kOverload;
+    response.items[i].reason = kRateLimitReason;
+  }
+  return encode_frame(Op::kAdmitBatch, /*response=*/true, frame.correlation,
+                      encode_admit_batch_response(response));
 }
 
 std::string FrontEnd::handle_quote(const Frame& frame) {

@@ -64,6 +64,25 @@ struct FrontEndOptions {
   std::size_t workers = 2;
   /// Listen backlog.
   int backlog = 128;
+  /// Per-connection admission rate limit in tasks per second — each admit
+  /// (and each task of an admit batch) costs one token. Over-limit admits
+  /// are *answered* `Status::kOverload` (retryable), never dropped. 0
+  /// disables rate limiting.
+  double rate_limit_per_s = 0.0;
+  /// Token-bucket burst allowance (the bucket's capacity).
+  double rate_limit_burst = 64.0;
+  /// Outbox high watermark (bytes). A connection whose unsent responses
+  /// exceed it stops being read (EPOLLIN dropped) until the outbox drains
+  /// below half the watermark — a stalled reader cannot keep feeding the
+  /// workers. 0 disables pausing.
+  std::size_t outbox_watermark_bytes = 256 * 1024;
+  /// Hard outbox cap (bytes): a connection that exceeds it is closed with a
+  /// logged reason (counted in `outbox_overflows`). Backstop for the
+  /// unbounded-growth hazard even when pausing is disabled. 0 disables.
+  std::size_t outbox_max_bytes = 4u * 1024 * 1024;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests use
+  /// a tiny buffer to exercise the watermark deterministically.
+  int send_buffer_bytes = 0;
 };
 
 /// Monotone front-end counters (snapshot under one lock).
@@ -83,6 +102,13 @@ struct FrontEndStats {
   std::uint64_t runtime_sims = 0;
   std::uint64_t bad_requests = 0;
   std::uint64_t unknown_ops = 0;
+  std::uint64_t admit_batches = 0;     ///< kAdmitBatch frames served
+  std::uint64_t admit_batch_items = 0; ///< tasks carried by those frames
+  std::uint64_t rate_limited = 0;      ///< admits answered kOverload by the token bucket
+  std::uint64_t writev_calls = 0;      ///< gather writes issued by the flusher
+  std::uint64_t writev_frames = 0;     ///< frames fully flushed by those writes
+  std::uint64_t outbox_pauses = 0;     ///< reads paused at the outbox high watermark
+  std::uint64_t outbox_overflows = 0;  ///< connections closed at the outbox hard cap
 };
 
 /// The network front door. Thread-safe public surface; `start()`/`stop()`
@@ -127,9 +153,22 @@ class FrontEnd {
   struct Connection {
     int fd = -1;
     FrameDecoder decoder;
-    std::string outbox;       ///< encoded responses not yet written
-    bool want_write = false;  ///< EPOLLOUT currently armed
+    /// Encoded response frames not yet (fully) written, oldest first. Kept
+    /// as whole frames so the flusher can gather many into one `writev`.
+    std::deque<std::string> outbox;
+    std::size_t outbox_bytes = 0;   ///< total unsent bytes across the deque
+    std::size_t outbox_offset = 0;  ///< bytes of outbox.front() already sent
+    std::uint32_t interest = 0;     ///< epoll events currently registered
+    bool want_write = false;        ///< the last flush hit a full kernel buffer
+    bool flush_armed = false;       ///< a coalescing flush task is posted
+    bool read_paused = false;       ///< EPOLLIN dropped (outbox over watermark)
     bool closed = false;
+    /// Token bucket. Charged from worker threads (a batch's cost is only
+    /// known after decode), hence its own tiny mutex.
+    std::mutex rate_mutex;
+    double tokens = 0.0;
+    bool bucket_primed = false;
+    std::chrono::steady_clock::time_point last_refill;
   };
 
   struct WorkItem {
@@ -143,12 +182,21 @@ class FrontEnd {
                                std::uint32_t events);
   void flush_connection(const std::shared_ptr<Connection>& connection);
   void close_connection(const std::shared_ptr<Connection>& connection);
+  /// Recompute and (if changed) re-register the connection's epoll mask
+  /// from `read_paused` / `want_write`.
+  void update_interest(const std::shared_ptr<Connection>& connection);
 
   // Worker side.
   void worker_loop();
   /// Execute one request frame and return the fully-encoded response frame.
-  std::string handle_frame(const Frame& frame);
-  std::string handle_admit(const Frame& frame);
+  std::string handle_frame(const std::shared_ptr<Connection>& connection, const Frame& frame);
+  std::string handle_admit(const std::shared_ptr<Connection>& connection, const Frame& frame);
+  std::string handle_admit_batch(const std::shared_ptr<Connection>& connection,
+                                 const Frame& frame);
+  /// Take up to `requested` tokens from the connection's bucket; returns
+  /// how many were granted (the prefix of a batch that may proceed).
+  std::size_t charge_admits(const std::shared_ptr<Connection>& connection,
+                            std::size_t requested);
   std::string handle_quote(const Frame& frame);
   std::string handle_task_op(const Frame& frame, bool complete);
   std::string handle_stats(const Frame& frame);

@@ -1,0 +1,218 @@
+#include "easched/net/pipelined_client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "easched/net/client.hpp"
+
+namespace easched::net {
+
+namespace {
+
+template <typename Response>
+Response from_status_only(std::string_view payload) {
+  StatusResponse status;
+  if (!decode_status_response(payload, status)) {
+    throw std::runtime_error("undecodable response payload");
+  }
+  Response response;
+  response.status = status.status;
+  response.reason = std::move(status.reason);
+  return response;
+}
+
+}  // namespace
+
+PipelinedClient::PipelinedClient(std::size_t max_in_flight)
+    : max_in_flight_(max_in_flight > 0 ? max_in_flight : 1) {}
+
+PipelinedClient::~PipelinedClient() { close(); }
+
+void PipelinedClient::connect(const std::string& host, std::uint16_t port,
+                              std::chrono::milliseconds timeout) {
+  close();
+  const int fd = connect_with_backoff(host, port, timeout);
+  {
+    std::lock_guard lock(mutex_);
+    fd_ = fd;
+    closing_ = false;
+    next_correlation_ = 1;
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+bool PipelinedClient::connected() const {
+  std::lock_guard lock(mutex_);
+  return fd_ >= 0 && !closing_;
+}
+
+std::size_t PipelinedClient::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+void PipelinedClient::close() {
+  int fd = -1;
+  {
+    std::lock_guard lock(mutex_);
+    if (fd_ < 0) return;
+    closing_ = true;
+    fd = fd_;
+  }
+  window_cv_.notify_all();
+  ::shutdown(fd, SHUT_RDWR);  // wakes the reader's blocking recv
+  if (reader_.joinable()) reader_.join();
+  fail_all("connection closed");
+  std::lock_guard send_lock(send_mutex_);
+  std::lock_guard lock(mutex_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t PipelinedClient::enqueue(Op op, std::string payload, Completion completion) {
+  std::uint64_t correlation = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (fd_ < 0 || closing_) throw std::runtime_error("pipelined client is not connected");
+    // The in-flight window: block the issuer, not server memory.
+    window_cv_.wait(lock, [this] { return pending_.size() < max_in_flight_ || closing_; });
+    if (closing_) throw std::runtime_error("pipelined client is closing");
+    correlation = next_correlation_++;
+    pending_.emplace(correlation, std::move(completion));
+  }
+
+  const std::string frame = encode_frame(op, /*response=*/false, correlation, payload);
+  bool send_failed = false;
+  std::string send_error;
+  {
+    std::lock_guard send_lock(send_mutex_);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        send_failed = true;
+        send_error = std::string("send: ") + std::strerror(errno);
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  if (send_failed) {
+    {
+      std::lock_guard lock(mutex_);
+      pending_.erase(correlation);
+    }
+    window_cv_.notify_all();
+    throw std::runtime_error(send_error);
+  }
+  return correlation;
+}
+
+void PipelinedClient::reader_loop() {
+  FrameDecoder decoder;
+  std::array<char, 16384> chunk;
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n == 0) {
+      fail_all("server closed the connection");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_all(std::string("recv: ") + std::strerror(errno));
+      return;
+    }
+    if (!decoder.feed(std::string_view(chunk.data(), static_cast<std::size_t>(n)))) {
+      fail_all("protocol violation from server: " + decoder.error());
+      return;
+    }
+    for (Frame& frame : decoder.frames()) {
+      Completion completion;
+      {
+        std::lock_guard lock(mutex_);
+        auto it = pending_.find(frame.correlation);
+        if (it == pending_.end()) continue;  // late answer after a local failure
+        completion = std::move(it->second);
+        pending_.erase(it);
+      }
+      window_cv_.notify_all();
+      completion(&frame, {});
+    }
+    decoder.frames().clear();
+  }
+}
+
+void PipelinedClient::fail_all(const std::string& error) {
+  std::vector<Completion> orphans;
+  {
+    std::lock_guard lock(mutex_);
+    orphans.reserve(pending_.size());
+    for (auto& [correlation, completion] : pending_) orphans.push_back(std::move(completion));
+    pending_.clear();
+  }
+  window_cv_.notify_all();
+  for (Completion& completion : orphans) completion(nullptr, error);
+}
+
+std::future<AdmitResponse> PipelinedClient::admit(const AdmitRequest& request) {
+  auto promise = std::make_shared<std::promise<AdmitResponse>>();
+  std::future<AdmitResponse> future = promise->get_future();
+  enqueue(Op::kAdmit, encode_admit_request(request),
+          [promise](const Frame* frame, const std::string& error) {
+            if (frame == nullptr) {
+              promise->set_exception(std::make_exception_ptr(std::runtime_error(error)));
+              return;
+            }
+            AdmitResponse response;
+            if (!decode_admit_response(frame->payload, response)) {
+              try {
+                response = from_status_only<AdmitResponse>(frame->payload);
+              } catch (...) {
+                promise->set_exception(std::current_exception());
+                return;
+              }
+            }
+            promise->set_value(std::move(response));
+          });
+  return future;
+}
+
+std::future<AdmitBatchResponse> PipelinedClient::admit_batch(const AdmitBatchRequest& request) {
+  std::string payload = encode_admit_batch_request(request);
+  if (payload.size() + kMinBodyBytes > kMaxFrameBytes) {
+    throw std::length_error("admit batch of " + std::to_string(request.items.size()) +
+                            " tasks encodes to " + std::to_string(payload.size()) +
+                            " bytes, past the max-frame guard; split the batch");
+  }
+  auto promise = std::make_shared<std::promise<AdmitBatchResponse>>();
+  std::future<AdmitBatchResponse> future = promise->get_future();
+  enqueue(Op::kAdmitBatch, std::move(payload),
+          [promise](const Frame* frame, const std::string& error) {
+            if (frame == nullptr) {
+              promise->set_exception(std::make_exception_ptr(std::runtime_error(error)));
+              return;
+            }
+            AdmitBatchResponse response;
+            if (!decode_admit_batch_response(frame->payload, response)) {
+              try {
+                response = from_status_only<AdmitBatchResponse>(frame->payload);
+              } catch (...) {
+                promise->set_exception(std::current_exception());
+                return;
+              }
+            }
+            promise->set_value(std::move(response));
+          });
+  return future;
+}
+
+}  // namespace easched::net

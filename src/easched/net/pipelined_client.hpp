@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file pipelined_client.hpp
+/// \brief An asynchronous client multiplexing many in-flight requests on
+///        one connection.
+///
+/// The protocol has carried correlation ids since PR 9; `PipelinedClient`
+/// finally uses them. Requests are sent without waiting for answers, a
+/// dedicated reader thread matches response frames to their futures by
+/// correlation id (out-of-order completion is fine), and a bounded
+/// in-flight window keeps a fast producer from buffering unboundedly —
+/// `admit()` blocks once `max_in_flight` requests are outstanding, which is
+/// also what keeps a client on the polite side of the server's
+/// per-connection backpressure.
+///
+/// Thread-safety: any number of threads may issue requests concurrently;
+/// sends are serialized internally and completions fire on the reader
+/// thread. Transport failures (disconnect, protocol violation) fail every
+/// outstanding future with `std::runtime_error`; per-request protocol
+/// outcomes come back inside the typed response's `status` field, exactly
+/// like `BlockingClient`.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "easched/net/protocol.hpp"
+
+namespace easched::net {
+
+/// One pipelined protocol connection.
+class PipelinedClient {
+ public:
+  /// `max_in_flight` bounds outstanding (unanswered) requests; issuing
+  /// past the bound blocks until a response frees a slot.
+  explicit PipelinedClient(std::size_t max_in_flight = 64);
+  ~PipelinedClient();
+
+  PipelinedClient(const PipelinedClient&) = delete;
+  PipelinedClient& operator=(const PipelinedClient&) = delete;
+
+  /// Connect (decorrelated-jitter retry on refusal, like `BlockingClient`)
+  /// and start the reader thread. Throws on final failure.
+  void connect(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  /// Close the connection. Every outstanding future fails with
+  /// "connection closed". Idempotent; called by the destructor.
+  void close();
+  bool connected() const;
+
+  /// \name Pipelined ops
+  /// Each returns immediately (subject to the in-flight window) with a
+  /// future the reader thread completes.
+  /// @{
+  std::future<AdmitResponse> admit(const AdmitRequest& request);
+  /// Batched + pipelined: N tasks per frame, many frames outstanding.
+  /// Throws `std::length_error` before sending when the frame would trip
+  /// the server's max-frame guard.
+  std::future<AdmitBatchResponse> admit_batch(const AdmitBatchRequest& request);
+  /// @}
+
+  /// Currently outstanding (sent, unanswered) requests.
+  std::size_t in_flight() const;
+
+ private:
+  /// Completion callback: a response frame, or null + an error message.
+  using Completion = std::function<void(const Frame*, const std::string&)>;
+
+  std::uint64_t enqueue(Op op, std::string payload, Completion completion);
+  void reader_loop();
+  /// Fail every outstanding completion and wake window waiters. Runs on the
+  /// reader thread (transport errors) or in close().
+  void fail_all(const std::string& error);
+
+  std::size_t max_in_flight_;
+  int fd_ = -1;
+  std::thread reader_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable window_cv_;
+  std::unordered_map<std::uint64_t, Completion> pending_;
+  std::uint64_t next_correlation_ = 1;
+  bool closing_ = false;
+
+  /// Serializes writes: concurrent issuers must not interleave frame bytes.
+  std::mutex send_mutex_;
+};
+
+}  // namespace easched::net

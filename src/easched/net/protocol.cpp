@@ -207,6 +207,40 @@ Task get_task(Reader& r) {
   return t;
 }
 
+// Shared by the single-admit codec and the per-item layout of kAdmitBatch —
+// one wire format, two framings.
+void put_admit_response(Writer& w, const AdmitResponse& m) {
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u8(m.admitted ? 1 : 0);
+  w.i64(m.id);
+  w.u8(m.deduplicated ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.brownout_level));
+  w.f64(m.energy_before);
+  w.f64(m.energy_after);
+  w.f64(m.marginal_energy);
+  w.str(m.reason);
+}
+
+AdmitResponse get_admit_response(Reader& r) {
+  AdmitResponse m;
+  m.status = static_cast<Status>(r.u8());
+  m.admitted = r.u8() != 0;
+  m.id = r.i64();
+  m.deduplicated = r.u8() != 0;
+  m.brownout_level = static_cast<std::int32_t>(r.u32());
+  m.energy_before = r.f64();
+  m.energy_after = r.f64();
+  m.marginal_energy = r.f64();
+  m.reason = r.str();
+  return m;
+}
+
+// Smallest possible wire size of one batch item / one batch response item:
+// an item count larger than payload/min is rejected before any reserve, so
+// a forged count can never drive a large allocation.
+constexpr std::size_t kMinBatchItemBytes = 4 + 4 + 3 * 8;           // tenant + rid + task
+constexpr std::size_t kMinBatchResponseItemBytes = 1 + 1 + 8 + 1 + 4 + 3 * 8 + 4;
+
 }  // namespace
 
 std::string encode_admit_request(const AdmitRequest& m) {
@@ -229,29 +263,63 @@ bool decode_admit_request(std::string_view payload, AdmitRequest& out) {
 
 std::string encode_admit_response(const AdmitResponse& m) {
   Writer w;
-  w.u8(static_cast<std::uint8_t>(m.status));
-  w.u8(m.admitted ? 1 : 0);
-  w.i64(m.id);
-  w.u8(m.deduplicated ? 1 : 0);
-  w.u32(static_cast<std::uint32_t>(m.brownout_level));
-  w.f64(m.energy_before);
-  w.f64(m.energy_after);
-  w.f64(m.marginal_energy);
-  w.str(m.reason);
+  put_admit_response(w, m);
   return w.take();
 }
 
 bool decode_admit_response(std::string_view payload, AdmitResponse& out) {
   Reader r(payload);
+  out = get_admit_response(r);
+  return r.done();
+}
+
+std::string encode_admit_batch_request(const AdmitBatchRequest& m) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(m.items.size()));
+  for (const AdmitBatchItem& item : m.items) {
+    w.str(item.tenant);
+    w.str(item.rid);
+    put_task(w, item.task);
+  }
+  w.u32(m.pressure);
+  return w.take();
+}
+
+bool decode_admit_batch_request(std::string_view payload, AdmitBatchRequest& out) {
+  Reader r(payload);
+  const std::uint32_t count = r.u32();
+  if (count > payload.size() / kMinBatchItemBytes) return false;
+  out.items.clear();
+  out.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AdmitBatchItem item;
+    item.tenant = r.str();
+    item.rid = r.str();
+    item.task = get_task(r);
+    out.items.push_back(std::move(item));
+  }
+  out.pressure = r.u32();
+  return r.done();
+}
+
+std::string encode_admit_batch_response(const AdmitBatchResponse& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.str(m.reason);
+  w.u32(static_cast<std::uint32_t>(m.items.size()));
+  for (const AdmitResponse& item : m.items) put_admit_response(w, item);
+  return w.take();
+}
+
+bool decode_admit_batch_response(std::string_view payload, AdmitBatchResponse& out) {
+  Reader r(payload);
   out.status = static_cast<Status>(r.u8());
-  out.admitted = r.u8() != 0;
-  out.id = r.i64();
-  out.deduplicated = r.u8() != 0;
-  out.brownout_level = static_cast<std::int32_t>(r.u32());
-  out.energy_before = r.f64();
-  out.energy_after = r.f64();
-  out.marginal_energy = r.f64();
   out.reason = r.str();
+  const std::uint32_t count = r.u32();
+  if (count > payload.size() / kMinBatchResponseItemBytes) return false;
+  out.items.clear();
+  out.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.items.push_back(get_admit_response(r));
   return r.done();
 }
 

@@ -70,6 +70,7 @@ enum class Op : std::uint8_t {
   kStats = 5,       ///< fleet-wide supervision statistics
   kRuntimeSim = 6,  ///< what-if online-runtime simulation of a shard's plan
   kShutdown = 7,    ///< ask the server to finish up and exit cleanly
+  kAdmitBatch = 8,  ///< admit N tasks in one frame (per-task statuses)
 };
 
 /// High bit of the op byte marks a frame as a response.
@@ -245,6 +246,37 @@ struct AdmitResponse {
   friend bool operator==(const AdmitResponse&, const AdmitResponse&) = default;
 };
 
+/// One task of a kAdmitBatch request.
+struct AdmitBatchItem {
+  std::string tenant;
+  std::string rid;
+  Task task;
+
+  friend bool operator==(const AdmitBatchItem&, const AdmitBatchItem&) = default;
+};
+
+/// kAdmitBatch request: N tasks in one frame. `pressure` is the shared
+/// brownout-ladder hint (the server additionally folds in its own
+/// concurrency estimate, exactly as for kAdmit).
+struct AdmitBatchRequest {
+  std::vector<AdmitBatchItem> items;
+  std::uint32_t pressure = 0;
+
+  friend bool operator==(const AdmitBatchRequest&, const AdmitBatchRequest&) = default;
+};
+
+/// kAdmitBatch response. `status` covers the frame itself (kOk even when
+/// individual items failed — partial failure is per-item, a single
+/// infeasible task never rejects the whole frame); `items` carries one
+/// full AdmitResponse per request task, in request order.
+struct AdmitBatchResponse {
+  Status status = Status::kInternalError;
+  std::vector<AdmitResponse> items;
+  std::string reason;
+
+  friend bool operator==(const AdmitBatchResponse&, const AdmitBatchResponse&) = default;
+};
+
 /// kQuote request.
 struct QuoteRequest {
   std::string tenant;
@@ -332,6 +364,11 @@ std::string encode_admit_request(const AdmitRequest& m);
 bool decode_admit_request(std::string_view payload, AdmitRequest& out);
 std::string encode_admit_response(const AdmitResponse& m);
 bool decode_admit_response(std::string_view payload, AdmitResponse& out);
+
+std::string encode_admit_batch_request(const AdmitBatchRequest& m);
+bool decode_admit_batch_request(std::string_view payload, AdmitBatchRequest& out);
+std::string encode_admit_batch_response(const AdmitBatchResponse& m);
+bool decode_admit_batch_response(std::string_view payload, AdmitBatchResponse& out);
 
 std::string encode_quote_request(const QuoteRequest& m);
 bool decode_quote_request(std::string_view payload, QuoteRequest& out);

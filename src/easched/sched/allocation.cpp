@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "easched/common/contracts.hpp"
+#include "easched/common/radix.hpp"
 #include "easched/parallel/exec.hpp"
 
 namespace easched {
@@ -90,31 +91,6 @@ struct RationScratch {
   std::vector<std::pair<std::uint64_t, std::uint32_t>> swap;   ///< radix ping-pong buffer
   std::vector<double> ration;
 };
-
-/// Stable LSD radix sort of (key, index) pairs by ascending key. Stability
-/// keeps equal keys in their original (ascending-index) order; a byte pass
-/// whose histogram lands everything in one bucket is the identity and is
-/// skipped, which prunes most high-byte passes — DERs within one
-/// subinterval usually share an exponent.
-void radix_sort_keys(std::vector<std::pair<std::uint64_t, std::uint32_t>>& a,
-                     std::vector<std::pair<std::uint64_t, std::uint32_t>>& b) {
-  const std::size_t n = a.size();
-  if (n < 2) return;
-  b.resize(n);
-  std::size_t pos[256];
-  for (int shift = 0; shift < 64; shift += 8) {
-    std::size_t count[256] = {};
-    for (const auto& e : a) ++count[(e.first >> shift) & 0xff];
-    if (count[(a[0].first >> shift) & 0xff] == n) continue;
-    std::size_t run = 0;
-    for (std::size_t bucket = 0; bucket < 256; ++bucket) {
-      pos[bucket] = run;
-      run += count[bucket];
-    }
-    for (const auto& e : a) b[pos[(e.first >> shift) & 0xff]++] = e;
-    a.swap(b);
-  }
-}
 
 /// `der_ration` into caller-provided storage; `scratch.ration` holds the
 /// result on return.

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <sstream>
 #include <utility>
 
 #include "easched/common/contracts.hpp"
 #include "easched/common/math.hpp"
+#include "easched/common/radix.hpp"
 
 namespace easched {
 
@@ -18,16 +20,6 @@ std::string describe(const Segment& s) {
   os << "task " << s.task << " on core " << s.core << " [" << s.start << ", " << s.end << ") @ f="
      << s.frequency;
   return os.str();
-}
-
-/// Check a start-sorted segment list for pairwise overlap; report via `on_overlap`.
-template <typename Fn>
-void check_overlaps(const std::vector<Segment>& sorted, double tol, Fn&& on_overlap) {
-  for (std::size_t i = 1; i < sorted.size(); ++i) {
-    if (sorted[i].start < sorted[i - 1].end - tol) {
-      on_overlap(sorted[i - 1], sorted[i]);
-    }
-  }
 }
 
 void check_segment(const Segment& segment) {
@@ -97,7 +89,11 @@ ValidationReport Schedule::validate(const TaskSet& tasks, double work_tol,
                                     double time_tol) const {
   ValidationReport report;
 
-  // Segment sanity + window containment.
+  // Segment sanity + window containment, accumulating per-task completed
+  // work in the same pass (the per-task completed_work() loop over the full
+  // segment list is O(T·S) — admission validates after every plan, so this
+  // function stays one sort plus linear scans).
+  std::vector<double> done(tasks.size(), 0.0);
   for (const Segment& s : segments_) {
     if (s.task < 0 || static_cast<std::size_t>(s.task) >= tasks.size()) {
       report.fail("segment references unknown " + describe(s));
@@ -113,30 +109,62 @@ ValidationReport Schedule::validate(const TaskSet& tasks, double work_tol,
     if (!leq_tol(s.end, t.deadline, time_tol)) {
       report.fail("segment ends after deadline: " + describe(s));
     }
+    done[static_cast<std::size_t>(s.task)] += s.work();
   }
 
-  // No core executes two tasks at once.
-  for (CoreId core = 0; core < core_count_; ++core) {
-    check_overlaps(segments_on_core(core), time_tol, [&](const Segment& a, const Segment& b) {
-      report.fail("core overlap: " + describe(a) + " vs " + describe(b));
-    });
+  // One start-ordered index over all segments replaces the per-core and
+  // per-task sorted copies: scanning in that order, the previously seen
+  // segment on the same core (resp. of the same task) is exactly the
+  // start-sorted predecessor the adjacent-pair overlap check compares
+  // against. The order comes from a stable radix sort on the
+  // order-preserving key of each start time (equal starts keep ascending
+  // index). Failures are bucketed and emitted grouped by core then by
+  // task, matching the historical report order (the buckets only exist on
+  // the failure path; a valid schedule allocates nothing but the index).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    order.push_back({ordered_double_key(segments_[i].start), static_cast<std::uint32_t>(i)});
   }
-
-  // No task runs on two cores at once.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    check_overlaps(segments_of_task(static_cast<TaskId>(i)), time_tol,
-                   [&](const Segment& a, const Segment& b) {
-                     report.fail("task self-overlap: " + describe(a) + " vs " + describe(b));
-                   });
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> swap;
+  radix_sort_keys(order, swap);
+  std::vector<const Segment*> last_on_core(static_cast<std::size_t>(std::max(core_count_, 0)),
+                                           nullptr);
+  std::vector<const Segment*> last_of_task(tasks.size(), nullptr);
+  std::vector<std::pair<CoreId, std::string>> core_failures;
+  std::vector<std::pair<TaskId, std::string>> task_failures;
+  for (const auto& [key, index] : order) {
+    const Segment& s = segments_[index];
+    if (s.core >= 0 && s.core < core_count_) {
+      const Segment*& last = last_on_core[static_cast<std::size_t>(s.core)];
+      if (last != nullptr && s.start < last->end - time_tol) {
+        core_failures.emplace_back(s.core,
+                                   "core overlap: " + describe(*last) + " vs " + describe(s));
+      }
+      last = &s;
+    }
+    if (s.task >= 0 && static_cast<std::size_t>(s.task) < tasks.size()) {
+      const Segment*& last = last_of_task[static_cast<std::size_t>(s.task)];
+      if (last != nullptr && s.start < last->end - time_tol) {
+        task_failures.emplace_back(s.task,
+                                   "task self-overlap: " + describe(*last) + " vs " + describe(s));
+      }
+      last = &s;
+    }
   }
+  std::stable_sort(core_failures.begin(), core_failures.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [core, message] : core_failures) report.fail(std::move(message));
+  std::stable_sort(task_failures.begin(), task_failures.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [task, message] : task_failures) report.fail(std::move(message));
 
   // Execution requirements are met.
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const double done = completed_work(static_cast<TaskId>(i));
     const double required = tasks[i].work;
-    if (done < required * (1.0 - work_tol) - work_tol) {
+    if (done[i] < required * (1.0 - work_tol) - work_tol) {
       std::ostringstream os;
-      os << "task " << i << " completes " << done << " of required " << required;
+      os << "task " << i << " completes " << done[i] << " of required " << required;
       report.fail(os.str());
     }
   }

@@ -1,6 +1,8 @@
 #include "easched/service/shard.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <future>
 #include <utility>
 
 #include "easched/common/contracts.hpp"
@@ -78,9 +80,7 @@ ServiceDecision ServiceShard::submit(const Task& task, std::string rid, std::siz
     last_activity_ = std::chrono::steady_clock::now();
     if (options_.journal_compact_bytes > 0 && ++ops_since_size_check_ >= kSizeCheckPeriod) {
       ops_since_size_check_ = 0;
-      if (file_size_bytes(options_.journal_path) > options_.journal_compact_bytes) {
-        snapshot_and_compact_locked();
-      }
+      if (over_compact_threshold_locked()) snapshot_and_compact_locked();
     }
     return decision;
   } catch (const InjectedCrash& crash) {
@@ -88,6 +88,103 @@ ServiceDecision ServiceShard::submit(const Task& task, std::string rid, std::siz
     mark_down_locked(crash.restart_after());
     return unavailable_decision_locked(std::string("shard crashed at ") + crash.point());
   }
+}
+
+std::vector<ServiceDecision> ServiceShard::submit_batch(
+    const std::vector<ShardBatchItem>& items, std::size_t pressure) {
+  std::vector<ServiceDecision> out(items.size());
+  if (items.empty()) return out;
+  std::lock_guard lock(mutex_);
+  if (!service_ && !tick_down_locked()) {
+    for (ServiceDecision& decision : out) {
+      decision = unavailable_decision_locked("shard down (restart scheduled)");
+    }
+    return out;
+  }
+
+  // One brownout observation for the whole batch: the ladder sees the burst
+  // as one pressure sample, exactly as a single submit would.
+  if (options_.brownout_enabled) apply_brownout_locked(ladder_.observe(pressure));
+  const int level = ladder_.level();
+
+  // Enqueue survivors in arrival order; the single pump below is what buys
+  // the batch its one-baseline amortization in the inner service.
+  std::vector<std::pair<std::size_t, std::future<ServiceDecision>>> pending;
+  pending.reserve(items.size());
+  std::size_t crashed_at = items.size();
+  std::string crash_reason;
+  std::uint64_t restart_after = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const ShardBatchItem& item = items[i];
+    if (level >= kBrownoutMaxLevel && slack_ratio(item.task) < ladder_.options().shed_slack) {
+      ++stats_.brownout_sheds;
+      ServiceDecision shed;
+      shed.error_kind = AdmissionErrorKind::kOverload;
+      shed.admission.admitted = false;
+      shed.admission.rejection_reason = "brownout shed (level 3, lowest laxity)";
+      shed.brownout_level = level;
+      out[i] = std::move(shed);
+      continue;
+    }
+    try {
+      faults::kill_point("shard.submit");
+      faults::kill_point(submit_site_);
+    } catch (const InjectedCrash& crash) {
+      // Arrival crash at item i: items before i arrived before the
+      // "process" died and are drained below; i and everything after it is
+      // answered unavailable (retryable, same rid).
+      crashed_at = i;
+      crash_reason = std::string("shard crashed at ") + crash.point();
+      restart_after = crash.restart_after();
+      break;
+    }
+    pending.emplace_back(i, service_->submit(item.task, item.rid));
+  }
+
+  bool inner_crash = false;
+  if (!pending.empty()) {
+    try {
+      service_->pump();
+    } catch (const InjectedCrash& crash) {
+      inner_crash = true;
+      crash_reason = std::string("shard crashed at ") + crash.point();
+      restart_after = crash.restart_after();
+    }
+  }
+
+  // Tear down before collecting: an inner crash leaves undecided requests
+  // in the service queue, and only destroying it breaks their promises
+  // (otherwise the gets below would wait forever).
+  const bool crashed = inner_crash || crashed_at < items.size();
+  if (crashed) {
+    ++stats_.crashes_contained;
+    mark_down_locked(restart_after);
+  }
+
+  for (auto& [index, future] : pending) {
+    try {
+      ServiceDecision decision = future.get();
+      decision.brownout_level = level;
+      out[index] = std::move(decision);
+    } catch (const std::future_error&) {
+      // Undecided when the crash tore the queue down; journaled work (if
+      // any) survives, so a same-rid retry dedups instead of re-committing.
+      out[index] = unavailable_decision_locked(crash_reason);
+    }
+  }
+  for (std::size_t i = crashed_at; i < items.size(); ++i) {
+    out[i] = unavailable_decision_locked(crash_reason);
+  }
+
+  last_activity_ = std::chrono::steady_clock::now();
+  if (!crashed && options_.journal_compact_bytes > 0) {
+    ops_since_size_check_ += items.size();
+    if (ops_since_size_check_ >= kSizeCheckPeriod) {
+      ops_since_size_check_ = 0;
+      if (over_compact_threshold_locked()) snapshot_and_compact_locked();
+    }
+  }
+  return out;
 }
 
 std::optional<bool> ServiceShard::complete(TaskId id) {
@@ -273,7 +370,19 @@ void ServiceShard::snapshot_and_compact_locked() {
   if (!options_.snapshot_path.empty()) {
     write_snapshot(options_.snapshot_path, service_->snapshot());
   }
-  if (service_->compact_journal()) ++stats_.compactions;
+  if (const auto compaction = service_->compact_journal()) {
+    ++stats_.compactions;
+    compact_floor_bytes_ = compaction->bytes_after;
+  }
+}
+
+bool ServiceShard::over_compact_threshold_locked() const {
+  // Hysteresis (see `compact_floor_bytes_`): durable state the compacted
+  // log must keep can sit above the configured threshold; only re-compact
+  // once the journal has doubled past the last compaction's result.
+  const std::uint64_t threshold =
+      std::max(options_.journal_compact_bytes, 2 * compact_floor_bytes_);
+  return file_size_bytes(options_.journal_path) > threshold;
 }
 
 void ServiceShard::apply_brownout_locked(int level) {

@@ -88,6 +88,12 @@ struct ShardStats {
   std::uint64_t restart_failures = 0;    ///< restarts aborted by a crash mid-recovery
 };
 
+/// One task of a batched admission round (see `ServiceShard::submit_batch`).
+struct ShardBatchItem {
+  Task task;
+  std::string rid;
+};
+
 /// One supervised shard. Thread-safe; every operation serializes on the
 /// shard lock (the shard is the concurrency unit — parallelism comes from
 /// having many shards).
@@ -107,6 +113,17 @@ class ServiceShard {
   /// Never throws `InjectedCrash`: a crash is contained and the decision
   /// comes back `kUnavailable`.
   ServiceDecision submit(const Task& task, std::string rid = {}, std::size_t pressure = 0);
+
+  /// Batched admission round: N arrivals decided under one shard lock with
+  /// one brownout observation and one planning baseline (the inner service
+  /// processes the whole batch in a single pump). Decisions come back in
+  /// item order and a batch of one is bit-identical to `submit` — same lock
+  /// scope, same kill-point order, same dedup and journal behavior. Partial
+  /// failure is per-item: a contained crash at item j answers items j..N-1
+  /// `kUnavailable` (retryable, same rid) after draining the already-queued
+  /// prefix, and never throws.
+  std::vector<ServiceDecision> submit_batch(const std::vector<ShardBatchItem>& items,
+                                            std::size_t pressure = 0);
 
   /// Remove a finished / cancelled task. `nullopt` while the shard is down
   /// (the op still ticks the restart countdown); otherwise the service's
@@ -165,6 +182,9 @@ class ServiceShard {
   /// Snapshot + compact (threshold or restart path). Caller holds the lock
   /// and the service is up.
   void snapshot_and_compact_locked();
+  /// Threshold-compaction trigger with hysteresis: fires when the journal
+  /// exceeds `max(journal_compact_bytes, 2 × last compacted size)`.
+  bool over_compact_threshold_locked() const;
   /// Apply a (possibly new) ladder level to the inner service + tracing.
   void apply_brownout_locked(int level);
   ServiceDecision unavailable_decision_locked(std::string reason);
@@ -184,6 +204,14 @@ class ServiceShard {
   ShardStats stats_;
   std::uint64_t restart_countdown_ = 0;  ///< valid while down
   std::uint64_t ops_since_size_check_ = 0;
+  /// Journal size after the last compaction. Durable state the compacted
+  /// log must keep (live tasks + the dedup ledger) can exceed the
+  /// configured threshold; re-compacting every size check in that regime
+  /// rewrites an ever-growing file every 32 ops — quadratic over the
+  /// shard's lifetime. The trigger instead waits for the journal to double
+  /// past this floor: rewrite cost stays amortized O(1) per journaled byte
+  /// and the file stays bounded by 2× its compacted state.
+  std::uint64_t compact_floor_bytes_ = 0;
   std::chrono::steady_clock::time_point last_activity_;
 };
 

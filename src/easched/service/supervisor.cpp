@@ -101,6 +101,41 @@ ServiceDecision Supervisor::submit(std::string_view tenant, const Task& task, st
   return decision;
 }
 
+std::vector<ServiceDecision> Supervisor::submit_batch(const std::vector<BatchItem>& items,
+                                                      std::size_t pressure_hint) {
+  std::vector<ServiceDecision> out(items.size());
+  if (items.empty()) return out;
+
+  // Split by the ring, preserving arrival order within each shard's slice.
+  std::vector<std::vector<std::size_t>> slices(shards_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    slices[route(items[i].tenant)].push_back(i);
+  }
+
+  for (std::size_t k = 0; k < slices.size(); ++k) {
+    const std::vector<std::size_t>& slice = slices[k];
+    if (slice.empty()) continue;
+    std::atomic<std::size_t>& in_flight = *in_flight_[k];
+    const std::size_t concurrent =
+        in_flight.fetch_add(slice.size(), std::memory_order_relaxed) + slice.size();
+    requests_routed_.fetch_add(slice.size(), std::memory_order_relaxed);
+
+    std::vector<ShardBatchItem> shard_items;
+    shard_items.reserve(slice.size());
+    for (const std::size_t i : slice) shard_items.push_back({items[i].task, items[i].rid});
+    std::vector<ServiceDecision> decisions =
+        shards_[k]->submit_batch(shard_items, std::max(pressure_hint, concurrent));
+    in_flight.fetch_sub(slice.size(), std::memory_order_relaxed);
+
+    for (std::size_t j = 0; j < slice.size(); ++j) out[slice[j]] = std::move(decisions[j]);
+    const int level = decisions.empty() ? 0 : out[slice.back()].brownout_level;
+    if (shard_level_[k]->exchange(level, std::memory_order_relaxed) != level) {
+      refresh_brownout_state();
+    }
+  }
+  return out;
+}
+
 std::optional<bool> Supervisor::complete(std::string_view tenant, TaskId id) {
   return shards_[route(tenant)]->complete(id);
 }

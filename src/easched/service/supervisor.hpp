@@ -118,6 +118,22 @@ class Supervisor {
   ServiceDecision submit(std::string_view tenant, const Task& task, std::string rid = {},
                          std::size_t pressure_hint = 0);
 
+  /// One task of a batched admission (see `submit_batch`).
+  struct BatchItem {
+    std::string tenant;
+    Task task;
+    std::string rid;
+  };
+
+  /// Batched admission: split `items` across the consistent-hash ring,
+  /// preserve arrival order within each shard, run each shard's slice as
+  /// one `ServiceShard::submit_batch` round (one lock, one brownout
+  /// observation, one planning baseline), and merge the decisions back into
+  /// request order. A batch of one is bit-identical to `submit`. Partial
+  /// failure is per-item; this never throws `InjectedCrash`.
+  std::vector<ServiceDecision> submit_batch(const std::vector<BatchItem>& items,
+                                            std::size_t pressure_hint = 0);
+
   /// Route a completion / cancellation to `tenant`'s shard. `nullopt`
   /// while that shard is down.
   std::optional<bool> complete(std::string_view tenant, TaskId id);
